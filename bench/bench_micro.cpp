@@ -1,0 +1,168 @@
+// Microbenchmarks of the hot paths: simulator events, network hops,
+// end-to-end multicast delivery, purging, consensus instances, trace
+// generation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "consensus/mux.hpp"
+#include "core/group.hpp"
+#include "fd/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "workload/game_generator.hpp"
+
+namespace {
+
+using namespace svs;
+
+void BM_Simulator_ScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(sim::Duration::micros(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Simulator_ScheduleRun);
+
+class NullPayload final : public core::Payload {
+ public:
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+void BM_Multicast_EndToEnd(benchmark::State& state) {
+  // Cost of one multicast fully delivered to a group of n (events, queue
+  // operations, delivery) under the empty relation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = n;
+  cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+  cfg.auto_membership = false;
+  core::Group group(sim, cfg);
+  const auto payload = std::make_shared<NullPayload>();
+  for (auto _ : state) {
+    group.node(0).multicast(payload, obs::Annotation::none());
+    sim.run();
+    for (std::size_t i = 0; i < n; ++i) {
+      while (group.node(i).try_deliver().has_value()) {
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Multicast_EndToEnd)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_Multicast_WithPurging(benchmark::State& state) {
+  // Same, but with item-tag purging doing work at every hop (single hot
+  // item, bounded queues).
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = 4;
+  cfg.node.relation = std::make_shared<obs::ItemTagRelation>();
+  cfg.node.delivery_capacity = 16;
+  cfg.node.out_capacity = 16;
+  cfg.auto_membership = false;
+  core::Group group(sim, cfg);
+  const auto payload = std::make_shared<NullPayload>();
+  for (auto _ : state) {
+    group.node(0).multicast(payload, obs::Annotation::item(1));
+    sim.run();
+    while (group.node(0).try_deliver().has_value()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Multicast_WithPurging);
+
+class IntValue final : public consensus::ValueBase {
+ public:
+  explicit IntValue(int v) : v_(v) {}
+  [[nodiscard]] std::size_t wire_size() const override { return 4; }
+
+ private:
+  [[maybe_unused]] int v_;
+};
+
+class MuxEndpoint final : public net::Endpoint {
+ public:
+  explicit MuxEndpoint(net::ProcessId self) : mux(self) {}
+  bool on_message(net::ProcessId from, const net::MessagePtr& m,
+                  net::Lane) override {
+    mux.on_message(from, m);
+    return true;
+  }
+  consensus::Mux mux;
+};
+
+void BM_Consensus_Decide(benchmark::State& state) {
+  // Full 5-participant Chandra-Toueg instance, propose to decision.
+  const std::size_t n = 5;
+  sim::Simulator sim;
+  net::Network network(sim, {});
+  std::vector<std::unique_ptr<MuxEndpoint>> procs;
+  std::vector<std::unique_ptr<fd::OracleDetector>> fds;
+  std::vector<net::ProcessId> pids;
+  for (std::size_t i = 0; i < n; ++i) {
+    pids.push_back(net::ProcessId(static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<MuxEndpoint>(pids[i]));
+    network.attach(pids[i], *procs[i]);
+    fds.push_back(std::make_unique<fd::OracleDetector>(
+        sim, network, pids[i], sim::Duration::millis(10)));
+  }
+  std::uint64_t instance = 0;
+  for (auto _ : state) {
+    ++instance;
+    int decided = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& inst = procs[i]->mux.open(
+          network, *fds[i], consensus::InstanceId(instance), pids,
+          [&decided](const consensus::ValuePtr&) { ++decided; });
+      inst.propose(std::make_shared<IntValue>(static_cast<int>(i)));
+    }
+    sim.run();
+    if (decided != static_cast<int>(n)) state.SkipWithError("no decision");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Consensus_Decide);
+
+void BM_ViewChange(benchmark::State& state) {
+  // A full view change (INIT -> PRED -> consensus -> install) in a group
+  // of 4 with empty queues.
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = 4;
+  cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+  cfg.auto_membership = false;
+  core::Group group(sim, cfg);
+  sim.run();
+  for (auto _ : state) {
+    group.node(0).request_view_change({});
+    sim.run();
+    for (std::size_t i = 0; i < 4; ++i) {
+      while (group.node(i).try_deliver().has_value()) {
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViewChange);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  workload::GameTraceGenerator::Config cfg;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    workload::GameTraceGenerator gen(cfg);
+    benchmark::DoNotOptimize(gen.generate(1000));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // rounds
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace

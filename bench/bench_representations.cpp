@@ -1,0 +1,148 @@
+// §4.2: cost of the obsolescence-representation techniques.
+//
+// "The k-enumeration is not only extremely compact to be stored and
+//  transmitted over the network but also makes it very easy to compute the
+//  representation of transitive obsolescence relations using only shift and
+//  binary 'or' operators."
+//
+// Measured here: covers() queries, transitive composition, batch commits
+// and encoded sizes for item tagging, message enumeration and
+// k-enumeration.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "obs/annotation.hpp"
+#include "obs/batch.hpp"
+#include "obs/kbitmap.hpp"
+#include "obs/relation.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace svs;
+
+void BM_KEnum_Covers(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  obs::KBitmap bm(k);
+  for (std::size_t d = 1; d <= k; d += 3) bm.set(d);
+  const auto newer = obs::Annotation::kenum(bm);
+  const auto older = obs::Annotation::none();
+  const obs::KEnumRelation rel;
+  std::uint64_t seq = 1000;
+  for (auto _ : state) {
+    const obs::MessageRef n{net::ProcessId(1), seq, &newer};
+    const obs::MessageRef o{net::ProcessId(1), seq - (seq % k) - 1, &older};
+    benchmark::DoNotOptimize(rel.covers(n, o));
+    ++seq;
+  }
+}
+BENCHMARK(BM_KEnum_Covers)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_Enumeration_Covers(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> seqs;
+  for (std::size_t i = 0; i < n; ++i) seqs.push_back(2 * i + 1);
+  const auto newer = obs::Annotation::enumerate(seqs);
+  const auto older = obs::Annotation::none();
+  const obs::EnumerationRelation rel;
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    const obs::MessageRef ne{net::ProcessId(1), 10'000, &newer};
+    const obs::MessageRef ol{net::ProcessId(1), probe % 9'000, &older};
+    benchmark::DoNotOptimize(rel.covers(ne, ol));
+    ++probe;
+  }
+}
+BENCHMARK(BM_Enumeration_Covers)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ItemTag_Covers(benchmark::State& state) {
+  const auto a = obs::Annotation::item(7);
+  const auto b = obs::Annotation::item(7);
+  const obs::ItemTagRelation rel;
+  std::uint64_t seq = 2;
+  for (auto _ : state) {
+    const obs::MessageRef n{net::ProcessId(1), seq, &a};
+    const obs::MessageRef o{net::ProcessId(1), seq - 1, &b};
+    benchmark::DoNotOptimize(rel.covers(n, o));
+    ++seq;
+  }
+}
+BENCHMARK(BM_ItemTag_Covers);
+
+void BM_KEnum_Compose(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  obs::KBitmap pred(k);
+  for (std::size_t d = 1; d <= k; d += 2) pred.set(d);
+  for (auto _ : state) {
+    obs::KBitmap bm(k);
+    bm.compose(pred, 5);
+    benchmark::DoNotOptimize(bm);
+  }
+}
+BENCHMARK(BM_KEnum_Compose)->Arg(32)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BatchCommit(benchmark::State& state) {
+  // A steady stream of 3-item batches over 100 items.
+  const auto repr = static_cast<obs::AnnotationKind>(state.range(0));
+  obs::BatchComposer composer({repr, 64, 128});
+  std::uint64_t seq = 1;
+  std::uint64_t item = 0;
+  for (auto _ : state) {
+    composer.begin();
+    const std::uint64_t a = item % 100, b = (item + 37) % 100,
+                        c = (item + 61) % 100;
+    composer.add_item(a);
+    composer.add_item(b);
+    composer.add_item(c);
+    composer.note_update_seq(a, seq++);
+    composer.note_update_seq(b, seq++);
+    benchmark::DoNotOptimize(composer.commit(seq++, c));
+    ++item;
+  }
+}
+BENCHMARK(BM_BatchCommit)
+    ->Arg(static_cast<int>(obs::AnnotationKind::k_enum))
+    ->Arg(static_cast<int>(obs::AnnotationKind::enumeration));
+
+void BM_Annotation_EncodedBytes(benchmark::State& state) {
+  // Not a timing benchmark: reports the §4.2 wire-size comparison as
+  // counters (bytes per annotation after a realistic commit stream).
+  obs::BatchComposer kenum({obs::AnnotationKind::k_enum, 64, 0});
+  obs::BatchComposer enumeration({obs::AnnotationKind::enumeration, 0, 128});
+  obs::BatchComposer tag({obs::AnnotationKind::item_tag, 0, 0});
+  std::uint64_t seq = 1;
+  double kenum_bytes = 0, enum_bytes = 0, tag_bytes = 0;
+  std::size_t count = 0;
+  for (auto _ : state) {
+    const std::uint64_t item = seq % 40;
+    kenum_bytes += static_cast<double>(kenum.single(item, seq).wire_size());
+    enum_bytes +=
+        static_cast<double>(enumeration.single(item, seq).wire_size());
+    tag_bytes += static_cast<double>(tag.single(item, seq).wire_size());
+    ++seq;
+    ++count;
+  }
+  state.counters["kenum_B"] =
+      benchmark::Counter(kenum_bytes / static_cast<double>(count));
+  state.counters["enum_B"] =
+      benchmark::Counter(enum_bytes / static_cast<double>(count));
+  state.counters["tag_B"] =
+      benchmark::Counter(tag_bytes / static_cast<double>(count));
+}
+BENCHMARK(BM_Annotation_EncodedBytes);
+
+void BM_Annotation_EncodeDecode(benchmark::State& state) {
+  obs::KBitmap bm(64);
+  for (std::size_t d = 1; d <= 64; d += 5) bm.set(d);
+  const auto ann = obs::Annotation::kenum(bm);
+  for (auto _ : state) {
+    util::ByteWriter w;
+    ann.encode(w);
+    util::ByteReader r(w.data());
+    benchmark::DoNotOptimize(obs::Annotation::decode(r));
+  }
+}
+BENCHMARK(BM_Annotation_EncodeDecode);
+
+}  // namespace

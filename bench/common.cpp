@@ -1,0 +1,148 @@
+#include "bench/common.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/group.hpp"
+#include "metrics/stats.hpp"
+#include "obs/relation.hpp"
+#include "util/contracts.hpp"
+#include "workload/consumer.hpp"
+#include "workload/producer.hpp"
+
+namespace svs::bench {
+
+RunResult run_slow_consumer(const RunConfig& config) {
+  SVS_REQUIRE(config.trace != nullptr, "a trace is required");
+  SVS_REQUIRE(config.replicas >= 2, "need at least producer + consumer");
+
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = config.replicas;
+  cfg.node.relation = std::make_shared<obs::KEnumRelation>();
+  cfg.node.purge_delivery_queue = config.purge_receiver;
+  cfg.node.purge_outgoing = config.purge_sender;
+  cfg.node.delivery_capacity = config.buffer;
+  cfg.node.out_capacity = config.buffer;
+  cfg.auto_membership = false;  // measuring tolerance, not exclusion
+  core::Group group(sim, cfg);
+
+  const std::size_t slow = config.replicas - 1;
+  std::vector<std::unique_ptr<workload::InstantConsumer>> instant;
+  for (std::size_t i = 0; i < slow; ++i) {
+    instant.push_back(
+        std::make_unique<workload::InstantConsumer>(sim, group.node(i)));
+    instant.back()->start();
+  }
+  workload::RateConsumer consumer(sim, group.node(slow), config.consumer_rate);
+  consumer.start();
+
+  workload::TraceProducer producer(sim, group.node(0), *config.trace);
+  producer.start();
+
+  // Sample the slow replica's delivery queue and the producer's outgoing
+  // buffer towards it every 5 ms — how the paper "observ[es] the amount of
+  // buffer used".
+  metrics::PeriodicSampler queue_probe(
+      sim, sim::Duration::millis(5),
+      [&group, slow] {
+        return static_cast<double>(group.node(slow).delivery_data_count());
+      });
+  metrics::PeriodicSampler backlog_probe(
+      sim, sim::Duration::millis(5), [&group, slow] {
+        return static_cast<double>(
+            group.network().data_backlog(group.pid(0), group.pid(slow)));
+      });
+  queue_probe.start();
+  backlog_probe.start();
+
+  RunResult result;
+
+  if (config.view_change_at_seconds.has_value()) {
+    sim.schedule_after(
+        sim::Duration::seconds(*config.view_change_at_seconds),
+        [&group] { group.node(1).request_view_change({}); });
+  }
+
+  if (config.stop_at_seconds.has_value()) {
+    // Perturbation mode: stop the consumer, poll for the first producer
+    // blockage, then end the measurement.
+    const auto stop_at = sim::Duration::seconds(*config.stop_at_seconds);
+    sim.schedule_after(stop_at, [&consumer] { consumer.stop(); });
+    sim.run_until(sim::TimePoint::origin() + stop_at);
+
+    // Poll every millisecond for the blockage.
+    const auto stopped_at = sim.now();
+    std::optional<sim::TimePoint> blocked_at;
+    for (int ms = 1; ms <= 60'000; ++ms) {
+      sim.run_until(stopped_at + sim::Duration::millis(ms));
+      if (producer.currently_blocked()) {
+        blocked_at = sim.now();
+        break;
+      }
+      if (producer.done()) break;
+    }
+    if (blocked_at.has_value()) {
+      result.tolerated_seconds = (*blocked_at - stopped_at).as_seconds();
+    }
+  } else {
+    // The samplers re-arm forever, so run in bounded slices until the
+    // producer finished and the slow path drained (plus a safety cap).
+    const auto deadline =
+        sim::TimePoint::origin() + sim::Duration::seconds(3600.0);
+    while (sim.now() < deadline) {
+      sim.run_until(sim.now() + sim::Duration::seconds(1.0));
+      if (producer.done() &&
+          group.node(slow).delivery_queue_length() == 0 &&
+          group.network().data_backlog(group.pid(0), group.pid(slow)) == 0) {
+        break;
+      }
+    }
+  }
+
+  queue_probe.stop();
+  backlog_probe.stop();
+
+  result.idle_fraction = producer.idle_fraction();
+  result.avg_queue = queue_probe.series().mean();
+  result.max_queue = queue_probe.series().max();
+  result.avg_backlog = backlog_probe.series().mean();
+  result.max_backlog = backlog_probe.series().max();
+  result.purged_receiver = group.node(slow).stats().purged_delivery;
+  result.purged_sender = group.network().stats().purged_outgoing;
+  result.refused = group.node(slow).stats().refused_data;
+  result.producer_done = producer.done();
+
+  if (config.view_change_at_seconds.has_value()) {
+    const auto& stats = group.node(1).stats();
+    if (stats.views_installed > 0) {
+      result.change_latency_ms = stats.last_change_latency.as_millis();
+      result.pred_view_size = stats.last_flush_total;
+      result.flushed_at_slow = group.node(slow).stats().flushed_in;
+    }
+  }
+  return result;
+}
+
+double find_threshold_rate(const RunConfig& base, double max_idle, double lo,
+                           double hi, double precision) {
+  // Invariants: hi tolerates (idle <= max_idle), lo does not.  Establish
+  // them first, then bisect.
+  RunConfig probe = base;
+  probe.consumer_rate = hi;
+  if (run_slow_consumer(probe).idle_fraction > max_idle) return hi;
+  probe.consumer_rate = lo;
+  if (run_slow_consumer(probe).idle_fraction <= max_idle) return lo;
+  while (hi - lo > precision) {
+    const double mid = 0.5 * (lo + hi);
+    probe.consumer_rate = mid;
+    if (run_slow_consumer(probe).idle_fraction <= max_idle) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace svs::bench

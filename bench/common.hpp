@@ -1,0 +1,68 @@
+// Shared experiment runner for the figure benchmarks: the §5.3 simulation
+// model — a trace-driven producer, a group of replicas, one slow consumer —
+// instrumented for producer idle time, buffer occupancy, purge counts and
+// view-change costs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "workload/trace.hpp"
+
+namespace svs::bench {
+
+struct RunConfig {
+  /// The trace to replay (generate once, reuse across runs).
+  const workload::Trace* trace = nullptr;
+
+  std::size_t replicas = 4;
+  /// Delivery-queue and outgoing-buffer bound, in messages (the paper's
+  /// "buffer size"; each of the two stages gets this bound).
+  std::size_t buffer = 15;
+  bool purge_receiver = true;  // semantic vs reliable
+  bool purge_sender = true;
+
+  /// Consumption rate of the slow replica (msgs/s); the others are instant.
+  double consumer_rate = 50.0;
+
+  /// Optional full-stop perturbation: the slow consumer halts at this time
+  /// and the run measures how long until the producer blocks.
+  std::optional<double> stop_at_seconds;
+
+  /// Optional view change (empty leave set) triggered at this time.
+  std::optional<double> view_change_at_seconds;
+};
+
+struct RunResult {
+  double idle_fraction = 0.0;     // producer blocked share (Fig 4(a)/5(a))
+  double avg_queue = 0.0;         // slow replica delivery queue (Fig 4(b))
+  double max_queue = 0.0;
+  double avg_backlog = 0.0;       // producer's outgoing buffer to the slow one
+  double max_backlog = 0.0;
+  std::uint64_t purged_receiver = 0;
+  std::uint64_t purged_sender = 0;
+  std::uint64_t refused = 0;
+  bool producer_done = false;
+
+  // Perturbation measurement (stop_at_seconds set): time from the stop
+  // until the producer first blocks; unset if it never blocked.
+  std::optional<double> tolerated_seconds;
+
+  // View-change measurement (view_change_at_seconds set).
+  std::optional<double> change_latency_ms;   // INIT -> install at initiator
+  std::size_t pred_view_size = 0;            // |agreed pred-view|
+  std::uint64_t flushed_at_slow = 0;         // messages re-sent to the slow one
+};
+
+/// Runs one slow-consumer experiment to completion (or until the
+/// perturbation measurement resolves).
+RunResult run_slow_consumer(const RunConfig& config);
+
+/// Smallest consumer rate (msg/s) that keeps the producer's idle fraction
+/// at or below `max_idle`, found by bisection over [lo, hi] at `precision`
+/// msg/s — the "threshold value" of Fig 5(a).
+double find_threshold_rate(const RunConfig& base, double max_idle = 0.05,
+                           double lo = 2.0, double hi = 200.0,
+                           double precision = 1.0);
+
+}  // namespace svs::bench

@@ -1,0 +1,81 @@
+#include "app/item_table.hpp"
+
+#include "util/contracts.hpp"
+
+namespace svs::app {
+
+void ItemTable::apply(const core::Delivery& delivery) {
+  if (const auto* data = std::get_if<core::DataDelivery>(&delivery)) {
+    const auto op = std::dynamic_pointer_cast<const workload::ItemOp>(
+        data->message->payload());
+    SVS_REQUIRE(op != nullptr, "ItemTable expects ItemOp payloads");
+    pending_.push_back(op);
+    if (op->commit()) {
+      for (const auto& p : pending_) apply_op(*p);
+      ops_applied_ += pending_.size();
+      pending_.clear();
+      ++batches_applied_;
+    }
+    return;
+  }
+  if (const auto* view = std::get_if<core::ViewDelivery>(&delivery)) {
+    // State as of the installation of the new view.  Pending (uncommitted)
+    // operations are not part of the state; they were delivered, so the
+    // rest of the batch is agreed to follow in the new view's flush —
+    // however the protocol flushes *before* the view notification, so by
+    // construction any pending tail here is a batch cut by a crashed
+    // sender, which every surviving member cut identically.
+    digests_at_install_[view->view.id().value()] = digest();
+    return;
+  }
+  // Exclusion: nothing to update; the replica simply stops participating.
+}
+
+void ItemTable::apply_op(const workload::ItemOp& op) {
+  switch (op.op()) {
+    case workload::OpKind::create:
+      SVS_REQUIRE(!items_.contains(op.item()), "create of an existing item");
+      items_.emplace(op.item(), Item{op.value(), op.round()});
+      break;
+    case workload::OpKind::update: {
+      // Upsert: persistent world items exist implicitly from the start
+      // (only transients are created explicitly).  Transient updates always
+      // find their item: creates are never obsolete and FIFO order places
+      // them first.
+      auto& item = items_[op.item()];
+      item.value = op.value();
+      item.updated_round = op.round();
+      break;
+    }
+    case workload::OpKind::destroy:
+      // Tolerates an absent item: every earlier write of it may have been
+      // purged as obsolete (covered by this very batch's commit), in which
+      // case a slow replica destroys something it never materialised.
+      items_.erase(op.item());
+      break;
+  }
+}
+
+std::optional<ItemTable::Item> ItemTable::get(workload::ItemId id) const {
+  const auto it = items_.find(id);
+  if (it == items_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t ItemTable::digest() const {
+  // Order-independent is unnecessary (map iterates sorted); fold with a
+  // strong mix so single-item differences cannot cancel out.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+  };
+  for (const auto& [id, item] : items_) {
+    mix(id);
+    mix(item.value);
+  }
+  return h;
+}
+
+}  // namespace svs::app

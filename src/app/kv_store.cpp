@@ -1,0 +1,141 @@
+#include "app/kv_store.hpp"
+
+#include "util/contracts.hpp"
+
+namespace svs::app {
+namespace {
+
+workload::ItemId hash_key(const std::string& key) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+KvStore::KvStore(core::Node& node, Config config)
+    : node_(node),
+      config_(config),
+      composer_(config.batch),
+      next_planned_seq_(node.next_seq()) {
+  node_.set_unblocked_callback([this] { pump(); });
+}
+
+void KvStore::apply(const core::Delivery& delivery) {
+  if (const auto* view = std::get_if<core::ViewDelivery>(&delivery)) {
+    view_ = view->view;
+  }
+  table_.apply(delivery);
+}
+
+workload::ItemId KvStore::intern(const std::string& key) {
+  const auto it = key_to_id_.find(key);
+  if (it != key_to_id_.end()) return it->second;
+  const workload::ItemId id = hash_key(key);
+  const auto [rev, inserted] = id_to_key_.emplace(id, key);
+  SVS_REQUIRE(inserted || rev->second == key,
+              "key hash collision; use distinct keys");
+  key_to_id_.emplace(key, id);
+  return id;
+}
+
+std::optional<std::uint64_t> KvStore::get(const std::string& key) const {
+  const auto it = key_to_id_.find(key);
+  if (it == key_to_id_.end()) {
+    const auto item = table_.get(hash_key(key));
+    return item.has_value() ? std::optional(item->value) : std::nullopt;
+  }
+  const auto item = table_.get(it->second);
+  return item.has_value() ? std::optional(item->value) : std::nullopt;
+}
+
+bool KvStore::is_primary() const {
+  return view_.has_value() && !view_->members().empty() &&
+         view_->members().front() == node_.id();
+}
+
+bool KvStore::put(const std::string& key, std::uint64_t value) {
+  return put_all({{key, value}});
+}
+
+bool KvStore::put_all(
+    const std::vector<std::pair<std::string, std::uint64_t>>& kvs) {
+  if (!is_primary() || kvs.empty()) return false;
+  std::vector<std::pair<workload::ItemId, std::uint64_t>> puts;
+  puts.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) {
+    puts.emplace_back(intern(key), value);
+  }
+  enqueue_batch(puts, {});
+  return true;
+}
+
+bool KvStore::erase(const std::string& key) {
+  if (!is_primary()) return false;
+  // The applied table is the source of truth — a freshly promoted primary
+  // can erase keys interned by its predecessor.  (An erase racing the
+  // not-yet-applied put of the same key is refused; callers see their own
+  // writes only once the delivery loop has run.)
+  if (!get(key).has_value()) return false;
+  enqueue_batch({}, {intern(key)});
+  return true;
+}
+
+void KvStore::enqueue_batch(
+    const std::vector<std::pair<workload::ItemId, std::uint64_t>>& puts,
+    const std::vector<workload::ItemId>& erases) {
+  const std::uint64_t round = write_round_++;
+  composer_.begin();
+  for (const auto& [id, value] : puts) composer_.add_item(id);
+  for (const auto id : erases) composer_.add_item(id);
+
+  const std::size_t total = puts.size() + erases.size();
+  SVS_ASSERT(total > 0, "empty batch");
+  std::size_t k = 0;
+  for (const auto& [id, value] : puts) {
+    const std::uint64_t seq = next_planned_seq_++;
+    const bool last = ++k == total;
+    obs::Annotation ann = obs::Annotation::none();
+    if (last) {
+      ann = composer_.commit(seq, id);
+    } else {
+      composer_.note_update_seq(id, seq);
+    }
+    outbox_.push_back(Planned{
+        std::make_shared<workload::ItemOp>(workload::OpKind::update, id,
+                                           value, round, last),
+        std::move(ann), seq});
+  }
+  for (const auto id : erases) {
+    const std::uint64_t seq = next_planned_seq_++;
+    const bool last = ++k == total;
+    obs::Annotation ann = obs::Annotation::none();
+    if (last) {
+      ann = composer_.commit(seq, id);
+    } else {
+      composer_.note_update_seq(id, seq);
+    }
+    outbox_.push_back(Planned{
+        std::make_shared<workload::ItemOp>(workload::OpKind::destroy, id,
+                                           /*value=*/0, round, last),
+        std::move(ann), seq});
+  }
+  pump();
+}
+
+void KvStore::pump() {
+  while (!outbox_.empty()) {
+    Planned& head = outbox_.front();
+    const auto seq = node_.multicast(head.payload, head.annotation);
+    if (!seq.has_value()) return;  // retried on the unblocked callback
+    SVS_ASSERT(*seq == head.seq,
+               "KvStore must be the node's only multicast source");
+    outbox_.pop_front();
+  }
+}
+
+}  // namespace svs::app

@@ -1,0 +1,98 @@
+// Primary-backup replicated key-value store over SVS — the §4 usage
+// pattern as a reusable component.
+//
+// One member (the lowest-ranked in the current view) acts as the primary
+// and issues writes; every member applies the delivered stream to an
+// ItemTable.  Multi-key transactions map to §4.1 composite updates: a batch
+// of single-key messages whose last one carries the commit and the
+// obsolescence annotation (k-enumeration by default).  Writes that hit flow
+// control wait in an internal outbox and drain when the protocol unblocks,
+// so transactions stay atomic and annotations stay consistent.
+//
+// Obsolescence here is what makes the store tolerate slow replicas: an
+// overwritten value's message can be purged once the newer write's commit
+// is on its way, so a lagging backup receives "less detailed information"
+// (§1) but converges to the same state at every view installation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "app/item_table.hpp"
+#include "core/node.hpp"
+#include "obs/batch.hpp"
+
+namespace svs::app {
+
+class KvStore {
+ public:
+  struct Config {
+    obs::BatchComposer::Config batch{obs::AnnotationKind::k_enum, 32, 0};
+  };
+
+  /// Wraps a node.  The store must be the node's only multicast source.
+  KvStore(core::Node& node, Config config);
+
+  // -- replica side -------------------------------------------------------
+
+  /// Wire this to the node's consumer sink.
+  void apply(const core::Delivery& delivery);
+
+  [[nodiscard]] std::optional<std::uint64_t> get(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t digest() const { return table_.digest(); }
+  [[nodiscard]] const ItemTable& table() const { return table_; }
+
+  /// True once this replica's applied stream says it leads the view.
+  [[nodiscard]] bool is_primary() const;
+  [[nodiscard]] std::optional<core::View> applied_view() const {
+    return view_;
+  }
+
+  // -- writer side (call on the primary) -----------------------------------
+
+  /// Asynchronously replicates key := value.  Returns false if this replica
+  /// is not the primary.
+  bool put(const std::string& key, std::uint64_t value);
+
+  /// Atomic multi-key write (one §4.1 composite update).
+  bool put_all(const std::vector<std::pair<std::string, std::uint64_t>>& kvs);
+
+  /// Removes a key (must exist from this writer's perspective).
+  bool erase(const std::string& key);
+
+  /// Writes not yet accepted by the protocol (blocked by flow control).
+  [[nodiscard]] std::size_t outbox_depth() const { return outbox_.size(); }
+
+ private:
+  struct Planned {
+    core::PayloadPtr payload;
+    obs::Annotation annotation;
+    std::uint64_t seq;
+  };
+
+  [[nodiscard]] workload::ItemId intern(const std::string& key);
+  void enqueue_batch(
+      const std::vector<std::pair<workload::ItemId, std::uint64_t>>& puts,
+      const std::vector<workload::ItemId>& erases);
+  void pump();
+
+  core::Node& node_;
+  Config config_;
+  obs::BatchComposer composer_;
+  ItemTable table_;
+  std::optional<core::View> view_;
+
+  std::unordered_map<std::string, workload::ItemId> key_to_id_;
+  std::unordered_map<workload::ItemId, std::string> id_to_key_;
+  std::uint64_t next_planned_seq_;
+  std::uint64_t write_round_ = 0;  // batch counter fed into ItemOp::round
+  std::deque<Planned> outbox_;
+};
+
+}  // namespace svs::app

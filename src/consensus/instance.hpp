@@ -1,0 +1,115 @@
+// One instance of Chandra-Toueg ◊S consensus (rotating coordinator).
+//
+// Implements the classic algorithm (Chandra & Toueg, JACM 1996) the paper's
+// §3.1 assumes as a building block:
+//
+//   round r, coordinator c = participants[r mod n]:
+//     phase 1  every participant sends (ESTIMATE, r, estimate, ts) to c
+//     phase 2  c adopts the estimate with the largest ts among a majority
+//              and broadcasts (PROPOSE, r, v)
+//     phase 3  a participant either receives PROPOSE — adopts v, ts := r,
+//              sends ACK — or comes to suspect c — sends NACK; either way
+//              it then enters round r+1
+//     phase 4  c, upon a majority of ACKs for round r (whenever they
+//              arrive), reliably broadcasts (DECIDE, v)
+//
+//   reliable broadcast: on first DECIDE, relay DECIDE to all, then decide.
+//
+// Safety (agreement, validity, integrity) holds with any failure detector;
+// termination needs ◊S behaviour and a majority of correct participants —
+// exactly the system model of §3.1 ("crash-stop failures of at most a
+// minority of processes").
+//
+// The implementation is event-driven: every input (message, suspicion
+// change, propose call) mutates the tally state and then `advance()`
+// re-evaluates the guards of the current round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/message.hpp"
+#include "consensus/value.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::consensus {
+
+/// Statistics exposed for tests and benchmarks.
+struct InstanceStats {
+  Round rounds_entered = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+class Instance {
+ public:
+  using DecideCallback = std::function<void(const ValuePtr&)>;
+
+  Instance(net::Network& network, fd::FailureDetector& detector,
+           net::ProcessId self, std::vector<net::ProcessId> participants,
+           InstanceId id, DecideCallback on_decide);
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  /// Submits this process's proposal.  May be called at most once; messages
+  /// arriving before propose() are buffered by the Mux, so proposals may be
+  /// late relative to other participants.
+  void propose(ValuePtr value);
+
+  /// Routes a consensus message for this instance.
+  void on_message(net::ProcessId from, const ConsensusMessage& message);
+
+  [[nodiscard]] bool decided() const { return decision_ != nullptr; }
+  [[nodiscard]] const ValuePtr& decision() const { return decision_; }
+  [[nodiscard]] InstanceId id() const { return id_; }
+  [[nodiscard]] const InstanceStats& stats() const { return stats_; }
+
+ private:
+  struct Estimate {
+    ValuePtr value;
+    Round timestamp = 0;
+  };
+
+  [[nodiscard]] net::ProcessId coordinator(Round r) const;
+  [[nodiscard]] std::size_t majority() const {
+    return participants_.size() / 2 + 1;
+  }
+  void send(net::ProcessId to, Phase phase, Round round, const ValuePtr& value,
+            Round ts);
+  void broadcast(Phase phase, Round round, const ValuePtr& value, Round ts);
+  void enter_round(Round r);
+  void advance();
+  void decide(const ValuePtr& value);
+
+  net::Network& net_;
+  fd::FailureDetector& fd_;
+  net::ProcessId self_;
+  std::vector<net::ProcessId> participants_;
+  InstanceId id_;
+  DecideCallback on_decide_;
+
+  bool proposed_ = false;
+  Estimate estimate_;           // current estimate of this process
+  Round round_ = 0;             // current round
+  bool sent_estimate_ = false;  // for the current round
+  bool answered_ = false;       // ACK or NACK sent in the current round
+  bool relayed_decide_ = false;
+  ValuePtr decision_;
+
+  // Tallies, keyed by round (messages may arrive for rounds this process
+  // has not reached yet, or for rounds a slow coordinator left behind).
+  std::map<Round, std::map<net::ProcessId, Estimate>> estimates_;
+  std::map<Round, ValuePtr> proposals_;
+  std::map<Round, std::set<net::ProcessId>> acks_;
+  std::map<Round, bool> proposed_in_round_;  // coordinator duty done
+
+  InstanceStats stats_;
+};
+
+}  // namespace svs::consensus

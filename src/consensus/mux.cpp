@@ -1,0 +1,49 @@
+#include "consensus/mux.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace svs::consensus {
+
+Instance& Mux::open(net::Network& network, fd::FailureDetector& detector,
+                    InstanceId id, std::vector<net::ProcessId> participants,
+                    Instance::DecideCallback on_decide) {
+  SVS_REQUIRE(!instances_.contains(id), "instance already open");
+  auto instance = std::make_unique<Instance>(network, detector, self_,
+                                             std::move(participants), id,
+                                             std::move(on_decide));
+  Instance& ref = *instance;
+  instances_.emplace(id, std::move(instance));
+
+  const auto parked = buffered_.find(id);
+  if (parked != buffered_.end()) {
+    // Replay in arrival order; the instance is not yet proposed-to, so these
+    // simply populate its tallies.
+    for (const auto& b : parked->second) ref.on_message(b.from, *b.message);
+    buffered_.erase(parked);
+  }
+  return ref;
+}
+
+bool Mux::on_message(net::ProcessId from, const net::MessagePtr& message) {
+  const auto consensus_message =
+      std::dynamic_pointer_cast<const ConsensusMessage>(message);
+  if (consensus_message == nullptr) return false;
+
+  const InstanceId id = consensus_message->instance();
+  const auto it = instances_.find(id);
+  if (it != instances_.end()) {
+    it->second->on_message(from, *consensus_message);
+  } else {
+    buffered_[id].push_back(Buffered{from, consensus_message});
+  }
+  return true;
+}
+
+Instance* Mux::find(InstanceId id) {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace svs::consensus

@@ -1,0 +1,45 @@
+// Multiplexes consensus instances for one process and buffers early traffic.
+//
+// A process opens an instance when it is ready to propose (Figure 1's t7);
+// other group members may already have proposed and their messages may
+// arrive first.  The Mux parks such messages until the local instance is
+// opened, then replays them in arrival order.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/instance.hpp"
+
+namespace svs::consensus {
+
+class Mux {
+ public:
+  explicit Mux(net::ProcessId self) : self_(self) {}
+
+  /// Creates (and retains forever — instances are tiny and runs open few)
+  /// the instance and replays any buffered messages for it.
+  Instance& open(net::Network& network, fd::FailureDetector& detector,
+                 InstanceId id, std::vector<net::ProcessId> participants,
+                 Instance::DecideCallback on_decide);
+
+  /// Routes a network message if it is consensus traffic.
+  /// Returns true when consumed.
+  bool on_message(net::ProcessId from, const net::MessagePtr& message);
+
+  [[nodiscard]] Instance* find(InstanceId id);
+
+ private:
+  struct Buffered {
+    net::ProcessId from;
+    std::shared_ptr<const ConsensusMessage> message;
+  };
+
+  net::ProcessId self_;
+  std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
+  std::unordered_map<InstanceId, std::deque<Buffered>> buffered_;
+};
+
+}  // namespace svs::consensus

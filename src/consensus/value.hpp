@@ -1,0 +1,30 @@
+// Consensus values.
+//
+// §3.1: "A consensus protocol is assumed to be available and modeled as a
+// procedure which takes as an input parameter a proposed value and returns
+// a decided value."  The protocol never inspects values, so they are passed
+// as immutable refcounted blobs; callers downcast to their concrete type
+// (the view-change protocol proposes a (next-view, pred-view) pair, tests
+// propose small integers).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace svs::consensus {
+
+/// Base for anything a protocol wants to agree on.
+class ValueBase {
+ public:
+  ValueBase() = default;
+  ValueBase(const ValueBase&) = delete;
+  ValueBase& operator=(const ValueBase&) = delete;
+  virtual ~ValueBase() = default;
+
+  /// Estimated encoded size; consensus messages account for it.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+};
+
+using ValuePtr = std::shared_ptr<const ValueBase>;
+
+}  // namespace svs::consensus

@@ -1,0 +1,268 @@
+#include "core/checker.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace svs::core {
+namespace {
+
+std::string describe(const MsgId& id) {
+  std::ostringstream os;
+  os << id;
+  return os.str();
+}
+
+}  // namespace
+
+SpecChecker::SpecChecker(obs::RelationPtr ground_truth)
+    : ground_truth_(std::move(ground_truth)) {
+  SVS_REQUIRE(ground_truth_ != nullptr, "checker needs a ground-truth relation");
+}
+
+void SpecChecker::on_multicast(net::ProcessId p, const DataMessagePtr& m) {
+  SVS_ASSERT(m->sender() == p, "multicast recorded for the wrong process");
+  const auto [it, inserted] = sent_.emplace(m->id(), m);
+  (void)it;
+  SVS_ASSERT(inserted, "sequence numbers must be unique per sender");
+  sent_by_sender_[p].push_back(m);
+}
+
+void SpecChecker::on_deliver(net::ProcessId p, const DataMessagePtr& m) {
+  logs_[p].events.push_back(Event{m, std::nullopt, std::nullopt});
+  ++total_deliveries_;
+}
+
+void SpecChecker::on_install(net::ProcessId p, const View& v) {
+  logs_[p].events.push_back(Event{nullptr, v, std::nullopt});
+}
+
+void SpecChecker::on_excluded(net::ProcessId p, ViewId last_view) {
+  logs_[p].events.push_back(Event{nullptr, std::nullopt, last_view});
+}
+
+bool SpecChecker::covered(const DataMessage& older,
+                          const DataMessage& newer) const {
+  if (older.id() == newer.id()) return true;
+  return ground_truth_->covers(newer.ref(), older.ref());
+}
+
+std::vector<DataMessagePtr> SpecChecker::delivered_in(net::ProcessId p,
+                                                      ViewId v) const {
+  std::vector<DataMessagePtr> out;
+  const auto log = logs_.find(p);
+  if (log == logs_.end()) return out;
+  std::optional<ViewId> current;
+  for (const auto& e : log->second.events) {
+    if (e.install.has_value()) {
+      current = e.install->id();
+    } else if (e.data != nullptr && current.has_value() && *current == v) {
+      out.push_back(e.data);
+    }
+  }
+  return out;
+}
+
+std::vector<View> SpecChecker::views_installed(net::ProcessId p) const {
+  std::vector<View> out;
+  const auto log = logs_.find(p);
+  if (log == logs_.end()) return out;
+  for (const auto& e : log->second.events) {
+    if (e.install.has_value()) out.push_back(*e.install);
+  }
+  return out;
+}
+
+std::vector<std::string> SpecChecker::verify() const {
+  std::vector<std::string> violations;
+  const auto complain = [&violations](const std::string& s) {
+    violations.push_back(s);
+  };
+
+  // ---- Integrity ---------------------------------------------------------
+  for (const auto& [p, log] : logs_) {
+    std::unordered_set<MsgId> seen;
+    for (const auto& e : log.events) {
+      if (e.data == nullptr) continue;
+      const MsgId id = e.data->id();
+      if (!sent_.contains(id)) {
+        std::ostringstream os;
+        os << p << " delivered " << describe(id) << " which was never sent"
+           << " (no-creation violated)";
+        complain(os.str());
+      }
+      if (!seen.insert(id).second) {
+        std::ostringstream os;
+        os << p << " delivered " << describe(id) << " twice"
+           << " (no-duplication violated)";
+        complain(os.str());
+      }
+    }
+  }
+
+  // ---- FIFO (i): per-sender delivery order -------------------------------
+  for (const auto& [p, log] : logs_) {
+    std::map<net::ProcessId, std::uint64_t> last_seq;
+    for (const auto& e : log.events) {
+      if (e.data == nullptr) continue;
+      const auto sender = e.data->sender();
+      const auto it = last_seq.find(sender);
+      if (it != last_seq.end() && e.data->seq() <= it->second) {
+        std::ostringstream os;
+        os << p << " delivered " << describe(e.data->id())
+           << " after seq " << it->second << " of the same sender"
+           << " (FIFO clause (i) violated)";
+        complain(os.str());
+      }
+      last_seq[sender] = e.data->seq();
+    }
+  }
+
+  // ---- Per-process view/segment structure --------------------------------
+  // installed view ids must be consecutive.
+  for (const auto& [p, log] : logs_) {
+    std::optional<ViewId> prev;
+    for (const auto& e : log.events) {
+      if (!e.install.has_value()) continue;
+      if (prev.has_value() && e.install->id().value() != prev->value() + 1) {
+        std::ostringstream os;
+        os << p << " installed " << e.install->id() << " right after "
+           << *prev << " (views must be consecutive)";
+        complain(os.str());
+      }
+      prev = e.install->id();
+    }
+  }
+
+  // ---- SVS + FIFO-SR (ii) across view boundaries --------------------------
+  // For process q and view v: deliveries of q before q's install of the
+  // view following v (i.e. everything up to that install event).
+  struct Segment {
+    std::vector<DataMessagePtr> in_view;     // delivered within v
+    std::vector<DataMessagePtr> up_to_next;  // delivered before VIEW(v+1)
+    std::unordered_set<MsgId> up_to_next_ids;
+    bool closed = false;                     // q installed v+1
+  };
+  // per process: view id -> segment
+  std::map<net::ProcessId, std::map<std::uint64_t, Segment>> segments;
+  for (const auto& [p, log] : logs_) {
+    std::optional<std::uint64_t> current;
+    std::vector<DataMessagePtr> prefix;
+    for (const auto& e : log.events) {
+      if (e.install.has_value()) {
+        const std::uint64_t v = e.install->id().value();
+        if (current.has_value()) {
+          Segment& seg = segments[p][*current];
+          seg.closed = true;
+          seg.up_to_next = prefix;  // everything delivered before VIEW(v)
+          for (const auto& m : prefix) seg.up_to_next_ids.insert(m->id());
+        }
+        current = v;
+        segments[p][v];  // create
+      } else if (e.data != nullptr) {
+        prefix.push_back(e.data);
+        if (current.has_value()) {
+          segments[p][*current].in_view.push_back(e.data);
+        }
+      }
+    }
+  }
+
+  const auto delivers_cover = [&](const Segment& seg, const DataMessage& m) {
+    if (seg.up_to_next_ids.contains(m.id())) return true;  // delivered as-is
+    return std::any_of(
+        seg.up_to_next.begin(), seg.up_to_next.end(),
+        [&](const DataMessagePtr& c) { return covered(m, *c); });
+  };
+
+  for (const auto& [p, p_segs] : segments) {
+    for (const auto& [v, p_seg] : p_segs) {
+      if (!p_seg.closed) continue;  // p did not install v+1
+      // FIFO-SR (ii): per sender, every message sent in v before the last
+      // one p delivered must be covered by something p delivered.
+      std::map<net::ProcessId, std::uint64_t> max_seq;
+      for (const auto& m : p_seg.in_view) {
+        if (m->view().value() != v) continue;
+        auto& best = max_seq[m->sender()];
+        best = std::max(best, m->seq());
+      }
+      for (const auto& [sender, horizon] : max_seq) {
+        const auto sent_it = sent_by_sender_.find(sender);
+        if (sent_it == sent_by_sender_.end()) continue;
+        for (const auto& m : sent_it->second) {
+          if (m->view().value() != v || m->seq() >= horizon) continue;
+          if (!delivers_cover(p_seg, *m)) {
+            std::ostringstream os;
+            os << p << " delivered up to " << sender << "#" << horizon
+               << " in view v" << v << " but omitted non-obsolete "
+               << describe(m->id()) << " (FIFO-SR clause (ii) violated)";
+            complain(os.str());
+          }
+        }
+      }
+      // SVS: everything p delivered in v must be covered at every q that
+      // also installed v and v+1.
+      for (const auto& [q, q_segs] : segments) {
+        if (q == p) continue;
+        const auto q_seg_it = q_segs.find(v);
+        if (q_seg_it == q_segs.end() || !q_seg_it->second.closed) continue;
+        for (const auto& m : p_seg.in_view) {
+          if (!delivers_cover(q_seg_it->second, *m)) {
+            std::ostringstream os;
+            os << p << " delivered " << describe(m->id()) << " in view v" << v
+               << " but " << q << " delivered nothing covering it before v"
+               << v + 1 << " (SVS violated)";
+            complain(os.str());
+          }
+        }
+      }
+    }
+  }
+
+  return violations;
+}
+
+std::vector<std::string> SpecChecker::verify_strict_vs() const {
+  std::vector<std::string> violations;
+  // Collect, per process, per closed view, the set of delivered ids.
+  std::map<net::ProcessId, std::map<std::uint64_t, std::set<MsgId>>> by_view;
+  std::map<net::ProcessId, std::set<std::uint64_t>> closed;
+  for (const auto& [p, log] : logs_) {
+    std::optional<std::uint64_t> current;
+    for (const auto& e : log.events) {
+      if (e.install.has_value()) {
+        if (current.has_value()) closed[p].insert(*current);
+        current = e.install->id().value();
+        by_view[p][*current];
+      } else if (e.data != nullptr && current.has_value()) {
+        by_view[p][*current].insert(e.data->id());
+      }
+    }
+  }
+  const auto is_closed = [&closed](net::ProcessId p, std::uint64_t v) {
+    const auto it = closed.find(p);
+    return it != closed.end() && it->second.contains(v);
+  };
+  for (const auto& [p, p_views] : by_view) {
+    for (const auto& [v, p_set] : p_views) {
+      if (!is_closed(p, v)) continue;
+      for (const auto& [q, q_views] : by_view) {
+        if (q <= p) continue;
+        const auto qv = q_views.find(v);
+        if (qv == q_views.end() || !is_closed(q, v)) continue;
+        if (p_set != qv->second) {
+          std::ostringstream os;
+          os << p << " and " << q << " delivered different sets in view v"
+             << v << " (" << p_set.size() << " vs " << qv->second.size()
+             << " messages; strict VS violated)";
+          violations.push_back(os.str());
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace svs::core

@@ -1,0 +1,98 @@
+// Runtime specification checker for the §3.2 properties.
+//
+// Attached as a NodeObserver to every node, it records the global history
+// (multicasts, deliveries, view installations, exclusions) and verifies:
+//
+//   * Semantic View Synchrony — if p installs v_i and v_{i+1} and delivers
+//     m in v_i, every q installing both delivers some m' with m ⊑ m'
+//     before installing v_{i+1};
+//   * FIFO Semantically Reliable (i) — no process delivers m after m' when
+//     their sender multicast m first;
+//   * FIFO Semantically Reliable (ii) — per sender, only obsolete
+//     predecessors of the last delivered message may be omitted at a view
+//     boundary;
+//   * Integrity — no creation, no duplication;
+//   * strict View Synchrony — same delivered sets per view (meaningful for
+//     the empty relation, where SVS degenerates to VS).
+//
+// The checker evaluates ⊑ with a caller-supplied *ground-truth* relation.
+// This matters: compact representations may under-declare long transitive
+// chains (a k-enum bitmap cannot mark a predecessor further than k back),
+// and the protocol's guarantee is with respect to the application's true
+// obsolescence semantics, of which the annotations are a safe
+// under-approximation.  See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "obs/relation.hpp"
+
+namespace svs::core {
+
+class SpecChecker final : public NodeObserver {
+ public:
+  /// `ground_truth` answers the true m ≺ m' (transitively closed).
+  explicit SpecChecker(obs::RelationPtr ground_truth);
+
+  // -- recording (NodeObserver) ------------------------------------------
+  void on_multicast(net::ProcessId p, const DataMessagePtr& m) override;
+  void on_deliver(net::ProcessId p, const DataMessagePtr& m) override;
+  void on_install(net::ProcessId p, const View& v) override;
+  void on_excluded(net::ProcessId p, ViewId last_view) override;
+
+  // -- verification -------------------------------------------------------
+
+  /// All §3.2 properties.  Returns human-readable violations (empty = pass).
+  [[nodiscard]] std::vector<std::string> verify() const;
+
+  /// Classic View Synchrony: processes installing v_i and v_{i+1} delivered
+  /// exactly the same data messages in v_i.  Holds when the relation is
+  /// empty; under purging it is expected to fail (that is the relaxation).
+  [[nodiscard]] std::vector<std::string> verify_strict_vs() const;
+
+  // -- history introspection ----------------------------------------------
+
+  [[nodiscard]] std::uint64_t total_multicasts() const {
+    return static_cast<std::uint64_t>(sent_.size());
+  }
+  [[nodiscard]] std::uint64_t total_deliveries() const {
+    return total_deliveries_;
+  }
+
+  /// Data messages delivered by process p within its view-v segment.
+  [[nodiscard]] std::vector<DataMessagePtr> delivered_in(
+      net::ProcessId p, ViewId v) const;
+
+  /// Views installed by p, in order.
+  [[nodiscard]] std::vector<View> views_installed(net::ProcessId p) const;
+
+ private:
+  struct Event {
+    DataMessagePtr data;           // data delivery
+    std::optional<View> install;   // view installation
+    std::optional<ViewId> excluded;
+  };
+  struct ProcessLog {
+    std::vector<Event> events;
+  };
+
+  /// True iff older ⊑ newer under the ground truth (reflexive closure).
+  [[nodiscard]] bool covered(const DataMessage& older,
+                             const DataMessage& newer) const;
+
+  std::map<net::ProcessId, ProcessLog> logs_;
+  std::map<MsgId, DataMessagePtr> sent_;
+  // Per sender: seqs in multicast order (they are assigned monotonically).
+  std::map<net::ProcessId, std::vector<DataMessagePtr>> sent_by_sender_;
+  std::uint64_t total_deliveries_ = 0;
+  obs::RelationPtr ground_truth_;
+};
+
+}  // namespace svs::core

@@ -1,0 +1,69 @@
+// Convenience harness: a fully wired group of SVS nodes over a simulated
+// network, with per-node failure detectors and membership policies.
+// Used by tests, examples and the experiment drivers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/membership.hpp"
+#include "core/node.hpp"
+#include "core/observer.hpp"
+#include "fd/heartbeat.hpp"
+#include "fd/oracle.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::core {
+
+class Group {
+ public:
+  enum class FdKind { oracle, heartbeat };
+
+  struct Config {
+    std::size_t size = 3;
+    NodeConfig node;  // template applied to every node
+    net::Network::Config network;
+    FdKind fd_kind = FdKind::oracle;
+    /// Oracle detection delay (crash -> suspicion).
+    sim::Duration oracle_delay = sim::Duration::millis(30);
+    fd::HeartbeatDetector::Config heartbeat;
+    /// Attach a MembershipPolicy to every node (suspicion-driven
+    /// exclusions).  Disable for experiments that must not reconfigure.
+    bool auto_membership = true;
+    MembershipPolicy::Config membership;
+    /// Optional observer shared by all nodes (e.g. a SpecChecker).
+    NodeObserver* observer = nullptr;
+  };
+
+  Group(sim::Simulator& simulator, Config config);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] net::ProcessId pid(std::size_t i) const {
+    return net::ProcessId(static_cast<std::uint32_t>(i));
+  }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] fd::FailureDetector& detector(std::size_t i) {
+    return *detectors_.at(i);
+  }
+  [[nodiscard]] MembershipPolicy* policy(std::size_t i) {
+    return policies_.empty() ? nullptr : policies_.at(i).get();
+  }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Crash-stops process i.
+  void crash(std::size_t i) { network_->crash(pid(i)); }
+
+  /// Drains node i's delivery queue (t1 in a loop), returning everything.
+  std::vector<Delivery> drain(std::size_t i);
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<fd::FailureDetector>> detectors_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<MembershipPolicy>> policies_;
+};
+
+}  // namespace svs::core

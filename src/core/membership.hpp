@@ -1,0 +1,71 @@
+// Membership policy: decides *when* to trigger view changes.
+//
+// §3.2: "The set of events that may lead to a view change are not relevant
+// to the definition of Semantic View Synchrony [...] Examples of possible
+// causes [...] are the occurrence of failure suspicions, the lack of
+// available buffer space at one or more processes and simply the existence
+// of processes that voluntarily want to leave."
+//
+// This policy implements the first two causes (the third is the
+// application calling Node::request_view_change itself):
+//   * suspicion-driven exclusion, after a grace period, initiated by the
+//     lowest-ranked unsuspected member to avoid INIT storms (the protocol
+//     tolerates concurrent INITs; this is just hygiene);
+//   * optional blockage-driven exclusion: when the local producer has been
+//     flow-blocked for longer than a grace period, propose removing the
+//     members whose outgoing buffers are saturated.  Disabled by default —
+//     the whole point of SVS is to make this unnecessary for transient
+//     perturbations.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/node.hpp"
+#include "fd/failure_detector.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::core {
+
+class MembershipPolicy {
+ public:
+  struct Config {
+    /// How long a suspicion must persist before acting on it.
+    sim::Duration suspicion_grace = sim::Duration::millis(20);
+    /// Exclude saturated receivers when the producer stays blocked.
+    bool exclude_on_blockage = false;
+    sim::Duration blockage_grace = sim::Duration::millis(500);
+  };
+
+  MembershipPolicy(sim::Simulator& simulator, Node& node,
+                   fd::FailureDetector& detector, Config config);
+
+  MembershipPolicy(const MembershipPolicy&) = delete;
+  MembershipPolicy& operator=(const MembershipPolicy&) = delete;
+
+  /// Producers report flow-control blockage so the blockage watchdog can
+  /// arm (no-op unless exclude_on_blockage).
+  void producer_blocked();
+  void producer_unblocked();
+
+  [[nodiscard]] std::uint64_t exclusions_triggered() const {
+    return exclusions_triggered_;
+  }
+
+ private:
+  void reevaluate_suspicions();
+  void act_on_suspicions();
+  void act_on_blockage();
+  [[nodiscard]] std::vector<net::ProcessId> current_suspects() const;
+  [[nodiscard]] bool is_initiator() const;
+
+  sim::Simulator& sim_;
+  Node& node_;
+  fd::FailureDetector& fd_;
+  Config config_;
+  sim::EventId suspicion_timer_{};
+  sim::EventId blockage_timer_{};
+  std::uint64_t exclusions_triggered_ = 0;
+};
+
+}  // namespace svs::core

@@ -1,0 +1,14 @@
+#include "core/message.hpp"
+
+#include "util/bytes.hpp"
+
+namespace svs::core {
+
+std::size_t DataMessage::wire_size() const {
+  // type tag + sender + seq + view (varints) + annotation + payload.
+  return 1 + util::varint_size(sender_.value()) + util::varint_size(seq_) +
+         util::varint_size(view_.value()) + annotation_.wire_size() +
+         (payload_ != nullptr ? payload_->wire_size() : 0);
+}
+
+}  // namespace svs::core

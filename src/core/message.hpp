@@ -1,0 +1,177 @@
+// Protocol messages of Figure 1: DATA, INIT, PRED — plus the consensus
+// proposal value (the (next-view, pred-view) pair of t7) and the Delivery
+// variant handed to the application.  VIEW notifications are local control
+// entries in the delivery queue, not wire messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "consensus/value.hpp"
+#include "core/types.hpp"
+#include "net/message.hpp"
+#include "obs/annotation.hpp"
+#include "obs/relation.hpp"
+
+namespace svs::core {
+
+/// Application payload carried by a DATA message.  Opaque to the protocol.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  virtual ~Payload() = default;
+
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// [DATA, v, d] — an application message tagged with the view it was sent
+/// in, carrying its obsolescence annotation.
+class DataMessage final : public net::Message {
+ public:
+  DataMessage(net::ProcessId sender, std::uint64_t seq, ViewId view,
+              obs::Annotation annotation, PayloadPtr payload)
+      : sender_(sender),
+        seq_(seq),
+        view_(view),
+        annotation_(std::move(annotation)),
+        payload_(std::move(payload)) {}
+
+  [[nodiscard]] net::ProcessId sender() const { return sender_; }
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] MsgId id() const { return MsgId{sender_, seq_}; }
+  [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] const obs::Annotation& annotation() const {
+    return annotation_;
+  }
+  [[nodiscard]] const PayloadPtr& payload() const { return payload_; }
+
+  /// This message as seen by a Relation oracle.
+  [[nodiscard]] obs::MessageRef ref() const {
+    return obs::MessageRef{sender_, seq_, &annotation_};
+  }
+
+  [[nodiscard]] std::size_t wire_size() const override;
+
+ private:
+  net::ProcessId sender_;
+  std::uint64_t seq_;
+  ViewId view_;
+  obs::Annotation annotation_;
+  PayloadPtr payload_;
+};
+
+using DataMessagePtr = std::shared_ptr<const DataMessage>;
+
+/// [INIT, v, l] — starts the view change that removes the processes in l.
+class InitMessage final : public net::Message {
+ public:
+  InitMessage(ViewId view, std::vector<net::ProcessId> leave)
+      : view_(view), leave_(std::move(leave)) {}
+
+  [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] const std::vector<net::ProcessId>& leave() const {
+    return leave_;
+  }
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 10 + 4 * leave_.size();
+  }
+
+ private:
+  ViewId view_;
+  std::vector<net::ProcessId> leave_;
+};
+
+/// [PRED, v, P] — the sequence of messages this process accepted to deliver
+/// in view v.  Carries whole messages: the agreed pred-view is re-delivered
+/// ("flushed") to members that miss some of them.
+class PredMessage final : public net::Message {
+ public:
+  PredMessage(ViewId view, std::vector<DataMessagePtr> accepted)
+      : view_(view), accepted_(std::move(accepted)) {}
+
+  [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] const std::vector<DataMessagePtr>& accepted() const {
+    return accepted_;
+  }
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t n = 10;
+    for (const auto& m : accepted_) n += m->wire_size();
+    return n;
+  }
+
+ private:
+  ViewId view_;
+  std::vector<DataMessagePtr> accepted_;
+};
+
+/// Periodic stability gossip: the per-sender reception high-water marks of
+/// one process in one view.  §2.1: a reliable protocol can only free a
+/// message "after it is known to be stable, i.e. received by all
+/// processes"; nodes exchange these vectors so the stable prefix of the
+/// delivered history can be garbage-collected — which is also what keeps
+/// the PRED messages and the agreed pred-view small.
+class StabilityMessage final : public net::Message {
+ public:
+  using Seen = std::vector<std::pair<net::ProcessId, std::uint64_t>>;
+
+  StabilityMessage(ViewId view, Seen seen)
+      : view_(view), seen_(std::move(seen)) {}
+
+  [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] const Seen& seen() const { return seen_; }
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 10 + 10 * seen_.size();
+  }
+
+ private:
+  ViewId view_;
+  Seen seen_;
+};
+
+/// The value decided by consensus at t7: (next-view, pred-view).
+class ProposalValue final : public consensus::ValueBase {
+ public:
+  ProposalValue(View next_view, std::vector<DataMessagePtr> pred_view)
+      : next_view_(std::move(next_view)), pred_view_(std::move(pred_view)) {}
+
+  [[nodiscard]] const View& next_view() const { return next_view_; }
+  [[nodiscard]] const std::vector<DataMessagePtr>& pred_view() const {
+    return pred_view_;
+  }
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t n = 10 + 4 * next_view_.size();
+    for (const auto& m : pred_view_) n += m->wire_size();
+    return n;
+  }
+
+ private:
+  View next_view_;
+  std::vector<DataMessagePtr> pred_view_;
+};
+
+/// What the application obtains from the delivery queue (down-call style,
+/// §3.2): data, a view notification, or notice of its own exclusion.
+struct DataDelivery {
+  DataMessagePtr message;
+};
+struct ViewDelivery {
+  View view;
+};
+struct ExclusionDelivery {
+  ViewId last_view;  // the view this process was a member of last
+};
+
+using Delivery = std::variant<DataDelivery, ViewDelivery, ExclusionDelivery>;
+
+}  // namespace svs::core

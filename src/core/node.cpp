@@ -1,0 +1,671 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace svs::core {
+
+Node::Node(sim::Simulator& simulator, net::Network& network,
+           fd::FailureDetector& detector, net::ProcessId self, View initial,
+           NodeConfig config, NodeObserver* observer)
+    : sim_(simulator),
+      net_(network),
+      fd_(detector),
+      self_(self),
+      config_(std::move(config)),
+      observer_(observer),
+      view_(std::move(initial)),
+      consensus_mux_(self) {
+  SVS_REQUIRE(config_.relation != nullptr, "a relation oracle is required");
+  SVS_REQUIRE(view_.contains(self_), "initial view must contain this node");
+  net_.attach(self_, *this);
+  net_.subscribe_backlog_drain(self_, [this] { notify_unblocked(); });
+  // t7's guard re-evaluates whenever the suspect set changes.
+  fd_.subscribe([this] { try_propose(); });
+  // The first view notification, so applications always learn membership
+  // from the delivery stream.
+  to_deliver_.push_back(QueueEntry{nullptr, view_});
+}
+
+// ---------------------------------------------------------------------------
+// t1 — deliver
+// ---------------------------------------------------------------------------
+
+std::optional<Delivery> Node::try_deliver() {
+  if (to_deliver_.empty()) return std::nullopt;
+  QueueEntry entry = std::move(to_deliver_.front());
+  to_deliver_.pop_front();
+
+  if (entry.data != nullptr) {
+    SVS_ASSERT(data_count_ > 0, "data count out of sync with queue");
+    --data_count_;
+    ++stats_.delivered_data;
+    if (entry.data->view() == view_.id()) {
+      delivered_view_.push_back(entry.data);
+    } else {
+      // Remnant of a previous view (its id left accepted_ids_ at install).
+    }
+    if (config_.delivery_capacity != 0) {
+      net_.resume(self_);   // space freed: stalled links may retry
+      notify_unblocked();   // the producer's self-copy may fit now
+    }
+    if (observer_ != nullptr) observer_->on_deliver(self_, entry.data);
+    return Delivery{DataDelivery{std::move(entry.data)}};
+  }
+
+  SVS_ASSERT(entry.view.has_value(), "queue entry is neither data nor view");
+  const View& v = *entry.view;
+  if (v.contains(self_)) {
+    if (observer_ != nullptr) observer_->on_install(self_, v);
+    return Delivery{ViewDelivery{v}};
+  }
+  const ViewId last(v.id().value() - 1);
+  if (observer_ != nullptr) observer_->on_excluded(self_, last);
+  return Delivery{ExclusionDelivery{last}};
+}
+
+// ---------------------------------------------------------------------------
+// t2 — multicast
+// ---------------------------------------------------------------------------
+
+bool Node::can_multicast() const {
+  if (blocked_ || excluded_ || !view_.contains(self_)) return false;
+  if (config_.out_capacity != 0) {
+    for (const auto peer : view_.members()) {
+      if (peer == self_) continue;
+      if (net_.data_backlog(self_, peer) >= config_.out_capacity) return false;
+    }
+  }
+  if (config_.delivery_capacity != 0 &&
+      data_count_ + 1 > config_.delivery_capacity) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
+                                             obs::Annotation annotation) {
+  if (blocked_ || excluded_ || !view_.contains(self_)) {
+    ++stats_.multicast_blocked;
+    return std::nullopt;
+  }
+
+  const auto m = std::make_shared<DataMessage>(
+      self_, next_seq_, view_.id(), std::move(annotation), std::move(payload));
+
+  // Sender-side semantic purging ([22], enabled for the semantic protocol):
+  // enqueueing a new message evicts the messages it covers from the
+  // outgoing buffers, which is what lets a slow receiver's buffer drain
+  // without being consumed.
+  if (config_.purge_outgoing) {
+    for (const auto peer : view_.members()) {
+      if (peer == self_) continue;
+      net_.purge_outgoing_to(
+          self_, peer, [this, &m](const net::MessagePtr& queued) {
+            const auto dm =
+                std::dynamic_pointer_cast<const DataMessage>(queued);
+            if (dm == nullptr || dm->view() != m->view()) return false;
+            if (!config_.relation->covers(m->ref(), dm->ref())) return false;
+            if (observer_ != nullptr) observer_->on_purge(self_, dm, m);
+            return true;
+          });
+    }
+  }
+
+  // Flow control (§5.3): a full outgoing buffer towards any member, or a
+  // full local delivery queue, blocks the producer.
+  if (config_.out_capacity != 0) {
+    for (const auto peer : view_.members()) {
+      if (peer == self_) continue;
+      if (net_.data_backlog(self_, peer) >= config_.out_capacity) {
+        ++stats_.multicast_blocked;
+        return std::nullopt;
+      }
+    }
+  }
+  std::size_t self_victims = 0;
+  if (config_.purge_delivery_queue) {
+    for (const auto& e : to_deliver_) {
+      if (e.data != nullptr && e.data->view() == m->view() &&
+          config_.relation->covers(m->ref(), e.data->ref())) {
+        ++self_victims;
+      }
+    }
+  }
+  if (config_.delivery_capacity != 0 &&
+      data_count_ + 1 - self_victims > config_.delivery_capacity) {
+    ++stats_.multicast_blocked;
+    return std::nullopt;
+  }
+
+  // Committed: assign the sequence number and go.
+  ++next_seq_;
+  ++stats_.multicasts;
+  if (observer_ != nullptr) observer_->on_multicast(self_, m);
+  for (const auto peer : view_.members()) {
+    if (peer == self_) continue;
+    net_.send(self_, peer, m, net::Lane::data);
+  }
+  // addToTail(to-deliver, m); purge(to-deliver) — the sender delivers its
+  // own messages, so they are flushed to others if it survives into the
+  // next view.
+  if (config_.purge_delivery_queue) purge_queue_with(m);
+  to_deliver_.push_back(QueueEntry{m, std::nullopt});
+  ++data_count_;
+  accepted_ids_.insert(m->id());
+  note_seen(*m);
+  notify_deliverable();
+  return m->seq();
+}
+
+// ---------------------------------------------------------------------------
+// t3 — receive data
+// ---------------------------------------------------------------------------
+
+bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
+  if (excluded_) return true;  // consume and ignore: no longer in the group
+
+  if (m->view().value() < view_.id().value()) {
+    // Sent in a superseded view; the agreed pred-view already settled what
+    // is delivered there.
+    ++stats_.stale_view_drops;
+    return true;
+  }
+  if (blocked_ || m->view().value() > view_.id().value()) {
+    // Blocked (t3's ¬blocked guard) or sent in a view this node has not
+    // installed yet: leave it in the channel until the view change settles.
+    ++stats_.refused_data;
+    return false;
+  }
+
+  SVS_ASSERT(view_.contains(from), "DATA in cv from a non-member");
+  SVS_ASSERT(!accepted_ids_.contains(m->id()),
+             "FIFO channels must not deliver duplicates");
+
+  // t3's test: already covered by an accepted message?
+  if (covered_by_accepted(*m)) {
+    ++stats_.suppressed_obsolete;
+    note_seen(*m);
+    return true;  // consumed; never enters the queue
+  }
+
+  // Count the space its purging would free before checking capacity.
+  std::size_t victims = 0;
+  if (config_.purge_delivery_queue) {
+    for (const auto& e : to_deliver_) {
+      if (e.data != nullptr && e.data->view() == m->view() &&
+          config_.relation->covers(m->ref(), e.data->ref())) {
+        ++victims;
+      }
+    }
+  }
+  if (config_.delivery_capacity != 0 &&
+      data_count_ + 1 - victims > config_.delivery_capacity) {
+    ++stats_.refused_data;
+    return false;  // ceases to accept from the network (§5.3)
+  }
+
+  if (victims > 0) purge_queue_with(m);
+  to_deliver_.push_back(QueueEntry{m, std::nullopt});
+  ++data_count_;
+  accepted_ids_.insert(m->id());
+  note_seen(*m);
+  notify_deliverable();
+  return true;
+}
+
+void Node::note_seen(const DataMessage& m) {
+  auto& high = seen_seq_[m.sender()];
+  high = std::max(high, m.seq());
+  stability_dirty_ = true;
+  arm_stability_gossip();
+}
+
+// ---------------------------------------------------------------------------
+// stability tracking — GC of the delivered history (§2.1)
+// ---------------------------------------------------------------------------
+
+void Node::arm_stability_gossip() {
+  if (stability_armed_ || excluded_ ||
+      config_.stability_interval <= sim::Duration::zero()) {
+    return;
+  }
+  stability_armed_ = true;
+  sim_.schedule_after(config_.stability_interval, [this] {
+    stability_armed_ = false;
+    gossip_stability();
+  });
+}
+
+void Node::gossip_stability() {
+  if (excluded_ || !stability_dirty_) return;  // quiesce until new traffic
+  stability_dirty_ = false;
+  StabilityMessage::Seen seen(seen_seq_.begin(), seen_seq_.end());
+  const auto m =
+      std::make_shared<StabilityMessage>(view_.id(), std::move(seen));
+  for (const auto p : view_.members()) {
+    if (p != self_) net_.send(self_, p, m, net::Lane::control);
+  }
+  arm_stability_gossip();  // keep gossiping while traffic flows
+}
+
+void Node::handle_stability(net::ProcessId from,
+                            const std::shared_ptr<const StabilityMessage>& m) {
+  if (excluded_ || m->view() != view_.id()) return;  // stale or early; drop
+  auto& vector = peer_seen_[from];
+  for (const auto& [sender, seq] : m->seen()) {
+    auto& high = vector[sender];
+    high = std::max(high, seq);
+  }
+  collect_stable();
+}
+
+void Node::collect_stable() {
+  if (delivered_view_.empty()) return;
+  // A message is stable once every current member has received it.  Any
+  // member that has not reported yet (or a crashed one whose reports
+  // stopped) holds the floor down — stability then waits for the view
+  // change that excludes it, as in a real group stack.
+  const auto floor_of = [this](net::ProcessId sender) {
+    const auto own = seen_seq_.find(sender);
+    std::uint64_t floor =
+        own == seen_seq_.end() ? 0 : own->second;
+    for (const auto p : view_.members()) {
+      if (p == self_) continue;
+      const auto vec = peer_seen_.find(p);
+      if (vec == peer_seen_.end()) return std::uint64_t{0};
+      const auto it = vec->second.find(sender);
+      const std::uint64_t reported =
+          it == vec->second.end() ? 0 : it->second;
+      floor = std::min(floor, reported);
+    }
+    return floor;
+  };
+
+  std::map<net::ProcessId, std::uint64_t> floors;
+  const std::size_t before = delivered_view_.size();
+  std::erase_if(delivered_view_, [&](const DataMessagePtr& m) {
+    const auto [it, inserted] = floors.emplace(m->sender(), 0);
+    if (inserted) it->second = floor_of(m->sender());
+    if (m->seq() > it->second) return false;
+    remove_from_accepted(m->id());
+    return true;
+  });
+  stats_.stability_gcs += before - delivered_view_.size();
+}
+
+bool Node::covered_by_accepted(const DataMessage& m) const {
+  const auto covers = [&](const DataMessagePtr& candidate) {
+    return candidate->view() == m.view() &&
+           config_.relation->covers(candidate->ref(), m.ref());
+  };
+  // Per-sender relations need a covering message from the same sender with
+  // a higher sequence number.  FIFO channels deliver per-sender seqs in
+  // order, so everything delivered from m's sender is below m's seq (at t7
+  // the high-water filter already removed candidates at or below it) —
+  // scanning the unbounded delivered history would never match.  Only
+  // cross-sender relations (e.g. the test-only ExplicitRelation) require
+  // the full scan.
+  if (!config_.relation->per_sender()) {
+    for (const auto& d : delivered_view_) {
+      if (covers(d)) return true;
+    }
+  }
+  for (const auto& e : to_deliver_) {
+    if (e.data != nullptr && covers(e.data)) return true;
+  }
+  return false;
+}
+
+std::size_t Node::purge_queue_with(const DataMessagePtr& by) {
+  std::size_t removed = 0;
+  for (auto it = to_deliver_.begin(); it != to_deliver_.end();) {
+    if (it->data != nullptr && it->data->view() == by->view() &&
+        config_.relation->covers(by->ref(), it->data->ref())) {
+      if (observer_ != nullptr) observer_->on_purge(self_, it->data, by);
+      remove_from_accepted(it->data->id());
+      it = to_deliver_.erase(it);
+      --data_count_;
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.purged_delivery += removed;
+  return removed;
+}
+
+std::size_t Node::purge_queue_full() {
+  // purge(S): remove every data entry covered by another entry of the same
+  // view still in S.  Quadratic over a queue that is at most a few dozen
+  // entries long (§5.3 buffer sizes).
+  std::size_t removed = 0;
+  for (auto it = to_deliver_.begin(); it != to_deliver_.end();) {
+    bool covered = false;
+    if (it->data != nullptr) {
+      for (const auto& other : to_deliver_) {
+        if (other.data != nullptr && other.data != it->data &&
+            other.data->view() == it->data->view() &&
+            config_.relation->covers(other.data->ref(), it->data->ref())) {
+          if (observer_ != nullptr) {
+            observer_->on_purge(self_, it->data, other.data);
+          }
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (covered) {
+      remove_from_accepted(it->data->id());
+      it = to_deliver_.erase(it);
+      --data_count_;
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.purged_delivery += removed;
+  return removed;
+}
+
+void Node::remove_from_accepted(const MsgId& id) { accepted_ids_.erase(id); }
+
+// ---------------------------------------------------------------------------
+// t4 — trigger view change
+// ---------------------------------------------------------------------------
+
+bool Node::request_view_change(const std::vector<net::ProcessId>& leave) {
+  if (blocked_ || excluded_) return false;
+  ++stats_.view_changes_initiated;
+  const auto init = std::make_shared<InitMessage>(view_.id(), leave);
+  for (const auto p : view_.members()) {
+    net_.send(self_, p, init, net::Lane::control);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// t5 — first INIT: block, emit PRED
+// ---------------------------------------------------------------------------
+
+void Node::handle_init(net::ProcessId from,
+                       const std::shared_ptr<const InitMessage>& m) {
+  if (excluded_) return;
+  if (m->view().value() < view_.id().value()) return;  // superseded
+  if (m->view().value() > view_.id().value()) {
+    pending_control_[m->view().value()].emplace_back(from, m);
+    return;
+  }
+  if (blocked_) return;  // only the first INIT of a view is acted upon
+
+  change_started_ = sim_.now();
+
+  // Forward so every correct process initiates (t5).
+  if (from != self_) {
+    for (const auto p : view_.members()) {
+      net_.send(self_, p, m, net::Lane::control);
+    }
+  }
+
+  blocked_ = true;
+  leave_.clear();
+  for (const auto p : m->leave()) {
+    if (view_.contains(p)) leave_.insert(p);
+  }
+
+  const auto pred = std::make_shared<PredMessage>(view_.id(), local_pred());
+  for (const auto p : view_.members()) {
+    net_.send(self_, p, pred, net::Lane::control);
+  }
+
+  // Opened last: the Mux may have buffered the decision already (this node
+  // can be the last to hear about the change), in which case opening the
+  // instance installs the next view synchronously — all t5 work must be
+  // done by then.
+  open_consensus();
+}
+
+std::vector<DataMessagePtr> Node::local_pred() const {
+  // {[DATA, v, d] ∈ (delivered ∪ to-deliver) : v = cv}, in delivery order.
+  std::vector<DataMessagePtr> result = delivered_view_;
+  for (const auto& e : to_deliver_) {
+    if (e.data != nullptr && e.data->view() == view_.id()) {
+      result.push_back(e.data);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// t6 — accumulate PRED
+// ---------------------------------------------------------------------------
+
+void Node::handle_pred(net::ProcessId from,
+                       const std::shared_ptr<const PredMessage>& m) {
+  if (excluded_) return;
+  if (m->view().value() < view_.id().value()) return;
+  if (m->view().value() > view_.id().value()) {
+    pending_control_[m->view().value()].emplace_back(from, m);
+    return;
+  }
+  for (const auto& msg : m->accepted()) {
+    global_pred_.emplace(msg->id(), msg);
+  }
+  pred_received_.insert(from);
+  try_propose();
+}
+
+// ---------------------------------------------------------------------------
+// t7 — propose and install
+// ---------------------------------------------------------------------------
+
+void Node::try_propose() {
+  if (!blocked_ || proposed_ || excluded_) return;
+
+  // ∀p ∈ memb(v) : ¬suspects(p) ⇒ p ∈ pred-received, and a majority answered.
+  for (const auto p : view_.members()) {
+    if (!fd_.suspects(p) && !pred_received_.contains(p)) return;
+  }
+  if (pred_received_.size() <= view_.size() / 2) return;
+
+  proposed_ = true;
+  std::vector<net::ProcessId> next_members;
+  for (const auto p : pred_received_) {
+    if (!leave_.contains(p)) next_members.push_back(p);
+  }
+  std::vector<DataMessagePtr> pred_view;
+  pred_view.reserve(global_pred_.size());
+  for (const auto& [id, msg] : global_pred_) pred_view.push_back(msg);
+
+  auto* instance =
+      consensus_mux_.find(consensus::InstanceId(view_.id().value()));
+  SVS_ASSERT(instance != nullptr, "consensus instance must be open by t5");
+  instance->propose(std::make_shared<ProposalValue>(
+      View(view_.id().next(), std::move(next_members)),
+      std::move(pred_view)));
+}
+
+void Node::open_consensus() {
+  consensus_mux_.open(
+      net_, fd_, consensus::InstanceId(view_.id().value()), view_.members(),
+      [this](const consensus::ValuePtr& value) {
+        const auto decided =
+            std::dynamic_pointer_cast<const ProposalValue>(value);
+        SVS_ASSERT(decided != nullptr,
+                   "view-change consensus decided a foreign value type");
+        install(*decided);
+      });
+}
+
+void Node::install(const ProposalValue& decided) {
+  SVS_ASSERT(blocked_ && !excluded_, "install outside a view change");
+  SVS_ASSERT(decided.next_view().id() == view_.id().next(),
+             "consensus decided a non-successor view");
+
+  // Flush: append the agreed messages this process is missing, in
+  // (sender, seq) order.  A message is skipped when (a) it is still here,
+  // (b) an accepted message covers it (t3's own test), or (c) it is at or
+  // below the per-sender reception high-water mark — it was received and
+  // consumed earlier, and whatever covered it then was delivered or is
+  // about to be (DESIGN.md §3).  Capacity is not enforced here: the flush
+  // uses the reserved view-change space (§5.3).
+  for (const auto& m : decided.pred_view()) {
+    if (m->view() != view_.id()) continue;  // defensive; all should be cv
+    if (accepted_ids_.contains(m->id())) continue;
+    const auto seen = seen_seq_.find(m->sender());
+    if (seen != seen_seq_.end() && m->seq() <= seen->second) continue;
+    if (covered_by_accepted(*m)) continue;
+    to_deliver_.push_back(QueueEntry{m, std::nullopt});
+    ++data_count_;
+    accepted_ids_.insert(m->id());
+    note_seen(*m);
+    ++stats_.flushed_in;
+  }
+  if (config_.purge_delivery_queue) purge_queue_full();
+
+  // addToTail(to-deliver, [VIEW, next-view]).
+  to_deliver_.push_back(QueueEntry{nullptr, decided.next_view()});
+  notify_deliverable();
+
+  ++stats_.views_installed;
+  stats_.last_flush_total = decided.pred_view().size();
+  stats_.last_change_latency = sim_.now() - change_started_;
+
+  if (!decided.next_view().contains(self_)) {
+    excluded_ = true;  // stays blocked; the group goes on without this node
+    return;
+  }
+
+  view_ = decided.next_view();
+  blocked_ = false;
+  proposed_ = false;
+  leave_.clear();
+  global_pred_.clear();
+  pred_received_.clear();
+  delivered_view_.clear();
+  accepted_ids_.clear();
+  seen_seq_.clear();
+  peer_seen_.clear();
+  stability_dirty_ = false;
+
+  // Outgoing messages of superseded views would be discarded on arrival;
+  // reclaim their buffer space now (this is what frees the buffers that
+  // were saturated towards a crashed or expelled member).
+  net_.drop_outgoing(self_, [nv = view_.id()](const net::MessagePtr& queued) {
+    const auto dm = std::dynamic_pointer_cast<const DataMessage>(queued);
+    return dm != nullptr && dm->view() != nv;
+  });
+
+  for (const auto& callback : install_callbacks_) callback(view_);
+  replay_pending_control();
+  net_.resume(self_);  // accept data again (stale ones get discarded)
+  notify_unblocked();
+}
+
+void Node::replay_pending_control() {
+  // Drop anything for superseded views, replay what targets the new view.
+  while (!pending_control_.empty()) {
+    const auto it = pending_control_.begin();
+    if (it->first > view_.id().value()) break;
+    const auto batch = std::move(it->second);
+    const bool current = it->first == view_.id().value();
+    pending_control_.erase(it);
+    if (!current) continue;
+    for (const auto& [from, message] : batch) {
+      if (const auto init =
+              std::dynamic_pointer_cast<const InitMessage>(message)) {
+        handle_init(from, init);
+      } else if (const auto pred =
+                     std::dynamic_pointer_cast<const PredMessage>(message)) {
+        handle_pred(from, pred);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wiring
+// ---------------------------------------------------------------------------
+
+bool Node::on_message(net::ProcessId from, const net::MessagePtr& message,
+                      net::Lane lane) {
+  if (lane == net::Lane::data) {
+    const auto data = std::dynamic_pointer_cast<const DataMessage>(message);
+    SVS_ASSERT(data != nullptr, "non-data message on the data lane");
+    return handle_data(from, data);
+  }
+  if (const auto init = std::dynamic_pointer_cast<const InitMessage>(message)) {
+    handle_init(from, init);
+    return true;
+  }
+  if (const auto pred = std::dynamic_pointer_cast<const PredMessage>(message)) {
+    handle_pred(from, pred);
+    return true;
+  }
+  if (const auto stability =
+          std::dynamic_pointer_cast<const StabilityMessage>(message)) {
+    handle_stability(from, stability);
+    return true;
+  }
+  if (consensus_mux_.on_message(from, message)) return true;
+  if (control_sink_ != nullptr) {
+    control_sink_(from, message);
+    return true;
+  }
+  SVS_UNREACHABLE("unroutable control message");
+}
+
+std::vector<net::ProcessId> Node::saturated_peers() const {
+  std::vector<net::ProcessId> result;
+  if (config_.out_capacity == 0) return result;
+  for (const auto peer : view_.members()) {
+    if (peer == self_) continue;
+    if (net_.data_backlog(self_, peer) >= config_.out_capacity) {
+      result.push_back(peer);
+    }
+  }
+  return result;
+}
+
+void Node::set_unblocked_callback(std::function<void()> callback) {
+  unblocked_callback_ = std::move(callback);
+}
+
+void Node::subscribe_install(std::function<void(const View&)> callback) {
+  SVS_REQUIRE(callback != nullptr, "install callback must be callable");
+  install_callbacks_.push_back(std::move(callback));
+}
+
+void Node::set_control_sink(
+    std::function<void(net::ProcessId, const net::MessagePtr&)> sink) {
+  control_sink_ = std::move(sink);
+}
+
+void Node::set_deliverable_callback(std::function<void()> callback) {
+  deliverable_callback_ = std::move(callback);
+}
+
+void Node::notify_deliverable() {
+  if (deliverable_callback_ == nullptr || deliverable_notify_pending_) return;
+  deliverable_notify_pending_ = true;
+  sim_.schedule_after(sim::Duration::zero(), [this] {
+    deliverable_notify_pending_ = false;
+    if (deliverable_callback_ != nullptr && !to_deliver_.empty()) {
+      deliverable_callback_();
+    }
+  });
+}
+
+void Node::notify_unblocked() {
+  if (unblocked_callback_ == nullptr || unblock_notify_pending_) return;
+  unblock_notify_pending_ = true;
+  // Deferred to its own event: the trigger often fires mid-operation
+  // (e.g. inside a purge during multicast), and producers re-enter
+  // multicast from the callback.
+  sim_.schedule_after(sim::Duration::zero(), [this] {
+    unblock_notify_pending_ = false;
+    if (unblocked_callback_ != nullptr) unblocked_callback_();
+  });
+}
+
+}  // namespace svs::core

@@ -1,0 +1,254 @@
+// The Semantic View Synchrony protocol of Figure 1.
+//
+// One Node is one group member.  It implements the seven transitions:
+//
+//   t1  try_deliver()            — application consumes the queue head
+//   t2  multicast()              — send tagged data + self-insert + purge
+//   t3  handle_data()            — accept data of the current view, suppress
+//                                  obsolete arrivals, purge the queue
+//   t4  request_view_change()    — disseminate INIT
+//   t5  handle_init()            — forward INIT, block, emit PRED
+//   t6  handle_pred()            — accumulate global-pred / pred-received
+//   t7  try_propose()+install()  — propose to consensus, flush the decided
+//                                  pred-view, deliver VIEW, unblock
+//
+// The shaded (SVS-specific) parts of Figure 1 — every purge call and the
+// obsolescence test of t3 — are controlled by NodeConfig: with purging
+// disabled or the EmptyRelation, the node is a conventional View Synchrony
+// implementation, which is the paper's "reliable" baseline.
+//
+// Bounded buffers and flow control follow the simulation model of §5.3:
+// the delivery queue bounds its data occupancy (control entries and
+// view-change flushes use reserved space); a full node refuses data from
+// the network; multicast blocks when any outgoing buffer is full.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/mux.hpp"
+#include "core/message.hpp"
+#include "core/observer.hpp"
+#include "core/types.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/network.hpp"
+#include "obs/relation.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::core {
+
+struct NodeConfig {
+  /// Max data messages in the delivery queue; 0 = unbounded (pure Figure 1).
+  std::size_t delivery_capacity = 0;
+  /// Max data messages queued towards any single destination; 0 = unbounded.
+  std::size_t out_capacity = 0;
+  /// Apply purging to the delivery queue (t2/t3/t7 purge calls).
+  bool purge_delivery_queue = true;
+  /// Apply purging to outgoing buffers (sender-side semantic purging, [22]).
+  bool purge_outgoing = true;
+  /// The obsolescence relation oracle.  Required.  EmptyRelation yields VS.
+  obs::RelationPtr relation;
+  /// Period of the stability gossip that garbage-collects the delivered
+  /// history once every member received a message (zero disables it; the
+  /// history then grows until the next view change).  The gossip quiesces
+  /// when nothing new was received, so idle groups go silent.
+  sim::Duration stability_interval = sim::Duration::millis(50);
+};
+
+struct NodeStats {
+  std::uint64_t multicasts = 0;
+  std::uint64_t multicast_blocked = 0;   // t2 attempts refused by flow control
+  std::uint64_t delivered_data = 0;
+  std::uint64_t purged_delivery = 0;     // victims removed from the queue
+  std::uint64_t suppressed_obsolete = 0; // arrivals already covered (t3 test)
+  std::uint64_t stale_view_drops = 0;    // data of superseded views discarded
+  std::uint64_t refused_data = 0;        // arrivals stalled (buffer full)
+  std::uint64_t flushed_in = 0;          // pred-view messages added at install
+  std::uint64_t stability_gcs = 0;       // delivered messages collected
+  std::uint64_t views_installed = 0;
+  std::uint64_t view_changes_initiated = 0;
+  sim::Duration last_change_latency = sim::Duration::zero();
+  std::size_t last_flush_total = 0;      // |pred-view| of the last change
+};
+
+class Node final : public net::Endpoint {
+ public:
+  Node(sim::Simulator& simulator, net::Network& network,
+       fd::FailureDetector& detector, net::ProcessId self, View initial,
+       NodeConfig config, NodeObserver* observer = nullptr);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // -- application interface -------------------------------------------
+
+  /// t2.  Returns the assigned sequence number, or nullopt when blocked
+  /// (view change in progress, flow control, or not a member).  Producers
+  /// should retry when the unblocked callback fires.
+  std::optional<std::uint64_t> multicast(PayloadPtr payload,
+                                         obs::Annotation annotation);
+
+  /// Cheap pre-check mirroring multicast()'s guards (it does not account
+  /// for the space the message's own purging would free, so multicast() can
+  /// succeed where this returns false — never the other way round).
+  [[nodiscard]] bool can_multicast() const;
+
+  /// t1.  Down-call delivery (§3.2): pops the queue head if any.
+  std::optional<Delivery> try_deliver();
+
+  [[nodiscard]] bool has_deliverable() const { return !to_deliver_.empty(); }
+
+  /// t4.  Starts a view change removing `leave` (may be empty: a pure
+  /// reconfiguration).  Returns false if a change is already in progress.
+  bool request_view_change(const std::vector<net::ProcessId>& leave);
+
+  /// Fired whenever a previously failing multicast may now succeed.
+  void set_unblocked_callback(std::function<void()> callback);
+
+  /// Fired (once per quiescence, deferred to its own event) when the
+  /// delivery queue gains entries — how consumers learn to resume t1 calls.
+  void set_deliverable_callback(std::function<void()> callback);
+
+  /// Fired right after this node installs a view (protocol-level, before
+  /// the application consumes the notification).  Used by membership
+  /// policies.
+  void subscribe_install(std::function<void(const View&)> callback);
+
+  /// Handler for control-lane messages the protocol does not recognise
+  /// (e.g. failure-detector heartbeats routed to a HeartbeatDetector).
+  void set_control_sink(
+      std::function<void(net::ProcessId, const net::MessagePtr&)> sink);
+
+  // -- introspection ----------------------------------------------------
+
+  [[nodiscard]] net::ProcessId id() const { return self_; }
+  [[nodiscard]] const View& current_view() const { return view_; }
+  [[nodiscard]] bool blocked() const { return blocked_; }
+  [[nodiscard]] bool excluded() const { return excluded_; }
+  [[nodiscard]] std::size_t delivery_queue_length() const {
+    return to_deliver_.size();
+  }
+  [[nodiscard]] std::size_t delivery_data_count() const { return data_count_; }
+  /// Delivered messages of the current view still buffered for a possible
+  /// view-change flush (shrinks as stability gossip collects them).
+  [[nodiscard]] std::size_t delivered_retained() const {
+    return delivered_view_.size();
+  }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+
+  /// Peers whose outgoing buffer from this node is at capacity (the
+  /// processes a blockage watchdog would propose to exclude).
+  [[nodiscard]] std::vector<net::ProcessId> saturated_peers() const;
+
+  // -- network ----------------------------------------------------------
+
+  bool on_message(net::ProcessId from, const net::MessagePtr& message,
+                  net::Lane lane) override;
+
+ private:
+  /// One slot of the to-deliver queue: either data or a view notification
+  /// ([VIEW, v] in Figure 1; exclusion is a view the node is not part of).
+  struct QueueEntry {
+    DataMessagePtr data;        // null for view notifications
+    std::optional<View> view;   // engaged for view notifications
+  };
+
+  // Figure 1 transitions (t1/t2/t4 are the public calls above).
+  bool handle_data(net::ProcessId from, const DataMessagePtr& m);
+  void handle_init(net::ProcessId from,
+                   const std::shared_ptr<const InitMessage>& m);
+  void handle_pred(net::ProcessId from,
+                   const std::shared_ptr<const PredMessage>& m);
+  void try_propose();                       // t7 guard + consensus propose
+  void install(const ProposalValue& decided);  // t7 after consensus returns
+
+  /// True iff some accepted (queued or delivered) message of the same view
+  /// covers m — the suppression test of t3 and the flush filter of t7.
+  [[nodiscard]] bool covered_by_accepted(const DataMessage& m) const;
+
+  /// purge(to-deliver) restricted to victims covered by `by` (same view).
+  /// Returns the number of entries removed.
+  std::size_t purge_queue_with(const DataMessagePtr& by);
+
+  /// Full purge pass over the queue (used after the t7 flush).
+  std::size_t purge_queue_full();
+
+  /// The ordered [DATA, v, d] with v = cv in delivered ++ to-deliver (t5).
+  [[nodiscard]] std::vector<DataMessagePtr> local_pred() const;
+
+  void open_consensus();
+  void remove_from_accepted(const MsgId& id);
+  void note_seen(const DataMessage& m);
+  void arm_stability_gossip();
+  void gossip_stability();
+  void handle_stability(net::ProcessId from,
+                        const std::shared_ptr<const StabilityMessage>& m);
+  void collect_stable();
+  void notify_unblocked();
+  void replay_pending_control();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  fd::FailureDetector& fd_;
+  net::ProcessId self_;
+  NodeConfig config_;
+  NodeObserver* observer_;  // optional, not owned
+
+  View view_;          // cv
+  bool blocked_ = false;
+  bool excluded_ = false;
+  std::uint64_t next_seq_ = 1;
+
+  std::deque<QueueEntry> to_deliver_;
+  std::size_t data_count_ = 0;  // data entries in to_deliver_
+  std::vector<DataMessagePtr> delivered_view_;  // delivered with view == cv
+  std::unordered_set<MsgId> accepted_ids_;      // ids in queue or delivered_view_
+  // Highest sequence number received (accepted or suppressed) per sender in
+  // the current view.  FIFO channels make reception contiguous, so at t7 a
+  // pred-view message at or below this mark was already received here and
+  // must not be re-added: it was delivered, or covered by something
+  // delivered/queued at the time.  This keeps the flush safe even when a
+  // compact representation (k-enum horizon, truncated enumeration) is not
+  // transitively closed.  See DESIGN.md §3.
+  std::unordered_map<net::ProcessId, std::uint64_t> seen_seq_;
+
+  // Stability tracking: latest reception vectors reported by the other
+  // members (this process's own is seen_seq_).  A delivered message whose
+  // seq is at or below every member's mark is stable and collected.
+  std::map<net::ProcessId, std::map<net::ProcessId, std::uint64_t>> peer_seen_;
+  bool stability_armed_ = false;
+  bool stability_dirty_ = false;
+
+  // View-change state (reset at install).
+  std::set<net::ProcessId> leave_;
+  std::map<MsgId, DataMessagePtr> global_pred_;
+  std::set<net::ProcessId> pred_received_;
+  bool proposed_ = false;
+  sim::TimePoint change_started_{};
+
+  // INIT/PRED that arrived for views this node has not installed yet.
+  std::map<std::uint64_t,
+           std::vector<std::pair<net::ProcessId, net::MessagePtr>>>
+      pending_control_;
+
+  void notify_deliverable();
+
+  consensus::Mux consensus_mux_;
+  std::function<void()> unblocked_callback_;
+  bool unblock_notify_pending_ = false;
+  std::function<void()> deliverable_callback_;
+  bool deliverable_notify_pending_ = false;
+  std::function<void(net::ProcessId, const net::MessagePtr&)> control_sink_;
+  std::vector<std::function<void(const View&)>> install_callbacks_;
+  NodeStats stats_;
+};
+
+}  // namespace svs::core

@@ -1,0 +1,55 @@
+// Observation hooks for specification checking and metrics.
+//
+// Events are application-level: on_deliver/on_install fire when the
+// application consumes the corresponding entry from the delivery queue
+// (matching the specification's notion of "delivers m in view v_i", which
+// is relative to the delivered view notifications).
+#pragma once
+
+#include "core/message.hpp"
+#include "core/types.hpp"
+#include "net/types.hpp"
+
+namespace svs::core {
+
+class NodeObserver {
+ public:
+  NodeObserver() = default;
+  NodeObserver(const NodeObserver&) = delete;
+  NodeObserver& operator=(const NodeObserver&) = delete;
+  virtual ~NodeObserver() = default;
+
+  /// `p` multicast `m` (t2 accepted it; the message is now in flight).
+  virtual void on_multicast(net::ProcessId p, const DataMessagePtr& m) {
+    (void)p;
+    (void)m;
+  }
+
+  /// `p`'s application consumed data message `m`.
+  virtual void on_deliver(net::ProcessId p, const DataMessagePtr& m) {
+    (void)p;
+    (void)m;
+  }
+
+  /// `p`'s application consumed the notification installing `v`.
+  virtual void on_install(net::ProcessId p, const View& v) {
+    (void)p;
+    (void)v;
+  }
+
+  /// `p`'s application consumed its exclusion notice.
+  virtual void on_excluded(net::ProcessId p, ViewId last_view) {
+    (void)p;
+    (void)last_view;
+  }
+
+  /// `victim` was purged from a buffer of `p` because `by` covers it.
+  virtual void on_purge(net::ProcessId p, const DataMessagePtr& victim,
+                        const DataMessagePtr& by) {
+    (void)p;
+    (void)victim;
+    (void)by;
+  }
+};
+
+}  // namespace svs::core

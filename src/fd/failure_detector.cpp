@@ -1,0 +1,20 @@
+#include "fd/failure_detector.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace svs::fd {
+
+void FailureDetector::subscribe(Listener listener) {
+  SVS_REQUIRE(listener != nullptr, "listener must be callable");
+  listeners_.push_back(std::move(listener));
+}
+
+void FailureDetector::notify_changed() {
+  // Copy: a listener may subscribe another listener while running.
+  const auto snapshot = listeners_;
+  for (const auto& l : snapshot) l();
+}
+
+}  // namespace svs::fd

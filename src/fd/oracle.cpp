@@ -1,0 +1,30 @@
+#include "fd/oracle.hpp"
+
+namespace svs::fd {
+
+OracleDetector::OracleDetector(sim::Simulator& simulator,
+                               net::Network& network, net::ProcessId owner,
+                               sim::Duration detection_delay)
+    : sim_(simulator), owner_(owner), detection_delay_(detection_delay) {
+  SVS_REQUIRE(detection_delay >= sim::Duration::zero(),
+              "detection delay must be >= 0");
+  // Detectors must exist before any crash occurs; crashes that happened
+  // earlier would be invisible.  All harnesses construct detectors at
+  // simulation start, so subscribing is sufficient.
+  network.subscribe_crash(
+      [this](net::ProcessId p, sim::TimePoint when) { on_crash(p, when); });
+}
+
+void OracleDetector::on_crash(net::ProcessId p, sim::TimePoint when) {
+  (void)when;
+  if (p == owner_) return;  // the owner is dead, not suspicious
+  sim_.schedule_after(detection_delay_, [this, p] {
+    if (suspected_.insert(p).second) notify_changed();
+  });
+}
+
+bool OracleDetector::suspects(net::ProcessId p) const {
+  return suspected_.contains(p);
+}
+
+}  // namespace svs::fd

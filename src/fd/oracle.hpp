@@ -1,0 +1,36 @@
+// Oracle failure detector: perfect detection after a fixed delay.
+//
+// Reads the simulator's crash registry, so it never makes a false suspicion
+// and suspects every crash exactly `detection_delay` after it happens.
+// This models an eventually-perfect detector with a known bound and gives
+// tests deterministic failure-detection timing; the heartbeat detector
+// (fd/heartbeat.hpp) provides the realistic, message-based alternative.
+#pragma once
+
+#include <unordered_set>
+
+#include "fd/failure_detector.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::fd {
+
+class OracleDetector final : public FailureDetector {
+ public:
+  /// One instance monitors crashes on behalf of one owner process.  The
+  /// owner itself is never suspected (it would be dead, not suspicious).
+  OracleDetector(sim::Simulator& simulator, net::Network& network,
+                 net::ProcessId owner, sim::Duration detection_delay);
+
+  [[nodiscard]] bool suspects(net::ProcessId p) const override;
+
+ private:
+  void on_crash(net::ProcessId p, sim::TimePoint when);
+
+  sim::Simulator& sim_;
+  net::ProcessId owner_;
+  sim::Duration detection_delay_;
+  std::unordered_set<net::ProcessId> suspected_;
+};
+
+}  // namespace svs::fd

@@ -1,0 +1,88 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace svs::metrics {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double Summary::mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+double Summary::min() const { return min_; }
+double Summary::max() const { return max_; }
+
+void TimeWeightedMean::record(sim::TimePoint now, double x) {
+  SVS_REQUIRE(now >= last_, "samples must be time-ordered");
+  const double dt = static_cast<double>((now - last_).as_micros());
+  weighted_sum_ += dt * x;
+  total_time_ += dt;
+  last_ = now;
+  max_ = std::max(max_, x);
+}
+
+double TimeWeightedMean::mean() const {
+  return total_time_ <= 0.0 ? 0.0 : weighted_sum_ / total_time_;
+}
+
+PeriodicSampler::PeriodicSampler(sim::Simulator& simulator,
+                                 sim::Duration period,
+                                 std::function<double()> probe)
+    : sim_(simulator), period_(period), probe_(std::move(probe)),
+      mean_(simulator.now()) {
+  SVS_REQUIRE(period_ > sim::Duration::zero(), "period must be positive");
+  SVS_REQUIRE(probe_ != nullptr, "probe must be callable");
+}
+
+void PeriodicSampler::start() {
+  SVS_REQUIRE(!pending_.valid(), "sampler already running");
+  tick();
+}
+
+void PeriodicSampler::tick() {
+  mean_.record(sim_.now(), probe_());
+  pending_ = sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void PeriodicSampler::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = sim::EventId{};
+  }
+}
+
+void Histogram::add(std::int64_t key, std::uint64_t weight) {
+  buckets_[key] += weight;
+  total_ += weight;
+}
+
+double Histogram::share(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  const auto it = buckets_.find(key);
+  return it == buckets_.end()
+             ? 0.0
+             : static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  SVS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (total_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t acc = 0;
+  for (const auto& [k, n] : buckets_) {
+    acc += n;
+    if (static_cast<double>(acc) >= target) return k;
+  }
+  return buckets_.rbegin()->first;
+}
+
+}  // namespace svs::metrics

@@ -1,0 +1,90 @@
+// Small statistics toolkit for the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace svs::metrics {
+
+/// Mean/min/max/count over plain samples.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. buffer
+/// occupancy): each add() records the value holding *since* the previous
+/// add.
+class TimeWeightedMean {
+ public:
+  explicit TimeWeightedMean(sim::TimePoint start) : last_(start) {}
+
+  /// Reports that the signal has had value `x` since the last call.
+  void record(sim::TimePoint now, double x);
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  sim::TimePoint last_;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Samples a callback at a fixed period and accumulates a TimeWeightedMean.
+/// This mirrors how the paper "observ[es] the amount of buffer used".
+class PeriodicSampler {
+ public:
+  PeriodicSampler(sim::Simulator& simulator, sim::Duration period,
+                  std::function<double()> probe);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const TimeWeightedMean& series() const { return mean_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::Duration period_;
+  std::function<double()> probe_;
+  TimeWeightedMean mean_;
+  sim::EventId pending_{};
+};
+
+/// Integer-keyed histogram with share/percentile helpers.
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double share(std::int64_t key) const;
+  [[nodiscard]] std::int64_t percentile(double p) const;  // p in [0, 100]
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace svs::metrics

@@ -1,0 +1,53 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace svs::metrics {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SVS_REQUIRE(!headers_.empty(), "a table needs columns");
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  SVS_REQUIRE(cells.size() == headers_.size(),
+              "row width must match the header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "  " : "  |  ");
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  std::size_t total = headers_.size() * 5;
+  for (const auto w : widths) total += w;
+  os << "  " << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) line(r);
+}
+
+}  // namespace svs::metrics

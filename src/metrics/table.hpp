@@ -1,0 +1,28 @@
+// Fixed-width table printing for experiment output, so every bench prints
+// figure series the same way.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace svs::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace svs::metrics

@@ -1,0 +1,38 @@
+// Transport-level message abstraction.
+//
+// The simulation passes messages by shared pointer (zero-copy, like a real
+// stack passing refcounted buffers), but every message reports an estimated
+// wire size so experiments can account for encoded bytes where it matters
+// (§4.2's compactness comparison).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace svs::net {
+
+/// Base class for everything that travels through the network.
+class Message {
+ public:
+  Message() = default;
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+  virtual ~Message() = default;
+
+  /// Estimated size in bytes when encoded for the wire.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Messages travel on one of two FIFO lanes per link.
+///
+/// The data lane is subject to flow control (a full receiver refuses it and
+/// it backs up into the sender's outgoing buffer).  The control lane carries
+/// INIT/PRED/consensus/heartbeat traffic and is never refused: §5.3 requires
+/// the protocol to "always reserve separate buffer space for control
+/// information", and Figure 1's guards assume a blocked process still
+/// receives view-change messages.  See DESIGN.md §3(1).
+enum class Lane : std::uint8_t { data, control };
+
+}  // namespace svs::net

@@ -1,0 +1,231 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace svs::net {
+
+namespace {
+constexpr int lane_index(Lane lane) { return lane == Lane::data ? 0 : 1; }
+}  // namespace
+
+Network::Network(sim::Simulator& simulator, Config config)
+    : sim_(simulator), config_(config), rng_(config.seed) {
+  SVS_REQUIRE(config_.delay >= sim::Duration::zero(), "delay must be >= 0");
+  SVS_REQUIRE(config_.jitter >= sim::Duration::zero(), "jitter must be >= 0");
+}
+
+void Network::attach(ProcessId id, Endpoint& endpoint) {
+  const auto [it, inserted] = endpoints_.emplace(id, &endpoint);
+  (void)it;
+  SVS_REQUIRE(inserted, "endpoint already attached for this process");
+}
+
+Network::Link& Network::link(ProcessId from, ProcessId to) {
+  return links_[LinkKey{from, to}];
+}
+
+const Network::Link* Network::find_link(ProcessId from, ProcessId to) const {
+  const auto it = links_.find(LinkKey{from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr message,
+                   Lane lane) {
+  SVS_REQUIRE(message != nullptr, "cannot send a null message");
+  SVS_REQUIRE(endpoints_.contains(from), "sender not attached");
+  SVS_REQUIRE(endpoints_.contains(to), "receiver not attached");
+  if (crashed_.contains(from)) return;  // crash-stop: no sends after crash
+
+  Link& l = link(from, to);
+  sim::Duration delay = config_.delay + l.slowdown;
+  if (config_.jitter > sim::Duration::zero()) {
+    delay += sim::Duration::micros(static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(config_.jitter.as_micros()) + 1)));
+  }
+  // FIFO per lane: acceptance attempts never reorder.
+  const int li = lane_index(lane);
+  sim::TimePoint ready = sim_.now() + delay;
+  if (ready < l.last_ready[li]) ready = l.last_ready[li];
+  l.last_ready[li] = ready;
+  l.queue[li].push_back(QueuedMessage{std::move(message), ready});
+  ++stats_.sent;
+  schedule_attempt(from, to, l, lane);
+}
+
+void Network::schedule_attempt(ProcessId from, ProcessId to, Link& l,
+                               Lane lane) {
+  const int li = lane_index(lane);
+  if (l.pending[li].valid()) return;          // attempt already scheduled
+  if (l.in_attempt[li]) return;  // the running attempt reschedules at exit
+  if (lane == Lane::data && l.stalled) return;  // waiting for resume()
+  if (l.queue[li].empty()) return;
+  const sim::TimePoint when =
+      std::max(sim_.now(), l.queue[li].front().ready);
+  l.pending[li] = sim_.schedule_at(
+      when, [this, from, to, lane] { attempt(from, to, lane); });
+}
+
+void Network::attempt(ProcessId from, ProcessId to, Lane lane) {
+  Link& l = link(from, to);
+  const int li = lane_index(lane);
+  l.pending[li] = sim::EventId{};
+  if (l.queue[li].empty()) return;  // everything was purged meanwhile
+
+  SVS_ASSERT(l.queue[li].front().ready <= sim_.now(),
+             "attempt ran before message was ready");
+
+  if (crashed_.contains(to)) {
+    if (lane == Lane::control) {
+      // Nobody will ever read it; discard so long runs do not accumulate.
+      l.queue[li].pop_front();
+      ++stats_.dropped_to_crashed;
+      schedule_attempt(from, to, l, lane);
+    } else {
+      // A reliable protocol keeps unacknowledged data buffered; the space
+      // is only reclaimed when a view change excludes the crashed member
+      // (drop_outgoing).  Model that as a permanent stall.
+      l.stalled = true;
+      ++stats_.refusals;
+    }
+    return;
+  }
+
+  // Pop before delivering: the handler may send on this very link (e.g. a
+  // consensus participant answering itself) or purge outgoing buffers; the
+  // in-flight message must not be visible to either.  in_attempt suppresses
+  // re-entrant scheduling; the epilogue below re-arms the link.
+  QueuedMessage head = std::move(l.queue[li].front());
+  l.queue[li].pop_front();
+  l.in_attempt[li] = true;
+  Endpoint* endpoint = endpoints_.at(to);
+  const bool accepted = endpoint->on_message(from, head.message, lane);
+  l.in_attempt[li] = false;
+
+  if (lane == Lane::control) {
+    SVS_ASSERT(accepted, "control-lane messages must always be accepted");
+  }
+  if (accepted) {
+    ++stats_.delivered;
+    schedule_attempt(from, to, l, lane);
+    if (lane == Lane::data) notify_drain(from);
+  } else {
+    l.queue[li].push_front(std::move(head));
+    l.stalled = true;
+    ++stats_.refusals;
+  }
+}
+
+void Network::subscribe_backlog_drain(ProcessId from,
+                                      std::function<void()> observer) {
+  SVS_REQUIRE(observer != nullptr, "drain observer must be callable");
+  drain_observers_[from].push_back(std::move(observer));
+}
+
+void Network::notify_drain(ProcessId from) {
+  const auto it = drain_observers_.find(from);
+  if (it == drain_observers_.end()) return;
+  for (const auto& observer : it->second) observer();
+}
+
+void Network::crash(ProcessId id) {
+  SVS_REQUIRE(endpoints_.contains(id), "unknown process");
+  const auto [it, inserted] = crashed_.emplace(id, sim_.now());
+  (void)it;
+  if (!inserted) return;  // already crashed
+  for (const auto& observer : crash_observers_) observer(id, sim_.now());
+}
+
+void Network::subscribe_crash(
+    std::function<void(ProcessId, sim::TimePoint)> observer) {
+  SVS_REQUIRE(observer != nullptr, "crash observer must be callable");
+  crash_observers_.push_back(std::move(observer));
+}
+
+bool Network::is_crashed(ProcessId id) const { return crashed_.contains(id); }
+
+std::optional<sim::TimePoint> Network::crash_time(ProcessId id) const {
+  const auto it = crashed_.find(id);
+  if (it == crashed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Network::resume(ProcessId to) {
+  for (auto& [key, l] : links_) {
+    if (key.second != to || !l.stalled) continue;
+    l.stalled = false;
+    schedule_attempt(key.first, to, l, Lane::data);
+  }
+}
+
+std::size_t Network::data_backlog(ProcessId from, ProcessId to) const {
+  const Link* l = find_link(from, to);
+  return l == nullptr ? 0 : l->queue[lane_index(Lane::data)].size();
+}
+
+std::size_t Network::erase_from_queue(
+    Link& l, ProcessId from, ProcessId to,
+    const std::function<bool(const MessagePtr&)>& victim,
+    bool count_as_purged) {
+  const int li = lane_index(Lane::data);
+  auto& q = l.queue[li];
+  const std::size_t before = q.size();
+  const bool head_scheduled = l.pending[li].valid();
+  const MessagePtr head = q.empty() ? nullptr : q.front().message;
+
+  std::erase_if(q, [&](const QueuedMessage& qm) { return victim(qm.message); });
+
+  const std::size_t removed = before - q.size();
+  if (removed == 0) return 0;
+  if (count_as_purged) stats_.purged_outgoing += removed;
+  notify_drain(from);
+
+  // If the scheduled head was removed, re-aim the attempt at the new head.
+  const bool head_removed =
+      head != nullptr && (q.empty() || q.front().message != head);
+  if (head_scheduled && head_removed) {
+    sim_.cancel(l.pending[li]);
+    l.pending[li] = sim::EventId{};
+    schedule_attempt(from, to, l, Lane::data);
+  }
+  return removed;
+}
+
+std::size_t Network::purge_outgoing(
+    ProcessId from, const std::function<bool(const MessagePtr&)>& victim) {
+  std::size_t total = 0;
+  for (auto& [key, l] : links_) {
+    if (key.first != from) continue;
+    total += erase_from_queue(l, key.first, key.second, victim,
+                              /*count_as_purged=*/true);
+  }
+  return total;
+}
+
+std::size_t Network::purge_outgoing_to(
+    ProcessId from, ProcessId to,
+    const std::function<bool(const MessagePtr&)>& victim) {
+  const auto it = links_.find(LinkKey{from, to});
+  if (it == links_.end()) return 0;
+  return erase_from_queue(it->second, from, to, victim,
+                          /*count_as_purged=*/true);
+}
+
+std::size_t Network::drop_outgoing(
+    ProcessId from, const std::function<bool(const MessagePtr&)>& victim) {
+  std::size_t total = 0;
+  for (auto& [key, l] : links_) {
+    if (key.first != from) continue;
+    total += erase_from_queue(l, key.first, key.second, victim,
+                              /*count_as_purged=*/false);
+  }
+  return total;
+}
+
+void Network::set_link_slowdown(ProcessId from, ProcessId to,
+                                sim::Duration extra) {
+  SVS_REQUIRE(extra >= sim::Duration::zero(), "slowdown must be >= 0");
+  link(from, to).slowdown = extra;
+}
+
+}  // namespace svs::net

@@ -1,0 +1,171 @@
+// Simulated point-to-point network: n x n reliable FIFO channels (§3.1) with
+// propagation delay, receiver backpressure and purgeable outgoing queues.
+//
+// Model (matches §5.3): each ordered pair (from, to) has one queue per lane.
+// A queued message is still in the *sender's outgoing buffer* until the
+// receiver accepts it; acceptance is attempted once the message's
+// propagation delay has elapsed.  A receiver may refuse a data-lane message
+// ("ceases to accept further messages from the network"), which stalls the
+// link head and lets the queue — the sender's outgoing buffer — fill up.
+// Control-lane messages are never refused.  Bandwidth is unlimited: there is
+// no per-byte service time, only propagation delay (§5.3: "unlimited
+// bandwidth in order not to be a limiting factor").
+//
+// Semantic purging of outgoing buffers (the sender-side half of the paper's
+// buffer purging, detailed in the companion work [22] referenced from §3.3)
+// is exposed via purge_outgoing().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::net {
+
+/// Receives messages from the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Handles an arriving message.  May return false only for Lane::data,
+  /// meaning "my delivery buffers are full, retry later"; the link then
+  /// stalls until resume() is signalled for this receiver.
+  virtual bool on_message(ProcessId from, const MessagePtr& message,
+                          Lane lane) = 0;
+};
+
+/// Aggregate counters (per network).
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_to_crashed = 0;
+  std::uint64_t purged_outgoing = 0;
+  std::uint64_t refusals = 0;  // data-lane stall events
+};
+
+class Network {
+ public:
+  struct Config {
+    /// One-way propagation delay applied to every message.
+    sim::Duration delay = sim::Duration::millis(1);
+    /// Extra uniformly distributed jitter in [0, jitter] added per message.
+    /// FIFO order is preserved regardless (arrival times are monotone per
+    /// link lane).
+    sim::Duration jitter = sim::Duration::zero();
+    std::uint64_t seed = 0x5eed;
+  };
+
+  Network(sim::Simulator& simulator, Config config);
+
+  /// Registers the endpoint for a process.  Must be called before any send
+  /// involving `id`.
+  void attach(ProcessId id, Endpoint& endpoint);
+
+  /// Enqueues a message from -> to.  No-op if the sender has crashed.
+  /// Self-sends are allowed (they traverse a loopback link with the same
+  /// delay), which keeps broadcast loops in upper layers uniform.
+  void send(ProcessId from, ProcessId to, MessagePtr message, Lane lane);
+
+  /// Marks a process crashed (crash-stop): it stops receiving (messages
+  /// addressed to it are dropped on arrival) and its future sends are
+  /// ignored.  Messages it already sent keep flowing — a real crashed host's
+  /// packets already on the wire still arrive.
+  void crash(ProcessId id);
+
+  /// Registers an observer invoked (synchronously) whenever a process
+  /// crashes.  Used by oracle failure detectors.
+  void subscribe_crash(std::function<void(ProcessId, sim::TimePoint)> observer);
+
+  [[nodiscard]] bool is_crashed(ProcessId id) const;
+
+  /// Virtual time at which `id` crashed, if it did (used by the oracle
+  /// failure detector).
+  [[nodiscard]] std::optional<sim::TimePoint> crash_time(ProcessId id) const;
+
+  /// Signals that `to` has freed buffer space: all links stalled on `to`
+  /// retry their head message.
+  void resume(ProcessId to);
+
+  /// Registers an observer fired whenever an outgoing data-lane backlog of
+  /// `from` shrinks (delivery accepted, purge, or drop).  Senders use it to
+  /// wake blocked producers.
+  void subscribe_backlog_drain(ProcessId from, std::function<void()> observer);
+
+  /// Number of data-lane messages queued from -> to (the sender's outgoing
+  /// buffer occupancy towards that destination).
+  [[nodiscard]] std::size_t data_backlog(ProcessId from, ProcessId to) const;
+
+  /// Removes data-lane messages queued from `from` (to every destination)
+  /// for which `victim` returns true.  Returns the number removed.  This is
+  /// sender-side semantic purging: only messages not yet accepted by the
+  /// receiver can be removed.
+  std::size_t purge_outgoing(
+      ProcessId from, const std::function<bool(const MessagePtr&)>& victim);
+
+  /// As above but restricted to one destination.
+  std::size_t purge_outgoing_to(
+      ProcessId from, ProcessId to,
+      const std::function<bool(const MessagePtr&)>& victim);
+
+  /// Drops every queued data-lane message from -> * matching `victim`.
+  /// Unlike purge_outgoing this is not counted as semantic purging; it is
+  /// used at view installation to discard messages of superseded views.
+  std::size_t drop_outgoing(
+      ProcessId from, const std::function<bool(const MessagePtr&)>& victim);
+
+  /// Adds `extra` to the propagation delay of link from -> to (simulated
+  /// network perturbation).  Pass zero to clear.
+  void set_link_slowdown(ProcessId from, ProcessId to, sim::Duration extra);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct QueuedMessage {
+    MessagePtr message;
+    sim::TimePoint ready;  // earliest acceptance-attempt time
+  };
+
+  struct Link {
+    std::deque<QueuedMessage> queue[2];  // indexed by Lane
+    sim::TimePoint last_ready[2] = {};   // monotone per lane (FIFO)
+    bool stalled = false;                // data lane refused; waiting resume
+    sim::EventId pending[2] = {};        // scheduled attempt per lane
+    bool in_attempt[2] = {false, false};  // delivery running (re-entrancy)
+    sim::Duration slowdown = sim::Duration::zero();
+  };
+
+  using LinkKey = std::pair<ProcessId, ProcessId>;
+
+  Link& link(ProcessId from, ProcessId to);
+  [[nodiscard]] const Link* find_link(ProcessId from, ProcessId to) const;
+  void schedule_attempt(ProcessId from, ProcessId to, Link& l, Lane lane);
+  void attempt(ProcessId from, ProcessId to, Lane lane);
+  std::size_t erase_from_queue(
+      Link& l, ProcessId from, ProcessId to,
+      const std::function<bool(const MessagePtr&)>& victim, bool count_as_purged);
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  std::unordered_map<ProcessId, Endpoint*> endpoints_;
+  std::unordered_map<ProcessId, sim::TimePoint> crashed_;
+  std::map<LinkKey, Link> links_;
+  std::vector<std::function<void(ProcessId, sim::TimePoint)>> crash_observers_;
+  std::unordered_map<ProcessId, std::vector<std::function<void()>>>
+      drain_observers_;
+  NetworkStats stats_;
+
+  void notify_drain(ProcessId from);
+};
+
+}  // namespace svs::net

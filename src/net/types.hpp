@@ -1,0 +1,17 @@
+// Basic identifiers shared by every protocol layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/strong_id.hpp"
+
+namespace svs::net {
+
+struct ProcessIdTag {
+  static constexpr const char* prefix() { return "p"; }
+};
+
+/// Identity of a process (group member / simulated node).
+using ProcessId = util::StrongId<ProcessIdTag, std::uint32_t>;
+
+}  // namespace svs::net

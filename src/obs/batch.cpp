@@ -1,0 +1,151 @@
+#include "obs/batch.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace svs::obs {
+
+BatchComposer::BatchComposer(Config config) : config_(config) {
+  SVS_REQUIRE(config_.representation == AnnotationKind::k_enum ||
+                  config_.representation == AnnotationKind::enumeration ||
+                  config_.representation == AnnotationKind::item_tag,
+              "commit representation must be k_enum, enumeration or item_tag");
+  if (config_.representation == AnnotationKind::k_enum) {
+    SVS_REQUIRE(config_.k >= 1, "k-enum horizon must be at least 1");
+  }
+}
+
+void BatchComposer::begin() {
+  SVS_REQUIRE(!in_batch_, "previous batch not committed");
+  in_batch_ = true;
+  batch_items_.clear();
+  noted_seqs_.clear();
+}
+
+void BatchComposer::add_item(std::uint64_t item) {
+  SVS_REQUIRE(in_batch_, "no batch in progress");
+  batch_items_.insert(item);
+}
+
+void BatchComposer::note_update_seq(std::uint64_t item, std::uint64_t seq) {
+  SVS_REQUIRE(in_batch_, "no batch in progress");
+  SVS_REQUIRE(batch_items_.contains(item), "item not in the current batch");
+  noted_seqs_[item] = seq;
+}
+
+Annotation BatchComposer::commit(std::uint64_t commit_seq,
+                                 std::uint64_t carrier_item) {
+  SVS_REQUIRE(in_batch_, "no batch in progress");
+  SVS_REQUIRE(batch_items_.contains(carrier_item),
+              "carrier item must belong to the batch");
+  for (const auto item : batch_items_) {
+    if (item == carrier_item) continue;
+    const auto noted = noted_seqs_.find(item);
+    SVS_REQUIRE(noted != noted_seqs_.end() && noted->second < commit_seq,
+                "every non-carrier item needs a noted seq below the commit's");
+  }
+  if (config_.representation == AnnotationKind::item_tag) {
+    SVS_REQUIRE(batch_items_.size() == 1,
+                "item tagging only supports singleton batches");
+  }
+
+  // Gather the obsolescence declared by this commit.
+  KBitmap bitmap(config_.k);
+  std::vector<std::uint64_t> enumerated;
+  for (const auto item : batch_items_) {
+    const auto rec = last_.find(item);
+    if (rec == last_.end()) continue;  // first update of this item
+    const ItemRecord& prev = rec->second;
+    SVS_REQUIRE(prev.seq < commit_seq, "sequence numbers must be monotone");
+
+    // The super-set rule: a multi-item commit carrier survives unless this
+    // batch updates all items of its batch.
+    if (prev.multi_carrier &&
+        !std::includes(batch_items_.begin(), batch_items_.end(),
+                       prev.batch_items.begin(), prev.batch_items.end())) {
+      continue;
+    }
+
+    switch (config_.representation) {
+      case AnnotationKind::k_enum: {
+        const std::uint64_t distance = commit_seq - prev.seq;
+        if (distance <= config_.k) {
+          bitmap.compose(prev.closure, static_cast<std::size_t>(distance));
+        }
+        break;
+      }
+      case AnnotationKind::enumeration: {
+        enumerated.push_back(prev.seq);
+        enumerated.insert(enumerated.end(), prev.enum_closure.begin(),
+                          prev.enum_closure.end());
+        break;
+      }
+      case AnnotationKind::item_tag:
+        break;  // tag identity is the whole representation
+      default:
+        SVS_UNREACHABLE("unsupported representation");
+    }
+  }
+
+  Annotation annotation = Annotation::none();
+  switch (config_.representation) {
+    case AnnotationKind::k_enum:
+      annotation = Annotation::kenum(bitmap);
+      break;
+    case AnnotationKind::enumeration: {
+      if (config_.enumeration_window != 0) {
+        const std::uint64_t floor =
+            commit_seq > config_.enumeration_window
+                ? commit_seq - config_.enumeration_window
+                : 0;
+        std::erase_if(enumerated,
+                      [floor](std::uint64_t s) { return s < floor; });
+      }
+      annotation = Annotation::enumerate(std::move(enumerated));
+      break;
+    }
+    case AnnotationKind::item_tag:
+      annotation = Annotation::item(carrier_item);
+      break;
+    default:
+      SVS_UNREACHABLE("unsupported representation");
+  }
+
+  // Update per-item records for future batches.
+  const bool multi = batch_items_.size() > 1;
+  for (const auto item : batch_items_) {
+    ItemRecord rec;
+    if (item == carrier_item) {
+      rec.seq = commit_seq;
+      rec.multi_carrier = multi;
+      if (multi) rec.batch_items = batch_items_;
+      if (config_.representation == AnnotationKind::k_enum) {
+        rec.closure = annotation.kind() == AnnotationKind::k_enum
+                          ? annotation.bitmap()
+                          : KBitmap(config_.k);
+      } else if (config_.representation == AnnotationKind::enumeration) {
+        rec.enum_closure = annotation.kind() == AnnotationKind::enumeration
+                               ? annotation.enumerated()
+                               : std::vector<std::uint64_t>{};
+      }
+    } else {
+      rec.seq = noted_seqs_.at(item);
+      rec.closure = KBitmap(config_.representation == AnnotationKind::k_enum
+                                ? config_.k
+                                : 0);
+    }
+    last_[item] = std::move(rec);
+  }
+
+  in_batch_ = false;
+  return annotation;
+}
+
+Annotation BatchComposer::single(std::uint64_t item, std::uint64_t seq) {
+  begin();
+  add_item(item);
+  return commit(seq, item);
+}
+
+}  // namespace svs::obs

@@ -1,0 +1,76 @@
+// k-enumeration bitmap (§4.2).
+//
+// "Each message explicitly enumerates which of the k preceding messages it
+//  makes obsolete.  This information can be stored in a bitmap of k size.
+//  If the nth position of the bitmap is set to true, the message makes
+//  obsolete the nth preceding message. [...] makes it very easy to compute
+//  the representation of transitive obsolescence relations using only shift
+//  and binary 'or' operators."
+//
+// Bit for distance d (1-based: d = this.seq - other.seq) is stored at index
+// d-1.  compose() implements the shift/OR transitivity rule: declaring that
+// this message obsoletes its predecessor at distance d also inherits (shifted
+// by d) everything that predecessor declared obsolete.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace svs::obs {
+
+class KBitmap {
+ public:
+  /// Creates an empty bitmap with horizon `k` (max representable distance).
+  /// k = 0 produces a bitmap that can never mark anything (useful as the
+  /// annotation of messages that obsolete nothing).
+  explicit KBitmap(std::size_t k = 0);
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+  /// Marks the predecessor at distance d (1 <= d <= k) as obsoleted.
+  void set(std::size_t distance);
+
+  /// True if the predecessor at distance d is marked.  Distances outside
+  /// [1, k] are never marked.
+  [[nodiscard]] bool test(std::size_t distance) const;
+
+  /// Inherits a predecessor's obsolescences: this |= (pred << d) | bit(d).
+  /// Bits shifted beyond the horizon are dropped — the paper's observation
+  /// that "it is very unlikely that two messages far apart in the message
+  /// stream can be found simultaneously in the same buffer" makes the loss
+  /// harmless as long as k is at least the buffer span (k = 2x buffer size
+  /// in §5.2).
+  void compose(const KBitmap& predecessor, std::size_t distance);
+
+  /// ORs another bitmap at distance 0 (used when several predecessors are
+  /// merged into a commit; see batch.hpp).
+  void merge(const KBitmap& other);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Set distances in increasing order (test/debug helper).
+  [[nodiscard]] std::vector<std::size_t> set_distances() const;
+
+  /// Encoded size: varint(k) + ceil(k/8) payload bytes (fixed-size bitmap as
+  /// the paper prescribes — compactness is the point of the technique).
+  [[nodiscard]] std::size_t wire_size() const;
+  void encode(util::ByteWriter& writer) const;
+  static KBitmap decode(util::ByteReader& reader);
+
+  friend bool operator==(const KBitmap&, const KBitmap&) = default;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  /// Zeroes bits beyond the horizon after word-wise operations.
+  void clear_tail();
+
+  std::size_t k_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace svs::obs

@@ -1,0 +1,75 @@
+// Deterministic, portable pseudo-random numbers.
+//
+// The standard <random> distributions are implementation-defined, so the
+// same seed can produce different traces on different standard libraries.
+// The experiments must be bit-reproducible, hence: xoshiro256** generator
+// (seeded via splitmix64) plus hand-rolled distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace svs::sim {
+
+/// xoshiro256** 1.0 — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias.  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  /// Forks an independent stream (for per-component rngs that must not
+  /// perturb each other's sequences when call order changes).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks in [1, n]: P(rank = r) proportional to r^-s.
+///
+/// Used to model item popularity (Fig 3(a): "a small number of items is
+/// modified frequently").  Sampling is O(log n) via the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+  /// Samples a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank (for calibration tests).
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace svs::sim

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace svs::sim {
+
+EventId Simulator::schedule_at(TimePoint when, Action action) {
+  SVS_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  SVS_REQUIRE(action != nullptr, "event action must be callable");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq});
+  actions_.emplace(seq, std::move(action));
+  return EventId(seq);
+}
+
+EventId Simulator::schedule_after(Duration delay, Action action) {
+  SVS_REQUIRE(delay >= Duration::zero(), "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  return actions_.erase(id.seq_) != 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    auto it = actions_.find(top.seq);
+    if (it == actions_.end()) {
+      queue_.pop();  // cancelled; discard lazily
+      continue;
+    }
+    // Move the action out before running it: the action may schedule or
+    // cancel other events (and even re-enter the queue).
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    queue_.pop();
+    SVS_ASSERT(top.when >= now_, "event queue went backwards in time");
+    now_ = top.when;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  SVS_REQUIRE(deadline >= now_, "deadline must not be in the past");
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Peek at the earliest live event.
+    const Entry top = queue_.top();
+    if (actions_.find(top.seq) == actions_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (step()) ++executed;
+  }
+  now_ = deadline;
+  return executed;
+}
+
+}  // namespace svs::sim

@@ -1,0 +1,89 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate the paper's evaluation runs on (§5.3: "a high-level
+// discrete event simulation").  Determinism guarantees: two runs with the
+// same seed and the same schedule of calls produce identical histories.
+// Ties in event time are broken by insertion sequence number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::sim {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_{0};
+};
+
+/// Single-threaded event loop over virtual time.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.  While an event runs, this is the event's time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `when` (>= now).
+  EventId schedule_at(TimePoint when, Action action);
+
+  /// Schedules `action` to run `delay` (>= 0) after the current time.
+  EventId schedule_after(Duration delay, Action action);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled before.  Cancelling is O(1) (lazy removal from the heap).
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `limit` events have run.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = kNoLimit);
+
+  /// Runs all events with time <= deadline, then advances now() to deadline.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Events currently pending (including lazily cancelled ones).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    // Heap entries carry only keys; actions live in a side map so that
+    // cancel() does not have to touch the heap.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      // std::priority_queue is a max-heap; invert for earliest-first, with
+      // insertion order as deterministic tie-break.
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_{1};
+  std::priority_queue<Entry> queue_;
+  // seq -> action; an entry missing here was cancelled (lazy removal).
+  std::unordered_map<std::uint64_t, Action> actions_;
+};
+
+}  // namespace svs::sim

@@ -1,0 +1,94 @@
+// Virtual time for the discrete-event simulation.
+//
+// All protocol and workload code is written against this clock; nothing in
+// the library reads wall time, which is what makes every run reproducible.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace svs::sim {
+
+/// A span of virtual time, in integer microseconds.
+///
+/// Integer microseconds give deterministic arithmetic (no floating-point
+/// accumulation) at a resolution far below anything the modelled systems
+/// (30 Hz game rounds, millisecond links) can observe.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) {
+    return Duration(us);
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
+    return Duration(ms * 1000);
+  }
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_millis() const { return us_ / 1e3; }
+  [[nodiscard]] constexpr double as_seconds() const { return us_ / 1e6; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.us_ + b.us_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.us_ - b.us_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.us_ / k);
+  }
+  constexpr Duration& operator+=(Duration b) {
+    us_ += b.us_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.us_ << "us";
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_{0};
+};
+
+/// An instant of virtual time (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint(); }
+  [[nodiscard]] static constexpr TimePoint at_micros(std::int64_t us) {
+    TimePoint t;
+    t.us_ = us;
+    return t;
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const { return us_ / 1e6; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return at_micros(t.us_ + d.as_micros());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << "t+" << t.us_ << "us";
+  }
+
+ private:
+  std::int64_t us_{0};
+};
+
+}  // namespace svs::sim

@@ -1,0 +1,84 @@
+#include "util/bytes.hpp"
+
+#include "util/contracts.hpp"
+
+namespace svs::util {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u64(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80U);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) { u64(v); }
+
+void ByteWriter::fixed64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+std::uint8_t ByteReader::u8() {
+  SVS_REQUIRE(pos_ < buf_.size(), "byte buffer underrun");
+  return buf_[pos_++];
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    SVS_REQUIRE(pos_ < buf_.size(), "varint truncated");
+    SVS_REQUIRE(shift < 64, "varint too long");
+    const std::uint8_t byte = buf_[pos_++];
+    result |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
+    if ((byte & 0x80U) == 0) return result;
+    shift += 7;
+  }
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint64_t v = u64();
+  SVS_REQUIRE(v <= 0xFFFFFFFFULL, "u32 overflow");
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t ByteReader::fixed64() {
+  SVS_REQUIRE(remaining() >= 8, "fixed64 truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  SVS_REQUIRE(remaining() >= n, "string truncated");
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace svs::util

@@ -1,0 +1,59 @@
+// Minimal byte-oriented encoder/decoder.
+//
+// The simulator passes messages in memory, but §4.2 of the paper argues about
+// the *wire compactness* of the obsolescence representations.  This codec is
+// used to compute and test realistic encoded sizes (varint-based, like a
+// typical GCS transport) and by the representation benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svs::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a byte buffer (LEB128 varints for integers).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);   // varint
+  void u64(std::uint64_t v);   // varint
+  void fixed64(std::uint64_t v);
+  void bytes(const std::uint8_t* data, std::size_t n);
+  void str(const std::string& s);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads values written by ByteWriter; throws ContractViolation on underrun
+/// or malformed varints.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t fixed64();
+  std::string str();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const Bytes& buf_;
+  std::size_t pos_{0};
+};
+
+/// Number of bytes a varint encoding of v occupies.
+[[nodiscard]] std::size_t varint_size(std::uint64_t v);
+
+}  // namespace svs::util

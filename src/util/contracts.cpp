@@ -1,0 +1,27 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace svs::util {
+namespace {
+
+std::string render(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << "] at " << file << ":" << line;
+  return os.str();
+}
+
+}  // namespace
+
+void throw_contract_violation(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw ContractViolation(render("precondition violated", expr, file, line, msg));
+}
+
+void throw_logic_violation(const char* expr, const char* file, int line,
+                           const std::string& msg) {
+  throw LogicViolation(render("invariant violated", expr, file, line, msg));
+}
+
+}  // namespace svs::util

@@ -1,0 +1,56 @@
+// Contract checking used across the library.
+//
+// Three categories, all always-on (the protocols implemented here are the
+// product under test; silent corruption is worse than a small constant cost):
+//
+//   SVS_REQUIRE(cond, msg)   -- precondition on a public API; violation means
+//                               the *caller* misused the interface.
+//   SVS_ASSERT(cond, msg)    -- internal invariant; violation means a bug in
+//                               this library.
+//   SVS_UNREACHABLE(msg)     -- control flow that must never be reached.
+//
+// Violations throw (ContractViolation / LogicViolation) so tests can assert
+// on them and long simulations fail loudly instead of diverging quietly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace svs::util {
+
+/// Thrown when a public-interface precondition is violated by the caller.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant of the library does not hold.
+class LogicViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void throw_contract_violation(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+[[noreturn]] void throw_logic_violation(const char* expr, const char* file,
+                                        int line, const std::string& msg);
+
+}  // namespace svs::util
+
+#define SVS_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::svs::util::throw_contract_violation(#cond, __FILE__, __LINE__,     \
+                                            (msg));                        \
+    }                                                                      \
+  } while (false)
+
+#define SVS_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::svs::util::throw_logic_violation(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)
+
+#define SVS_UNREACHABLE(msg) \
+  ::svs::util::throw_logic_violation("unreachable", __FILE__, __LINE__, (msg))

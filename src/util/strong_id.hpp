@@ -1,0 +1,46 @@
+// Strongly typed integral identifiers (ProcessId, ViewId, ...).
+//
+// Following C++ Core Guidelines I.4 ("make interfaces precisely and strongly
+// typed"): a ProcessId cannot be accidentally passed where a ViewId is
+// expected, yet both stay trivially copyable and hashable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace svs::util {
+
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  /// Successor id; used for e.g. the "next view" (view ids are sequential).
+  [[nodiscard]] constexpr StrongId next() const { return StrongId(value_ + 1); }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+}  // namespace svs::util
+
+/// Hash support so strong ids can key unordered containers.
+template <typename Tag, typename Rep>
+struct std::hash<svs::util::StrongId<Tag, Rep>> {
+  std::size_t operator()(svs::util::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,256 @@
+#include "workload/game_generator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace svs::workload {
+namespace {
+
+/// Deterministic pseudo-content for an item's new state, independent of the
+/// generator's rng consumption (so tweaking distributions does not change
+/// payload values in unrelated ways).
+std::uint64_t synth_value(ItemId item, std::uint64_t round) {
+  std::uint64_t x = item * 0x9E3779B97F4A7C15ULL + round * 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 31;
+  x *= 0x94D049BB133111EBULL;
+  return x ^ (x >> 29);
+}
+
+}  // namespace
+
+GameTraceGenerator::GameTraceGenerator(Config config) : config_(config) {
+  SVS_REQUIRE(config_.rounds_per_second > 0, "round rate must be positive");
+  SVS_REQUIRE(config_.persistent_items >= 1, "need at least one item");
+  SVS_REQUIRE(config_.round_jitter >= 0 && config_.round_jitter < 1,
+              "jitter must be in [0, 1)");
+  SVS_REQUIRE(config_.transient_life_rounds >= 1,
+              "transients must live at least one round");
+}
+
+Trace GameTraceGenerator::generate(std::size_t rounds) {
+  sim::Rng rng(config_.seed);
+  const sim::ZipfDistribution zipf(config_.persistent_items,
+                                   config_.zipf_exponent);
+  obs::BatchComposer composer(config_.batch);
+
+  std::vector<TraceMessage> messages;
+
+  // Ground-truth bookkeeping, mirroring BatchComposer's rules but with
+  // message *indices* and without any representation horizon.
+  struct GtRecord {
+    std::size_t index = 0;
+    bool multi_carrier = false;
+    std::set<ItemId> batch_items;
+  };
+  std::unordered_map<ItemId, GtRecord> gt_last;
+
+  struct Transient {
+    ItemId id;
+    std::size_t updates_left;
+  };
+  std::vector<Transient> transients;
+  ItemId next_transient = 1'000'000;
+
+  // Statistics accumulators.
+  std::map<ItemId, std::size_t> rounds_modified;
+  double active_sum = 0.0;
+  std::uint64_t modified_sum = 0;
+
+  struct PlannedOp {
+    OpKind op;
+    ItemId item;
+  };
+
+  sim::TimePoint now = sim::TimePoint::origin();
+  const double interval_s = 1.0 / config_.rounds_per_second;
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    // ---- decide the round's operations ---------------------------------
+    std::vector<PlannedOp> creates;
+    std::vector<PlannedOp> updates;
+    std::vector<PlannedOp> destroys;
+
+    for (auto it = transients.begin(); it != transients.end();) {
+      if (it->updates_left == 0) {
+        destroys.push_back({OpKind::destroy, it->id});
+        it = transients.erase(it);
+      } else {
+        updates.push_back({OpKind::update, it->id});
+        --it->updates_left;
+        ++it;
+      }
+    }
+    if (rng.chance(config_.transient_spawn_rate)) {
+      const ItemId id = next_transient++;
+      creates.push_back({OpKind::create, id});
+      transients.push_back(
+          {id, 1 + static_cast<std::size_t>(
+                       rng.geometric(1.0 / config_.transient_life_rounds))});
+    }
+
+    if (!rng.chance(config_.idle_round_probability)) {
+      std::size_t count =
+          1 + static_cast<std::size_t>(
+                  rng.geometric(1.0 - config_.update_continue));
+      if (rng.chance(config_.burst_probability)) {
+        count += 1 + static_cast<std::size_t>(
+                         rng.below(config_.burst_extra_max));
+      }
+      count = std::min(count, config_.persistent_items);
+      std::set<ItemId> chosen;
+      std::size_t attempts = 0;
+      while (chosen.size() < count && attempts < 50 * count) {
+        chosen.insert(static_cast<ItemId>(zipf.sample(rng) - 1));
+        ++attempts;
+      }
+      for (const auto item : chosen) {
+        updates.push_back({OpKind::update, item});
+      }
+    }
+
+    // ---- statistics ------------------------------------------------------
+    active_sum +=
+        static_cast<double>(config_.persistent_items + transients.size());
+    modified_sum += updates.size();
+    for (const auto& op : updates) ++rounds_modified[op.item];
+
+    // ---- materialize the batch ------------------------------------------
+    // Order: creates, updates, destroys — the commit is carried by the last
+    // registered (update/destroy) operation; creations are never obsolete
+    // and never obsolete anything, so they stay outside the composer.
+    std::vector<PlannedOp> ops;
+    ops.insert(ops.end(), creates.begin(), creates.end());
+    ops.insert(ops.end(), updates.begin(), updates.end());
+    ops.insert(ops.end(), destroys.begin(), destroys.end());
+    if (ops.empty()) {
+      now = now + sim::Duration::seconds(
+                      interval_s *
+                      (1.0 + config_.round_jitter *
+                                 rng.uniform(-1.0, 1.0)));
+      continue;
+    }
+
+    const std::size_t registered = updates.size() + destroys.size();
+    std::set<ItemId> batch_items;
+    if (registered > 0) {
+      composer.begin();
+      for (const auto& op : updates) {
+        composer.add_item(op.item);
+        batch_items.insert(op.item);
+      }
+      for (const auto& op : destroys) {
+        composer.add_item(op.item);
+        batch_items.insert(op.item);
+      }
+    }
+
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      const PlannedOp& op = ops[k];
+      const bool last_of_round = k + 1 == ops.size();
+      const std::uint64_t seq = messages.size() + 1;
+
+      obs::Annotation annotation = obs::Annotation::none();
+      std::vector<std::size_t> direct;
+
+      const bool is_registered = op.op != OpKind::create;
+      if (is_registered && last_of_round) {
+        // Commit carrier: declare predecessors (representation-clipped in
+        // the annotation, exact in the ground truth).
+        annotation = composer.commit(seq, op.item);
+        for (const auto item : batch_items) {
+          const auto rec = gt_last.find(item);
+          if (rec == gt_last.end()) continue;
+          if (rec->second.multi_carrier &&
+              !std::includes(batch_items.begin(), batch_items.end(),
+                             rec->second.batch_items.begin(),
+                             rec->second.batch_items.end())) {
+            continue;  // super-set rule: the old carrier must survive
+          }
+          direct.push_back(rec->second.index);
+        }
+        std::sort(direct.begin(), direct.end());
+      } else if (is_registered) {
+        composer.note_update_seq(op.item, seq);
+      }
+
+      messages.push_back(TraceMessage{
+          now + sim::Duration::micros(static_cast<std::int64_t>(50 * k)),
+          std::make_shared<ItemOp>(op.op, op.item,
+                                   synth_value(op.item, round), round,
+                                   last_of_round),
+          std::move(annotation), seq, std::move(direct)});
+    }
+
+    // Refresh ground-truth records (after all edges were computed).
+    {
+      const std::size_t first_index = messages.size() - ops.size();
+      const bool multi = batch_items.size() > 1;
+      for (std::size_t k = 0; k < ops.size(); ++k) {
+        const PlannedOp& op = ops[k];
+        if (op.op == OpKind::create) continue;
+        const bool carrier = k + 1 == ops.size();
+        GtRecord rec;
+        rec.index = first_index + k;
+        rec.multi_carrier = carrier && multi;
+        if (rec.multi_carrier) rec.batch_items = batch_items;
+        gt_last[op.item] = std::move(rec);
+      }
+    }
+
+    now = now + sim::Duration::seconds(
+                    interval_s *
+                    (1.0 + config_.round_jitter * rng.uniform(-1.0, 1.0)));
+  }
+
+  // ---- trace-wide statistics ---------------------------------------------
+  TraceStats stats;
+  stats.rounds = rounds;
+  stats.messages = messages.size();
+  stats.duration_seconds = now.as_seconds();
+  stats.avg_rate_msgs_per_sec =
+      stats.duration_seconds > 0
+          ? static_cast<double>(messages.size()) / stats.duration_seconds
+          : 0.0;
+  stats.avg_active_items = rounds > 0 ? active_sum / rounds : 0.0;
+  stats.avg_modified_per_round =
+      rounds > 0 ? static_cast<double>(modified_sum) / rounds : 0.0;
+
+  std::vector<std::size_t> closest(messages.size(), 0);  // 0 = never covered
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    for (const std::size_t victim : messages[i].direct_covers) {
+      const std::size_t distance = i - victim;
+      if (closest[victim] == 0 || distance < closest[victim]) {
+        closest[victim] = distance;
+      }
+    }
+  }
+  std::size_t never = 0;
+  std::map<std::size_t, std::size_t> histogram;
+  for (const std::size_t d : closest) {
+    if (d == 0) {
+      ++never;
+    } else {
+      ++histogram[d];
+    }
+  }
+  stats.never_obsolete_share =
+      messages.empty()
+          ? 0.0
+          : static_cast<double>(never) / static_cast<double>(messages.size());
+  const std::size_t obsoleted = messages.size() - never;
+  for (const auto& [d, count] : histogram) {
+    stats.distance_histogram[d] =
+        obsoleted > 0 ? static_cast<double>(count) / obsoleted : 0.0;
+  }
+  for (const auto& [item, n] : rounds_modified) {
+    stats.modification_frequency[item] =
+        rounds > 0 ? static_cast<double>(n) / rounds : 0.0;
+  }
+
+  return Trace(std::move(messages), std::move(stats));
+}
+
+}  // namespace svs::workload

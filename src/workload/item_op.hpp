@@ -1,0 +1,49 @@
+// Application payload: one operation on one game item (§5.2).
+//
+// The replicated server state is "a relatively small collection of data
+// items"; each round updates a few of them.  Create/destroy must be
+// delivered reliably; updates convey newer values and become obsolete.
+// The last operation of a round carries the commit flag terminating the
+// round's batch (§4.1: "the role of the commit message can be performed by
+// the last message in each update").
+#pragma once
+
+#include <cstdint>
+
+#include "core/message.hpp"
+
+namespace svs::workload {
+
+enum class OpKind : std::uint8_t { create, update, destroy };
+
+using ItemId = std::uint64_t;
+
+class ItemOp final : public core::Payload {
+ public:
+  ItemOp(OpKind op, ItemId item, std::uint64_t value, std::uint64_t round,
+         bool commit)
+      : op_(op), item_(item), value_(value), round_(round), commit_(commit) {}
+
+  [[nodiscard]] OpKind op() const { return op_; }
+  [[nodiscard]] ItemId item() const { return item_; }
+  /// New item state (stands in for position/velocity/attributes).
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+  /// True if this operation terminates its round's batch.
+  [[nodiscard]] bool commit() const { return commit_; }
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    // op + item + round varints + 16 bytes of state (3D pos + velocity in a
+    // compact fixed-point encoding, as a game server would ship).
+    return 1 + 4 + 4 + 16;
+  }
+
+ private:
+  OpKind op_;
+  ItemId item_;
+  std::uint64_t value_;
+  std::uint64_t round_;
+  bool commit_;
+};
+
+}  // namespace svs::workload

@@ -1,0 +1,56 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace svs::workload {
+namespace {
+
+/// Ground-truth oracle: transitive closure of the trace's direct edges.
+/// Seqs are 1-based positions in the single producer's stream.
+class TraceRelation final : public obs::Relation {
+ public:
+  explicit TraceRelation(const std::vector<TraceMessage>& messages) {
+    closure_.resize(messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      auto& mine = closure_[i];
+      for (const std::size_t d : messages[i].direct_covers) {
+        SVS_ASSERT(d < i, "direct edges must point backwards");
+        mine.push_back(d);
+        mine.insert(mine.end(), closure_[d].begin(), closure_[d].end());
+      }
+      std::sort(mine.begin(), mine.end());
+      mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    }
+  }
+
+  [[nodiscard]] bool covers(const obs::MessageRef& newer,
+                            const obs::MessageRef& older) const override {
+    if (newer.sender != older.sender) return false;
+    if (newer.seq <= older.seq || newer.seq == 0 || older.seq == 0) {
+      return false;
+    }
+    const std::size_t ni = static_cast<std::size_t>(newer.seq - 1);
+    const std::size_t oi = static_cast<std::size_t>(older.seq - 1);
+    if (ni >= closure_.size()) return false;
+    const auto& c = closure_[ni];
+    return std::binary_search(c.begin(), c.end(), oi);
+  }
+
+  [[nodiscard]] const char* name() const override { return "trace-truth"; }
+
+ private:
+  std::vector<std::vector<std::size_t>> closure_;
+};
+
+}  // namespace
+
+obs::RelationPtr Trace::ground_truth() const {
+  if (ground_truth_ == nullptr) {
+    ground_truth_ = std::make_shared<TraceRelation>(messages_);
+  }
+  return ground_truth_;
+}
+
+}  // namespace svs::workload

@@ -1,0 +1,67 @@
+// A generated message trace plus its obsolescence ground truth and the
+// statistics the paper reports about the recorded Quake session (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "obs/annotation.hpp"
+#include "obs/relation.hpp"
+#include "sim/time.hpp"
+#include "workload/item_op.hpp"
+
+namespace svs::workload {
+
+/// One planned multicast of the trace.
+struct TraceMessage {
+  sim::TimePoint at;  // when the producer wants to inject it
+  std::shared_ptr<const ItemOp> payload;
+  obs::Annotation annotation;  // as carried on the wire (may clip at k)
+  std::uint64_t seq = 0;       // sequence number the protocol will assign
+  /// Indices (into Trace::messages) of earlier messages this one *truly*
+  /// supersedes, directly (unclipped ground truth).
+  std::vector<std::size_t> direct_covers;
+};
+
+/// The §5.2 measurements, computed over a generated trace so benches can
+/// print them next to the paper's numbers.
+struct TraceStats {
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+  double duration_seconds = 0.0;
+  double avg_rate_msgs_per_sec = 0.0;      // the Fig 5(a) horizontal line
+  double avg_active_items = 0.0;           // paper: 42.33
+  double avg_modified_per_round = 0.0;     // paper: 1.39
+  double never_obsolete_share = 0.0;       // paper: 0.4188
+  /// distance -> share of *obsoleted* messages whose closest related
+  /// successor is that many messages ahead (Fig 3(b)).
+  std::map<std::size_t, double> distance_histogram;
+  /// item -> fraction of rounds in which it was modified (Fig 3(a) after
+  /// sorting descending).
+  std::map<ItemId, double> modification_frequency;
+};
+
+class Trace {
+ public:
+  Trace(std::vector<TraceMessage> messages, TraceStats stats)
+      : messages_(std::move(messages)), stats_(std::move(stats)) {}
+
+  [[nodiscard]] const std::vector<TraceMessage>& messages() const {
+    return messages_;
+  }
+  [[nodiscard]] const TraceStats& stats() const { return stats_; }
+
+  /// Ground-truth obsolescence relation (transitive closure of the direct
+  /// edges, not clipped by any representation horizon).  Built lazily and
+  /// cached; intended for specification checking on test-sized traces.
+  [[nodiscard]] obs::RelationPtr ground_truth() const;
+
+ private:
+  std::vector<TraceMessage> messages_;
+  TraceStats stats_;
+  mutable obs::RelationPtr ground_truth_;
+};
+
+}  // namespace svs::workload

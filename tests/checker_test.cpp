@@ -1,0 +1,198 @@
+// Mutation tests for the specification checker: hand-crafted histories with
+// known violations must be flagged, and legal purging histories must not.
+// (A checker that never fails would make every property test meaningless.)
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checker.hpp"
+#include "obs/relation.hpp"
+
+namespace svs::core {
+namespace {
+
+class Nil final : public Payload {
+ public:
+  [[nodiscard]] std::size_t wire_size() const override { return 0; }
+};
+
+DataMessagePtr msg(std::uint32_t sender, std::uint64_t seq,
+                   std::uint64_t view = 0) {
+  return std::make_shared<DataMessage>(net::ProcessId(sender), seq,
+                                       ViewId(view), obs::Annotation::none(),
+                                       std::make_shared<Nil>());
+}
+
+View view(std::uint64_t id) {
+  return View(ViewId(id), {net::ProcessId(0), net::ProcessId(1)});
+}
+
+const net::ProcessId kP0(0);
+const net::ProcessId kP1(1);
+
+TEST(Checker, CleanHistoryPasses) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  for (const auto p : {kP0, kP1}) {
+    c.on_install(p, view(0));
+    c.on_deliver(p, m);
+    c.on_install(p, view(1));
+  }
+  EXPECT_TRUE(c.verify().empty());
+  EXPECT_TRUE(c.verify_strict_vs().empty());
+  EXPECT_EQ(c.total_multicasts(), 1u);
+  EXPECT_EQ(c.total_deliveries(), 2u);
+}
+
+TEST(Checker, DetectsDuplicateDelivery) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  c.on_install(kP0, view(0));
+  c.on_deliver(kP0, m);
+  c.on_deliver(kP0, m);
+  const auto v = c.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("no-duplication"), std::string::npos);
+}
+
+TEST(Checker, DetectsDeliveryOfUnsentMessage) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  c.on_install(kP0, view(0));
+  c.on_deliver(kP0, msg(0, 1));
+  const auto v = c.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("no-creation"), std::string::npos);
+}
+
+TEST(Checker, DetectsFifoOrderViolation) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  c.on_install(kP1, view(0));
+  c.on_deliver(kP1, m2);
+  c.on_deliver(kP1, m1);  // out of order
+  const auto v = c.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("FIFO clause (i)"), std::string::npos);
+}
+
+TEST(Checker, DetectsSvsViolation) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  // p0 delivers m in v0; p1 installs both views without delivering it.
+  c.on_install(kP0, view(0));
+  c.on_deliver(kP0, m);
+  c.on_install(kP0, view(1));
+  c.on_install(kP1, view(0));
+  c.on_install(kP1, view(1));
+  const auto v = c.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("SVS violated"), std::string::npos);
+}
+
+TEST(Checker, AcceptsOmissionCoveredByGroundTruth) {
+  // Same history as above, but p1 delivered a newer message that the ground
+  // truth says covers the omitted one: legal purging, no violation.
+  auto truth = std::make_shared<obs::ExplicitRelation>();
+  truth->add(net::ProcessId(0), 1, net::ProcessId(0), 2);
+  SpecChecker c(truth);
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(0));
+  c.on_deliver(kP0, m1);
+  c.on_deliver(kP0, m2);
+  c.on_deliver(kP1, m2);  // m1 purged at p1 — covered by m2
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(1));
+  EXPECT_TRUE(c.verify().empty());
+  // Strict VS is — by design — violated by that same history.
+  EXPECT_FALSE(c.verify_strict_vs().empty());
+}
+
+TEST(Checker, DetectsUncoveredOmissionUnderPurging) {
+  // p1 delivered only the newer message, but the ground truth does NOT
+  // relate the two: that omission is a real SVS violation.
+  SpecChecker c(std::make_shared<obs::ExplicitRelation>());
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(0));
+  c.on_deliver(kP0, m1);
+  c.on_deliver(kP0, m2);
+  c.on_deliver(kP1, m2);
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(1));
+  EXPECT_FALSE(c.verify().empty());
+}
+
+TEST(Checker, DetectsFifoSrClauseTwoViolation) {
+  // The sender multicast m1 before m2; p1 delivers m2 in v0 and closes the
+  // view without ever covering m1.
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  c.on_install(kP1, view(0));
+  c.on_deliver(kP1, m2);
+  c.on_install(kP1, view(1));
+  const auto v = c.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("FIFO-SR clause (ii)"), std::string::npos);
+}
+
+TEST(Checker, DetectsNonConsecutiveViews) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  c.on_install(kP0, view(0));
+  c.on_install(kP0, View(ViewId(2), {kP0}));  // skipped v1
+  const auto v = c.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("consecutive"), std::string::npos);
+}
+
+TEST(Checker, OpenLastViewIsNotChecked) {
+  // Messages delivered in a view that never closes (no later install) are
+  // exempt — the SVS property only constrains processes that install the
+  // *next* view.
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  c.on_install(kP0, view(0));
+  c.on_deliver(kP0, m);
+  c.on_install(kP1, view(0));
+  // p1 never delivers m, but neither process installed v1.
+  EXPECT_TRUE(c.verify().empty());
+}
+
+TEST(Checker, ExclusionEventsAreRecordedHarmlessly) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  c.on_install(kP0, view(0));
+  c.on_excluded(kP0, ViewId(0));
+  EXPECT_TRUE(c.verify().empty());
+}
+
+TEST(Checker, DeliveredInAndViewsInstalledHelpers) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  c.on_install(kP0, view(0));
+  c.on_deliver(kP0, m1);
+  c.on_install(kP0, view(1));
+  c.on_deliver(kP0, m2);
+  EXPECT_EQ(c.delivered_in(kP0, ViewId(0)).size(), 1u);
+  EXPECT_EQ(c.delivered_in(kP0, ViewId(1)).size(), 1u);
+  EXPECT_EQ(c.delivered_in(kP0, ViewId(2)).size(), 0u);
+  EXPECT_EQ(c.views_installed(kP0).size(), 2u);
+  EXPECT_TRUE(c.views_installed(kP1).empty());
+}
+
+}  // namespace
+}  // namespace svs::core

@@ -1,0 +1,260 @@
+// Unit & property tests for Chandra-Toueg consensus.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "consensus/mux.hpp"
+#include "fd/oracle.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::consensus {
+namespace {
+
+class IntValue final : public ValueBase {
+ public:
+  explicit IntValue(int v) : v_(v) {}
+  [[nodiscard]] int value() const { return v_; }
+  [[nodiscard]] std::size_t wire_size() const override { return 4; }
+
+ private:
+  int v_;
+};
+
+int as_int(const ValuePtr& v) {
+  return std::dynamic_pointer_cast<const IntValue>(v)->value();
+}
+
+/// One process: endpoint routing consensus traffic into a Mux.
+class Participant final : public net::Endpoint {
+ public:
+  Participant(sim::Simulator& sim, net::Network& network, net::ProcessId self,
+              sim::Duration oracle_delay)
+      : self_(self), mux_(self), fd_(sim, network, self, oracle_delay) {
+    network.attach(self, *this);
+  }
+
+  bool on_message(net::ProcessId from, const net::MessagePtr& message,
+                  net::Lane) override {
+    EXPECT_TRUE(mux_.on_message(from, message));
+    return true;
+  }
+
+  void open_and_propose(net::Network& network, InstanceId id,
+                        std::vector<net::ProcessId> participants, int value) {
+    auto& inst = mux_.open(network, fd_, id, std::move(participants),
+                           [this](const ValuePtr& v) { decision_ = as_int(v); });
+    inst.propose(std::make_shared<IntValue>(value));
+  }
+
+  void open_only(net::Network& network, InstanceId id,
+                 std::vector<net::ProcessId> participants) {
+    mux_.open(network, fd_, id, std::move(participants),
+              [this](const ValuePtr& v) { decision_ = as_int(v); });
+  }
+
+  [[nodiscard]] std::optional<int> decision() const { return decision_; }
+  [[nodiscard]] Mux& mux() { return mux_; }
+
+ private:
+  net::ProcessId self_;
+  Mux mux_;
+  fd::OracleDetector fd_;
+  std::optional<int> decision_;
+};
+
+struct Harness {
+  explicit Harness(std::size_t n,
+                   sim::Duration oracle_delay = sim::Duration::millis(20))
+      : network(sim, {}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      pids.push_back(net::ProcessId(static_cast<std::uint32_t>(i)));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      procs.push_back(std::make_unique<Participant>(sim, network, pids[i],
+                                                    oracle_delay));
+    }
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  std::vector<net::ProcessId> pids;
+  std::vector<std::unique_ptr<Participant>> procs;
+};
+
+TEST(Consensus, ThreeProcessesAgree) {
+  Harness h(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    h.procs[i]->open_and_propose(h.network, InstanceId(1), h.pids,
+                                 static_cast<int>(100 + i));
+  }
+  h.sim.run();
+  ASSERT_TRUE(h.procs[0]->decision().has_value());
+  const int v = *h.procs[0]->decision();
+  for (const auto& p : h.procs) {
+    ASSERT_TRUE(p->decision().has_value());
+    EXPECT_EQ(*p->decision(), v);
+  }
+  EXPECT_GE(v, 100);
+  EXPECT_LE(v, 102);  // validity
+}
+
+TEST(Consensus, SingleProcessDecidesItsOwnValue) {
+  Harness h(1);
+  h.procs[0]->open_and_propose(h.network, InstanceId(1), h.pids, 7);
+  h.sim.run();
+  ASSERT_TRUE(h.procs[0]->decision().has_value());
+  EXPECT_EQ(*h.procs[0]->decision(), 7);
+}
+
+TEST(Consensus, DecidesWithCrashedCoordinator) {
+  Harness h(3);
+  // Coordinator of round 0 is participant 0; crash it before it proposes.
+  h.network.crash(net::ProcessId(0));
+  for (std::size_t i = 1; i < 3; ++i) {
+    h.procs[i]->open_and_propose(h.network, InstanceId(1), h.pids,
+                                 static_cast<int>(100 + i));
+  }
+  h.sim.run();
+  ASSERT_TRUE(h.procs[1]->decision().has_value());
+  ASSERT_TRUE(h.procs[2]->decision().has_value());
+  EXPECT_EQ(*h.procs[1]->decision(), *h.procs[2]->decision());
+  // Validity: the dead coordinator's value cannot be decided (it never
+  // proposed).
+  EXPECT_NE(*h.procs[1]->decision(), 100);
+}
+
+TEST(Consensus, ToleratesMinorityCrashMidRun) {
+  Harness h(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    h.procs[i]->open_and_propose(h.network, InstanceId(1), h.pids,
+                                 static_cast<int>(i));
+  }
+  // Crash two processes shortly after proposing.
+  h.sim.schedule_after(sim::Duration::micros(1500),
+                       [&] { h.network.crash(net::ProcessId(1)); });
+  h.sim.schedule_after(sim::Duration::micros(1700),
+                       [&] { h.network.crash(net::ProcessId(3)); });
+  h.sim.run();
+  std::optional<int> agreed;
+  for (const std::size_t i : {0u, 2u, 4u}) {
+    ASSERT_TRUE(h.procs[i]->decision().has_value()) << i;
+    if (!agreed) agreed = *h.procs[i]->decision();
+    EXPECT_EQ(*h.procs[i]->decision(), *agreed);
+  }
+}
+
+TEST(Consensus, LateProposerStillDecides) {
+  Harness h(3);
+  h.procs[0]->open_and_propose(h.network, InstanceId(1), h.pids, 1);
+  h.procs[1]->open_and_propose(h.network, InstanceId(1), h.pids, 2);
+  // Process 2 opens late — messages meanwhile are buffered by its Mux.
+  h.sim.schedule_after(sim::Duration::millis(500), [&] {
+    h.procs[2]->open_and_propose(h.network, InstanceId(1), h.pids, 3);
+  });
+  h.sim.run();
+  for (const auto& p : h.procs) {
+    ASSERT_TRUE(p->decision().has_value());
+    EXPECT_EQ(*p->decision(), *h.procs[0]->decision());
+  }
+}
+
+TEST(Consensus, NonProposerLearnsDecision) {
+  Harness h(3);
+  h.procs[0]->open_and_propose(h.network, InstanceId(1), h.pids, 1);
+  h.procs[1]->open_and_propose(h.network, InstanceId(1), h.pids, 2);
+  h.procs[2]->open_only(h.network, InstanceId(1), h.pids);
+  h.sim.run();
+  ASSERT_TRUE(h.procs[2]->decision().has_value());
+  EXPECT_EQ(*h.procs[2]->decision(), *h.procs[0]->decision());
+}
+
+TEST(Consensus, IndependentInstancesDoNotInterfere) {
+  Harness h(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    h.procs[i]->open_and_propose(h.network, InstanceId(1), h.pids, 10);
+    h.procs[i]->open_and_propose(h.network, InstanceId(2), h.pids, 20);
+  }
+  h.sim.run();
+  for (const auto& p : h.procs) {
+    EXPECT_EQ(as_int(p->mux().find(InstanceId(1))->decision()), 10);
+    EXPECT_EQ(as_int(p->mux().find(InstanceId(2))->decision()), 20);
+  }
+}
+
+TEST(Consensus, ProposeTwiceRejected) {
+  Harness h(1);
+  h.procs[0]->open_and_propose(h.network, InstanceId(1), h.pids, 1);
+  auto* inst = h.procs[0]->mux().find(InstanceId(1));
+  EXPECT_THROW(inst->propose(std::make_shared<IntValue>(2)),
+               util::ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: agreement/validity/termination under randomized crashes,
+// proposal timing and group sizes.
+// ---------------------------------------------------------------------------
+
+class ConsensusProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsensusProperty, AgreementValidityTermination) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.below(5);            // 3..7
+  const std::size_t max_crashes = (n - 1) / 2;       // strict minority
+  const std::size_t crashes = rng.below(max_crashes + 1);
+
+  Harness h(n, sim::Duration::millis(5 + rng.below(40)));
+
+  std::vector<int> proposals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    proposals[i] = static_cast<int>(1000 + i);
+    const auto delay = sim::Duration::micros(
+        static_cast<std::int64_t>(rng.below(5000)));
+    h.sim.schedule_after(delay, [&h, i, &proposals] {
+      h.procs[i]->open_and_propose(h.network, InstanceId(9), h.pids,
+                                   proposals[i]);
+    });
+  }
+  // Crash a random strict minority at random times.
+  std::vector<bool> crashed(n, false);
+  std::size_t planned = 0;
+  while (planned < crashes) {
+    const std::size_t victim = rng.below(n);
+    if (crashed[victim]) continue;
+    crashed[victim] = true;
+    ++planned;
+    const auto when = sim::Duration::micros(
+        static_cast<std::int64_t>(rng.below(20000)));
+    h.sim.schedule_after(when, [&h, victim] {
+      h.network.crash(net::ProcessId(static_cast<std::uint32_t>(victim)));
+    });
+  }
+
+  h.sim.run();
+
+  std::optional<int> agreed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (crashed[i]) continue;
+    // Termination for every correct process.
+    ASSERT_TRUE(h.procs[i]->decision().has_value())
+        << "proc " << i << " undecided (seed " << GetParam() << ")";
+    if (!agreed) agreed = *h.procs[i]->decision();
+    // Agreement.
+    EXPECT_EQ(*h.procs[i]->decision(), *agreed)
+        << "disagreement at proc " << i << " (seed " << GetParam() << ")";
+  }
+  if (agreed) {
+    // Validity: the decision is someone's proposal.
+    EXPECT_GE(*agreed, 1000);
+    EXPECT_LT(*agreed, 1000 + static_cast<int>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsensusProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace svs::consensus

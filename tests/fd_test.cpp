@@ -1,0 +1,169 @@
+// Unit tests for the failure detectors.
+#include <gtest/gtest.h>
+
+#include "fd/heartbeat.hpp"
+#include "fd/oracle.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::fd {
+namespace {
+
+class NullSink final : public net::Endpoint {
+ public:
+  bool on_message(net::ProcessId, const net::MessagePtr&,
+                  net::Lane) override {
+    return true;
+  }
+};
+
+struct OracleFixture : ::testing::Test {
+  OracleFixture() : network(sim, {}) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      network.attach(net::ProcessId(i), sinks[i]);
+    }
+  }
+  sim::Simulator sim;
+  NullSink sinks[3];
+  net::Network network;
+};
+
+TEST_F(OracleFixture, NoSuspicionWithoutCrash) {
+  OracleDetector fd(sim, network, net::ProcessId(0), sim::Duration::millis(30));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1.0));
+  EXPECT_FALSE(fd.suspects(net::ProcessId(1)));
+  EXPECT_FALSE(fd.suspects(net::ProcessId(2)));
+}
+
+TEST_F(OracleFixture, SuspectsAfterDetectionDelay) {
+  OracleDetector fd(sim, network, net::ProcessId(0), sim::Duration::millis(30));
+  network.crash(net::ProcessId(1));
+  sim.run_until(sim.now() + sim::Duration::millis(29));
+  EXPECT_FALSE(fd.suspects(net::ProcessId(1)));
+  sim.run_until(sim.now() + sim::Duration::millis(2));
+  EXPECT_TRUE(fd.suspects(net::ProcessId(1)));
+  EXPECT_FALSE(fd.suspects(net::ProcessId(2)));
+}
+
+TEST_F(OracleFixture, OwnerNeverSuspectsItself) {
+  OracleDetector fd(sim, network, net::ProcessId(0), sim::Duration::zero());
+  network.crash(net::ProcessId(0));
+  sim.run();
+  EXPECT_FALSE(fd.suspects(net::ProcessId(0)));
+}
+
+TEST_F(OracleFixture, ListenersNotifiedOnce) {
+  OracleDetector fd(sim, network, net::ProcessId(0), sim::Duration::millis(5));
+  int notifications = 0;
+  fd.subscribe([&] { ++notifications; });
+  network.crash(net::ProcessId(1));
+  sim.run();
+  EXPECT_EQ(notifications, 1);
+}
+
+struct HeartbeatFixture : ::testing::Test {
+  static constexpr std::uint32_t kN = 3;
+
+  HeartbeatFixture() : network(sim, {}) {
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      network.attach(net::ProcessId(i), routers_[i]);
+    }
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      std::vector<net::ProcessId> peers;
+      for (std::uint32_t j = 0; j < kN; ++j) {
+        if (j != i) peers.push_back(net::ProcessId(j));
+      }
+      detectors_[i] = std::make_unique<HeartbeatDetector>(
+          sim, network, net::ProcessId(i), peers, config_);
+      routers_[i].detector = detectors_[i].get();
+    }
+    for (auto& d : detectors_) d->start();
+  }
+
+  struct Router final : net::Endpoint {
+    bool on_message(net::ProcessId from, const net::MessagePtr& message,
+                    net::Lane) override {
+      if (std::dynamic_pointer_cast<const HeartbeatMessage>(message)) {
+        detector->on_heartbeat(from);
+      }
+      return true;
+    }
+    HeartbeatDetector* detector = nullptr;
+  };
+
+  sim::Simulator sim;
+  net::Network network;
+  HeartbeatDetector::Config config_{
+      .interval = sim::Duration::millis(20),
+      .initial_timeout = sim::Duration::millis(100),
+      .backoff = 2.0,
+      .max_timeout = sim::Duration::seconds(5.0)};
+  Router routers_[kN];
+  std::unique_ptr<HeartbeatDetector> detectors_[kN];
+};
+
+TEST_F(HeartbeatFixture, NoSuspicionsInHealthyRuns) {
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(3.0));
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    for (std::uint32_t j = 0; j < kN; ++j) {
+      if (i != j) {
+        EXPECT_FALSE(detectors_[i]->suspects(net::ProcessId(j)))
+            << i << " suspects " << j;
+      }
+    }
+  }
+}
+
+TEST_F(HeartbeatFixture, CrashedPeerEventuallySuspected) {
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1.0));
+  network.crash(net::ProcessId(2));
+  sim.run_until(sim.now() + sim::Duration::millis(200));
+  EXPECT_TRUE(detectors_[0]->suspects(net::ProcessId(2)));
+  EXPECT_TRUE(detectors_[1]->suspects(net::ProcessId(2)));
+  EXPECT_FALSE(detectors_[0]->suspects(net::ProcessId(1)));
+}
+
+TEST_F(HeartbeatFixture, FalseSuspicionRevokedAndTimeoutWidened) {
+  const auto before = detectors_[0]->timeout_of(net::ProcessId(1));
+  // Delay 1 -> 0 heartbeats long enough to trip the timeout, then recover.
+  network.set_link_slowdown(net::ProcessId(1), net::ProcessId(0),
+                            sim::Duration::millis(300));
+  sim.run_until(sim.now() + sim::Duration::millis(150));
+  EXPECT_TRUE(detectors_[0]->suspects(net::ProcessId(1)));
+
+  network.set_link_slowdown(net::ProcessId(1), net::ProcessId(0),
+                            sim::Duration::zero());
+  sim.run_until(sim.now() + sim::Duration::millis(500));
+  EXPECT_FALSE(detectors_[0]->suspects(net::ProcessId(1)));
+  EXPECT_GT(detectors_[0]->timeout_of(net::ProcessId(1)), before);
+}
+
+TEST_F(HeartbeatFixture, TimeoutCappedAtMax) {
+  // Repeated false suspicions must not push the timeout past max_timeout.
+  for (int round = 0; round < 12; ++round) {
+    network.set_link_slowdown(net::ProcessId(1), net::ProcessId(0),
+                              sim::Duration::seconds(6.0));
+    sim.run_until(sim.now() + sim::Duration::seconds(6.0));
+    network.set_link_slowdown(net::ProcessId(1), net::ProcessId(0),
+                              sim::Duration::zero());
+    sim.run_until(sim.now() + sim::Duration::seconds(7.0));
+  }
+  EXPECT_LE(detectors_[0]->timeout_of(net::ProcessId(1)),
+            sim::Duration::seconds(5.0));
+}
+
+TEST(HeartbeatConfig, RejectsBadParameters) {
+  sim::Simulator sim;
+  net::Network network(sim, {});
+  NullSink sink;
+  network.attach(net::ProcessId(0), sink);
+  HeartbeatDetector::Config bad;
+  bad.interval = sim::Duration::millis(50);
+  bad.initial_timeout = sim::Duration::millis(10);  // must exceed interval
+  EXPECT_THROW(HeartbeatDetector(sim, network, net::ProcessId(0),
+                                 {net::ProcessId(1)}, bad),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace svs::fd

@@ -1,0 +1,354 @@
+// End-to-end integration: the replicated game server of §5 running over the
+// full stack (trace generator -> SVS group -> replicated item tables), with
+// slow consumers, perturbations and fail-over.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "app/item_table.hpp"
+#include "core/checker.hpp"
+#include "core/group.hpp"
+#include "workload/consumer.hpp"
+#include "workload/game_generator.hpp"
+#include "workload/producer.hpp"
+
+namespace svs {
+namespace {
+
+struct GameHarness {
+  struct Options {
+    std::size_t replicas = 4;
+    std::size_t rounds = 1200;
+    std::size_t buffer = 15;     // delivery + out capacity (messages)
+    bool purging = true;         // semantic vs reliable
+    double slow_rate = 0.0;      // 0 = no slow replica; else msgs/s at last
+    std::uint64_t seed = 1;
+    core::NodeObserver* observer = nullptr;
+  };
+
+  explicit GameHarness(const Options& opt) {
+    workload::GameTraceGenerator::Config gen;
+    gen.seed = opt.seed;
+    // The paper's "k = 2x buffer" with our two-stage pipeline (delivery
+    // queue + outgoing buffer, each `buffer` deep): 2 * (2 * buffer).
+    gen.batch.k = 4 * opt.buffer;
+    trace = std::make_unique<workload::Trace>(
+        workload::GameTraceGenerator(gen).generate(opt.rounds));
+
+    core::Group::Config cfg;
+    cfg.size = opt.replicas;
+    cfg.node.relation = std::make_shared<obs::KEnumRelation>();
+    cfg.node.purge_delivery_queue = opt.purging;
+    cfg.node.purge_outgoing = opt.purging;
+    cfg.node.delivery_capacity = opt.buffer;
+    cfg.node.out_capacity = opt.buffer;
+    cfg.observer = opt.observer;
+    group = std::make_unique<core::Group>(sim, cfg);
+
+    tables.resize(opt.replicas);
+    for (std::size_t i = 0; i < opt.replicas; ++i) {
+      auto* table = &tables[i];
+      if (opt.slow_rate > 0 && i == opt.replicas - 1) {
+        slow = std::make_unique<workload::RateConsumer>(sim, group->node(i),
+                                                        opt.slow_rate);
+        slow->set_sink(
+            [table](const core::Delivery& d) { table->apply(d); });
+        slow->start();
+      } else {
+        instant.push_back(std::make_unique<workload::InstantConsumer>(
+            sim, group->node(i)));
+        instant.back()->set_sink(
+            [table](const core::Delivery& d) { table->apply(d); });
+        instant.back()->start();
+      }
+    }
+
+    producer = std::make_unique<workload::TraceProducer>(sim, group->node(0),
+                                                         *trace);
+  }
+
+  /// Drains every queue into the tables (used after the run settles).
+  void drain_all() {
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      for (const auto& d : group->drain(i)) tables[i].apply(d);
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<workload::Trace> trace;
+  std::unique_ptr<core::Group> group;
+  std::vector<app::ItemTable> tables;
+  std::vector<std::unique_ptr<workload::InstantConsumer>> instant;
+  std::unique_ptr<workload::RateConsumer> slow;
+  std::unique_ptr<workload::TraceProducer> producer;
+};
+
+TEST(GameIntegration, AllReplicasConvergeWithoutPerturbation) {
+  GameHarness h({.rounds = 800});
+  h.producer->start();
+  h.sim.run();
+  h.drain_all();
+  EXPECT_TRUE(h.producer->done());
+  EXPECT_DOUBLE_EQ(h.producer->idle_fraction(), 0.0);
+  for (std::size_t i = 1; i < h.tables.size(); ++i) {
+    EXPECT_EQ(h.tables[0].digest(), h.tables[i].digest()) << i;
+  }
+}
+
+TEST(GameIntegration, SlowReplicaPurgesAndConverges) {
+  // 30 msg/s is far below the trace's average rate: without purging this
+  // replica would throttle the producer hard.
+  GameHarness h({.rounds = 800, .buffer = 15, .slow_rate = 30.0});
+  h.producer->start();
+  h.sim.run();
+  h.drain_all();
+  EXPECT_TRUE(h.producer->done());
+  const auto& slow_node = h.group->node(3);
+  EXPECT_GT(slow_node.stats().purged_delivery +
+                h.group->network().stats().purged_outgoing,
+            0u);
+  // The slow replica delivered fewer messages but holds the same state.
+  EXPECT_LT(h.tables[3].ops_applied(), h.tables[0].ops_applied());
+  for (std::size_t i = 1; i < h.tables.size(); ++i) {
+    EXPECT_EQ(h.tables[0].digest(), h.tables[i].digest()) << i;
+  }
+}
+
+TEST(GameIntegration, SemanticKeepsProducerFasterThanReliable) {
+  // The headline of Fig 4(a), as a test: at a consumption rate between the
+  // two thresholds, the reliable protocol throttles the producer and the
+  // semantic one does not.
+  const double rate = 40.0;
+  GameHarness reliable({.rounds = 600,
+                        .buffer = 15,
+                        .purging = false,
+                        .slow_rate = rate,
+                        .seed = 3});
+  reliable.producer->start();
+  reliable.sim.run();
+  GameHarness semantic({.rounds = 600,
+                        .buffer = 15,
+                        .purging = true,
+                        .slow_rate = rate,
+                        .seed = 3});
+  semantic.producer->start();
+  semantic.sim.run();
+
+  ASSERT_TRUE(reliable.producer->done());
+  ASSERT_TRUE(semantic.producer->done());
+  EXPECT_GT(reliable.producer->idle_fraction(), 0.10);
+  EXPECT_LT(semantic.producer->idle_fraction(),
+            reliable.producer->idle_fraction() / 2);
+}
+
+TEST(GameIntegration, SpecificationHoldsUnderSlowReplicaAndViewChange) {
+  core::SpecChecker* checker_ptr = nullptr;
+  GameHarness::Options opt{.rounds = 500, .buffer = 12, .slow_rate = 35.0};
+  // Build the harness first to get the ground truth for the checker.
+  GameHarness probe(opt);
+  core::SpecChecker checker(probe.trace->ground_truth());
+  checker_ptr = &checker;
+  opt.observer = checker_ptr;
+  GameHarness h(opt);
+  h.producer->start();
+  // Reconfigure twice mid-stream.
+  h.sim.schedule_after(sim::Duration::seconds(5.0), [&] {
+    h.group->node(1).request_view_change({});
+  });
+  h.sim.schedule_after(sim::Duration::seconds(10.0), [&] {
+    h.group->node(2).request_view_change({});
+  });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  const auto violations = checker.verify();
+  EXPECT_EQ(violations, std::vector<std::string>{});
+  // Replica states agreed at every installation (paper's §4 claim).
+  for (std::size_t v = 1; v <= 2; ++v) {
+    for (std::size_t i = 0; i < h.tables.size(); ++i) {
+      ASSERT_TRUE(h.tables[i].digests_at_install().contains(v)) << i;
+      EXPECT_EQ(h.tables[i].digests_at_install().at(v),
+                h.tables[0].digests_at_install().at(v))
+          << "replica " << i << " view " << v;
+    }
+  }
+}
+
+TEST(GameIntegration, FullStopPerturbationToleratedWithPurging) {
+  // Fig 5(b)'s mechanism: the slow replica stops entirely for a while; with
+  // purging the producer survives a longer stop with the same buffers.
+  GameHarness h({.rounds = 900, .buffer = 20, .slow_rate = 500.0});
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(8.0), [&] { h.slow->stop(); });
+  h.sim.schedule_after(sim::Duration::seconds(8.0) + sim::Duration::millis(400),
+                       [&] { h.slow->resume(); });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  for (std::size_t i = 1; i < h.tables.size(); ++i) {
+    EXPECT_EQ(h.tables[0].digest(), h.tables[i].digest()) << i;
+  }
+}
+
+TEST(GameIntegration, BackupCrashMidStream) {
+  GameHarness h({.rounds = 800, .buffer = 15});
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(6.0), [&] { h.group->crash(2); });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  // Survivors converge; the crashed replica is excluded from the view.
+  EXPECT_FALSE(h.group->node(0).current_view().contains(h.group->pid(2)));
+  EXPECT_EQ(h.tables[0].digest(), h.tables[1].digest());
+  EXPECT_EQ(h.tables[0].digest(), h.tables[3].digest());
+}
+
+TEST(GameIntegration, PrimaryCrashFailover) {
+  // The producer (primary) crashes; the group reconfigures and the state at
+  // the surviving replicas is identical — any of them can take over (§4).
+  GameHarness h({.rounds = 2000, .buffer = 15});
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(10.0),
+                       [&] { h.group->crash(0); });
+  h.sim.run();
+  h.drain_all();
+  // (The producer object keeps running against its dead node — crash-stop
+  // silences the network, not local code — so done() says nothing here.)
+  for (std::size_t i = 2; i < h.tables.size(); ++i) {
+    EXPECT_EQ(h.tables[1].digest(), h.tables[i].digest()) << i;
+  }
+  EXPECT_EQ(h.group->node(1).current_view().id(), core::ViewId(1));
+  EXPECT_FALSE(h.group->node(1).current_view().contains(h.group->pid(0)));
+}
+
+
+// Seed sweep of the full-stack specification check: different traces,
+// different timing, same guarantees.
+class GameProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GameProperty, SpecificationHoldsAcrossSeeds) {
+  GameHarness::Options opt{.rounds = 400,
+                           .buffer = 10 + GetParam() % 8,
+                           .slow_rate = 30.0 + 5.0 * (GetParam() % 5),
+                           .seed = GetParam()};
+  GameHarness probe(opt);
+  core::SpecChecker checker(probe.trace->ground_truth());
+  opt.observer = &checker;
+  GameHarness h(opt);
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(4.0), [&] {
+    h.group->node(1).request_view_change({});
+  });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{})
+      << "seed " << GetParam();
+  for (std::size_t i = 1; i < h.tables.size(); ++i) {
+    EXPECT_EQ(h.tables[0].digest(), h.tables[i].digest())
+        << "replica " << i << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GameProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(GameIntegration, CascadedCrashes) {
+  // Two members die one after the other; the group reconfigures twice and
+  // the three survivors stay consistent (5 replicas keep the majority).
+  GameHarness h({.replicas = 5, .rounds = 900, .buffer = 15});
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(6.0), [&] { h.group->crash(3); });
+  h.sim.schedule_after(sim::Duration::seconds(12.0),
+                       [&] { h.group->crash(4); });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  EXPECT_EQ(h.group->node(0).current_view().id(), core::ViewId(2));
+  EXPECT_EQ(h.group->node(0).current_view().size(), 3u);
+  EXPECT_EQ(h.tables[0].digest(), h.tables[1].digest());
+  EXPECT_EQ(h.tables[0].digest(), h.tables[2].digest());
+}
+
+TEST(GameIntegration, ConcurrentViewChangeRequests) {
+  // Several members fire INIT at the same instant; Figure 1's t5 forwards
+  // the first INIT and ignores the rest, so exactly one change happens.
+  GameHarness h({.rounds = 600, .buffer = 15});
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(5.0), [&] {
+    h.group->node(1).request_view_change({});
+    h.group->node(2).request_view_change({});
+    h.group->node(3).request_view_change({});
+  });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  EXPECT_EQ(h.group->node(0).current_view().id(), core::ViewId(1));
+  EXPECT_EQ(h.group->node(0).current_view().size(), 4u);
+  for (std::size_t i = 1; i < h.tables.size(); ++i) {
+    EXPECT_EQ(h.tables[0].digest(), h.tables[i].digest()) << i;
+  }
+}
+
+TEST(GameIntegration, CrashDuringViewChange) {
+  // A member dies right as a reconfiguration begins; consensus tolerates
+  // the minority loss and the survivors agree on membership and state.
+  GameHarness h({.rounds = 900, .buffer = 15});
+  h.producer->start();
+  h.sim.schedule_after(sim::Duration::seconds(6.0), [&] {
+    h.group->node(1).request_view_change({});
+  });
+  h.sim.schedule_after(sim::Duration::seconds(6.0) + sim::Duration::millis(2),
+                       [&] { h.group->crash(2); });
+  h.sim.run();
+  h.drain_all();
+  ASSERT_TRUE(h.producer->done());
+  const auto& final_view = h.group->node(0).current_view();
+  EXPECT_FALSE(final_view.contains(h.group->pid(2)));
+  EXPECT_EQ(h.tables[0].digest(), h.tables[1].digest());
+  EXPECT_EQ(h.tables[0].digest(), h.tables[3].digest());
+}
+
+TEST(GameIntegration, EnumerationRepresentationEndToEnd) {
+  // The message-enumeration representation (§4.2) drives the same purging
+  // machinery: build the trace with explicit enumerations instead of
+  // bitmaps and check convergence under a slow replica.
+  workload::GameTraceGenerator::Config gen;
+  gen.batch.representation = obs::AnnotationKind::enumeration;
+  gen.batch.enumeration_window = 120;
+  const auto trace = workload::GameTraceGenerator(gen).generate(600);
+
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = 3;
+  cfg.node.relation = std::make_shared<obs::EnumerationRelation>();
+  cfg.node.delivery_capacity = 15;
+  cfg.node.out_capacity = 15;
+  core::Group group(sim, cfg);
+  std::vector<app::ItemTable> tables(3);
+  workload::InstantConsumer c0(sim, group.node(0));
+  c0.set_sink([&](const core::Delivery& d) { tables[0].apply(d); });
+  c0.start();
+  workload::InstantConsumer c1(sim, group.node(1));
+  c1.set_sink([&](const core::Delivery& d) { tables[1].apply(d); });
+  c1.start();
+  workload::RateConsumer c2(sim, group.node(2), 45.0);
+  c2.set_sink([&](const core::Delivery& d) { tables[2].apply(d); });
+  c2.start();
+  workload::TraceProducer producer(sim, group.node(0), trace);
+  producer.start();
+  sim.run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (const auto& d : group.drain(i)) tables[i].apply(d);
+  }
+  ASSERT_TRUE(producer.done());
+  EXPECT_GT(group.node(2).stats().purged_delivery +
+                group.network().stats().purged_outgoing,
+            0u);
+  EXPECT_EQ(tables[0].digest(), tables[1].digest());
+  EXPECT_EQ(tables[0].digest(), tables[2].digest());
+}
+
+}  // namespace
+}  // namespace svs

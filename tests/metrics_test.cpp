@@ -1,0 +1,101 @@
+// Tests for the metrics toolkit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::metrics {
+namespace {
+
+TEST(Summary, Accumulates) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2);
+  s.add(4);
+  s.add(9);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(TimeWeightedMean, WeightsByDuration) {
+  TimeWeightedMean m(sim::TimePoint::origin());
+  // Value 10 held for 1ms, then value 0 held for 3ms: mean = 2.5.
+  m.record(sim::TimePoint::origin() + sim::Duration::millis(1), 10.0);
+  m.record(sim::TimePoint::origin() + sim::Duration::millis(4), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.max(), 10.0);
+}
+
+TEST(TimeWeightedMean, RejectsTimeTravel) {
+  TimeWeightedMean m(sim::TimePoint::origin() + sim::Duration::millis(5));
+  EXPECT_THROW(m.record(sim::TimePoint::origin(), 1.0),
+               util::ContractViolation);
+}
+
+TEST(PeriodicSampler, SamplesAtPeriod) {
+  sim::Simulator sim;
+  double value = 4.0;
+  PeriodicSampler sampler(sim, sim::Duration::millis(10),
+                          [&value] { return value; });
+  sampler.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::millis(55));
+  value = 8.0;
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::millis(105));
+  sampler.stop();
+  sim.run();
+  // Half the time at 4, half at 8 (within quantisation of the period).
+  EXPECT_NEAR(sampler.series().mean(), 6.0, 0.5);
+  EXPECT_DOUBLE_EQ(sampler.series().max(), 8.0);
+}
+
+TEST(Histogram, SharesAndPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 60; ++i) h.add(1);
+  for (int i = 0; i < 30; ++i) h.add(5);
+  for (int i = 0; i < 10; ++i) h.add(50);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.share(1), 0.6);
+  EXPECT_DOUBLE_EQ(h.share(5), 0.3);
+  EXPECT_DOUBLE_EQ(h.share(2), 0.0);
+  EXPECT_EQ(h.percentile(50), 1);
+  EXPECT_EQ(h.percentile(75), 5);
+  EXPECT_EQ(h.percentile(99), 50);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.share(1), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"a", "long-header", "c"});
+  t.row({"1", "2", "3"}).row({"xxxx", "y", "zz"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), util::ContractViolation);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace svs::metrics

@@ -1,0 +1,262 @@
+// Unit tests for the simulated network: FIFO lanes, backpressure, purging.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::net {
+namespace {
+
+class TestMessage final : public Message {
+ public:
+  explicit TestMessage(int tag) : tag_(tag) {}
+  [[nodiscard]] int tag() const { return tag_; }
+  [[nodiscard]] std::size_t wire_size() const override { return 4; }
+
+ private:
+  int tag_;
+};
+
+int tag_of(const MessagePtr& m) {
+  return std::dynamic_pointer_cast<const TestMessage>(m)->tag();
+}
+
+class Sink final : public Endpoint {
+ public:
+  bool on_message(ProcessId from, const MessagePtr& message,
+                  Lane lane) override {
+    if (lane == Lane::data && !accept_data) {
+      ++refused;
+      return false;
+    }
+    received.push_back({from, message, lane});
+    return true;
+  }
+
+  struct Rec {
+    ProcessId from;
+    MessagePtr message;
+    Lane lane;
+  };
+  std::vector<Rec> received;
+  int refused = 0;
+  bool accept_data = true;
+};
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : network(sim, {}) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      network.attach(ProcessId(i), sinks[i]);
+    }
+  }
+  MessagePtr msg(int tag) { return std::make_shared<TestMessage>(tag); }
+
+  sim::Simulator sim;
+  Sink sinks[3];
+  net::Network network;
+};
+
+TEST_F(NetFixture, DeliversWithDelay) {
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  EXPECT_TRUE(sinks[1].received.empty());
+  sim.run();
+  ASSERT_EQ(sinks[1].received.size(), 1u);
+  EXPECT_EQ(sim.now(), sim::TimePoint::origin() + sim::Duration::millis(1));
+  EXPECT_EQ(sinks[1].received[0].from, ProcessId(0));
+}
+
+TEST_F(NetFixture, FifoPerLane) {
+  for (int i = 0; i < 20; ++i) {
+    network.send(ProcessId(0), ProcessId(1), msg(i), Lane::data);
+  }
+  sim.run();
+  ASSERT_EQ(sinks[1].received.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tag_of(sinks[1].received[i].message), i);
+  }
+}
+
+TEST_F(NetFixture, SelfSendWorks) {
+  network.send(ProcessId(0), ProcessId(0), msg(7), Lane::control);
+  sim.run();
+  ASSERT_EQ(sinks[0].received.size(), 1u);
+  EXPECT_EQ(tag_of(sinks[0].received[0].message), 7);
+}
+
+TEST_F(NetFixture, RefusedDataStallsUntilResume) {
+  sinks[1].accept_data = false;
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  network.send(ProcessId(0), ProcessId(1), msg(2), Lane::data);
+  sim.run();
+  EXPECT_TRUE(sinks[1].received.empty());
+  EXPECT_EQ(sinks[1].refused, 1);  // only the head is attempted
+  EXPECT_EQ(network.data_backlog(ProcessId(0), ProcessId(1)), 2u);
+
+  sinks[1].accept_data = true;
+  network.resume(ProcessId(1));
+  sim.run();
+  ASSERT_EQ(sinks[1].received.size(), 2u);
+  EXPECT_EQ(tag_of(sinks[1].received[0].message), 1);
+  EXPECT_EQ(tag_of(sinks[1].received[1].message), 2);
+  EXPECT_EQ(network.data_backlog(ProcessId(0), ProcessId(1)), 0u);
+}
+
+TEST_F(NetFixture, ControlOvertakesStalledData) {
+  sinks[1].accept_data = false;
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  network.send(ProcessId(0), ProcessId(1), msg(2), Lane::control);
+  sim.run();
+  ASSERT_EQ(sinks[1].received.size(), 1u);
+  EXPECT_EQ(sinks[1].received[0].lane, Lane::control);
+}
+
+TEST_F(NetFixture, CrashedSenderSendsNothing) {
+  network.crash(ProcessId(0));
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  sim.run();
+  EXPECT_TRUE(sinks[1].received.empty());
+  EXPECT_EQ(network.stats().sent, 0u);
+}
+
+TEST_F(NetFixture, MessagesInFlightAtCrashOfSenderStillArrive) {
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  network.crash(ProcessId(0));
+  sim.run();
+  EXPECT_EQ(sinks[1].received.size(), 1u);
+}
+
+TEST_F(NetFixture, DataToCrashedReceiverStallsInBuffer) {
+  network.crash(ProcessId(1));
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  sim.run();
+  EXPECT_TRUE(sinks[1].received.empty());
+  // A reliable protocol keeps unacknowledged data buffered.
+  EXPECT_EQ(network.data_backlog(ProcessId(0), ProcessId(1)), 1u);
+}
+
+TEST_F(NetFixture, ControlToCrashedReceiverIsDropped) {
+  network.crash(ProcessId(1));
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::control);
+  sim.run();
+  EXPECT_TRUE(sinks[1].received.empty());
+  EXPECT_EQ(network.stats().dropped_to_crashed, 1u);
+}
+
+TEST_F(NetFixture, CrashObserversFire) {
+  ProcessId crashed;
+  network.subscribe_crash([&](ProcessId p, sim::TimePoint) { crashed = p; });
+  network.crash(ProcessId(2));
+  EXPECT_EQ(crashed, ProcessId(2));
+  EXPECT_TRUE(network.is_crashed(ProcessId(2)));
+  EXPECT_TRUE(network.crash_time(ProcessId(2)).has_value());
+  EXPECT_FALSE(network.crash_time(ProcessId(0)).has_value());
+}
+
+TEST_F(NetFixture, PurgeOutgoingRemovesMatching) {
+  sinks[1].accept_data = false;
+  for (int i = 0; i < 5; ++i) {
+    network.send(ProcessId(0), ProcessId(1), msg(i), Lane::data);
+  }
+  sim.run();  // head attempted and stalled
+  const auto removed =
+      network.purge_outgoing(ProcessId(0), [](const MessagePtr& m) {
+        return tag_of(m) % 2 == 0;  // purge 0, 2, 4
+      });
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(network.data_backlog(ProcessId(0), ProcessId(1)), 2u);
+  EXPECT_EQ(network.stats().purged_outgoing, 3u);
+
+  sinks[1].accept_data = true;
+  network.resume(ProcessId(1));
+  sim.run();
+  ASSERT_EQ(sinks[1].received.size(), 2u);
+  EXPECT_EQ(tag_of(sinks[1].received[0].message), 1);
+  EXPECT_EQ(tag_of(sinks[1].received[1].message), 3);
+}
+
+TEST_F(NetFixture, PurgingScheduledHeadStillDeliversRest) {
+  // Purge the head while its arrival event is pending; the next message
+  // must still be delivered.
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  network.send(ProcessId(0), ProcessId(1), msg(2), Lane::data);
+  const auto removed = network.purge_outgoing(
+      ProcessId(0), [](const MessagePtr& m) { return tag_of(m) == 1; });
+  EXPECT_EQ(removed, 1u);
+  sim.run();
+  ASSERT_EQ(sinks[1].received.size(), 1u);
+  EXPECT_EQ(tag_of(sinks[1].received[0].message), 2);
+}
+
+TEST_F(NetFixture, DropOutgoingIsNotCountedAsPurged) {
+  sinks[1].accept_data = false;
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  sim.run();
+  const auto removed =
+      network.drop_outgoing(ProcessId(0), [](const MessagePtr&) { return true; });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(network.stats().purged_outgoing, 0u);
+}
+
+TEST_F(NetFixture, BacklogDrainObserverFires) {
+  int drains = 0;
+  network.subscribe_backlog_drain(ProcessId(0), [&] { ++drains; });
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  sim.run();
+  EXPECT_EQ(drains, 1);
+  network.purge_outgoing(ProcessId(0), [](const MessagePtr&) { return true; });
+  EXPECT_EQ(drains, 1);  // nothing queued; no notification
+}
+
+TEST_F(NetFixture, LinkSlowdownDelaysDelivery) {
+  network.set_link_slowdown(ProcessId(0), ProcessId(1),
+                            sim::Duration::millis(50));
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  network.send(ProcessId(0), ProcessId(2), msg(2), Lane::data);
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::millis(10));
+  EXPECT_TRUE(sinks[1].received.empty());
+  EXPECT_EQ(sinks[2].received.size(), 1u);  // other link unaffected
+  sim.run();
+  EXPECT_EQ(sinks[1].received.size(), 1u);
+}
+
+TEST_F(NetFixture, JitterPreservesFifo) {
+  sim::Simulator jsim;
+  Network jnet(jsim, {.delay = sim::Duration::millis(1),
+                      .jitter = sim::Duration::millis(10),
+                      .seed = 99});
+  Sink a, b;
+  jnet.attach(ProcessId(0), a);
+  jnet.attach(ProcessId(1), b);
+  for (int i = 0; i < 50; ++i) {
+    jnet.send(ProcessId(0), ProcessId(1), std::make_shared<TestMessage>(i),
+              Lane::data);
+  }
+  jsim.run();
+  ASSERT_EQ(b.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(tag_of(b.received[i].message), i);
+}
+
+TEST_F(NetFixture, DoubleAttachRejected) {
+  Sink extra;
+  EXPECT_THROW(network.attach(ProcessId(0), extra), util::ContractViolation);
+}
+
+TEST_F(NetFixture, SendToUnknownRejected) {
+  EXPECT_THROW(network.send(ProcessId(0), ProcessId(9), msg(1), Lane::data),
+               util::ContractViolation);
+}
+
+TEST_F(NetFixture, StatsCount) {
+  network.send(ProcessId(0), ProcessId(1), msg(1), Lane::data);
+  network.send(ProcessId(1), ProcessId(2), msg(2), Lane::control);
+  sim.run();
+  EXPECT_EQ(network.stats().sent, 2u);
+  EXPECT_EQ(network.stats().delivered, 2u);
+}
+
+}  // namespace
+}  // namespace svs::net

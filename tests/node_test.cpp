@@ -1,0 +1,568 @@
+// Behavioural tests for the SVS protocol node (Figure 1).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "obs/batch.hpp"
+#include "core/group.hpp"
+#include "core/node.hpp"
+#include "obs/relation.hpp"
+#include "sim/simulator.hpp"
+
+namespace svs::core {
+namespace {
+
+/// Minimal payload for protocol-level tests.
+class Blob final : public Payload {
+ public:
+  explicit Blob(int id) : id_(id) {}
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+
+ private:
+  int id_;
+};
+
+int blob_id(const DataMessagePtr& m) {
+  return std::dynamic_pointer_cast<const Blob>(m->payload())->id();
+}
+
+PayloadPtr blob(int id) { return std::make_shared<Blob>(id); }
+
+Group::Config base_config(obs::RelationPtr relation,
+                          NodeObserver* observer = nullptr) {
+  Group::Config cfg;
+  cfg.size = 3;
+  cfg.node.relation = std::move(relation);
+  cfg.observer = observer;
+  cfg.oracle_delay = sim::Duration::millis(20);
+  cfg.membership.suspicion_grace = sim::Duration::millis(10);
+  return cfg;
+}
+
+/// Data messages from a drained delivery list.
+std::vector<DataMessagePtr> data_of(const std::vector<Delivery>& ds) {
+  std::vector<DataMessagePtr> out;
+  for (const auto& d : ds) {
+    if (const auto* dd = std::get_if<DataDelivery>(&d)) {
+      out.push_back(dd->message);
+    }
+  }
+  return out;
+}
+
+std::vector<View> views_of(const std::vector<Delivery>& ds) {
+  std::vector<View> out;
+  for (const auto& d : ds) {
+    if (const auto* vd = std::get_if<ViewDelivery>(&d)) out.push_back(vd->view);
+  }
+  return out;
+}
+
+bool has_exclusion(const std::vector<Delivery>& ds) {
+  for (const auto& d : ds) {
+    if (std::holds_alternative<ExclusionDelivery>(d)) return true;
+  }
+  return false;
+}
+
+TEST(Node, InitialViewDelivered) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  sim.run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto views = views_of(g.drain(i));
+    ASSERT_EQ(views.size(), 1u) << i;
+    EXPECT_EQ(views[0].id(), ViewId(0));
+    EXPECT_EQ(views[0].size(), 3u);
+  }
+}
+
+TEST(Node, MulticastReachesEveryMemberInFifoOrder) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+  }
+  sim.run();
+  for (std::size_t n = 0; n < 3; ++n) {
+    const auto msgs = data_of(g.drain(n));
+    ASSERT_EQ(msgs.size(), 5u) << n;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(blob_id(msgs[i]), i);
+      EXPECT_EQ(msgs[i]->sender(), g.pid(0));
+      EXPECT_EQ(msgs[i]->seq(), static_cast<std::uint64_t>(i + 1));
+      EXPECT_EQ(msgs[i]->view(), ViewId(0));
+    }
+  }
+}
+
+TEST(Node, SequenceNumbersReturnedAndMonotone) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  EXPECT_EQ(g.node(0).multicast(blob(0), obs::Annotation::none()), 1u);
+  EXPECT_EQ(g.node(0).multicast(blob(1), obs::Annotation::none()), 2u);
+  EXPECT_EQ(g.node(1).multicast(blob(2), obs::Annotation::none()), 1u);
+}
+
+TEST(Node, VoluntaryLeaveInstallsNextView) {
+  sim::Simulator sim;
+  SpecChecker checker(std::make_shared<obs::EmptyRelation>());
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>(), &checker));
+  g.node(0).multicast(blob(1), obs::Annotation::none());
+  ASSERT_TRUE(g.node(2).request_view_change({g.pid(2)}));
+  sim.run();
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto ds = g.drain(i);
+    const auto views = views_of(ds);
+    ASSERT_EQ(views.size(), 2u) << i;
+    EXPECT_EQ(views[1].id(), ViewId(1));
+    EXPECT_EQ(views[1].size(), 2u);
+    EXPECT_FALSE(views[1].contains(g.pid(2)));
+  }
+  const auto ds2 = g.drain(2);
+  EXPECT_TRUE(has_exclusion(ds2));
+  EXPECT_TRUE(g.node(2).excluded());
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{});
+}
+
+TEST(Node, CrashedMemberIsExcludedByPolicy) {
+  sim::Simulator sim;
+  SpecChecker checker(std::make_shared<obs::EmptyRelation>());
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>(), &checker));
+  g.node(0).multicast(blob(1), obs::Annotation::none());
+  sim.run();
+  g.crash(2);
+  sim.run();
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(g.node(i).blocked()) << i;
+    EXPECT_EQ(g.node(i).current_view().id(), ViewId(1)) << i;
+    EXPECT_FALSE(g.node(i).current_view().contains(g.pid(2)));
+    g.drain(i);
+  }
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{});
+}
+
+TEST(Node, MulticastBlockedDuringViewChange) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  ASSERT_TRUE(g.node(0).request_view_change({}));
+  // Run only until node 0 has processed its own INIT (control delay 1ms).
+  sim.run_until(sim.now() + sim::Duration::millis(1));
+  EXPECT_TRUE(g.node(0).blocked());
+  EXPECT_FALSE(g.node(0).multicast(blob(1), obs::Annotation::none()));
+  EXPECT_FALSE(g.node(0).can_multicast());
+  EXPECT_GT(g.node(0).stats().multicast_blocked, 0u);
+  sim.run();
+  EXPECT_FALSE(g.node(0).blocked());
+  EXPECT_TRUE(g.node(0).multicast(blob(2), obs::Annotation::none()));
+  // An empty-leave reconfiguration keeps everyone.
+  EXPECT_EQ(g.node(0).current_view().id(), ViewId(1));
+  EXPECT_EQ(g.node(0).current_view().size(), 3u);
+}
+
+TEST(Node, RequestViewChangeWhileBlockedFails) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  ASSERT_TRUE(g.node(0).request_view_change({}));
+  sim.run_until(sim.now() + sim::Duration::millis(1));
+  EXPECT_FALSE(g.node(0).request_view_change({}));
+  sim.run();
+}
+
+TEST(Node, PurgesObsoleteMessagesInDeliveryQueue) {
+  sim::Simulator sim;
+  auto relation = std::make_shared<obs::ItemTagRelation>();
+  Group g(sim, base_config(relation));
+  // Ten updates of the same item; each reaches the receivers (sim.run)
+  // before the next is sent, so purging happens in the receivers' delivery
+  // queues (t3), not in the sender's outgoing buffers.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::item(7)));
+    sim.run();
+  }
+  // The receivers' queues hold only the view notification + the last update.
+  for (std::size_t n = 1; n < 3; ++n) {
+    EXPECT_EQ(g.node(n).delivery_data_count(), 1u) << n;
+    EXPECT_GT(g.node(n).stats().purged_delivery, 0u);
+    const auto msgs = data_of(g.drain(n));
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_EQ(blob_id(msgs[0]), 9);  // only the newest survives
+  }
+  // The sender's own queue purges too (t2's purge call).
+  EXPECT_EQ(g.node(0).delivery_data_count(), 1u);
+}
+
+TEST(Node, ReliableBaselineDoesNotPurge) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::ItemTagRelation>());
+  cfg.node.purge_delivery_queue = false;
+  cfg.node.purge_outgoing = false;
+  Group g(sim, cfg);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::item(7)));
+  }
+  sim.run();
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(data_of(g.drain(n)).size(), 10u) << n;
+    EXPECT_EQ(g.node(n).stats().purged_delivery, 0u);
+  }
+}
+
+TEST(Node, LateObsoleteArrivalIsSuppressed) {
+  // Cross-sender relation: p1's message covers p0's.  p0's link to p2 is
+  // slowed so the covering message arrives first.
+  sim::Simulator sim;
+  auto relation = std::make_shared<obs::ExplicitRelation>();
+  relation->add(net::ProcessId(0), 1, net::ProcessId(1), 1);
+  SpecChecker checker(relation);
+  Group g(sim, base_config(relation, &checker));
+  g.network().set_link_slowdown(g.pid(0), g.pid(2), sim::Duration::millis(100));
+
+  ASSERT_TRUE(g.node(0).multicast(blob(10), obs::Annotation::none()));
+  ASSERT_TRUE(g.node(1).multicast(blob(20), obs::Annotation::none()));
+  sim.run();
+
+  const auto msgs = data_of(g.drain(2));
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(blob_id(msgs[0]), 20);
+  EXPECT_EQ(g.node(2).stats().suppressed_obsolete, 1u);
+  g.drain(0);
+  g.drain(1);
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{});
+}
+
+TEST(Node, FlowControlBlocksAndUnblocksProducer) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.out_capacity = 4;
+  cfg.node.delivery_capacity = 4;
+  Group g(sim, cfg);
+
+  // The producer consumes its own copies instantly; nodes 1/2 consume
+  // nothing, so the pipeline (their delivery queues + the outgoing
+  // buffers towards them) fills after a bounded number of multicasts.
+  g.node(0).set_deliverable_callback([&] { g.drain(0); });
+  g.drain(0);
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!g.node(0).multicast(blob(i), obs::Annotation::none())) break;
+    ++accepted;
+    sim.run();  // let deliveries propagate
+  }
+  EXPECT_GT(accepted, 3);
+  EXPECT_LE(accepted, 20);  // delivery queue (4) + out buffer (4) + slack
+  EXPECT_FALSE(g.node(0).can_multicast());
+  EXPECT_FALSE(g.node(0).saturated_peers().empty());
+  EXPECT_GT(g.node(1).stats().refused_data, 0u);
+
+  bool unblocked = false;
+  g.node(0).set_unblocked_callback([&] { unblocked = true; });
+  // Draining the receivers frees space end-to-end.
+  g.drain(1);
+  g.drain(2);
+  sim.run();
+  EXPECT_TRUE(unblocked);
+  EXPECT_TRUE(g.node(0).multicast(blob(999), obs::Annotation::none()));
+}
+
+TEST(Node, BoundedQueueRefusesWhenFullAndPurgingDisabled) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.delivery_capacity = 3;  // out buffers unbounded
+  Group g(sim, cfg);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+    g.drain(0);  // the producer's own queue must not be the bottleneck
+  }
+  sim.run();
+  // Receivers cease to accept at 3 queued messages; the rest waits in the
+  // sender's outgoing buffers.
+  EXPECT_EQ(g.node(1).delivery_data_count(), 3u);
+  EXPECT_GT(g.node(1).stats().refused_data, 0u);
+  EXPECT_EQ(g.network().data_backlog(g.pid(0), g.pid(1)), 5u);
+}
+
+TEST(Node, PurgingKeepsBoundedQueueFlowing) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::ItemTagRelation>());
+  cfg.node.delivery_capacity = 2;
+  cfg.node.out_capacity = 0;  // unbounded out; pressure is at the receiver
+  Group g(sim, cfg);
+  // Updates of one item: each new arrival purges its predecessor, so the
+  // bounded queue never refuses and the producer never blocks.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::item(1)));
+    sim.run();
+  }
+  EXPECT_EQ(g.node(1).stats().refused_data, 0u);
+  EXPECT_EQ(g.node(1).delivery_data_count(), 1u);
+  const auto msgs = data_of(g.drain(1));
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(blob_id(msgs[0]), 49);
+}
+
+TEST(Node, StaleViewDataDroppedAfterInstall) {
+  // p2 multicasts (slowly towards p0) and then leaves the group.  Being
+  // excluded, p2 never reclaims its outgoing buffers, so its message still
+  // arrives at p0 long after p0 installed the next view: p0 must have
+  // delivered it through the agreed flush and drop the late copy as stale.
+  sim::Simulator sim;
+  SpecChecker checker(std::make_shared<obs::EmptyRelation>());
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>(), &checker));
+  g.network().set_link_slowdown(g.pid(2), g.pid(0), sim::Duration::seconds(2));
+  ASSERT_TRUE(g.node(2).multicast(blob(1), obs::Annotation::none()));
+  ASSERT_TRUE(g.node(2).request_view_change({g.pid(2)}));
+  sim.run();
+
+  const auto msgs = data_of(g.drain(0));
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(blob_id(msgs[0]), 1);
+  EXPECT_EQ(g.node(0).stats().stale_view_drops, 1u);
+  EXPECT_GT(g.node(0).stats().flushed_in, 0u);
+  g.drain(1);
+  g.drain(2);
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{});
+}
+
+TEST(Node, FlushDeliversInFlightMessagesBeforeNewView) {
+  sim::Simulator sim;
+  SpecChecker checker(std::make_shared<obs::EmptyRelation>());
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>(), &checker));
+  g.network().set_link_slowdown(g.pid(0), g.pid(2), sim::Duration::seconds(10));
+  ASSERT_TRUE(g.node(0).multicast(blob(1), obs::Annotation::none()));
+  sim.run_until(sim.now() + sim::Duration::millis(5));
+  ASSERT_TRUE(g.node(1).request_view_change({}));
+  sim.run_until(sim.now() + sim::Duration::seconds(1));
+
+  // p2 must have delivered the message (via the agreed pred-view flush)
+  // before installing v1 even though the direct copy is still in flight.
+  const auto ds = g.drain(2);
+  const auto msgs = data_of(ds);
+  const auto views = views_of(ds);
+  ASSERT_EQ(msgs.size(), 1u);
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_GT(g.node(2).stats().flushed_in, 0u);
+  g.drain(0);
+  g.drain(1);
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{});
+}
+
+TEST(Node, ExcludedNodeCannotMulticast) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  ASSERT_TRUE(g.node(2).request_view_change({g.pid(2)}));
+  sim.run();
+  EXPECT_TRUE(g.node(2).excluded());
+  EXPECT_FALSE(g.node(2).multicast(blob(1), obs::Annotation::none()));
+  EXPECT_FALSE(g.node(2).request_view_change({}));
+}
+
+TEST(Node, ConsecutiveViewChanges) {
+  sim::Simulator sim;
+  SpecChecker checker(std::make_shared<obs::EmptyRelation>());
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>(), &checker));
+  g.node(0).multicast(blob(1), obs::Annotation::none());
+  ASSERT_TRUE(g.node(0).request_view_change({}));
+  sim.run();
+  g.node(0).multicast(blob(2), obs::Annotation::none());
+  ASSERT_TRUE(g.node(1).request_view_change({}));
+  sim.run();
+  g.node(0).multicast(blob(3), obs::Annotation::none());
+  ASSERT_TRUE(g.node(2).request_view_change({g.pid(2)}));
+  sim.run();
+
+  EXPECT_EQ(g.node(0).current_view().id(), ViewId(3));
+  EXPECT_EQ(g.node(0).stats().views_installed, 3u);
+  for (std::size_t i = 0; i < 3; ++i) g.drain(i);
+  EXPECT_EQ(checker.verify(), std::vector<std::string>{});
+  EXPECT_EQ(checker.verify_strict_vs(), std::vector<std::string>{});
+}
+
+TEST(Node, ViewChangeLatencyRecorded) {
+  sim::Simulator sim;
+  Group g(sim, base_config(std::make_shared<obs::EmptyRelation>()));
+  ASSERT_TRUE(g.node(0).request_view_change({}));
+  sim.run();
+  EXPECT_GT(g.node(0).stats().last_change_latency, sim::Duration::zero());
+  EXPECT_LT(g.node(0).stats().last_change_latency, sim::Duration::seconds(1.0));
+}
+
+TEST(Node, BlockageWatchdogExcludesSaturatedPeer) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.out_capacity = 3;
+  cfg.node.delivery_capacity = 3;
+  cfg.membership.exclude_on_blockage = true;
+  cfg.membership.blockage_grace = sim::Duration::millis(100);
+  Group g(sim, cfg);
+
+  // Consume at nodes 0 and 1 so only node 2 backs up.
+  bool done[3] = {false, false, false};
+  g.node(0).set_deliverable_callback([&] { g.drain(0); });
+  g.node(1).set_deliverable_callback([&] { g.drain(1); });
+  (void)done;
+
+  // Flood from node 0; report blockage to its policy.
+  int sent = 0;
+  std::function<void()> pump = [&] {
+    while (sent < 200) {
+      if (!g.node(0).multicast(blob(sent), obs::Annotation::none())) {
+        if (auto* p = g.policy(0)) p->producer_blocked();
+        return;
+      }
+      ++sent;
+    }
+  };
+  g.node(0).set_unblocked_callback([&] {
+    if (auto* p = g.policy(0)) p->producer_unblocked();
+    pump();
+  });
+  pump();
+  sim.run_until(sim.now() + sim::Duration::seconds(5.0));
+
+  // The stalled receiver got expelled and throughput resumed.
+  EXPECT_EQ(g.node(0).current_view().id(), ViewId(1));
+  EXPECT_FALSE(g.node(0).current_view().contains(g.pid(2)));
+  EXPECT_TRUE(g.node(2).excluded());
+  EXPECT_EQ(sent, 200);
+}
+
+
+TEST(Node, StabilityGossipCollectsDeliveredHistory) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.stability_interval = sim::Duration::millis(20);
+  Group g(sim, cfg);
+  // Everyone consumes instantly; after gossip settles, nothing of the
+  // delivered history needs to stay buffered.
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.node(i).set_deliverable_callback([&g, i] { g.drain(i); });
+    g.drain(i);
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+    sim.run_until(sim.now() + sim::Duration::millis(2));
+  }
+  sim.run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(g.node(i).delivered_retained(), 0u) << i;
+    EXPECT_GT(g.node(i).stats().stability_gcs, 0u) << i;
+  }
+}
+
+TEST(Node, StabilityDisabledKeepsHistoryUntilViewChange) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.stability_interval = sim::Duration::zero();  // disabled
+  Group g(sim, cfg);
+  g.node(1).set_deliverable_callback([&g] { g.drain(1); });
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+  }
+  sim.run();
+  g.drain(1);
+  EXPECT_EQ(g.node(1).delivered_retained(), 30u);
+  // The view change resets the history.
+  ASSERT_TRUE(g.node(0).request_view_change({}));
+  sim.run();
+  EXPECT_EQ(g.node(1).delivered_retained(), 0u);
+}
+
+TEST(Node, UnreportingMemberBlocksStabilityCollection) {
+  // A member that reports nothing (here: crashed) freezes the stable
+  // floor, so the survivors' histories grow until a membership change
+  // excludes it — the §2.1 buffer-exhaustion story.
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.stability_interval = sim::Duration::millis(20);
+  cfg.auto_membership = false;  // keep the dead member in the view
+  Group g(sim, cfg);
+  g.node(1).set_deliverable_callback([&g] { g.drain(1); });
+  g.drain(1);
+  g.crash(2);
+  sim.run_until(sim.now() + sim::Duration::millis(100));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+    sim.run_until(sim.now() + sim::Duration::millis(5));
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(1.0));
+  // Node 1 delivered everything but cannot collect: the crashed member
+  // never acknowledged.
+  EXPECT_EQ(g.node(1).delivered_retained(), 20u);
+}
+
+TEST(Node, StabilityKeepsPredViewSmall) {
+  // The operational payoff: after heavy traffic, a view change agrees on a
+  // small pred-view because the stable prefix was collected everywhere.
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.stability_interval = sim::Duration::millis(20);
+  Group g(sim, cfg);
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.node(i).set_deliverable_callback([&g, i] { g.drain(i); });
+    g.drain(i);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+    sim.run_until(sim.now() + sim::Duration::millis(2));
+  }
+  sim.run();
+  ASSERT_TRUE(g.node(1).request_view_change({}));
+  sim.run();
+  EXPECT_EQ(g.node(0).current_view().id(), ViewId(1));
+  // Far fewer than the 100 messages of the view.
+  EXPECT_LT(g.node(0).stats().last_flush_total, 10u);
+}
+
+
+TEST(Node, FlushSafeWhenClippedRepresentationBreaksTransitivity) {
+  // Regression for DESIGN.md §3(8).  With k = 2, a purge chain
+  // m1 (seq1) ≺ m2 (seq3) ≺ m3 (seq5) loses the transitive edge m1 ≺ m3
+  // (distance 4 > k).  A receiver that purged m1 and m2 holds only m3; the
+  // agreed pred-view still contains m1 (fast members delivered it), and a
+  // naive t7 flush would re-deliver the stale m1 *after* m3.  The
+  // reception high-water filter must skip it.
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::KEnumRelation>());
+  cfg.node.stability_interval = sim::Duration::zero();  // keep history
+  Group g(sim, cfg);
+  g.node(0).set_deliverable_callback([&g] { g.drain(0); });
+  g.node(1).set_deliverable_callback([&g] { g.drain(1); });
+  g.drain(0);
+  g.drain(1);
+  // Node 2 consumes nothing: the chain purges inside its delivery queue.
+
+  obs::BatchComposer composer({obs::AnnotationKind::k_enum, 2, 0});
+  const auto send = [&](std::uint64_t item, std::uint64_t seq) {
+    ASSERT_EQ(g.node(0).multicast(blob(static_cast<int>(seq)),
+                                  composer.single(item, seq)),
+              seq);
+    sim.run();
+  };
+  send(7, 1);    // m1
+  send(100, 2);  // filler (one-shot item)
+  send(7, 3);    // m2: declares seq1 (distance 2)
+  send(101, 4);  // filler
+  send(7, 5);    // m3: declares seq3; the inherited seq1 bit clips at k=2
+
+  // The chain purged m1 and m2 at node 2.
+  EXPECT_EQ(g.node(2).stats().purged_delivery, 2u);
+  EXPECT_EQ(g.node(2).delivery_data_count(), 3u);  // seqs 2, 4, 5
+
+  ASSERT_TRUE(g.node(1).request_view_change({}));
+  sim.run();
+
+  const auto msgs = data_of(g.drain(2));
+  std::vector<std::uint64_t> seqs;
+  for (const auto& m : msgs) seqs.push_back(m->seq());
+  // Strictly increasing (FIFO clause (i)) and without the stale seq 1/3.
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{2, 4, 5}));
+}
+
+}  // namespace
+}  // namespace svs::core

@@ -1,0 +1,259 @@
+// Randomized property tests: the §3.2 specification must hold across
+// schedules, relations, buffer bounds, crashes, slow links and slow
+// consumers.  Every scenario is checked with the SpecChecker; empty-relation
+// scenarios additionally satisfy classic View Synchrony.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/group.hpp"
+#include "obs/relation.hpp"
+#include "sim/random.hpp"
+#include "workload/consumer.hpp"
+
+namespace svs::core {
+namespace {
+
+class Tagged final : public Payload {
+ public:
+  Tagged(int producer, int n) : producer_(producer), n_(n) {}
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] int n() const { return n_; }
+
+ private:
+  [[maybe_unused]] int producer_;
+  int n_;
+};
+
+/// Per-node driver: multicasts a planned list of (time, tag) messages,
+/// retrying on flow control; stops if the node leaves the group.
+class Driver {
+ public:
+  Driver(sim::Simulator& sim, Node& node, bool item_tags)
+      : sim_(sim), node_(node), item_tags_(item_tags) {}
+
+  void plan(sim::TimePoint at, std::uint64_t tag) {
+    planned_.push_back({at, tag});
+  }
+
+  void start() {
+    node_.set_unblocked_callback([this] { pump(); });
+    if (!planned_.empty()) {
+      sim_.schedule_at(planned_[0].at, [this] { pump(); });
+    }
+  }
+
+  [[nodiscard]] std::size_t sent() const { return next_; }
+
+ private:
+  void pump() {
+    while (next_ < planned_.size()) {
+      if (node_.excluded()) return;  // gave up: no longer a member
+      const auto& p = planned_[next_];
+      if (sim_.now() < p.at) {
+        sim_.schedule_at(p.at, [this] { pump(); });
+        return;
+      }
+      const auto ann = item_tags_ ? obs::Annotation::item(p.tag)
+                                  : obs::Annotation::none();
+      if (!node_.multicast(
+              std::make_shared<Tagged>(static_cast<int>(node_.id().value()),
+                                       static_cast<int>(next_)),
+              ann)) {
+        return;  // flow-controlled; unblocked callback will re-enter
+      }
+      ++next_;
+    }
+  }
+
+  struct Planned {
+    sim::TimePoint at;
+    std::uint64_t tag;
+  };
+  sim::Simulator& sim_;
+  Node& node_;
+  bool item_tags_;
+  std::vector<Planned> planned_;
+  std::size_t next_ = 0;
+};
+
+struct Scenario {
+  std::size_t n;
+  bool item_tags;       // item-tag relation vs empty relation
+  bool purging;         // purge_delivery_queue / purge_outgoing
+  std::size_t delivery_capacity;
+  std::size_t out_capacity;
+  bool crash_one;
+  bool slow_link;
+  bool slow_consumer;
+  std::size_t messages_per_node;
+};
+
+void run_scenario(std::uint64_t seed, const Scenario& sc) {
+  sim::Rng rng(seed);
+  sim::Simulator sim;
+
+  obs::RelationPtr relation;
+  if (sc.item_tags) {
+    relation = std::make_shared<obs::ItemTagRelation>();
+  } else {
+    relation = std::make_shared<obs::EmptyRelation>();
+  }
+  SpecChecker checker(relation);
+
+  Group::Config cfg;
+  cfg.size = sc.n;
+  cfg.node.relation = relation;
+  cfg.node.purge_delivery_queue = sc.purging;
+  cfg.node.purge_outgoing = sc.purging;
+  cfg.node.delivery_capacity = sc.delivery_capacity;
+  cfg.node.out_capacity = sc.out_capacity;
+  cfg.observer = &checker;
+  cfg.oracle_delay = sim::Duration::millis(5 + rng.below(30));
+  cfg.membership.suspicion_grace = sim::Duration::millis(5 + rng.below(20));
+  Group g(sim, cfg);
+
+  // Consumers: everyone drains; at most one node is slow.
+  std::vector<std::unique_ptr<workload::InstantConsumer>> instant;
+  std::unique_ptr<workload::RateConsumer> slow;
+  const std::size_t slow_at = sc.slow_consumer ? sc.n - 1 : sc.n;
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    if (i == slow_at) {
+      slow = std::make_unique<workload::RateConsumer>(
+          sim, g.node(i), 20.0 + static_cast<double>(rng.below(60)));
+      slow->start();
+    } else {
+      instant.push_back(
+          std::make_unique<workload::InstantConsumer>(sim, g.node(i)));
+      instant.back()->start();
+    }
+  }
+
+  // Traffic: every node multicasts at random times with random tags.
+  std::vector<std::unique_ptr<Driver>> drivers;
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    drivers.push_back(
+        std::make_unique<Driver>(sim, g.node(i), sc.item_tags));
+    for (std::size_t m = 0; m < sc.messages_per_node; ++m) {
+      drivers.back()->plan(
+          sim::TimePoint::origin() +
+              sim::Duration::micros(
+                  static_cast<std::int64_t>(rng.below(1'500'000))),
+          rng.below(6));
+    }
+    drivers.back()->start();
+  }
+
+  if (sc.slow_link) {
+    const std::size_t a = rng.below(sc.n);
+    const std::size_t b = rng.below(sc.n);
+    if (a != b) {
+      g.network().set_link_slowdown(
+          g.pid(a), g.pid(b),
+          sim::Duration::millis(static_cast<std::int64_t>(rng.below(200))));
+    }
+  }
+
+  // Optional crash of one non-initiating node (groups keep a majority).
+  if (sc.crash_one && sc.n >= 3) {
+    const std::size_t victim = 1 + rng.below(sc.n - 2);  // never 0, never n-1
+    sim.schedule_after(
+        sim::Duration::micros(static_cast<std::int64_t>(rng.below(900'000))),
+        [&g, victim] { g.crash(victim); });
+  }
+
+  // A mid-run reconfiguration (no one leaves) and a final leave, so every
+  // run has at least two view boundaries for the checker to look at.
+  sim.schedule_after(sim::Duration::millis(700),
+                     [&g] { g.node(0).request_view_change({}); });
+  sim.schedule_after(sim::Duration::seconds(2.5), [&g] {
+    if (!g.node(0).excluded()) {
+      g.node(0).request_view_change({g.pid(0)});
+    }
+  });
+
+  sim.run();
+
+  // Drain whatever the consumers have not pulled yet, so all segments close.
+  for (std::size_t i = 0; i < sc.n; ++i) g.drain(i);
+
+  const auto violations = checker.verify();
+  EXPECT_EQ(violations, std::vector<std::string>{})
+      << "seed " << seed << ": " << violations.size() << " violations";
+  if (!sc.item_tags) {
+    const auto vs = checker.verify_strict_vs();
+    EXPECT_EQ(vs, std::vector<std::string>{})
+        << "seed " << seed << " (strict VS)";
+  }
+  EXPECT_GT(checker.total_deliveries(), 0u);
+}
+
+class SvsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvsProperty, EmptyRelationUnboundedIsViewSynchrony) {
+  run_scenario(GetParam(), Scenario{.n = 3 + GetParam() % 3,
+                                    .item_tags = false,
+                                    .purging = true,  // no-op when empty
+                                    .delivery_capacity = 0,
+                                    .out_capacity = 0,
+                                    .crash_one = false,
+                                    .slow_link = true,
+                                    .slow_consumer = false,
+                                    .messages_per_node = 40});
+}
+
+TEST_P(SvsProperty, EmptyRelationWithCrash) {
+  run_scenario(GetParam(), Scenario{.n = 4 + GetParam() % 2,
+                                    .item_tags = false,
+                                    .purging = true,
+                                    .delivery_capacity = 0,
+                                    .out_capacity = 0,
+                                    .crash_one = true,
+                                    .slow_link = true,
+                                    .slow_consumer = false,
+                                    .messages_per_node = 30});
+}
+
+TEST_P(SvsProperty, PurgingWithSlowConsumer) {
+  run_scenario(GetParam(), Scenario{.n = 3 + GetParam() % 3,
+                                    .item_tags = true,
+                                    .purging = true,
+                                    .delivery_capacity = 6,
+                                    .out_capacity = 6,
+                                    .crash_one = false,
+                                    .slow_link = false,
+                                    .slow_consumer = true,
+                                    .messages_per_node = 60});
+}
+
+TEST_P(SvsProperty, PurgingWithCrashAndSlowConsumer) {
+  run_scenario(GetParam(), Scenario{.n = 4,
+                                    .item_tags = true,
+                                    .purging = true,
+                                    .delivery_capacity = 8,
+                                    .out_capacity = 8,
+                                    .crash_one = true,
+                                    .slow_link = true,
+                                    .slow_consumer = true,
+                                    .messages_per_node = 50});
+}
+
+TEST_P(SvsProperty, ReliableBoundedWithSlowConsumer) {
+  run_scenario(GetParam(), Scenario{.n = 3,
+                                    .item_tags = false,
+                                    .purging = false,
+                                    .delivery_capacity = 8,
+                                    .out_capacity = 8,
+                                    .crash_one = false,
+                                    .slow_link = false,
+                                    .slow_consumer = true,
+                                    .messages_per_node = 50});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvsProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace svs::core

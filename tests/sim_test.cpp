@@ -1,0 +1,242 @@
+// Unit tests for the discrete-event simulator and the deterministic rng.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(30));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_after(Duration::millis(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::origin() + Duration::millis(7));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::millis(1), [&] {
+    ++fired;
+    sim.schedule_after(Duration::millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(Duration::millis(5), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(Duration::zero(), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(30), [&] { order.push_back(2); });
+  const auto executed = sim.run_until(TimePoint::origin() + Duration::millis(20));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(20));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(Duration::millis(20), [&] { ran = true; });
+  sim.run_until(TimePoint::origin() + Duration::millis(20));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, SchedulingInThePastIsRejected) {
+  Simulator sim;
+  sim.schedule_after(Duration::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::origin(), [] {}),
+               util::ContractViolation);
+  EXPECT_THROW(sim.schedule_after(Duration::millis(-1), [] {}),
+               util::ContractViolation);
+}
+
+TEST(Simulator, RunWithLimitExecutesExactly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_after(Duration::millis(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Duration::millis(2) + Duration::millis(3), Duration::millis(5));
+  EXPECT_EQ(Duration::millis(5) - Duration::millis(3), Duration::millis(2));
+  EXPECT_EQ(Duration::millis(2) * 3, Duration::millis(6));
+  EXPECT_EQ(Duration::millis(6) / 3, Duration::millis(2));
+  EXPECT_EQ(Duration::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).as_seconds(), 1.5);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), util::ContractViolation);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(17);
+  // mean failures before success = (1-p)/p = 3 for p = 0.25.
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+  EXPECT_EQ(Rng(1).geometric(1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(21);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += c1.next_u64() == c2.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution z(40, 1.0);
+  double sum = 0;
+  for (std::size_t r = 1; r <= 40; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, RankOneMostLikely) {
+  const ZipfDistribution z(40, 1.0);
+  EXPECT_GT(z.pmf(1), z.pmf(2));
+  EXPECT_GT(z.pmf(2), z.pmf(10));
+  // For n=40, s=1: pmf(1) = 1/H(40) ~ 0.234 — the ingredient behind
+  // Fig 3(a)'s ~22% top item.
+  EXPECT_NEAR(z.pmf(1), 0.234, 0.01);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  const ZipfDistribution z(20, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(21, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 1; r <= 20; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), z.pmf(r), 0.01) << r;
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const ZipfDistribution z(10, 0.0);
+  for (std::size_t r = 1; r <= 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace svs::sim

@@ -1,0 +1,215 @@
+// Tests for the game-trace generator: §5.2 calibration bands, structural
+// invariants, and consistency between annotations and ground truth.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "obs/relation.hpp"
+#include "workload/game_generator.hpp"
+
+namespace svs::workload {
+namespace {
+
+GameTraceGenerator::Config default_config(std::uint64_t seed = 1) {
+  GameTraceGenerator::Config cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  GameTraceGenerator g1(default_config(7));
+  GameTraceGenerator g2(default_config(7));
+  const auto t1 = g1.generate(500);
+  const auto t2 = g2.generate(500);
+  ASSERT_EQ(t1.messages().size(), t2.messages().size());
+  for (std::size_t i = 0; i < t1.messages().size(); ++i) {
+    EXPECT_EQ(t1.messages()[i].at, t2.messages()[i].at);
+    EXPECT_EQ(t1.messages()[i].payload->item(), t2.messages()[i].payload->item());
+    EXPECT_EQ(t1.messages()[i].annotation, t2.messages()[i].annotation);
+    EXPECT_EQ(t1.messages()[i].direct_covers, t2.messages()[i].direct_covers);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto t1 = GameTraceGenerator(default_config(1)).generate(200);
+  const auto t2 = GameTraceGenerator(default_config(2)).generate(200);
+  EXPECT_NE(t1.messages().size(), t2.messages().size());
+}
+
+TEST(Generator, SeqsArePositionsInStream) {
+  const auto t = GameTraceGenerator(default_config()).generate(300);
+  for (std::size_t i = 0; i < t.messages().size(); ++i) {
+    EXPECT_EQ(t.messages()[i].seq, i + 1);
+  }
+}
+
+TEST(Generator, TimestampsAreNonDecreasing) {
+  const auto t = GameTraceGenerator(default_config()).generate(300);
+  for (std::size_t i = 1; i < t.messages().size(); ++i) {
+    EXPECT_GE(t.messages()[i].at, t.messages()[i - 1].at);
+  }
+}
+
+TEST(Generator, EveryRoundEndsWithCommit) {
+  const auto t = GameTraceGenerator(default_config()).generate(300);
+  const auto& ms = t.messages();
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const bool last_of_round =
+        i + 1 == ms.size() ||
+        ms[i + 1].payload->round() != ms[i].payload->round();
+    EXPECT_EQ(ms[i].payload->commit(), last_of_round) << i;
+  }
+}
+
+TEST(Generator, OnlyCommitsCarryObsolescence) {
+  const auto t = GameTraceGenerator(default_config()).generate(500);
+  for (const auto& m : t.messages()) {
+    if (!m.payload->commit()) {
+      EXPECT_EQ(m.annotation.kind(), obs::AnnotationKind::none);
+      EXPECT_TRUE(m.direct_covers.empty());
+    }
+  }
+}
+
+TEST(Generator, CreatesAndDestroysAreNeverObsoleted) {
+  const auto t = GameTraceGenerator(default_config()).generate(2000);
+  std::set<std::size_t> covered;
+  for (const auto& m : t.messages()) {
+    for (const auto v : m.direct_covers) covered.insert(v);
+  }
+  for (std::size_t i = 0; i < t.messages().size(); ++i) {
+    const auto& op = *t.messages()[i].payload;
+    if (op.op() == OpKind::create || op.op() == OpKind::destroy) {
+      EXPECT_FALSE(covered.contains(i)) << "op " << i << " item " << op.item();
+    }
+  }
+}
+
+TEST(Generator, TransientLifecycleWellFormed) {
+  const auto t = GameTraceGenerator(default_config()).generate(2000);
+  // Every transient item: create before updates before destroy; at most one
+  // create/destroy each.
+  std::map<ItemId, int> state;  // 0 unseen, 1 created, 2 destroyed
+  for (const auto& m : t.messages()) {
+    const auto& op = *m.payload;
+    if (op.item() < 1'000'000) continue;  // persistent
+    switch (op.op()) {
+      case OpKind::create:
+        EXPECT_EQ(state[op.item()], 0);
+        state[op.item()] = 1;
+        break;
+      case OpKind::update:
+        EXPECT_EQ(state[op.item()], 1);
+        break;
+      case OpKind::destroy:
+        EXPECT_EQ(state[op.item()], 1);
+        state[op.item()] = 2;
+        break;
+    }
+  }
+}
+
+TEST(Generator, AnnotationsAreSubsetOfGroundTruth) {
+  // Every pair declared by the k-enum annotation must be a true edge;
+  // the converse can fail (horizon clipping), which is exactly why the
+  // checker uses the ground truth.
+  auto cfg = default_config();
+  cfg.batch.k = 16;  // small horizon: clipping will happen
+  const auto t = GameTraceGenerator(cfg).generate(2000);
+  const auto truth = t.ground_truth();
+  obs::KEnumRelation declared;
+  const net::ProcessId sender(0);
+  const auto& ms = t.messages();
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (ms[i].annotation.kind() != obs::AnnotationKind::k_enum) continue;
+    for (const auto d : ms[i].annotation.bitmap().set_distances()) {
+      if (d > i) continue;
+      const std::size_t j = i - d;
+      const obs::MessageRef newer{sender, ms[i].seq, &ms[i].annotation};
+      const obs::MessageRef older{sender, ms[j].seq, &ms[j].annotation};
+      EXPECT_TRUE(declared.covers(newer, older));
+      EXPECT_TRUE(truth->covers(newer, older))
+          << "annotation declares a pair the ground truth denies: " << j
+          << " < " << i;
+    }
+  }
+}
+
+TEST(Generator, GroundTruthIsTransitive) {
+  const auto t = GameTraceGenerator(default_config()).generate(800);
+  const auto truth = t.ground_truth();
+  const net::ProcessId sender(0);
+  const auto& ms = t.messages();
+  const obs::Annotation none;
+  // For each direct edge chain a -> b -> c, a -> c must hold.
+  for (std::size_t c = 0; c < ms.size(); ++c) {
+    for (const auto b : ms[c].direct_covers) {
+      for (const auto a : ms[b].direct_covers) {
+        EXPECT_TRUE(truth->covers(obs::MessageRef{sender, ms[c].seq, &none},
+                                  obs::MessageRef{sender, ms[a].seq, &none}))
+            << a << " -> " << b << " -> " << c;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.2 calibration: the generated trace must land in bands around the
+// published statistics (see DESIGN.md §4 for the bands' rationale).
+// ---------------------------------------------------------------------------
+
+class Calibration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Calibration, MatchesPaperStatistics) {
+  GameTraceGenerator g(default_config(GetParam()));
+  const auto t = g.generate(11696);  // the paper's session length
+  const auto& s = t.stats();
+
+  // Paper: 41.88% of messages never became obsolete.
+  EXPECT_GT(s.never_obsolete_share, 0.32);
+  EXPECT_LT(s.never_obsolete_share, 0.52);
+
+  // Paper: an average of 1.39 items modified per round.
+  EXPECT_GT(s.avg_modified_per_round, 1.0);
+  EXPECT_LT(s.avg_modified_per_round, 1.8);
+
+  // Paper: an average of 42.33 items active.
+  EXPECT_GT(s.avg_active_items, 38.0);
+  EXPECT_LT(s.avg_active_items, 47.0);
+
+  // Fig 3(b): related messages are close — "often within 10 messages".
+  double within10 = 0;
+  for (const auto& [d, share] : s.distance_histogram) {
+    if (d <= 10) within10 += share;
+  }
+  EXPECT_GT(within10, 0.55);
+
+  // Fig 3(a): the most-modified item is touched in roughly a fifth of the
+  // rounds and the tail falls off quickly.
+  double top = 0;
+  for (const auto& [item, freq] : s.modification_frequency) {
+    top = std::max(top, freq);
+  }
+  EXPECT_GT(top, 0.15);
+  EXPECT_LT(top, 0.30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Calibration,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Calibration, DistanceHistogramSharesSumToOne) {
+  const auto t = GameTraceGenerator(default_config()).generate(5000);
+  double sum = 0;
+  for (const auto& [d, share] : t.stats().distance_histogram) sum += share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Calibration, RatesAreGameLike) {
+  const auto t = GameTraceGenerator(default_config()).generate(5000);
+  // ~30 rounds/s at ~1.5-2.5 messages per round.
+  EXPECT_GT(t.stats().avg_rate_msgs_per_sec, 35.0);
+  EXPECT_LT(t.stats().avg_rate_msgs_per_sec, 90.0);
+}
+
+}  // namespace
+}  // namespace svs::workload
