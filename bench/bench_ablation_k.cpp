@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/json.hpp"
 #include "metrics/table.hpp"
 #include "obs/kbitmap.hpp"
 #include "workload/game_generator.hpp"
@@ -17,6 +18,8 @@ int main() {
   using svs::bench::find_threshold_rate;
   using svs::metrics::Table;
 
+  const svs::bench::WallClock wall;
+  svs::bench::JsonArray rows;
   constexpr std::size_t kBuffer = 15;  // pipeline = 2 * 15 = 30 messages
 
   std::cout << "== Ablation: k-enum horizon at buffer = " << kBuffer
@@ -33,10 +36,22 @@ int main() {
     table.row({Table::num(std::uint64_t{k}),
                Table::num(std::uint64_t{svs::obs::KBitmap(k).wire_size()}),
                Table::num(threshold, 1)});
+    rows.push(svs::bench::JsonObject()
+                  .add("k", static_cast<double>(k))
+                  .add("bitmap_bytes",
+                       static_cast<double>(svs::obs::KBitmap(k).wire_size()))
+                  .add("semantic_threshold", threshold));
   }
   table.print(std::cout);
   std::cout << "\n(the reliable baseline's threshold is the k=0 limit; "
                "thresholds bottom out\n once k covers the buffered pipeline, "
                "matching §5.2's k = 2x rule of thumb)\n";
+
+  svs::bench::JsonObject payload;
+  payload.add("bench", "ablation_k")
+      .add("buffer", static_cast<double>(kBuffer))
+      .add("wall_seconds", wall.seconds())
+      .raw("sweep", rows.render());
+  svs::bench::write_bench_json("ablation_k", payload);
   return 0;
 }

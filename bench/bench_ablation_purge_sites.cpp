@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/json.hpp"
 #include "metrics/table.hpp"
 #include "workload/game_generator.hpp"
 
@@ -17,6 +18,8 @@ int main() {
   using svs::bench::run_slow_consumer;
   using svs::metrics::Table;
 
+  const svs::bench::WallClock wall;
+  svs::bench::JsonArray rows;
   constexpr std::size_t kBuffer = 15;
   svs::workload::GameTraceGenerator::Config gen;
   gen.batch.k = 4 * kBuffer;
@@ -53,9 +56,19 @@ int main() {
                Table::num(100.0 * at50.idle_fraction),
                Table::num(at50.purged_receiver),
                Table::num(at50.purged_sender)});
+    rows.push(svs::bench::run_result_json(at50)
+                  .add("purge_sites", v.name)
+                  .add("threshold", threshold));
   }
   table.print(std::cout);
   std::cout << "\n(threshold = minimum consumer rate keeping the producer "
                "under 5% idle)\n";
+
+  svs::bench::JsonObject payload;
+  payload.add("bench", "ablation_purge_sites")
+      .add("buffer", static_cast<double>(kBuffer))
+      .add("wall_seconds", wall.seconds())
+      .raw("variants", rows.render());
+  svs::bench::write_bench_json("ablation_purge_sites", payload);
   return 0;
 }

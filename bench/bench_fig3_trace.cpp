@@ -10,12 +10,14 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/json.hpp"
 #include "metrics/table.hpp"
 #include "workload/game_generator.hpp"
 
 int main() {
   using svs::metrics::Table;
 
+  const svs::bench::WallClock wall;
   svs::workload::GameTraceGenerator::Config cfg;
   cfg.batch.k = 60;
   const auto trace =
@@ -64,5 +66,25 @@ int main() {
   fig3b.print(std::cout);
   std::cout << "\n(total beyond distance 20: "
             << Table::num(100.0 * (1.0 - cumulative)) << "%)\n";
+
+  svs::bench::JsonArray distances;
+  for (std::size_t d = 1; d <= 20; ++d) {
+    const auto it = s.distance_histogram.find(d);
+    const double share = it == s.distance_histogram.end() ? 0.0 : it->second;
+    distances.push(svs::bench::JsonObject()
+                       .add("distance", static_cast<double>(d))
+                       .add("share", share));
+  }
+  svs::bench::JsonObject payload;
+  payload.add("bench", "fig3_trace")
+      .add("rounds", static_cast<double>(s.rounds))
+      .add("messages", static_cast<double>(s.messages))
+      .add("avg_active_items", s.avg_active_items)
+      .add("avg_modified_per_round", s.avg_modified_per_round)
+      .add("never_obsolete_share", s.never_obsolete_share)
+      .add("avg_rate_msgs_per_sec", s.avg_rate_msgs_per_sec)
+      .raw("distance_histogram", distances.render())
+      .add("wall_seconds", wall.seconds());
+  svs::bench::write_bench_json("fig3_trace", payload);
   return 0;
 }

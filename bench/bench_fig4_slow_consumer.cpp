@@ -12,15 +12,20 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/json.hpp"
 #include "metrics/table.hpp"
 #include "workload/game_generator.hpp"
 
 int main() {
+  using svs::bench::JsonArray;
+  using svs::bench::JsonObject;
   using svs::bench::RunConfig;
   using svs::bench::run_slow_consumer;
   using svs::metrics::Table;
 
   svs::workload::GameTraceGenerator::Config gen;
+  const svs::bench::WallClock wall;
+  JsonArray rows;
 
   for (const std::size_t buffer : {10u, 15u}) {
     gen.batch.k = 4 * buffer;  // 2x the two-stage pipeline (EXPERIMENTS.md)
@@ -43,6 +48,15 @@ int main() {
       cfg.purge_receiver = cfg.purge_sender = true;
       const auto semantic = run_slow_consumer(cfg);
 
+      rows.push(svs::bench::run_result_json(reliable)
+                    .add("protocol", "reliable")
+                    .add("buffer", static_cast<double>(buffer))
+                    .add("consumer_rate", static_cast<double>(rate)));
+      rows.push(svs::bench::run_result_json(semantic)
+                    .add("protocol", "semantic")
+                    .add("buffer", static_cast<double>(buffer))
+                    .add("consumer_rate", static_cast<double>(rate)));
+
       table.row({Table::num(std::uint64_t(rate)),
                  Table::num(100.0 * reliable.idle_fraction),
                  Table::num(100.0 * semantic.idle_fraction),
@@ -55,5 +69,11 @@ int main() {
   std::cout << "(idle% = producer blocked by flow control, Fig 4(a); queue = "
                "time-averaged\n delivery-queue occupancy at the slow "
                "consumer in messages, Fig 4(b))\n";
+
+  JsonObject payload;
+  payload.add("bench", "fig4_slow_consumer")
+      .add("wall_seconds", wall.seconds())
+      .raw("runs", rows.render());
+  svs::bench::write_bench_json("fig4_slow_consumer", payload);
   return 0;
 }

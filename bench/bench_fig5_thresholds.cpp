@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/json.hpp"
 #include "metrics/table.hpp"
 #include "workload/game_generator.hpp"
 
@@ -25,6 +26,9 @@ int main() {
   using svs::bench::run_slow_consumer;
   using svs::metrics::Table;
 
+  const svs::bench::WallClock wall;
+  svs::bench::JsonArray fig5a_rows;
+  svs::bench::JsonArray fig5b_rows;
   svs::workload::GameTraceGenerator::Config gen;
 
   std::cout << "== Fig 5(a): tolerated consumer threshold (<5% idle) vs "
@@ -48,6 +52,12 @@ int main() {
     fig5a.row({Table::num(std::uint64_t{buffer}), Table::num(reliable, 1),
                Table::num(semantic, 1),
                Table::num(trace.stats().avg_rate_msgs_per_sec, 1)});
+    fig5a_rows.push(svs::bench::JsonObject()
+                        .add("buffer", static_cast<double>(buffer))
+                        .add("reliable_threshold", reliable)
+                        .add("semantic_threshold", semantic)
+                        .add("avg_input_rate",
+                             trace.stats().avg_rate_msgs_per_sec));
   }
   fig5a.print(std::cout);
 
@@ -90,10 +100,23 @@ int main() {
                Table::num(est_sem_ms, 0), Table::num(rel_ms, 0),
                Table::num(sem_ms, 0),
                Table::num(rel_ms > 0 ? sem_ms / rel_ms : 0.0)});
+    fig5b_rows.push(svs::bench::run_result_json(semantic)
+                        .add("buffer", static_cast<double>(buffer))
+                        .add("est_reliable_ms", est_rel_ms)
+                        .add("est_semantic_ms", est_sem_ms)
+                        .add("measured_reliable_ms", rel_ms)
+                        .add("measured_semantic_ms", sem_ms));
   }
   fig5b.print(std::cout);
   std::cout << "\n(estimates follow the paper's fill-rate method; measured = "
                "consumer stopped\n at t=30s, time until the producer first "
                "blocks; a negative entry would mean\n it never blocked)\n";
+
+  svs::bench::JsonObject payload;
+  payload.add("bench", "fig5_thresholds")
+      .add("wall_seconds", wall.seconds())
+      .raw("thresholds", fig5a_rows.render())
+      .raw("perturbations", fig5b_rows.render());
+  svs::bench::write_bench_json("fig5_thresholds", payload);
   return 0;
 }

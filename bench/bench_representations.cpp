@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "bench/json.hpp"
 #include "obs/annotation.hpp"
 #include "obs/batch.hpp"
 #include "obs/kbitmap.hpp"
@@ -145,4 +146,41 @@ void BM_Annotation_EncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_Annotation_EncodeDecode);
 
+/// The §4.2 wire-size comparison over a realistic commit stream, as JSON.
+svs::bench::JsonObject annotation_sizes() {
+  obs::BatchComposer kenum({obs::AnnotationKind::k_enum, 64, 0});
+  obs::BatchComposer enumeration({obs::AnnotationKind::enumeration, 0, 128});
+  obs::BatchComposer tag({obs::AnnotationKind::item_tag, 0, 0});
+  double kenum_bytes = 0, enum_bytes = 0, tag_bytes = 0;
+  constexpr int kMessages = 10'000;
+  for (std::uint64_t seq = 1; seq <= kMessages; ++seq) {
+    const std::uint64_t item = seq % 40;
+    kenum_bytes += static_cast<double>(kenum.single(item, seq).wire_size());
+    enum_bytes +=
+        static_cast<double>(enumeration.single(item, seq).wire_size());
+    tag_bytes += static_cast<double>(tag.single(item, seq).wire_size());
+  }
+  svs::bench::JsonObject o;
+  o.add("messages", static_cast<double>(kMessages))
+      .add("kenum_bytes_per_msg", kenum_bytes / kMessages)
+      .add("enumeration_bytes_per_msg", enum_bytes / kMessages)
+      .add("item_tag_bytes_per_msg", tag_bytes / kMessages);
+  return o;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const svs::bench::WallClock wall;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  svs::bench::JsonObject payload;
+  payload.add("bench", "representations")
+      .raw("annotation_sizes", annotation_sizes().render())
+      .add("wall_seconds", wall.seconds());
+  svs::bench::write_bench_json("representations", payload);
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "bench/json.hpp"
 #include "metrics/table.hpp"
 #include "workload/game_generator.hpp"
 
@@ -20,6 +21,8 @@ int main() {
   using svs::bench::run_slow_consumer;
   using svs::metrics::Table;
 
+  const svs::bench::WallClock wall;
+  svs::bench::JsonArray rows;
   constexpr std::size_t kBuffer = 15;
   svs::workload::GameTraceGenerator::Config gen;
   gen.batch.k = 4 * kBuffer;
@@ -43,11 +46,21 @@ int main() {
                  Table::num(r.change_latency_ms.value_or(-1.0)),
                  Table::num(std::uint64_t{r.pred_view_size}),
                  Table::num(r.flushed_at_slow)});
+      rows.push(svs::bench::run_result_json(r)
+                    .add("protocol", purging ? "semantic" : "reliable")
+                    .add("consumer_rate", static_cast<double>(rate))
+                    .add("buffer", static_cast<double>(kBuffer)));
     }
   }
   table.print(std::cout);
   std::cout << "\n(|pred-view| is the number of messages agreed for the "
                "closing view; under\n purging it shrinks because obsolete "
                "messages left every buffer before the\n change)\n";
+
+  svs::bench::JsonObject payload;
+  payload.add("bench", "view_change")
+      .add("wall_seconds", wall.seconds())
+      .raw("runs", rows.render());
+  svs::bench::write_bench_json("view_change", payload);
   return 0;
 }

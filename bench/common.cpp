@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "bench/json.hpp"
+
 #include "core/group.hpp"
 #include "metrics/stats.hpp"
 #include "obs/relation.hpp"
@@ -16,6 +18,7 @@ RunResult run_slow_consumer(const RunConfig& config) {
   SVS_REQUIRE(config.trace != nullptr, "a trace is required");
   SVS_REQUIRE(config.replicas >= 2, "need at least producer + consumer");
 
+  const WallClock wall;
   sim::Simulator sim;
   core::Group::Config cfg;
   cfg.size = config.replicas;
@@ -112,6 +115,16 @@ RunResult run_slow_consumer(const RunConfig& config) {
   result.purged_sender = group.network().stats().purged_outgoing;
   result.refused = group.node(slow).stats().refused_data;
   result.producer_done = producer.done();
+  result.messages_sent = group.network().stats().sent;
+  result.messages_delivered = group.network().stats().delivered;
+  result.purge_scan_steps =
+      group.node(slow).delivery_queue().stats().purge_scan_steps;
+  result.sim_events = sim.executed();
+  result.wall_seconds = wall.seconds();
+  result.events_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.sim_events) / result.wall_seconds
+          : 0.0;
 
   if (config.view_change_at_seconds.has_value()) {
     const auto& stats = group.node(1).stats();
@@ -122,6 +135,32 @@ RunResult run_slow_consumer(const RunConfig& config) {
     }
   }
   return result;
+}
+
+JsonObject run_result_json(const RunResult& r) {
+  JsonObject o;
+  o.add("idle_fraction", r.idle_fraction)
+      .add("avg_queue", r.avg_queue)
+      .add("max_queue", r.max_queue)
+      .add("avg_backlog", r.avg_backlog)
+      .add("messages_sent", static_cast<double>(r.messages_sent))
+      .add("messages_delivered", static_cast<double>(r.messages_delivered))
+      .add("purged_receiver", static_cast<double>(r.purged_receiver))
+      .add("purged_sender", static_cast<double>(r.purged_sender))
+      .add("refused", static_cast<double>(r.refused))
+      .add("purge_scan_steps", static_cast<double>(r.purge_scan_steps))
+      .add("sim_events", static_cast<double>(r.sim_events))
+      .add("events_per_second", r.events_per_second)
+      .add("wall_seconds", r.wall_seconds);
+  if (r.change_latency_ms.has_value()) {
+    o.add("view_change_latency_ms", *r.change_latency_ms)
+        .add("pred_view_size", static_cast<double>(r.pred_view_size))
+        .add("flushed_at_slow", static_cast<double>(r.flushed_at_slow));
+  }
+  if (r.tolerated_seconds.has_value()) {
+    o.add("tolerated_seconds", *r.tolerated_seconds);
+  }
+  return o;
 }
 
 double find_threshold_rate(const RunConfig& base, double max_idle, double lo,

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "bench/json.hpp"
 #include "workload/trace.hpp"
 
 namespace svs::bench {
@@ -44,6 +45,14 @@ struct RunResult {
   std::uint64_t refused = 0;
   bool producer_done = false;
 
+  // Substrate telemetry (the perf-trajectory fields of BENCH_*.json).
+  std::uint64_t messages_sent = 0;       // network sends across the group
+  std::uint64_t messages_delivered = 0;  // network-level deliveries
+  std::uint64_t purge_scan_steps = 0;    // covers() work at the slow replica
+  std::uint64_t sim_events = 0;          // simulator events executed
+  double wall_seconds = 0.0;             // host time for the whole run
+  double events_per_second = 0.0;        // sim_events / wall_seconds
+
   // Perturbation measurement (stop_at_seconds set): time from the stop
   // until the producer first blocks; unset if it never blocked.
   std::optional<double> tolerated_seconds;
@@ -57,6 +66,10 @@ struct RunResult {
 /// Runs one slow-consumer experiment to completion (or until the
 /// perturbation measurement resolves).
 RunResult run_slow_consumer(const RunConfig& config);
+
+/// The telemetry fields of one run as a JSON row (benches add their own
+/// configuration keys next to these).
+JsonObject run_result_json(const RunResult& r);
 
 /// Smallest consumer rate (msg/s) that keeps the producer's idle fraction
 /// at or below `max_idle`, found by bisection over [lo, hi] at `precision`

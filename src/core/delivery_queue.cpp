@@ -1,0 +1,268 @@
+#include "core/delivery_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace svs::core {
+
+DeliveryQueue::DeliveryQueue(obs::RelationPtr relation, net::ProcessId self,
+                             NodeObserver* observer, bool use_index)
+    : relation_(std::move(relation)),
+      self_(self),
+      observer_(observer),
+      use_index_(use_index) {
+  SVS_REQUIRE(relation_ != nullptr, "a relation oracle is required");
+}
+
+// ---------------------------------------------------------------------------
+// queue
+// ---------------------------------------------------------------------------
+
+void DeliveryQueue::push_data(const DataMessagePtr& m) {
+  entries_.push_back(Entry{m, std::nullopt});
+  ++data_count_;
+  accepted_ids_.insert(m->id());
+  if (fast_path()) index_insert(m, std::prev(entries_.end()));
+}
+
+void DeliveryQueue::push_view(const View& v) {
+  entries_.push_back(Entry{nullptr, v});
+}
+
+std::optional<DeliveryQueue::Entry> DeliveryQueue::pop_front() {
+  if (entries_.empty()) return std::nullopt;
+  Entry entry = std::move(entries_.front());
+  if (entry.data != nullptr) {
+    SVS_ASSERT(data_count_ > 0, "data count out of sync with queue");
+    --data_count_;
+    if (fast_path()) index_erase(*entry.data);
+  }
+  entries_.pop_front();
+  return entry;
+}
+
+void DeliveryQueue::index_insert(const DataMessagePtr& m, List::iterator it) {
+  const auto [slot, inserted] = by_sender_[m->sender()].emplace(m->seq(), it);
+  (void)slot;
+  SVS_ASSERT(inserted, "duplicate (sender, seq) in the delivery queue");
+}
+
+void DeliveryQueue::index_erase(const DataMessage& m) {
+  const auto sender = by_sender_.find(m.sender());
+  SVS_ASSERT(sender != by_sender_.end(), "index missing sender");
+  sender->second.erase(m.seq());
+  if (sender->second.empty()) by_sender_.erase(sender);
+}
+
+DeliveryQueue::List::iterator DeliveryQueue::erase_entry(
+    List::iterator it, const DataMessagePtr& by) {
+  if (observer_ != nullptr) observer_->on_purge(self_, it->data, by);
+  accepted_ids_.erase(it->data->id());
+  --data_count_;
+  ++stats_.purged;
+  return entries_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// accepted set
+// ---------------------------------------------------------------------------
+
+std::size_t DeliveryQueue::collect_delivered(
+    const std::function<std::uint64_t(net::ProcessId)>& floor_of) {
+  std::map<net::ProcessId, std::uint64_t> floors;
+  const std::size_t before = delivered_view_.size();
+  std::erase_if(delivered_view_, [&](const DataMessagePtr& m) {
+    const auto [it, inserted] = floors.emplace(m->sender(), 0);
+    if (inserted) it->second = floor_of(m->sender());
+    if (m->seq() > it->second) return false;
+    accepted_ids_.erase(m->id());
+    return true;
+  });
+  return before - delivered_view_.size();
+}
+
+// ---------------------------------------------------------------------------
+// semantic purging
+// ---------------------------------------------------------------------------
+
+bool DeliveryQueue::covered_by_accepted(const DataMessage& m, ViewId cv) {
+  SVS_ASSERT(m.view() == cv, "t3/t7 only test messages of the current view");
+  const auto covers = [&](const DataMessagePtr& candidate) {
+    ++stats_.cover_scan_steps;
+    return candidate->view() == m.view() &&
+           relation_->covers(candidate->ref(), m.ref());
+  };
+  // Per-sender relations need a covering message from the same sender with
+  // a higher sequence number.  FIFO channels deliver per-sender seqs in
+  // order, so everything delivered from m's sender is below m's seq (at t7
+  // the high-water filter already removed candidates at or below it) —
+  // scanning the unbounded delivered history would never match.  Only
+  // cross-sender relations (e.g. the test-only ExplicitRelation) require
+  // the full scan.
+  if (!relation_->per_sender()) {
+    for (const auto& d : delivered_view_) {
+      if (covers(d)) return true;
+    }
+    for (const auto& e : entries_) {
+      if (e.data != nullptr && covers(e.data)) return true;
+    }
+    return false;
+  }
+  if (!use_index_) {
+    for (const auto& e : entries_) {
+      if (e.data != nullptr && covers(e.data)) return true;
+    }
+    return false;
+  }
+  // Indexed: only queued entries of m's sender with a higher seq qualify.
+  const auto sender = by_sender_.find(m.sender());
+  if (sender == by_sender_.end()) return false;
+  for (auto it = sender->second.upper_bound(m.seq());
+       it != sender->second.end(); ++it) {
+    if (covers(it->second->data)) return true;
+  }
+  return false;
+}
+
+std::size_t DeliveryQueue::count_victims(const DataMessage& by, ViewId cv) {
+  SVS_ASSERT(by.view() == cv, "purging is restricted to the current view");
+  std::size_t victims = 0;
+  const auto is_victim = [&](const DataMessagePtr& candidate) {
+    ++stats_.purge_scan_steps;
+    return candidate->view() == by.view() &&
+           relation_->covers(by.ref(), candidate->ref());
+  };
+  if (!fast_path()) {
+    for (const auto& e : entries_) {
+      if (e.data != nullptr && is_victim(e.data)) ++victims;
+    }
+    return victims;
+  }
+  const auto sender = by_sender_.find(by.sender());
+  if (sender == by_sender_.end()) return 0;
+  const std::uint64_t floor = relation_->coverage_floor(by.ref());
+  for (auto it = sender->second.lower_bound(floor);
+       it != sender->second.end() && it->first < by.seq(); ++it) {
+    if (is_victim(it->second->data)) ++victims;
+  }
+  return victims;
+}
+
+std::size_t DeliveryQueue::purge_with(const DataMessagePtr& by, ViewId cv) {
+  SVS_ASSERT(by->view() == cv, "purging is restricted to the current view");
+  std::size_t removed = 0;
+  const auto is_victim = [&](const DataMessagePtr& candidate) {
+    ++stats_.purge_scan_steps;
+    return candidate->view() == by->view() &&
+           relation_->covers(by->ref(), candidate->ref());
+  };
+  if (!fast_path()) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->data != nullptr && is_victim(it->data)) {
+        it = erase_entry(it, by);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+  const auto sender = by_sender_.find(by->sender());
+  if (sender == by_sender_.end()) return 0;
+  const std::uint64_t floor = relation_->coverage_floor(by->ref());
+  auto it = sender->second.lower_bound(floor);
+  while (it != sender->second.end() && it->first < by->seq()) {
+    if (is_victim(it->second->data)) {
+      erase_entry(it->second, by);
+      it = sender->second.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (sender->second.empty()) by_sender_.erase(sender);
+  return removed;
+}
+
+std::size_t DeliveryQueue::purge_full(ViewId cv) {
+  (void)cv;  // purge_full relates entries pairwise by their own views
+  std::size_t removed = 0;
+  if (!fast_path()) {
+    // purge(S): remove every data entry covered by another entry of the
+    // same view still in S.  Quadratic over a queue that is at most a few
+    // dozen entries long (§5.3 buffer sizes).
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      DataMessagePtr coverer;
+      if (it->data != nullptr) {
+        for (const auto& other : entries_) {
+          ++stats_.purge_scan_steps;
+          if (other.data != nullptr && other.data != it->data &&
+              other.data->view() == it->data->view() &&
+              relation_->covers(other.data->ref(), it->data->ref())) {
+            coverer = other.data;
+            break;
+          }
+        }
+      }
+      if (coverer != nullptr) {
+        it = erase_entry(it, coverer);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+  // Indexed: a coverer shares the victim's sender and has a higher seq, so
+  // each sender's entries are checked only against their own successors —
+  // sub-quadratic in the queue, quadratic only within one sender's run.
+  // Seq-ascending order matches the reference queue order per sender (FIFO
+  // reception; flushed entries carry the highest seqs), so the evolving
+  // live set is identical.
+  for (auto sender = by_sender_.begin(); sender != by_sender_.end();) {
+    auto& index = sender->second;
+    for (auto it = index.begin(); it != index.end();) {
+      const DataMessagePtr& victim = it->second->data;
+      DataMessagePtr coverer;
+      for (auto cand = std::next(it); cand != index.end(); ++cand) {
+        ++stats_.purge_scan_steps;
+        const DataMessagePtr& c = cand->second->data;
+        if (c->view() == victim->view() &&
+            relation_->covers(c->ref(), victim->ref())) {
+          coverer = c;
+          break;
+        }
+      }
+      if (coverer != nullptr) {
+        erase_entry(it->second, coverer);
+        it = index.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    sender = index.empty() ? by_sender_.erase(sender) : std::next(sender);
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// view change support
+// ---------------------------------------------------------------------------
+
+void DeliveryQueue::append_local_pred(ViewId cv,
+                                      std::vector<DataMessagePtr>& out) const {
+  out.insert(out.end(), delivered_view_.begin(), delivered_view_.end());
+  for (const auto& e : entries_) {
+    if (e.data != nullptr && e.data->view() == cv) out.push_back(e.data);
+  }
+}
+
+void DeliveryQueue::reset_view() {
+  delivered_view_.clear();
+  accepted_ids_.clear();
+}
+
+}  // namespace svs::core

@@ -1,0 +1,151 @@
+// The to-deliver queue and delivered history of one SVS node, with indexed
+// semantic purging.
+//
+// Owns the Figure-1 buffers the protocol purges: the ordered to-deliver
+// queue (data entries interleaved with VIEW notifications), the delivered
+// history of the current view (retained for a possible t7 flush until
+// stability gossip collects it), and the accepted-id set spanning both.
+//
+// The purge fast path (DESIGN.md §2): for Relation::per_sender() relations a
+// covering message and its victims share a sender, so the queue maintains a
+// per-sender seq -> entry index and `purge_with`/`covered_by_accepted` visit
+// only that sender's entries — further narrowed to
+// [relation.coverage_floor(by), by.seq) — instead of scanning the whole
+// queue.  Cross-sender relations (the test-only ExplicitRelation) take the
+// reference full-scan path.  `use_index = false` forces the reference path
+// everywhere; the randomized equivalence test and the before/after bench
+// numbers rely on both paths computing identical victim sets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/observer.hpp"
+#include "core/types.hpp"
+#include "obs/relation.hpp"
+
+namespace svs::core {
+
+class DeliveryQueue {
+ public:
+  /// One slot of the to-deliver queue: either data or a view notification
+  /// ([VIEW, v] in Figure 1; exclusion is a view the node is not part of).
+  struct Entry {
+    DataMessagePtr data;       // null for view notifications
+    std::optional<View> view;  // engaged for view notifications
+  };
+
+  struct Stats {
+    std::uint64_t purged = 0;           // victims removed from the queue
+    std::uint64_t purge_scan_steps = 0; // covers() candidates examined
+    std::uint64_t cover_scan_steps = 0; // candidates examined by t3's test
+  };
+
+  DeliveryQueue(obs::RelationPtr relation, net::ProcessId self,
+                NodeObserver* observer, bool use_index = true);
+
+  DeliveryQueue(const DeliveryQueue&) = delete;
+  DeliveryQueue& operator=(const DeliveryQueue&) = delete;
+
+  // -- queue --------------------------------------------------------------
+
+  void push_data(const DataMessagePtr& m);
+  void push_view(const View& v);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t length() const { return entries_.size(); }
+  [[nodiscard]] std::size_t data_count() const { return data_count_; }
+
+  /// Pops the queue head (t1).  Data entries leave the per-sender index but
+  /// stay accepted — delivery moves a message from the queue to the
+  /// delivered history, not out of the accepted set.
+  std::optional<Entry> pop_front();
+
+  // -- accepted set (queue + delivered history) ---------------------------
+
+  [[nodiscard]] bool accepted(const MsgId& id) const {
+    return accepted_ids_.contains(id);
+  }
+
+  /// Appends a just-delivered current-view message to the retained history.
+  void record_delivered(const DataMessagePtr& m) {
+    delivered_view_.push_back(m);
+  }
+
+  [[nodiscard]] std::size_t delivered_retained() const {
+    return delivered_view_.size();
+  }
+
+  /// GC of the stable delivered prefix: removes (and un-accepts) delivered
+  /// messages with seq <= floor_of(sender).  Returns the number collected.
+  std::size_t collect_delivered(
+      const std::function<std::uint64_t(net::ProcessId)>& floor_of);
+
+  // -- semantic purging ---------------------------------------------------
+
+  /// True iff some accepted (queued or delivered) message of view `cv`
+  /// covers m — the suppression test of t3 and the flush filter of t7.
+  [[nodiscard]] bool covered_by_accepted(const DataMessage& m, ViewId cv);
+
+  /// Number of queued entries purge_with(by) would remove, without removing
+  /// them (the §5.3 capacity pre-checks of t2/t3).
+  [[nodiscard]] std::size_t count_victims(const DataMessage& by, ViewId cv);
+
+  /// purge(to-deliver) restricted to victims covered by `by` (view cv).
+  std::size_t purge_with(const DataMessagePtr& by, ViewId cv);
+
+  /// Full purge pass: removes every data entry covered by another entry of
+  /// the same view still queued (used after the t7 flush).
+  std::size_t purge_full(ViewId cv);
+
+  // -- view change support ------------------------------------------------
+
+  /// Appends {[DATA, v, d] ∈ (delivered ∪ to-deliver) : v = cv} to `out`,
+  /// in delivery order (t5's local predicate).
+  void append_local_pred(ViewId cv, std::vector<DataMessagePtr>& out) const;
+
+  /// Install-time reset: clears the delivered history and the accepted set.
+  /// Entries still queued (remnants of the superseded view, including
+  /// just-flushed messages) stay to be consumed and stay indexed — purging
+  /// relates messages by view equality, so remnants drop out of every scan
+  /// that targets the new view on their own.
+  void reset_view();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const obs::Relation& relation() const { return *relation_; }
+  [[nodiscard]] bool indexed() const { return use_index_; }
+
+ private:
+  using List = std::list<Entry>;
+  /// seq -> queue entry, ordered so coverage_floor range scans are cheap.
+  using SenderIndex = std::map<std::uint64_t, List::iterator>;
+
+  void index_insert(const DataMessagePtr& m, List::iterator it);
+  void index_erase(const DataMessage& m);
+  /// Removes a queued data entry: observer hook, index, accepted set.
+  List::iterator erase_entry(List::iterator it, const DataMessagePtr& by);
+  [[nodiscard]] bool fast_path() const {
+    return use_index_ && relation_->per_sender();
+  }
+
+  obs::RelationPtr relation_;
+  net::ProcessId self_;
+  NodeObserver* observer_;  // optional, not owned
+  bool use_index_;
+
+  List entries_;
+  std::size_t data_count_ = 0;  // data entries in entries_
+  std::unordered_map<net::ProcessId, SenderIndex> by_sender_;
+  std::vector<DataMessagePtr> delivered_view_;  // delivered with view == cv
+  std::unordered_set<MsgId> accepted_ids_;  // ids queued or delivered
+  Stats stats_;
+};
+
+}  // namespace svs::core

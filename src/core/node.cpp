@@ -15,6 +15,8 @@ Node::Node(sim::Simulator& simulator, net::Network& network,
       config_(std::move(config)),
       observer_(observer),
       view_(std::move(initial)),
+      queue_(config_.relation, self, observer,
+             config_.indexed_delivery_queue),
       consensus_mux_(self) {
   SVS_REQUIRE(config_.relation != nullptr, "a relation oracle is required");
   SVS_REQUIRE(view_.contains(self_), "initial view must contain this node");
@@ -24,7 +26,7 @@ Node::Node(sim::Simulator& simulator, net::Network& network,
   fd_.subscribe([this] { try_propose(); });
   // The first view notification, so applications always learn membership
   // from the delivery stream.
-  to_deliver_.push_back(QueueEntry{nullptr, view_});
+  queue_.push_view(view_);
 }
 
 // ---------------------------------------------------------------------------
@@ -32,29 +34,26 @@ Node::Node(sim::Simulator& simulator, net::Network& network,
 // ---------------------------------------------------------------------------
 
 std::optional<Delivery> Node::try_deliver() {
-  if (to_deliver_.empty()) return std::nullopt;
-  QueueEntry entry = std::move(to_deliver_.front());
-  to_deliver_.pop_front();
+  auto entry = queue_.pop_front();
+  if (!entry.has_value()) return std::nullopt;
 
-  if (entry.data != nullptr) {
-    SVS_ASSERT(data_count_ > 0, "data count out of sync with queue");
-    --data_count_;
+  if (entry->data != nullptr) {
     ++stats_.delivered_data;
-    if (entry.data->view() == view_.id()) {
-      delivered_view_.push_back(entry.data);
+    if (entry->data->view() == view_.id()) {
+      queue_.record_delivered(entry->data);
     } else {
-      // Remnant of a previous view (its id left accepted_ids_ at install).
+      // Remnant of a previous view (its id left the accepted set at install).
     }
     if (config_.delivery_capacity != 0) {
       net_.resume(self_);   // space freed: stalled links may retry
       notify_unblocked();   // the producer's self-copy may fit now
     }
-    if (observer_ != nullptr) observer_->on_deliver(self_, entry.data);
-    return Delivery{DataDelivery{std::move(entry.data)}};
+    if (observer_ != nullptr) observer_->on_deliver(self_, entry->data);
+    return Delivery{DataDelivery{std::move(entry->data)}};
   }
 
-  SVS_ASSERT(entry.view.has_value(), "queue entry is neither data nor view");
-  const View& v = *entry.view;
+  SVS_ASSERT(entry->view.has_value(), "queue entry is neither data nor view");
+  const View& v = *entry->view;
   if (v.contains(self_)) {
     if (observer_ != nullptr) observer_->on_install(self_, v);
     return Delivery{ViewDelivery{v}};
@@ -69,7 +68,7 @@ std::optional<Delivery> Node::try_deliver() {
 // ---------------------------------------------------------------------------
 
 bool Node::can_multicast() const {
-  if (blocked_ || excluded_ || !view_.contains(self_)) return false;
+  if (change_.blocked() || excluded_ || !view_.contains(self_)) return false;
   if (config_.out_capacity != 0) {
     for (const auto peer : view_.members()) {
       if (peer == self_) continue;
@@ -77,7 +76,7 @@ bool Node::can_multicast() const {
     }
   }
   if (config_.delivery_capacity != 0 &&
-      data_count_ + 1 > config_.delivery_capacity) {
+      queue_.data_count() + 1 > config_.delivery_capacity) {
     return false;
   }
   return true;
@@ -85,7 +84,7 @@ bool Node::can_multicast() const {
 
 std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
                                              obs::Annotation annotation) {
-  if (blocked_ || excluded_ || !view_.contains(self_)) {
+  if (change_.blocked() || excluded_ || !view_.contains(self_)) {
     ++stats_.multicast_blocked;
     return std::nullopt;
   }
@@ -125,15 +124,10 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
   }
   std::size_t self_victims = 0;
   if (config_.purge_delivery_queue) {
-    for (const auto& e : to_deliver_) {
-      if (e.data != nullptr && e.data->view() == m->view() &&
-          config_.relation->covers(m->ref(), e.data->ref())) {
-        ++self_victims;
-      }
-    }
+    self_victims = queue_.count_victims(*m, view_.id());
   }
   if (config_.delivery_capacity != 0 &&
-      data_count_ + 1 - self_victims > config_.delivery_capacity) {
+      queue_.data_count() + 1 - self_victims > config_.delivery_capacity) {
     ++stats_.multicast_blocked;
     return std::nullopt;
   }
@@ -149,10 +143,8 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
   // addToTail(to-deliver, m); purge(to-deliver) — the sender delivers its
   // own messages, so they are flushed to others if it survives into the
   // next view.
-  if (config_.purge_delivery_queue) purge_queue_with(m);
-  to_deliver_.push_back(QueueEntry{m, std::nullopt});
-  ++data_count_;
-  accepted_ids_.insert(m->id());
+  if (config_.purge_delivery_queue) queue_.purge_with(m, view_.id());
+  queue_.push_data(m);
   note_seen(*m);
   notify_deliverable();
   return m->seq();
@@ -171,7 +163,7 @@ bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
     ++stats_.stale_view_drops;
     return true;
   }
-  if (blocked_ || m->view().value() > view_.id().value()) {
+  if (change_.blocked() || m->view().value() > view_.id().value()) {
     // Blocked (t3's ¬blocked guard) or sent in a view this node has not
     // installed yet: leave it in the channel until the view change settles.
     ++stats_.refused_data;
@@ -179,11 +171,11 @@ bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
   }
 
   SVS_ASSERT(view_.contains(from), "DATA in cv from a non-member");
-  SVS_ASSERT(!accepted_ids_.contains(m->id()),
+  SVS_ASSERT(!queue_.accepted(m->id()),
              "FIFO channels must not deliver duplicates");
 
   // t3's test: already covered by an accepted message?
-  if (covered_by_accepted(*m)) {
+  if (queue_.covered_by_accepted(*m, view_.id())) {
     ++stats_.suppressed_obsolete;
     note_seen(*m);
     return true;  // consumed; never enters the queue
@@ -192,32 +184,23 @@ bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
   // Count the space its purging would free before checking capacity.
   std::size_t victims = 0;
   if (config_.purge_delivery_queue) {
-    for (const auto& e : to_deliver_) {
-      if (e.data != nullptr && e.data->view() == m->view() &&
-          config_.relation->covers(m->ref(), e.data->ref())) {
-        ++victims;
-      }
-    }
+    victims = queue_.count_victims(*m, view_.id());
   }
   if (config_.delivery_capacity != 0 &&
-      data_count_ + 1 - victims > config_.delivery_capacity) {
+      queue_.data_count() + 1 - victims > config_.delivery_capacity) {
     ++stats_.refused_data;
     return false;  // ceases to accept from the network (§5.3)
   }
 
-  if (victims > 0) purge_queue_with(m);
-  to_deliver_.push_back(QueueEntry{m, std::nullopt});
-  ++data_count_;
-  accepted_ids_.insert(m->id());
+  if (victims > 0) queue_.purge_with(m, view_.id());
+  queue_.push_data(m);
   note_seen(*m);
   notify_deliverable();
   return true;
 }
 
 void Node::note_seen(const DataMessage& m) {
-  auto& high = seen_seq_[m.sender()];
-  high = std::max(high, m.seq());
-  stability_dirty_ = true;
+  stability_.note_seen(m.sender(), m.seq());
   arm_stability_gossip();
 }
 
@@ -238,11 +221,10 @@ void Node::arm_stability_gossip() {
 }
 
 void Node::gossip_stability() {
-  if (excluded_ || !stability_dirty_) return;  // quiesce until new traffic
-  stability_dirty_ = false;
-  StabilityMessage::Seen seen(seen_seq_.begin(), seen_seq_.end());
-  const auto m =
-      std::make_shared<StabilityMessage>(view_.id(), std::move(seen));
+  if (excluded_ || !stability_.dirty()) return;  // quiesce until new traffic
+  stability_.clear_dirty();
+  const auto m = std::make_shared<StabilityMessage>(view_.id(),
+                                                    stability_.snapshot());
   for (const auto p : view_.members()) {
     if (p != self_) net_.send(self_, p, m, net::Lane::control);
   }
@@ -252,130 +234,28 @@ void Node::gossip_stability() {
 void Node::handle_stability(net::ProcessId from,
                             const std::shared_ptr<const StabilityMessage>& m) {
   if (excluded_ || m->view() != view_.id()) return;  // stale or early; drop
-  auto& vector = peer_seen_[from];
-  for (const auto& [sender, seq] : m->seen()) {
-    auto& high = vector[sender];
-    high = std::max(high, seq);
-  }
+  stability_.merge_report(from, m->seen());
   collect_stable();
 }
 
 void Node::collect_stable() {
-  if (delivered_view_.empty()) return;
+  if (queue_.delivered_retained() == 0) return;
   // A message is stable once every current member has received it.  Any
   // member that has not reported yet (or a crashed one whose reports
   // stopped) holds the floor down — stability then waits for the view
   // change that excludes it, as in a real group stack.
-  const auto floor_of = [this](net::ProcessId sender) {
-    const auto own = seen_seq_.find(sender);
-    std::uint64_t floor =
-        own == seen_seq_.end() ? 0 : own->second;
-    for (const auto p : view_.members()) {
-      if (p == self_) continue;
-      const auto vec = peer_seen_.find(p);
-      if (vec == peer_seen_.end()) return std::uint64_t{0};
-      const auto it = vec->second.find(sender);
-      const std::uint64_t reported =
-          it == vec->second.end() ? 0 : it->second;
-      floor = std::min(floor, reported);
-    }
-    return floor;
-  };
-
-  std::map<net::ProcessId, std::uint64_t> floors;
-  const std::size_t before = delivered_view_.size();
-  std::erase_if(delivered_view_, [&](const DataMessagePtr& m) {
-    const auto [it, inserted] = floors.emplace(m->sender(), 0);
-    if (inserted) it->second = floor_of(m->sender());
-    if (m->seq() > it->second) return false;
-    remove_from_accepted(m->id());
-    return true;
-  });
-  stats_.stability_gcs += before - delivered_view_.size();
+  stats_.stability_gcs +=
+      queue_.collect_delivered([this](net::ProcessId sender) {
+        return stability_.floor_of(sender, view_, self_);
+      });
 }
-
-bool Node::covered_by_accepted(const DataMessage& m) const {
-  const auto covers = [&](const DataMessagePtr& candidate) {
-    return candidate->view() == m.view() &&
-           config_.relation->covers(candidate->ref(), m.ref());
-  };
-  // Per-sender relations need a covering message from the same sender with
-  // a higher sequence number.  FIFO channels deliver per-sender seqs in
-  // order, so everything delivered from m's sender is below m's seq (at t7
-  // the high-water filter already removed candidates at or below it) —
-  // scanning the unbounded delivered history would never match.  Only
-  // cross-sender relations (e.g. the test-only ExplicitRelation) require
-  // the full scan.
-  if (!config_.relation->per_sender()) {
-    for (const auto& d : delivered_view_) {
-      if (covers(d)) return true;
-    }
-  }
-  for (const auto& e : to_deliver_) {
-    if (e.data != nullptr && covers(e.data)) return true;
-  }
-  return false;
-}
-
-std::size_t Node::purge_queue_with(const DataMessagePtr& by) {
-  std::size_t removed = 0;
-  for (auto it = to_deliver_.begin(); it != to_deliver_.end();) {
-    if (it->data != nullptr && it->data->view() == by->view() &&
-        config_.relation->covers(by->ref(), it->data->ref())) {
-      if (observer_ != nullptr) observer_->on_purge(self_, it->data, by);
-      remove_from_accepted(it->data->id());
-      it = to_deliver_.erase(it);
-      --data_count_;
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  stats_.purged_delivery += removed;
-  return removed;
-}
-
-std::size_t Node::purge_queue_full() {
-  // purge(S): remove every data entry covered by another entry of the same
-  // view still in S.  Quadratic over a queue that is at most a few dozen
-  // entries long (§5.3 buffer sizes).
-  std::size_t removed = 0;
-  for (auto it = to_deliver_.begin(); it != to_deliver_.end();) {
-    bool covered = false;
-    if (it->data != nullptr) {
-      for (const auto& other : to_deliver_) {
-        if (other.data != nullptr && other.data != it->data &&
-            other.data->view() == it->data->view() &&
-            config_.relation->covers(other.data->ref(), it->data->ref())) {
-          if (observer_ != nullptr) {
-            observer_->on_purge(self_, it->data, other.data);
-          }
-          covered = true;
-          break;
-        }
-      }
-    }
-    if (covered) {
-      remove_from_accepted(it->data->id());
-      it = to_deliver_.erase(it);
-      --data_count_;
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  stats_.purged_delivery += removed;
-  return removed;
-}
-
-void Node::remove_from_accepted(const MsgId& id) { accepted_ids_.erase(id); }
 
 // ---------------------------------------------------------------------------
 // t4 — trigger view change
 // ---------------------------------------------------------------------------
 
 bool Node::request_view_change(const std::vector<net::ProcessId>& leave) {
-  if (blocked_ || excluded_) return false;
+  if (change_.blocked() || excluded_) return false;
   ++stats_.view_changes_initiated;
   const auto init = std::make_shared<InitMessage>(view_.id(), leave);
   for (const auto p : view_.members()) {
@@ -393,24 +273,18 @@ void Node::handle_init(net::ProcessId from,
   if (excluded_) return;
   if (m->view().value() < view_.id().value()) return;  // superseded
   if (m->view().value() > view_.id().value()) {
-    pending_control_[m->view().value()].emplace_back(from, m);
+    change_.defer(m->view().value(), from, m);
     return;
   }
-  if (blocked_) return;  // only the first INIT of a view is acted upon
+  if (change_.blocked()) return;  // only the first INIT is acted upon
 
-  change_started_ = sim_.now();
+  change_.begin(*m, view_, sim_.now());
 
   // Forward so every correct process initiates (t5).
   if (from != self_) {
     for (const auto p : view_.members()) {
       net_.send(self_, p, m, net::Lane::control);
     }
-  }
-
-  blocked_ = true;
-  leave_.clear();
-  for (const auto p : m->leave()) {
-    if (view_.contains(p)) leave_.insert(p);
   }
 
   const auto pred = std::make_shared<PredMessage>(view_.id(), local_pred());
@@ -427,12 +301,8 @@ void Node::handle_init(net::ProcessId from,
 
 std::vector<DataMessagePtr> Node::local_pred() const {
   // {[DATA, v, d] ∈ (delivered ∪ to-deliver) : v = cv}, in delivery order.
-  std::vector<DataMessagePtr> result = delivered_view_;
-  for (const auto& e : to_deliver_) {
-    if (e.data != nullptr && e.data->view() == view_.id()) {
-      result.push_back(e.data);
-    }
-  }
+  std::vector<DataMessagePtr> result;
+  queue_.append_local_pred(view_.id(), result);
   return result;
 }
 
@@ -445,13 +315,10 @@ void Node::handle_pred(net::ProcessId from,
   if (excluded_) return;
   if (m->view().value() < view_.id().value()) return;
   if (m->view().value() > view_.id().value()) {
-    pending_control_[m->view().value()].emplace_back(from, m);
+    change_.defer(m->view().value(), from, m);
     return;
   }
-  for (const auto& msg : m->accepted()) {
-    global_pred_.emplace(msg->id(), msg);
-  }
-  pred_received_.insert(from);
+  change_.add_pred(from, *m);
   try_propose();
 }
 
@@ -460,29 +327,12 @@ void Node::handle_pred(net::ProcessId from,
 // ---------------------------------------------------------------------------
 
 void Node::try_propose() {
-  if (!blocked_ || proposed_ || excluded_) return;
-
-  // ∀p ∈ memb(v) : ¬suspects(p) ⇒ p ∈ pred-received, and a majority answered.
-  for (const auto p : view_.members()) {
-    if (!fd_.suspects(p) && !pred_received_.contains(p)) return;
-  }
-  if (pred_received_.size() <= view_.size() / 2) return;
-
-  proposed_ = true;
-  std::vector<net::ProcessId> next_members;
-  for (const auto p : pred_received_) {
-    if (!leave_.contains(p)) next_members.push_back(p);
-  }
-  std::vector<DataMessagePtr> pred_view;
-  pred_view.reserve(global_pred_.size());
-  for (const auto& [id, msg] : global_pred_) pred_view.push_back(msg);
+  if (excluded_ || !change_.ready_to_propose(view_, fd_)) return;
 
   auto* instance =
       consensus_mux_.find(consensus::InstanceId(view_.id().value()));
   SVS_ASSERT(instance != nullptr, "consensus instance must be open by t5");
-  instance->propose(std::make_shared<ProposalValue>(
-      View(view_.id().next(), std::move(next_members)),
-      std::move(pred_view)));
+  instance->propose(change_.take_proposal(view_));
 }
 
 void Node::open_consensus() {
@@ -498,7 +348,7 @@ void Node::open_consensus() {
 }
 
 void Node::install(const ProposalValue& decided) {
-  SVS_ASSERT(blocked_ && !excluded_, "install outside a view change");
+  SVS_ASSERT(change_.blocked() && !excluded_, "install outside a view change");
   SVS_ASSERT(decided.next_view().id() == view_.id().next(),
              "consensus decided a non-successor view");
 
@@ -511,25 +361,23 @@ void Node::install(const ProposalValue& decided) {
   // uses the reserved view-change space (§5.3).
   for (const auto& m : decided.pred_view()) {
     if (m->view() != view_.id()) continue;  // defensive; all should be cv
-    if (accepted_ids_.contains(m->id())) continue;
-    const auto seen = seen_seq_.find(m->sender());
-    if (seen != seen_seq_.end() && m->seq() <= seen->second) continue;
-    if (covered_by_accepted(*m)) continue;
-    to_deliver_.push_back(QueueEntry{m, std::nullopt});
-    ++data_count_;
-    accepted_ids_.insert(m->id());
+    if (queue_.accepted(m->id())) continue;
+    const auto seen = stability_.seen(m->sender());
+    if (seen.has_value() && m->seq() <= *seen) continue;
+    if (queue_.covered_by_accepted(*m, view_.id())) continue;
+    queue_.push_data(m);
     note_seen(*m);
     ++stats_.flushed_in;
   }
-  if (config_.purge_delivery_queue) purge_queue_full();
+  if (config_.purge_delivery_queue) queue_.purge_full(view_.id());
 
   // addToTail(to-deliver, [VIEW, next-view]).
-  to_deliver_.push_back(QueueEntry{nullptr, decided.next_view()});
+  queue_.push_view(decided.next_view());
   notify_deliverable();
 
   ++stats_.views_installed;
   stats_.last_flush_total = decided.pred_view().size();
-  stats_.last_change_latency = sim_.now() - change_started_;
+  stats_.last_change_latency = sim_.now() - change_.started_at();
 
   if (!decided.next_view().contains(self_)) {
     excluded_ = true;  // stays blocked; the group goes on without this node
@@ -537,16 +385,9 @@ void Node::install(const ProposalValue& decided) {
   }
 
   view_ = decided.next_view();
-  blocked_ = false;
-  proposed_ = false;
-  leave_.clear();
-  global_pred_.clear();
-  pred_received_.clear();
-  delivered_view_.clear();
-  accepted_ids_.clear();
-  seen_seq_.clear();
-  peer_seen_.clear();
-  stability_dirty_ = false;
+  change_.reset();
+  queue_.reset_view();
+  stability_.reset();
 
   // Outgoing messages of superseded views would be discarded on arrival;
   // reclaim their buffer space now (this is what frees the buffers that
@@ -564,21 +405,16 @@ void Node::install(const ProposalValue& decided) {
 
 void Node::replay_pending_control() {
   // Drop anything for superseded views, replay what targets the new view.
-  while (!pending_control_.empty()) {
-    const auto it = pending_control_.begin();
-    if (it->first > view_.id().value()) break;
-    const auto batch = std::move(it->second);
-    const bool current = it->first == view_.id().value();
-    pending_control_.erase(it);
-    if (!current) continue;
-    for (const auto& [from, message] : batch) {
-      if (const auto init =
-              std::dynamic_pointer_cast<const InitMessage>(message)) {
-        handle_init(from, init);
-      } else if (const auto pred =
-                     std::dynamic_pointer_cast<const PredMessage>(message)) {
-        handle_pred(from, pred);
-      }
+  // A replay may install a further view synchronously (a buffered
+  // decision); its own install() replays the batches that became due.
+  const auto batch = change_.take_due(view_.id().value());
+  for (const auto& [from, message] : batch) {
+    if (const auto init =
+            std::dynamic_pointer_cast<const InitMessage>(message)) {
+      handle_init(from, init);
+    } else if (const auto pred =
+                   std::dynamic_pointer_cast<const PredMessage>(message)) {
+      handle_pred(from, pred);
     }
   }
 }
@@ -650,7 +486,7 @@ void Node::notify_deliverable() {
   deliverable_notify_pending_ = true;
   sim_.schedule_after(sim::Duration::zero(), [this] {
     deliverable_notify_pending_ = false;
-    if (deliverable_callback_ != nullptr && !to_deliver_.empty()) {
+    if (deliverable_callback_ != nullptr && !queue_.empty()) {
       deliverable_callback_();
     }
   });

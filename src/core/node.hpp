@@ -21,21 +21,26 @@
 // the delivery queue bounds its data occupancy (control entries and
 // view-change flushes use reserved space); a full node refuses data from
 // the network; multicast blocks when any outgoing buffer is full.
+//
+// The Node itself is a thin transition coordinator (DESIGN.md §1): the
+// purgeable buffers live in DeliveryQueue (with the per-sender purge
+// index), the gossip GC state in StabilityTracker, and the t4–t7
+// bookkeeping in ViewChangeEngine.  The Node wires them to the network,
+// the failure detector and the consensus multiplexer.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "consensus/mux.hpp"
+#include "core/delivery_queue.hpp"
 #include "core/message.hpp"
 #include "core/observer.hpp"
+#include "core/stability_tracker.hpp"
 #include "core/types.hpp"
+#include "core/view_change_engine.hpp"
 #include "fd/failure_detector.hpp"
 #include "net/network.hpp"
 #include "obs/relation.hpp"
@@ -52,6 +57,9 @@ struct NodeConfig {
   bool purge_delivery_queue = true;
   /// Apply purging to outgoing buffers (sender-side semantic purging, [22]).
   bool purge_outgoing = true;
+  /// Use the per-sender purge index for per_sender() relations; disable to
+  /// force the reference full-scan path (before/after measurements).
+  bool indexed_delivery_queue = true;
   /// The obsolescence relation oracle.  Required.  EmptyRelation yields VS.
   obs::RelationPtr relation;
   /// Period of the stability gossip that garbage-collects the delivered
@@ -102,7 +110,7 @@ class Node final : public net::Endpoint {
   /// t1.  Down-call delivery (§3.2): pops the queue head if any.
   std::optional<Delivery> try_deliver();
 
-  [[nodiscard]] bool has_deliverable() const { return !to_deliver_.empty(); }
+  [[nodiscard]] bool has_deliverable() const { return !queue_.empty(); }
 
   /// t4.  Starts a view change removing `leave` (may be empty: a pure
   /// reconfiguration).  Returns false if a change is already in progress.
@@ -129,20 +137,29 @@ class Node final : public net::Endpoint {
 
   [[nodiscard]] net::ProcessId id() const { return self_; }
   [[nodiscard]] const View& current_view() const { return view_; }
-  [[nodiscard]] bool blocked() const { return blocked_; }
+  [[nodiscard]] bool blocked() const { return change_.blocked(); }
   [[nodiscard]] bool excluded() const { return excluded_; }
   [[nodiscard]] std::size_t delivery_queue_length() const {
-    return to_deliver_.size();
+    return queue_.length();
   }
-  [[nodiscard]] std::size_t delivery_data_count() const { return data_count_; }
+  [[nodiscard]] std::size_t delivery_data_count() const {
+    return queue_.data_count();
+  }
   /// Delivered messages of the current view still buffered for a possible
   /// view-change flush (shrinks as stability gossip collects them).
   [[nodiscard]] std::size_t delivered_retained() const {
-    return delivered_view_.size();
+    return queue_.delivered_retained();
   }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
-  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  /// Counters.  purged_delivery reads through to the DeliveryQueue, which
+  /// is the single bookkeeper of purge victims.
+  [[nodiscard]] const NodeStats& stats() const {
+    stats_.purged_delivery = queue_.stats().purged;
+    return stats_;
+  }
   [[nodiscard]] const NodeConfig& config() const { return config_; }
+  /// The purgeable buffers (purge-scan telemetry for the benches).
+  [[nodiscard]] const DeliveryQueue& delivery_queue() const { return queue_; }
 
   /// Peers whose outgoing buffer from this node is at capacity (the
   /// processes a blockage watchdog would propose to exclude).
@@ -154,13 +171,6 @@ class Node final : public net::Endpoint {
                   net::Lane lane) override;
 
  private:
-  /// One slot of the to-deliver queue: either data or a view notification
-  /// ([VIEW, v] in Figure 1; exclusion is a view the node is not part of).
-  struct QueueEntry {
-    DataMessagePtr data;        // null for view notifications
-    std::optional<View> view;   // engaged for view notifications
-  };
-
   // Figure 1 transitions (t1/t2/t4 are the public calls above).
   bool handle_data(net::ProcessId from, const DataMessagePtr& m);
   void handle_init(net::ProcessId from,
@@ -170,22 +180,10 @@ class Node final : public net::Endpoint {
   void try_propose();                       // t7 guard + consensus propose
   void install(const ProposalValue& decided);  // t7 after consensus returns
 
-  /// True iff some accepted (queued or delivered) message of the same view
-  /// covers m — the suppression test of t3 and the flush filter of t7.
-  [[nodiscard]] bool covered_by_accepted(const DataMessage& m) const;
-
-  /// purge(to-deliver) restricted to victims covered by `by` (same view).
-  /// Returns the number of entries removed.
-  std::size_t purge_queue_with(const DataMessagePtr& by);
-
-  /// Full purge pass over the queue (used after the t7 flush).
-  std::size_t purge_queue_full();
-
   /// The ordered [DATA, v, d] with v = cv in delivered ++ to-deliver (t5).
   [[nodiscard]] std::vector<DataMessagePtr> local_pred() const;
 
   void open_consensus();
-  void remove_from_accepted(const MsgId& id);
   void note_seen(const DataMessage& m);
   void arm_stability_gossip();
   void gossip_stability();
@@ -193,6 +191,7 @@ class Node final : public net::Endpoint {
                         const std::shared_ptr<const StabilityMessage>& m);
   void collect_stable();
   void notify_unblocked();
+  void notify_deliverable();
   void replay_pending_control();
 
   sim::Simulator& sim_;
@@ -203,43 +202,13 @@ class Node final : public net::Endpoint {
   NodeObserver* observer_;  // optional, not owned
 
   View view_;          // cv
-  bool blocked_ = false;
   bool excluded_ = false;
   std::uint64_t next_seq_ = 1;
 
-  std::deque<QueueEntry> to_deliver_;
-  std::size_t data_count_ = 0;  // data entries in to_deliver_
-  std::vector<DataMessagePtr> delivered_view_;  // delivered with view == cv
-  std::unordered_set<MsgId> accepted_ids_;      // ids in queue or delivered_view_
-  // Highest sequence number received (accepted or suppressed) per sender in
-  // the current view.  FIFO channels make reception contiguous, so at t7 a
-  // pred-view message at or below this mark was already received here and
-  // must not be re-added: it was delivered, or covered by something
-  // delivered/queued at the time.  This keeps the flush safe even when a
-  // compact representation (k-enum horizon, truncated enumeration) is not
-  // transitively closed.  See DESIGN.md §3.
-  std::unordered_map<net::ProcessId, std::uint64_t> seen_seq_;
-
-  // Stability tracking: latest reception vectors reported by the other
-  // members (this process's own is seen_seq_).  A delivered message whose
-  // seq is at or below every member's mark is stable and collected.
-  std::map<net::ProcessId, std::map<net::ProcessId, std::uint64_t>> peer_seen_;
+  DeliveryQueue queue_;
+  StabilityTracker stability_;
+  ViewChangeEngine change_;
   bool stability_armed_ = false;
-  bool stability_dirty_ = false;
-
-  // View-change state (reset at install).
-  std::set<net::ProcessId> leave_;
-  std::map<MsgId, DataMessagePtr> global_pred_;
-  std::set<net::ProcessId> pred_received_;
-  bool proposed_ = false;
-  sim::TimePoint change_started_{};
-
-  // INIT/PRED that arrived for views this node has not installed yet.
-  std::map<std::uint64_t,
-           std::vector<std::pair<net::ProcessId, net::MessagePtr>>>
-      pending_control_;
-
-  void notify_deliverable();
 
   consensus::Mux consensus_mux_;
   std::function<void()> unblocked_callback_;
@@ -248,7 +217,7 @@ class Node final : public net::Endpoint {
   bool deliverable_notify_pending_ = false;
   std::function<void(net::ProcessId, const net::MessagePtr&)> control_sink_;
   std::vector<std::function<void(const View&)>> install_callbacks_;
-  NodeStats stats_;
+  mutable NodeStats stats_;  // purged_delivery refreshed in stats()
 };
 
 }  // namespace svs::core

@@ -1,0 +1,55 @@
+#include "core/stability_tracker.hpp"
+
+#include <algorithm>
+
+namespace svs::core {
+
+void StabilityTracker::note_seen(net::ProcessId sender, std::uint64_t seq) {
+  auto& high = seen_seq_[sender];
+  high = std::max(high, seq);
+  dirty_ = true;
+}
+
+std::optional<std::uint64_t> StabilityTracker::seen(
+    net::ProcessId sender) const {
+  const auto it = seen_seq_.find(sender);
+  if (it == seen_seq_.end()) return std::nullopt;
+  return it->second;
+}
+
+StabilityMessage::Seen StabilityTracker::snapshot() const {
+  return StabilityMessage::Seen(seen_seq_.begin(), seen_seq_.end());
+}
+
+void StabilityTracker::merge_report(net::ProcessId from,
+                                    const StabilityMessage::Seen& seen) {
+  auto& vector = peer_seen_[from];
+  for (const auto& [sender, seq] : seen) {
+    auto& high = vector[sender];
+    high = std::max(high, seq);
+  }
+}
+
+std::uint64_t StabilityTracker::floor_of(net::ProcessId sender,
+                                         const View& view,
+                                         net::ProcessId self) const {
+  const auto own = seen_seq_.find(sender);
+  std::uint64_t floor = own == seen_seq_.end() ? 0 : own->second;
+  for (const auto p : view.members()) {
+    if (p == self) continue;
+    const auto vec = peer_seen_.find(p);
+    if (vec == peer_seen_.end()) return 0;
+    const auto it = vec->second.find(sender);
+    const std::uint64_t reported = it == vec->second.end() ? 0 : it->second;
+    floor = std::min(floor, reported);
+  }
+  return floor;
+}
+
+void StabilityTracker::reset() {
+  seen_seq_.clear();
+  peer_seen_.clear();
+  dirty_ = false;
+}
+
+}  // namespace svs::core

@@ -1,0 +1,67 @@
+// Stability tracking — the gossip GC of the delivered history (§2.1).
+//
+// Tracks this node's per-sender reception high-water marks (seen) and the
+// latest reception vectors reported by the other members of the view.  A
+// delivered message whose seq is at or below every member's mark is stable:
+// every process received it, so it can never be needed by a t7 flush again
+// and is garbage-collected from the delivered history — which is also what
+// keeps PRED messages and the agreed pred-view small.
+//
+// The tracker owns the state and the stability arithmetic; the Node owns
+// the gossip timer and the wire traffic (it knows the network and the
+// quiescence rules).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/message.hpp"
+#include "core/types.hpp"
+#include "net/types.hpp"
+
+namespace svs::core {
+
+class StabilityTracker {
+ public:
+  /// Records a reception (accepted or suppressed) of `seq` from `sender`
+  /// and marks the tracker dirty for the next gossip round.
+  void note_seen(net::ProcessId sender, std::uint64_t seq);
+
+  /// This node's high-water mark for `sender`, if any message was received.
+  [[nodiscard]] std::optional<std::uint64_t> seen(net::ProcessId sender) const;
+
+  /// Snapshot of the local reception vector, as gossiped to the peers.
+  [[nodiscard]] StabilityMessage::Seen snapshot() const;
+
+  /// Merges a peer's gossiped reception vector (marks are monotone).
+  void merge_report(net::ProcessId from, const StabilityMessage::Seen& seen);
+
+  /// Highest seq of `sender` known to be received by every member of
+  /// `view` (self included).  Any member that has not reported yet (or a
+  /// crashed one whose reports stopped) holds the floor at zero — stability
+  /// then waits for the view change that excludes it, as in a real group
+  /// stack.
+  [[nodiscard]] std::uint64_t floor_of(net::ProcessId sender, const View& view,
+                                       net::ProcessId self) const;
+
+  /// True when something was received since the last gossip (the gossip
+  /// quiesces when nothing new arrived, so idle groups go silent).
+  [[nodiscard]] bool dirty() const { return dirty_; }
+  void clear_dirty() { dirty_ = false; }
+
+  /// Install-time reset: reception marks are per-view.
+  void reset();
+
+ private:
+  // Highest sequence number received (accepted or suppressed) per sender in
+  // the current view.  FIFO channels make reception contiguous, so at t7 a
+  // pred-view message at or below this mark was already received here and
+  // must not be re-added (DESIGN.md §3).
+  std::map<net::ProcessId, std::uint64_t> seen_seq_;
+  // Latest reception vectors reported by the other members.
+  std::map<net::ProcessId, std::map<net::ProcessId, std::uint64_t>> peer_seen_;
+  bool dirty_ = false;
+};
+
+}  // namespace svs::core

@@ -1,0 +1,77 @@
+#include "core/view_change_engine.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace svs::core {
+
+void ViewChangeEngine::begin(const InitMessage& m, const View& view,
+                             sim::TimePoint now) {
+  SVS_ASSERT(!blocked_, "only the first INIT of a view begins a change");
+  blocked_ = true;
+  change_started_ = now;
+  leave_.clear();
+  for (const auto p : m.leave()) {
+    if (view.contains(p)) leave_.insert(p);
+  }
+}
+
+void ViewChangeEngine::add_pred(net::ProcessId from, const PredMessage& m) {
+  for (const auto& msg : m.accepted()) {
+    global_pred_.emplace(msg->id(), msg);
+  }
+  pred_received_.insert(from);
+}
+
+bool ViewChangeEngine::ready_to_propose(const View& view,
+                                        const fd::FailureDetector& fd) const {
+  if (!blocked_ || proposed_) return false;
+  // ∀p ∈ memb(v) : ¬suspects(p) ⇒ p ∈ pred-received, and a majority answered.
+  for (const auto p : view.members()) {
+    if (!fd.suspects(p) && !pred_received_.contains(p)) return false;
+  }
+  return pred_received_.size() > view.size() / 2;
+}
+
+std::shared_ptr<ProposalValue> ViewChangeEngine::take_proposal(
+    const View& view) {
+  SVS_ASSERT(blocked_ && !proposed_, "proposal outside a ready view change");
+  proposed_ = true;
+  std::vector<net::ProcessId> next_members;
+  for (const auto p : pred_received_) {
+    if (!leave_.contains(p)) next_members.push_back(p);
+  }
+  std::vector<DataMessagePtr> pred_view;
+  pred_view.reserve(global_pred_.size());
+  for (const auto& [id, msg] : global_pred_) pred_view.push_back(msg);
+  return std::make_shared<ProposalValue>(
+      View(view.id().next(), std::move(next_members)), std::move(pred_view));
+}
+
+void ViewChangeEngine::reset() {
+  blocked_ = false;
+  proposed_ = false;
+  leave_.clear();
+  global_pred_.clear();
+  pred_received_.clear();
+}
+
+void ViewChangeEngine::defer(std::uint64_t view_value, net::ProcessId from,
+                             net::MessagePtr message) {
+  pending_control_[view_value].emplace_back(from, std::move(message));
+}
+
+std::vector<std::pair<net::ProcessId, net::MessagePtr>>
+ViewChangeEngine::take_due(std::uint64_t view_value) {
+  std::vector<std::pair<net::ProcessId, net::MessagePtr>> due;
+  while (!pending_control_.empty()) {
+    const auto it = pending_control_.begin();
+    if (it->first > view_value) break;
+    if (it->first == view_value) due = std::move(it->second);
+    pending_control_.erase(it);
+  }
+  return due;
+}
+
+}  // namespace svs::core

@@ -1,0 +1,85 @@
+// View-change engine — the t4–t7 bookkeeping of Figure 1.
+//
+// Owns the state a view change accumulates between the first INIT and the
+// consensus decision: the blocked flag, the leave set, the global predicate
+// (union of received PREDs), the set of members that answered, and the
+// INIT/PRED messages that arrived early for views this node has not
+// installed yet.  The Node remains the transition coordinator: it sends the
+// wire messages, opens the consensus instance and applies the decided
+// installation; the engine answers the guards and builds the proposal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/types.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/message.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace svs::core {
+
+class ViewChangeEngine {
+ public:
+  /// True from the first accepted INIT until the decided view is installed
+  /// (Figure 1's blocked flag; t2/t3 are suspended while set).
+  [[nodiscard]] bool blocked() const { return blocked_; }
+  [[nodiscard]] bool proposed() const { return proposed_; }
+
+  /// t5: accept the first INIT of the current view.  Records the leave set
+  /// (restricted to current members) and stamps the start time for the
+  /// latency measurement.
+  void begin(const InitMessage& m, const View& view, sim::TimePoint now);
+
+  /// t6: fold one member's PRED into the global predicate.
+  void add_pred(net::ProcessId from, const PredMessage& m);
+
+  /// t7 guard: every unsuspected member answered and a majority answered.
+  [[nodiscard]] bool ready_to_propose(const View& view,
+                                      const fd::FailureDetector& fd) const;
+
+  /// Builds the (next-view, pred-view) consensus proposal and marks this
+  /// engine as having proposed.  Only valid when ready_to_propose().
+  [[nodiscard]] std::shared_ptr<ProposalValue> take_proposal(const View& view);
+
+  [[nodiscard]] sim::TimePoint started_at() const { return change_started_; }
+
+  /// Install-time reset (survivors only; an excluded node stays blocked).
+  void reset();
+
+  // -- early control traffic ----------------------------------------------
+
+  /// Parks an INIT/PRED that arrived for a view this node has not installed
+  /// yet (keyed by the raw view number).
+  void defer(std::uint64_t view_value, net::ProcessId from,
+             net::MessagePtr message);
+
+  /// Pops every deferred batch for views at or below `view_value`,
+  /// discarding superseded ones; returns the batch for `view_value` itself
+  /// (in arrival order), or empty when none is pending.
+  [[nodiscard]] std::vector<std::pair<net::ProcessId, net::MessagePtr>>
+  take_due(std::uint64_t view_value);
+
+  [[nodiscard]] bool has_deferred() const { return !pending_control_.empty(); }
+
+ private:
+  bool blocked_ = false;
+  bool proposed_ = false;
+  std::set<net::ProcessId> leave_;
+  std::map<MsgId, DataMessagePtr> global_pred_;
+  std::set<net::ProcessId> pred_received_;
+  sim::TimePoint change_started_{};
+
+  // INIT/PRED that arrived for views this node has not installed yet.
+  std::map<std::uint64_t,
+           std::vector<std::pair<net::ProcessId, net::MessagePtr>>>
+      pending_control_;
+};
+
+}  // namespace svs::core

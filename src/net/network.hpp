@@ -4,9 +4,12 @@
 // Model (matches §5.3): each ordered pair (from, to) has one queue per lane.
 // A queued message is still in the *sender's outgoing buffer* until the
 // receiver accepts it; acceptance is attempted once the message's
-// propagation delay has elapsed.  A receiver may refuse a data-lane message
-// ("ceases to accept further messages from the network"), which stalls the
-// link head and lets the queue — the sender's outgoing buffer — fill up.
+// propagation delay has elapsed.  Each link lane runs one delivery timer
+// that drains every message already due in a single simulator event, so a
+// burst of n same-ready messages costs one heap operation, not n.  A
+// receiver may refuse a data-lane message ("ceases to accept further
+// messages from the network"), which stalls the link head and lets the
+// queue — the sender's outgoing buffer — fill up.
 // Control-lane messages are never refused.  Bandwidth is unlimited: there is
 // no per-byte service time, only propagation delay (§5.3: "unlimited
 // bandwidth in order not to be a limiting factor").

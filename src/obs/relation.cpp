@@ -42,6 +42,25 @@ bool KEnumRelation::covers(const MessageRef& newer,
   return newer.annotation->bitmap().test(static_cast<std::size_t>(distance));
 }
 
+std::uint64_t EnumerationRelation::coverage_floor(
+    const MessageRef& newer) const {
+  if (newer.annotation == nullptr ||
+      newer.annotation->kind() != AnnotationKind::enumeration) {
+    return newer.seq;  // covers nothing
+  }
+  const auto& seqs = newer.annotation->enumerated();
+  return seqs.empty() ? newer.seq : seqs.front();  // sorted ascending
+}
+
+std::uint64_t KEnumRelation::coverage_floor(const MessageRef& newer) const {
+  if (newer.annotation == nullptr ||
+      newer.annotation->kind() != AnnotationKind::k_enum) {
+    return newer.seq;  // covers nothing
+  }
+  const std::uint64_t k = newer.annotation->bitmap().k();
+  return newer.seq > k ? newer.seq - k : 0;
+}
+
 void ExplicitRelation::add(net::ProcessId obsolete_sender,
                            std::uint64_t obsolete_seq,
                            net::ProcessId newer_sender,

@@ -49,8 +49,21 @@ class Relation {
   /// representations).  The protocol exploits this: with FIFO channels a
   /// fresh arrival has the highest seq of its sender at the receiver, so
   /// nothing already accepted can cover it and the t3 suppression test can
-  /// skip scanning the delivered history.
+  /// skip scanning the delivered history.  It is also what lets the
+  /// delivery queue index entries by sender and purge without a full scan.
   [[nodiscard]] virtual bool per_sender() const { return false; }
+
+  /// Lowest same-sender sequence number `newer` can possibly cover — the
+  /// per-sender fast path through the representations (DESIGN.md §2): an
+  /// indexed purge only visits seqs in [coverage_floor(newer), newer.seq)
+  /// instead of every entry of the sender.  Must be conservative (may
+  /// under-estimate, never over-estimate).  Only meaningful for per_sender
+  /// relations; the default claims the whole prefix.
+  [[nodiscard]] virtual std::uint64_t coverage_floor(
+      const MessageRef& newer) const {
+    (void)newer;
+    return 0;
+  }
 
   /// Human-readable name for reports.
   [[nodiscard]] virtual const char* name() const = 0;
@@ -68,6 +81,10 @@ class EmptyRelation final : public Relation {
   [[nodiscard]] bool covers(const MessageRef&,
                             const MessageRef&) const override {
     return false;
+  }
+  [[nodiscard]] std::uint64_t coverage_floor(
+      const MessageRef& newer) const override {
+    return newer.seq;  // covers nothing: the scan range is empty
   }
   [[nodiscard]] const char* name() const override { return "reliable"; }
 };
@@ -88,6 +105,8 @@ class EnumerationRelation final : public Relation {
   [[nodiscard]] bool per_sender() const override { return true; }
   [[nodiscard]] bool covers(const MessageRef& newer,
                             const MessageRef& older) const override;
+  [[nodiscard]] std::uint64_t coverage_floor(
+      const MessageRef& newer) const override;
   [[nodiscard]] const char* name() const override { return "enumeration"; }
 };
 
@@ -98,6 +117,8 @@ class KEnumRelation final : public Relation {
   [[nodiscard]] bool per_sender() const override { return true; }
   [[nodiscard]] bool covers(const MessageRef& newer,
                             const MessageRef& older) const override;
+  [[nodiscard]] std::uint64_t coverage_floor(
+      const MessageRef& newer) const override;
   [[nodiscard]] const char* name() const override { return "k-enumeration"; }
 };
 

@@ -1,16 +1,38 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace svs::sim {
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action = nullptr;
+  s.seq = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
 
 EventId Simulator::schedule_at(TimePoint when, Action action) {
   SVS_REQUIRE(when >= now_, "cannot schedule an event in the past");
   SVS_REQUIRE(action != nullptr, "event action must be callable");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq});
-  actions_.emplace(seq, std::move(action));
-  return EventId(seq);
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].action = std::move(action);
+  slots_[slot].seq = seq;
+  heap_.push_back(HeapEntry{when, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end());
+  return EventId(seq, slot);
 }
 
 EventId Simulator::schedule_after(Duration delay, Action action) {
@@ -19,24 +41,26 @@ EventId Simulator::schedule_after(Duration delay, Action action) {
 }
 
 bool Simulator::cancel(EventId id) {
-  return actions_.erase(id.seq_) != 0;
+  if (!id.valid() || id.slot_ >= slots_.size()) return false;
+  if (slots_[id.slot_].seq != id.seq_) return false;  // ran or cancelled
+  release_slot(id.slot_);  // the heap entry is skipped when it surfaces
+  return true;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    auto it = actions_.find(top.seq);
-    if (it == actions_.end()) {
-      queue_.pop();  // cancelled; discard lazily
-      continue;
-    }
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    if (slots_[top.slot].seq != top.seq) continue;  // cancelled; discard
+
     // Move the action out before running it: the action may schedule or
     // cancel other events (and even re-enter the queue).
-    Action action = std::move(it->second);
-    actions_.erase(it);
-    queue_.pop();
+    Action action = std::move(slots_[top.slot].action);
+    release_slot(top.slot);
     SVS_ASSERT(top.when >= now_, "event queue went backwards in time");
     now_ = top.when;
+    ++executed_;
     action();
     return true;
   }
@@ -54,11 +78,12 @@ std::size_t Simulator::run(std::size_t limit) {
 std::size_t Simulator::run_until(TimePoint deadline) {
   SVS_REQUIRE(deadline >= now_, "deadline must not be in the past");
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    // Peek at the earliest live event.
-    const Entry top = queue_.top();
-    if (actions_.find(top.seq) == actions_.end()) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    // Peek at the earliest live event, discarding cancelled entries.
+    const HeapEntry top = heap_.front();
+    if (slots_[top.slot].seq != top.seq) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
       continue;
     }
     if (top.when > deadline) break;

@@ -4,15 +4,21 @@
 // discrete event simulation").  Determinism guarantees: two runs with the
 // same seed and the same schedule of calls produce identical histories.
 // Ties in event time are broken by insertion sequence number.
+//
+// Hot-path representation (DESIGN.md §2): actions are InlineFunctions (no
+// heap allocation for ordinary captures) stored in a pooled slot array with
+// a free list, so scheduling and running an event never touches the
+// allocator once the pool is warm.  The binary heap carries only
+// (time, seq, slot) keys; cancellation is O(1) by bumping the slot out from
+// under its heap entry (lazy removal).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "util/contracts.hpp"
+#include "util/inline_function.hpp"
 
 namespace svs::sim {
 
@@ -25,14 +31,16 @@ class EventId {
 
  private:
   friend class Simulator;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  constexpr EventId(std::uint64_t seq, std::uint32_t slot)
+      : seq_(seq), slot_(slot) {}
   std::uint64_t seq_{0};
+  std::uint32_t slot_{0};
 };
 
 /// Single-threaded event loop over virtual time.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = util::InlineFunction<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -59,31 +67,47 @@ class Simulator {
   std::size_t run_until(TimePoint deadline);
 
   /// Events currently pending (including lazily cancelled ones).
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Total events executed over this simulator's lifetime (bench telemetry).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 
  private:
-  struct Entry {
+  struct HeapEntry {
     TimePoint when;
     std::uint64_t seq;
-    // Heap entries carry only keys; actions live in a side map so that
-    // cancel() does not have to touch the heap.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      // std::priority_queue is a max-heap; invert for earliest-first, with
-      // insertion order as deterministic tie-break.
+    std::uint32_t slot;
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      // std::push_heap builds a max-heap on <; invert for earliest-first,
+      // with insertion order as deterministic tie-break.
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  /// One pooled action cell.  seq doubles as the liveness generation: a heap
+  /// entry whose seq no longer matches its slot's was cancelled (or the slot
+  /// was recycled for a newer event) and is skipped on pop.
+  struct Slot {
+    Action action;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+
   bool step();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
 
   TimePoint now_{};
   std::uint64_t next_seq_{1};
-  std::priority_queue<Entry> queue_;
-  // seq -> action; an entry missing here was cancelled (lazy removal).
-  std::unordered_map<std::uint64_t, Action> actions_;
+  std::uint64_t executed_{0};
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace svs::sim

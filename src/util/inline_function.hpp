@@ -1,0 +1,132 @@
+// Move-only callable wrapper with small-buffer storage.
+//
+// std::function heap-allocates for captures beyond two or three words and
+// drags in copy machinery the simulator never uses.  Event actions are
+// created and destroyed millions of times per run, so they get a leaner
+// vehicle: callables whose state fits kInlineBytes live inside the wrapper
+// itself (no allocation); larger ones fall back to a single heap cell.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace svs::util {
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(std::move(other)); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) noexcept {
+    return !static_cast<bool>(f);
+  }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* self, Args&&... args);
+    // dst == nullptr: destroy the callable at src.  Otherwise move it from
+    // src's storage into dst's (and destroy the moved-from remains).
+    void (*relocate)(void* src, void* dst);
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      static constexpr VTable table{
+          [](void* self, Args&&... args) -> R {
+            return (*std::launder(static_cast<Fn*>(self)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* src, void* dst) {
+            Fn* fn = std::launder(static_cast<Fn*>(src));
+            if (dst != nullptr) ::new (dst) Fn(std::move(*fn));
+            fn->~Fn();
+          }};
+      vtable_ = &table;
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+      static constexpr VTable table{
+          [](void* self, Args&&... args) -> R {
+            return (**std::launder(static_cast<Fn**>(self)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* src, void* dst) {
+            Fn** cell = std::launder(static_cast<Fn**>(src));
+            if (dst != nullptr) {
+              ::new (dst) Fn*(*cell);
+            } else {
+              delete *cell;
+            }
+          }};
+      vtable_ = &table;
+    }
+  }
+
+  void take(InlineFunction&& other) noexcept {
+    if (other.vtable_ == nullptr) return;
+    other.vtable_->relocate(other.storage(), storage());
+    vtable_ = std::exchange(other.vtable_, nullptr);
+  }
+
+  void reset() noexcept {
+    if (vtable_ == nullptr) return;
+    vtable_->relocate(storage(), nullptr);
+    vtable_ = nullptr;
+  }
+
+  [[nodiscard]] void* storage() noexcept { return storage_; }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+};
+
+}  // namespace svs::util

@@ -1,0 +1,199 @@
+// Unit tests for the extracted protocol components: StabilityTracker (the
+// §2.1 gossip GC arithmetic) and ViewChangeEngine (the t4–t7 bookkeeping).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/stability_tracker.hpp"
+#include "core/view_change_engine.hpp"
+#include "fd/failure_detector.hpp"
+#include "obs/annotation.hpp"
+
+namespace svs::core {
+namespace {
+
+net::ProcessId pid(std::uint32_t i) { return net::ProcessId(i); }
+
+View view3() { return View(ViewId(0), {pid(0), pid(1), pid(2)}); }
+
+DataMessagePtr msg(std::uint32_t sender, std::uint64_t seq) {
+  return std::make_shared<DataMessage>(pid(sender), seq, ViewId(0),
+                                       obs::Annotation::none(), nullptr);
+}
+
+class StubDetector final : public fd::FailureDetector {
+ public:
+  [[nodiscard]] bool suspects(net::ProcessId p) const override {
+    return suspected.contains(p);
+  }
+  std::set<net::ProcessId> suspected;
+};
+
+// ---------------------------------------------------------------------------
+// StabilityTracker
+// ---------------------------------------------------------------------------
+
+TEST(StabilityTracker, HighWaterMarksAreMonotone) {
+  StabilityTracker t;
+  EXPECT_FALSE(t.seen(pid(1)).has_value());
+  t.note_seen(pid(1), 5);
+  t.note_seen(pid(1), 3);  // out-of-order report must not regress
+  EXPECT_EQ(t.seen(pid(1)), 5u);
+  EXPECT_TRUE(t.dirty());
+  t.clear_dirty();
+  EXPECT_FALSE(t.dirty());
+}
+
+TEST(StabilityTracker, FloorIsZeroUntilEveryMemberReports) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 10);
+  // Only peer 1 reported; peer 2 silent -> nothing is stable.
+  t.merge_report(pid(1), {{pid(0), 10}});
+  EXPECT_EQ(t.floor_of(pid(0), view3(), pid(0)), 0u);
+  // Peer 2 answers: the floor is the minimum over all members.
+  t.merge_report(pid(2), {{pid(0), 7}});
+  EXPECT_EQ(t.floor_of(pid(0), view3(), pid(0)), 7u);
+}
+
+TEST(StabilityTracker, FloorBoundedByOwnReception) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 4);
+  t.merge_report(pid(1), {{pid(0), 9}});
+  t.merge_report(pid(2), {{pid(0), 9}});
+  EXPECT_EQ(t.floor_of(pid(0), view3(), pid(0)), 4u);
+}
+
+TEST(StabilityTracker, PeerReportsAreMonotone) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 9);
+  t.merge_report(pid(1), {{pid(0), 8}});
+  t.merge_report(pid(1), {{pid(0), 2}});  // stale gossip must not regress
+  t.merge_report(pid(2), {{pid(0), 8}});
+  EXPECT_EQ(t.floor_of(pid(0), view3(), pid(0)), 8u);
+}
+
+TEST(StabilityTracker, SnapshotAndReset) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 1);
+  t.note_seen(pid(1), 2);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, pid(0));
+  EXPECT_EQ(snap[1].second, 2u);
+  t.reset();
+  EXPECT_FALSE(t.seen(pid(0)).has_value());
+  EXPECT_FALSE(t.dirty());
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// ViewChangeEngine
+// ---------------------------------------------------------------------------
+
+TEST(ViewChangeEngine, BeginBlocksAndFiltersLeaveSet) {
+  ViewChangeEngine e;
+  EXPECT_FALSE(e.blocked());
+  // pid(9) is not a member; the leave set keeps only current members.
+  const InitMessage init(ViewId(0), {pid(2), pid(9)});
+  e.begin(init, view3(), sim::TimePoint::origin() + sim::Duration::millis(5));
+  EXPECT_TRUE(e.blocked());
+  EXPECT_EQ(e.started_at(),
+            sim::TimePoint::origin() + sim::Duration::millis(5));
+
+  StubDetector fd;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    e.add_pred(pid(p), PredMessage(ViewId(0), {}));
+  }
+  ASSERT_TRUE(e.ready_to_propose(view3(), fd));
+  const auto proposal = e.take_proposal(view3());
+  EXPECT_EQ(proposal->next_view().id(), ViewId(1));
+  EXPECT_EQ(proposal->next_view().size(), 2u);
+  EXPECT_FALSE(proposal->next_view().contains(pid(2)));
+}
+
+TEST(ViewChangeEngine, ProposeWaitsForUnsuspectedMembers) {
+  ViewChangeEngine e;
+  e.begin(InitMessage(ViewId(0), {}), view3(), sim::TimePoint::origin());
+  StubDetector fd;
+  e.add_pred(pid(0), PredMessage(ViewId(0), {}));
+  e.add_pred(pid(1), PredMessage(ViewId(0), {}));
+  // pid(2) neither answered nor is suspected: the guard holds.
+  EXPECT_FALSE(e.ready_to_propose(view3(), fd));
+  fd.suspected.insert(pid(2));
+  EXPECT_TRUE(e.ready_to_propose(view3(), fd));
+}
+
+TEST(ViewChangeEngine, ProposeNeedsAMajority) {
+  ViewChangeEngine e;
+  e.begin(InitMessage(ViewId(0), {}), view3(), sim::TimePoint::origin());
+  StubDetector fd;
+  fd.suspected = {pid(1), pid(2)};
+  e.add_pred(pid(0), PredMessage(ViewId(0), {}));
+  // Every unsuspected member answered, but 1 of 3 is not a majority.
+  EXPECT_FALSE(e.ready_to_propose(view3(), fd));
+  e.add_pred(pid(1), PredMessage(ViewId(0), {}));
+  EXPECT_TRUE(e.ready_to_propose(view3(), fd));
+}
+
+TEST(ViewChangeEngine, GlobalPredDeduplicatesById) {
+  ViewChangeEngine e;
+  e.begin(InitMessage(ViewId(0), {}), view3(), sim::TimePoint::origin());
+  StubDetector fd;
+  const auto m = msg(0, 1);
+  e.add_pred(pid(0), PredMessage(ViewId(0), {m, msg(0, 2)}));
+  e.add_pred(pid(1), PredMessage(ViewId(0), {msg(0, 1), msg(1, 1)}));
+  e.add_pred(pid(2), PredMessage(ViewId(0), {}));
+  ASSERT_TRUE(e.ready_to_propose(view3(), fd));
+  const auto proposal = e.take_proposal(view3());
+  EXPECT_EQ(proposal->pred_view().size(), 3u);  // {0#1, 0#2, 1#1}
+  EXPECT_TRUE(e.proposed());
+  EXPECT_FALSE(e.ready_to_propose(view3(), fd));  // propose at most once
+}
+
+TEST(ViewChangeEngine, ResetClearsTheChange) {
+  ViewChangeEngine e;
+  e.begin(InitMessage(ViewId(0), {pid(2)}), view3(), sim::TimePoint::origin());
+  StubDetector fd;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    e.add_pred(pid(p), PredMessage(ViewId(0), {msg(p, 1)}));
+  }
+  (void)e.take_proposal(view3());
+  e.reset();
+  EXPECT_FALSE(e.blocked());
+  EXPECT_FALSE(e.proposed());
+
+  // A fresh change starts from scratch: no leave carry-over, empty pred.
+  const View v1(ViewId(1), {pid(0), pid(1)});
+  e.begin(InitMessage(ViewId(1), {}), v1, sim::TimePoint::origin());
+  e.add_pred(pid(0), PredMessage(ViewId(1), {}));
+  e.add_pred(pid(1), PredMessage(ViewId(1), {}));
+  ASSERT_TRUE(e.ready_to_propose(v1, fd));
+  const auto proposal = e.take_proposal(v1);
+  EXPECT_EQ(proposal->next_view().size(), 2u);
+  EXPECT_TRUE(proposal->pred_view().empty());
+}
+
+TEST(ViewChangeEngine, DeferredControlBatches) {
+  ViewChangeEngine e;
+  const auto i2 = std::make_shared<InitMessage>(ViewId(2),
+                                                std::vector<net::ProcessId>{});
+  const auto i3 = std::make_shared<InitMessage>(ViewId(3),
+                                                std::vector<net::ProcessId>{});
+  e.defer(2, pid(1), i2);
+  e.defer(3, pid(2), i3);
+  EXPECT_TRUE(e.has_deferred());
+
+  // Batches for superseded views are dropped; the due batch is returned.
+  const auto due = e.take_due(2);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].first, pid(1));
+  EXPECT_TRUE(e.has_deferred());  // view 3 still parked
+  const auto later = e.take_due(4);
+  EXPECT_TRUE(later.empty());  // view 3's batch was below 4: dropped
+  EXPECT_FALSE(e.has_deferred());
+}
+
+}  // namespace
+}  // namespace svs::core
