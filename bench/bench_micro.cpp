@@ -219,6 +219,94 @@ double purge_steps_per_arrival(bool indexed, std::size_t length) {
          kArrivals;
 }
 
+/// Broadcast fan-out cost vs group size: one producer flooding a group of
+/// n, full delivery at every member.  On the dense-registry path the cost
+/// per destination (send + queue + delivery) must stay flat as n grows —
+/// the O(1)-per-destination claim of the flat link table.  Also reports
+/// simulator events per multicast (≈ linear in n by construction: n
+/// deliveries happen regardless; what must not grow is the *wall cost per
+/// destination*).
+bench::JsonObject measure_fanout(std::size_t n) {
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = n;
+  cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+  cfg.auto_membership = false;
+  // Stability gossip is all-to-all by design (every member reports to every
+  // other); it would put an O(n²)-messages term on top of the O(n) fan-out
+  // this micro isolates.  Disabled here; the gossip's own cost is exercised
+  // by the figure benches.
+  cfg.node.stability_interval = sim::Duration::zero();
+  core::Group group(sim, cfg);
+  const auto payload = std::make_shared<NullPayload>();
+  // Keep total deliveries roughly constant across sizes so every row costs
+  // similar wall time.
+  const int multicasts = static_cast<int>(96'000 / n);
+  const bench::WallClock wall;
+  for (int i = 0; i < multicasts; ++i) {
+    group.node(0).multicast(payload, obs::Annotation::none());
+    sim.run();
+    for (std::size_t d = 0; d < n; ++d) {
+      while (group.node(d).try_deliver().has_value()) {
+      }
+    }
+  }
+  const double seconds = wall.seconds();
+  const double destinations =
+      static_cast<double>(multicasts) * static_cast<double>(n - 1);
+  bench::JsonObject o;
+  o.add("group_size", static_cast<double>(n))
+      .add("multicasts", static_cast<double>(multicasts))
+      .add("wall_seconds", seconds)
+      .add("ns_per_destination", seconds * 1e9 / destinations)
+      .add("events_per_multicast",
+           static_cast<double>(sim.executed()) / multicasts)
+      .add("events_per_second",
+           seconds > 0.0 ? static_cast<double>(sim.executed()) / seconds
+                         : 0.0);
+  return o;
+}
+
+/// Transport-layer fan-out cost: Network::multicast into accept-all sinks,
+/// no protocol above.  Isolates the dense-registry send path — resolving
+/// the sender row once and enqueueing per destination must cost the same
+/// at n = 64 as at n = 4.
+bench::JsonObject measure_net_fanout(std::size_t n) {
+  class AcceptAll final : public net::Endpoint {
+   public:
+    bool on_message(net::ProcessId, const net::MessagePtr&,
+                    net::Lane) override {
+      return true;
+    }
+  };
+  sim::Simulator sim;
+  net::Network network(sim, {});
+  std::vector<AcceptAll> sinks(n);
+  std::vector<net::ProcessId> pids;
+  pids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pids.push_back(net::ProcessId(static_cast<std::uint32_t>(i)));
+    network.attach(pids[i], sinks[i]);
+  }
+  const auto m = std::make_shared<core::DataMessage>(
+      pids[0], 1, core::ViewId(0), obs::Annotation::none(), nullptr);
+  const int multicasts = static_cast<int>(256'000 / n);
+  const bench::WallClock wall;
+  for (int i = 0; i < multicasts; ++i) {
+    network.multicast(pids[0], pids, m, net::Lane::data);
+    sim.run();
+  }
+  const double seconds = wall.seconds();
+  const double destinations =
+      static_cast<double>(multicasts) * static_cast<double>(n - 1);
+  bench::JsonObject o;
+  o.add("group_size", static_cast<double>(n))
+      .add("multicasts", static_cast<double>(multicasts))
+      .add("wall_seconds", seconds)
+      .add("ns_per_destination", seconds * 1e9 / destinations);
+  return o;
+}
+
 /// End-to-end event throughput: a 5-node group flooding multicasts,
 /// reported as simulator events per wall second.
 bench::JsonObject measure_events_per_second() {
@@ -269,9 +357,17 @@ int main(int argc, char** argv) {
                      .add("full_scan_steps_per_arrival",
                           purge_steps_per_arrival(false, length)));
   }
+  svs::bench::JsonArray fanout;
+  svs::bench::JsonArray net_fanout;
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    fanout.push(measure_fanout(n));
+    net_fanout.push(measure_net_fanout(n));
+  }
   svs::bench::JsonObject payload;
   payload.add("bench", "micro")
       .raw("purge_scaling", scaling.render())
+      .raw("fanout_scaling", fanout.render())
+      .raw("net_fanout_scaling", net_fanout.render())
       .raw("multicast_flood", measure_events_per_second().render())
       .add("wall_seconds", wall.seconds());
   svs::bench::write_bench_json("micro", payload);

@@ -6,9 +6,12 @@ namespace svs::app {
 
 void ItemTable::apply(const core::Delivery& delivery) {
   if (const auto* data = std::get_if<core::DataDelivery>(&delivery)) {
-    const auto op = std::dynamic_pointer_cast<const workload::ItemOp>(
-        data->message->payload());
-    SVS_REQUIRE(op != nullptr, "ItemTable expects ItemOp payloads");
+    const auto& payload = data->message->payload();
+    SVS_REQUIRE(payload != nullptr &&
+                    payload->payload_kind() == workload::ItemOp::kPayloadKind,
+                "ItemTable expects ItemOp payloads");
+    const auto op =
+        std::static_pointer_cast<const workload::ItemOp>(payload);
     pending_.push_back(op);
     if (op->commit()) {
       for (const auto& p : pending_) apply_op(*p);

@@ -31,7 +31,8 @@ class ConsensusMessage final : public net::Message {
  public:
   ConsensusMessage(InstanceId instance, Round round, Phase phase,
                    ValuePtr value, Round timestamp)
-      : instance_(instance),
+      : net::Message(net::MessageType::consensus),
+        instance_(instance),
         round_(round),
         phase_(phase),
         value_(std::move(value)),

@@ -27,9 +27,9 @@ Instance& Mux::open(net::Network& network, fd::FailureDetector& detector,
 }
 
 bool Mux::on_message(net::ProcessId from, const net::MessagePtr& message) {
+  if (message->type() != net::MessageType::consensus) return false;
   const auto consensus_message =
-      std::dynamic_pointer_cast<const ConsensusMessage>(message);
-  if (consensus_message == nullptr) return false;
+      std::static_pointer_cast<const ConsensusMessage>(message);
 
   const InstanceId id = consensus_message->instance();
   const auto it = instances_.find(id);

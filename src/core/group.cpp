@@ -44,8 +44,7 @@ Group::Group(sim::Simulator& simulator, Config config) : sim_(simulator) {
       auto* hb = heartbeats[i];
       nodes_[i]->set_control_sink(
           [hb](net::ProcessId from, const net::MessagePtr& message) {
-            if (std::dynamic_pointer_cast<const fd::HeartbeatMessage>(
-                    message) != nullptr) {
+            if (message->type() == net::MessageType::heartbeat) {
               hb->on_heartbeat(from);
             }
           });

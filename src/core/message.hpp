@@ -27,6 +27,11 @@ class Payload {
   virtual ~Payload() = default;
 
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Application-level decode tag (the data-lane analogue of
+  /// net::MessageType, so consumers dispatch without RTTI).  0 is reserved
+  /// for opaque payloads; applications claim small positive values.
+  [[nodiscard]] virtual std::uint32_t payload_kind() const { return 0; }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
@@ -37,7 +42,8 @@ class DataMessage final : public net::Message {
  public:
   DataMessage(net::ProcessId sender, std::uint64_t seq, ViewId view,
               obs::Annotation annotation, PayloadPtr payload)
-      : sender_(sender),
+      : net::Message(net::MessageType::data, seq),
+        sender_(sender),
         seq_(seq),
         view_(view),
         annotation_(std::move(annotation)),
@@ -73,7 +79,9 @@ using DataMessagePtr = std::shared_ptr<const DataMessage>;
 class InitMessage final : public net::Message {
  public:
   InitMessage(ViewId view, std::vector<net::ProcessId> leave)
-      : view_(view), leave_(std::move(leave)) {}
+      : net::Message(net::MessageType::init),
+        view_(view),
+        leave_(std::move(leave)) {}
 
   [[nodiscard]] ViewId view() const { return view_; }
   [[nodiscard]] const std::vector<net::ProcessId>& leave() const {
@@ -95,7 +103,9 @@ class InitMessage final : public net::Message {
 class PredMessage final : public net::Message {
  public:
   PredMessage(ViewId view, std::vector<DataMessagePtr> accepted)
-      : view_(view), accepted_(std::move(accepted)) {}
+      : net::Message(net::MessageType::pred),
+        view_(view),
+        accepted_(std::move(accepted)) {}
 
   [[nodiscard]] ViewId view() const { return view_; }
   [[nodiscard]] const std::vector<DataMessagePtr>& accepted() const {
@@ -124,13 +134,21 @@ class StabilityMessage final : public net::Message {
   using Seen = std::vector<std::pair<net::ProcessId, std::uint64_t>>;
 
   StabilityMessage(ViewId view, Seen seen)
-      : view_(view), seen_(std::move(seen)) {}
+      : net::Message(net::MessageType::stability),
+        view_(view),
+        seen_(std::move(seen)) {}
 
   [[nodiscard]] ViewId view() const { return view_; }
   [[nodiscard]] const Seen& seen() const { return seen_; }
 
+  /// Wire model shared by wire_size() and the delta-gossip savings credit
+  /// (Node::gossip_stability): header + 10 bytes per (sender, seq) entry.
+  [[nodiscard]] static std::size_t wire_size_for(std::size_t entries) {
+    return 10 + 10 * entries;
+  }
+
   [[nodiscard]] std::size_t wire_size() const override {
-    return 10 + 10 * seen_.size();
+    return wire_size_for(seen_.size());
   }
 
  private:

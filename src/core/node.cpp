@@ -92,31 +92,20 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
   const auto m = std::make_shared<DataMessage>(
       self_, next_seq_, view_.id(), std::move(annotation), std::move(payload));
 
-  // Sender-side semantic purging ([22], enabled for the semantic protocol):
-  // enqueueing a new message evicts the messages it covers from the
-  // outgoing buffers, which is what lets a slow receiver's buffer drain
-  // without being consumed.
-  if (config_.purge_outgoing) {
-    for (const auto peer : view_.members()) {
-      if (peer == self_) continue;
-      net_.purge_outgoing_to(
-          self_, peer, [this, &m](const net::MessagePtr& queued) {
-            const auto dm =
-                std::dynamic_pointer_cast<const DataMessage>(queued);
-            if (dm == nullptr || dm->view() != m->view()) return false;
-            if (!config_.relation->covers(m->ref(), dm->ref())) return false;
-            if (observer_ != nullptr) observer_->on_purge(self_, dm, m);
-            return true;
-          });
-    }
-  }
-
-  // Flow control (§5.3): a full outgoing buffer towards any member, or a
-  // full local delivery queue, blocks the producer.
+  // Flow control (§5.3) first: a full outgoing buffer towards any member,
+  // or a full local delivery queue, blocks the producer.  Admission
+  // accounts for the space this message's own purging would free, but only
+  // *counts* — nothing is evicted before the commit point below, so a
+  // refused multicast leaves every buffer intact and the messages the
+  // never-sent covering message would have obsoleted still flow.
   if (config_.out_capacity != 0) {
     for (const auto peer : view_.members()) {
       if (peer == self_) continue;
-      if (net_.data_backlog(self_, peer) >= config_.out_capacity) {
+      const std::size_t backlog = net_.data_backlog(self_, peer);
+      if (backlog < config_.out_capacity) continue;
+      const std::size_t victims =
+          config_.purge_outgoing ? count_outgoing_victims(peer, *m) : 0;
+      if (backlog - victims >= config_.out_capacity) {
         ++stats_.multicast_blocked;
         return std::nullopt;
       }
@@ -136,10 +125,20 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
   ++next_seq_;
   ++stats_.multicasts;
   if (observer_ != nullptr) observer_->on_multicast(self_, m);
-  for (const auto peer : view_.members()) {
-    if (peer == self_) continue;
-    net_.send(self_, peer, m, net::Lane::data);
+
+  // Sender-side semantic purging ([22], enabled for the semantic protocol):
+  // enqueueing a new message evicts the messages it covers from the
+  // outgoing buffers, which is what lets a slow receiver's buffer drain
+  // without being consumed.  The purge is windowed (DESIGN.md §2): only
+  // queued entries with seq in [coverage_floor(m), seq(m)) are visited.
+  if (config_.purge_outgoing) {
+    for (const auto peer : view_.members()) {
+      if (peer == self_) continue;
+      purge_outgoing_covered(peer, m);
+    }
   }
+
+  net_.multicast(self_, view_.members(), m, net::Lane::data);
   // addToTail(to-deliver, m); purge(to-deliver) — the sender delivers its
   // own messages, so they are flushed to others if it survives into the
   // next view.
@@ -148,6 +147,55 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
   note_seen(*m);
   notify_deliverable();
   return m->seq();
+}
+
+// ---------------------------------------------------------------------------
+// sender-side purging helpers — the windowed outgoing fast path
+// ---------------------------------------------------------------------------
+
+std::pair<std::uint64_t, std::uint64_t> Node::outgoing_purge_window(
+    const DataMessage& m) const {
+  // Per-sender relations can only cover same-sender seqs in
+  // [coverage_floor, seq); anything else may relate any two of this
+  // sender's queued messages, so the whole queue is the window.
+  if (config_.relation->per_sender()) {
+    return {config_.relation->coverage_floor(m.ref()), m.seq()};
+  }
+  return {0, std::numeric_limits<std::uint64_t>::max()};
+}
+
+bool Node::covers_outgoing(const net::MessagePtr& queued, const DataMessage& m,
+                           const obs::MessageRef& mref) const {
+  if (queued->type() != net::MessageType::data) return false;
+  const auto* dm = static_cast<const DataMessage*>(queued.get());
+  return dm->view() == m.view() && config_.relation->covers(mref, dm->ref());
+}
+
+std::size_t Node::count_outgoing_victims(net::ProcessId peer,
+                                         const DataMessage& m) {
+  const auto [floor_seq, below_seq] = outgoing_purge_window(m);
+  const auto mref = m.ref();
+  return net_.count_outgoing_window(
+      self_, peer, floor_seq, below_seq,
+      [&](const net::MessagePtr& queued) {
+        return covers_outgoing(queued, m, mref);
+      });
+}
+
+void Node::purge_outgoing_covered(net::ProcessId peer,
+                                  const DataMessagePtr& m) {
+  const auto [floor_seq, below_seq] = outgoing_purge_window(*m);
+  const auto mref = m->ref();
+  net_.purge_outgoing_window(
+      self_, peer, floor_seq, below_seq,
+      [&](const net::MessagePtr& queued) {
+        if (!covers_outgoing(queued, *m, mref)) return false;
+        if (observer_ != nullptr) {
+          observer_->on_purge(
+              self_, std::static_pointer_cast<const DataMessage>(queued), m);
+        }
+        return true;
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -222,12 +270,29 @@ void Node::arm_stability_gossip() {
 
 void Node::gossip_stability() {
   if (excluded_ || !stability_.dirty()) return;  // quiesce until new traffic
-  stability_.clear_dirty();
-  const auto m = std::make_shared<StabilityMessage>(view_.id(),
-                                                    stability_.snapshot());
-  for (const auto p : view_.members()) {
-    if (p != self_) net_.send(self_, p, m, net::Lane::control);
-  }
+  // Delta gossip: marks are monotone and merge_report is a per-entry max,
+  // so shipping only the entries that rose since the last round is
+  // equivalent to a full snapshot — O(changed) instead of O(n) bytes per
+  // peer, O(n²) -> O(changes) gossip bytes group-wide.  A receiver drops
+  // rounds sent across a view mismatch (install skew), which would lose
+  // delta entries for good, so the first rounds of a view and every
+  // kFullGossipPeriod-th thereafter ship the full vector — any dropped
+  // delta is repaired by the next full round.
+  constexpr std::uint64_t kFullGossipPeriod = 8;
+  const bool full =
+      gossip_round_ < 2 || gossip_round_ % kFullGossipPeriod == 0;
+  ++gossip_round_;
+  const std::size_t tracked = stability_.tracked_senders();
+  const auto m = std::make_shared<StabilityMessage>(
+      view_.id(),
+      full ? stability_.take_snapshot() : stability_.take_delta());
+  // Bytes a full-snapshot gossip would have cost, credited across the
+  // fan-out.
+  const std::size_t full_size = StabilityMessage::wire_size_for(tracked);
+  net_.note_gossip_bytes_saved(
+      static_cast<std::uint64_t>(full_size - m->wire_size()) *
+      (view_.size() - 1));
+  net_.multicast(self_, view_.members(), m, net::Lane::control);
   arm_stability_gossip();  // keep gossiping while traffic flows
 }
 
@@ -258,9 +323,8 @@ bool Node::request_view_change(const std::vector<net::ProcessId>& leave) {
   if (change_.blocked() || excluded_) return false;
   ++stats_.view_changes_initiated;
   const auto init = std::make_shared<InitMessage>(view_.id(), leave);
-  for (const auto p : view_.members()) {
-    net_.send(self_, p, init, net::Lane::control);
-  }
+  net_.multicast(self_, view_.members(), init, net::Lane::control,
+                 /*skip_self=*/false);
   return true;
 }
 
@@ -282,15 +346,13 @@ void Node::handle_init(net::ProcessId from,
 
   // Forward so every correct process initiates (t5).
   if (from != self_) {
-    for (const auto p : view_.members()) {
-      net_.send(self_, p, m, net::Lane::control);
-    }
+    net_.multicast(self_, view_.members(), m, net::Lane::control,
+                   /*skip_self=*/false);
   }
 
   const auto pred = std::make_shared<PredMessage>(view_.id(), local_pred());
-  for (const auto p : view_.members()) {
-    net_.send(self_, p, pred, net::Lane::control);
-  }
+  net_.multicast(self_, view_.members(), pred, net::Lane::control,
+                 /*skip_self=*/false);
 
   // Opened last: the Mux may have buffered the decision already (this node
   // can be the last to hear about the change), in which case opening the
@@ -388,13 +450,14 @@ void Node::install(const ProposalValue& decided) {
   change_.reset();
   queue_.reset_view();
   stability_.reset();
+  gossip_round_ = 0;  // per-view: early rounds ship full vectors again
 
   // Outgoing messages of superseded views would be discarded on arrival;
   // reclaim their buffer space now (this is what frees the buffers that
   // were saturated towards a crashed or expelled member).
   net_.drop_outgoing(self_, [nv = view_.id()](const net::MessagePtr& queued) {
-    const auto dm = std::dynamic_pointer_cast<const DataMessage>(queued);
-    return dm != nullptr && dm->view() != nv;
+    return queued->type() == net::MessageType::data &&
+           static_cast<const DataMessage*>(queued.get())->view() != nv;
   });
 
   for (const auto& callback : install_callbacks_) callback(view_);
@@ -409,12 +472,17 @@ void Node::replay_pending_control() {
   // decision); its own install() replays the batches that became due.
   const auto batch = change_.take_due(view_.id().value());
   for (const auto& [from, message] : batch) {
-    if (const auto init =
-            std::dynamic_pointer_cast<const InitMessage>(message)) {
-      handle_init(from, init);
-    } else if (const auto pred =
-                   std::dynamic_pointer_cast<const PredMessage>(message)) {
-      handle_pred(from, pred);
+    switch (message->type()) {
+      case net::MessageType::init:
+        handle_init(from,
+                    std::static_pointer_cast<const InitMessage>(message));
+        break;
+      case net::MessageType::pred:
+        handle_pred(from,
+                    std::static_pointer_cast<const PredMessage>(message));
+        break;
+      default:
+        SVS_UNREACHABLE("deferred control batch holds only INIT/PRED");
     }
   }
 }
@@ -425,30 +493,37 @@ void Node::replay_pending_control() {
 
 bool Node::on_message(net::ProcessId from, const net::MessagePtr& message,
                       net::Lane lane) {
+  // Switch on the wire-level type tag — one predicted branch per arrival,
+  // no RTTI probes on the receive path.
   if (lane == net::Lane::data) {
-    const auto data = std::dynamic_pointer_cast<const DataMessage>(message);
-    SVS_ASSERT(data != nullptr, "non-data message on the data lane");
-    return handle_data(from, data);
+    SVS_ASSERT(message->type() == net::MessageType::data,
+               "non-data message on the data lane");
+    return handle_data(from,
+                       std::static_pointer_cast<const DataMessage>(message));
   }
-  if (const auto init = std::dynamic_pointer_cast<const InitMessage>(message)) {
-    handle_init(from, init);
-    return true;
+  switch (message->type()) {
+    case net::MessageType::init:
+      handle_init(from, std::static_pointer_cast<const InitMessage>(message));
+      return true;
+    case net::MessageType::pred:
+      handle_pred(from, std::static_pointer_cast<const PredMessage>(message));
+      return true;
+    case net::MessageType::stability:
+      handle_stability(
+          from, std::static_pointer_cast<const StabilityMessage>(message));
+      return true;
+    case net::MessageType::consensus: {
+      const bool consumed = consensus_mux_.on_message(from, message);
+      SVS_ASSERT(consumed, "consensus traffic must be consumed by the mux");
+      return true;
+    }
+    default:
+      if (control_sink_ != nullptr) {
+        control_sink_(from, message);
+        return true;
+      }
+      SVS_UNREACHABLE("unroutable control message");
   }
-  if (const auto pred = std::dynamic_pointer_cast<const PredMessage>(message)) {
-    handle_pred(from, pred);
-    return true;
-  }
-  if (const auto stability =
-          std::dynamic_pointer_cast<const StabilityMessage>(message)) {
-    handle_stability(from, stability);
-    return true;
-  }
-  if (consensus_mux_.on_message(from, message)) return true;
-  if (control_sink_ != nullptr) {
-    control_sink_(from, message);
-    return true;
-  }
-  SVS_UNREACHABLE("unroutable control message");
 }
 
 std::vector<net::ProcessId> Node::saturated_peers() const {

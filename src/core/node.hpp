@@ -31,7 +31,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "consensus/mux.hpp"
@@ -183,6 +185,19 @@ class Node final : public net::Endpoint {
   /// The ordered [DATA, v, d] with v = cv in delivered ++ to-deliver (t5).
   [[nodiscard]] std::vector<DataMessagePtr> local_pred() const;
 
+  // Windowed sender-side purging (the outgoing analogue of the delivery
+  // queue's indexed purge): the [floor, below) order-key window `m` can
+  // possibly cover, its victim test, the admission pre-count and the
+  // post-commit eviction.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> outgoing_purge_window(
+      const DataMessage& m) const;
+  [[nodiscard]] bool covers_outgoing(const net::MessagePtr& queued,
+                                     const DataMessage& m,
+                                     const obs::MessageRef& mref) const;
+  std::size_t count_outgoing_victims(net::ProcessId peer,
+                                     const DataMessage& m);
+  void purge_outgoing_covered(net::ProcessId peer, const DataMessagePtr& m);
+
   void open_consensus();
   void note_seen(const DataMessage& m);
   void arm_stability_gossip();
@@ -209,6 +224,7 @@ class Node final : public net::Endpoint {
   StabilityTracker stability_;
   ViewChangeEngine change_;
   bool stability_armed_ = false;
+  std::uint64_t gossip_round_ = 0;  // rounds sent in the current view
 
   consensus::Mux consensus_mux_;
   std::function<void()> unblocked_callback_;

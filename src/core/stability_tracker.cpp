@@ -5,8 +5,13 @@
 namespace svs::core {
 
 void StabilityTracker::note_seen(net::ProcessId sender, std::uint64_t seq) {
-  auto& high = seen_seq_[sender];
-  high = std::max(high, seq);
+  const auto [it, inserted] = seen_seq_.try_emplace(sender, seq);
+  if (inserted) {
+    changed_.insert(sender);
+  } else if (seq > it->second) {
+    it->second = seq;
+    changed_.insert(sender);
+  }
   dirty_ = true;
 }
 
@@ -19,6 +24,23 @@ std::optional<std::uint64_t> StabilityTracker::seen(
 
 StabilityMessage::Seen StabilityTracker::snapshot() const {
   return StabilityMessage::Seen(seen_seq_.begin(), seen_seq_.end());
+}
+
+StabilityMessage::Seen StabilityTracker::take_snapshot() {
+  changed_.clear();
+  dirty_ = false;
+  return snapshot();
+}
+
+StabilityMessage::Seen StabilityTracker::take_delta() {
+  StabilityMessage::Seen delta;
+  delta.reserve(changed_.size());
+  for (const auto sender : changed_) {
+    delta.emplace_back(sender, seen_seq_.at(sender));
+  }
+  changed_.clear();
+  dirty_ = false;
+  return delta;
 }
 
 void StabilityTracker::merge_report(net::ProcessId from,
@@ -49,6 +71,7 @@ std::uint64_t StabilityTracker::floor_of(net::ProcessId sender,
 void StabilityTracker::reset() {
   seen_seq_.clear();
   peer_seen_.clear();
+  changed_.clear();
   dirty_ = false;
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "core/message.hpp"
 #include "core/types.hpp"
@@ -33,6 +34,25 @@ class StabilityTracker {
 
   /// Snapshot of the local reception vector, as gossiped to the peers.
   [[nodiscard]] StabilityMessage::Seen snapshot() const;
+
+  /// The entries whose mark changed since the previous take_delta() (or
+  /// since construction/reset) — what a gossip round actually needs to
+  /// ship, because marks are monotone and merge_report is a per-entry max.
+  /// Clears the change set and the dirty flag.  After a view install
+  /// (reset()) every subsequent mark counts as changed, so the first
+  /// post-install gossip is a full snapshot by construction.
+  [[nodiscard]] StabilityMessage::Seen take_delta();
+
+  /// Full vector variant of take_delta(): returns every mark and clears
+  /// the change set.  Periodic full rounds make the delta gossip
+  /// self-healing — a delta dropped by a receiver (e.g. for a view
+  /// mismatch during install skew) is repaired by the next full round.
+  [[nodiscard]] StabilityMessage::Seen take_snapshot();
+
+  /// Number of senders with a recorded mark (|snapshot()|, O(1)).
+  [[nodiscard]] std::size_t tracked_senders() const {
+    return seen_seq_.size();
+  }
 
   /// Merges a peer's gossiped reception vector (marks are monotone).
   void merge_report(net::ProcessId from, const StabilityMessage::Seen& seen);
@@ -61,6 +81,8 @@ class StabilityTracker {
   std::map<net::ProcessId, std::uint64_t> seen_seq_;
   // Latest reception vectors reported by the other members.
   std::map<net::ProcessId, std::map<net::ProcessId, std::uint64_t>> peer_seen_;
+  // Senders whose mark rose since the last take_delta().
+  std::set<net::ProcessId> changed_;
   bool dirty_ = false;
 };
 

@@ -23,6 +23,8 @@ namespace svs::fd {
 /// Control-lane heartbeat message.
 class HeartbeatMessage final : public net::Message {
  public:
+  HeartbeatMessage() : net::Message(net::MessageType::heartbeat) {}
+
   [[nodiscard]] std::size_t wire_size() const override {
     return 8;  // sender id + type tag, varint-encoded
   }

@@ -4,23 +4,58 @@
 // stack passing refcounted buffers), but every message reports an estimated
 // wire size so experiments can account for encoded bytes where it matters
 // (§4.2's compactness comparison).
+//
+// Every message carries a MessageType tag so receivers dispatch with a
+// switch instead of a chain of dynamic_pointer_cast probes — one byte on
+// the wire (real stacks encode exactly such a tag) buys an RTTI-free hot
+// path.  Data messages additionally expose an order key (the sender's
+// sequence number): outgoing data-lane queues are ordered by it, which is
+// what lets the network run windowed sender-side purges without knowing the
+// protocol's message classes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 namespace svs::net {
+
+/// Wire-level dispatch tag.  `other` covers traffic the core protocol does
+/// not recognise (routed to the control sink, e.g. test messages).
+enum class MessageType : std::uint8_t {
+  other = 0,
+  data,       // core::DataMessage
+  init,       // core::InitMessage
+  pred,       // core::PredMessage
+  stability,  // core::StabilityMessage
+  consensus,  // consensus::ConsensusMessage
+  heartbeat,  // fd::HeartbeatMessage
+};
 
 /// Base class for everything that travels through the network.
 class Message {
  public:
   Message() = default;
+  explicit Message(MessageType type, std::uint64_t order_key = 0)
+      : type_(type), order_key_(order_key) {}
   Message(const Message&) = delete;
   Message& operator=(const Message&) = delete;
   virtual ~Message() = default;
 
   /// Estimated size in bytes when encoded for the wire.
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Dispatch tag; receivers switch on it instead of RTTI-probing.
+  [[nodiscard]] MessageType type() const { return type_; }
+
+  /// Position of this message in its sender's data-lane FIFO order (the
+  /// sender's sequence number for data messages, 0 otherwise).  Data-lane
+  /// queues are non-decreasing in this key, enabling windowed purges.
+  [[nodiscard]] std::uint64_t order_key() const { return order_key_; }
+
+ private:
+  MessageType type_ = MessageType::other;
+  std::uint64_t order_key_ = 0;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -1,13 +1,8 @@
 #include "net/network.hpp"
 
-#include <algorithm>
 #include <utility>
 
 namespace svs::net {
-
-namespace {
-constexpr int lane_index(Lane lane) { return lane == Lane::data ? 0 : 1; }
-}  // namespace
 
 Network::Network(sim::Simulator& simulator, Config config)
     : sim_(simulator), config_(config), rng_(config.seed) {
@@ -16,28 +11,36 @@ Network::Network(sim::Simulator& simulator, Config config)
 }
 
 void Network::attach(ProcessId id, Endpoint& endpoint) {
-  const auto [it, inserted] = endpoints_.emplace(id, &endpoint);
-  (void)it;
-  SVS_REQUIRE(inserted, "endpoint already attached for this process");
+  SVS_REQUIRE(link_refs_held_ == 0,
+              "attach re-strides the link table and must not run inside a "
+              "delivery, purge or drain callback; defer it to its own event");
+  const auto raw = static_cast<std::size_t>(id.value());
+  if (raw >= dense_.size()) dense_.resize(raw + 1, -1);
+  SVS_REQUIRE(dense_[raw] < 0, "endpoint already attached for this process");
+
+  const std::uint32_t n_old = size();
+  const std::uint32_t n = n_old + 1;
+  dense_[raw] = static_cast<std::int32_t>(n_old);
+  endpoints_.push_back(&endpoint);
+  pid_of_.push_back(id);
+  crash_.emplace_back();
+  drain_observers_.emplace_back();
+
+  // Re-stride the flat link table from n_old x n_old to n x n.  Links move
+  // wholesale (queues, timers, slowdowns); scheduled attempts address links
+  // by dense indices, which are stable across the re-stride.
+  std::vector<Link> fresh(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t i = 0; i < n_old; ++i) {
+    for (std::uint32_t j = 0; j < n_old; ++j) {
+      fresh[static_cast<std::size_t>(i) * n + j] =
+          std::move(links_[static_cast<std::size_t>(i) * n_old + j]);
+    }
+  }
+  links_ = std::move(fresh);
 }
 
-Network::Link& Network::link(ProcessId from, ProcessId to) {
-  return links_[LinkKey{from, to}];
-}
-
-const Network::Link* Network::find_link(ProcessId from, ProcessId to) const {
-  const auto it = links_.find(LinkKey{from, to});
-  return it == links_.end() ? nullptr : &it->second;
-}
-
-void Network::send(ProcessId from, ProcessId to, MessagePtr message,
-                   Lane lane) {
-  SVS_REQUIRE(message != nullptr, "cannot send a null message");
-  SVS_REQUIRE(endpoints_.contains(from), "sender not attached");
-  SVS_REQUIRE(endpoints_.contains(to), "receiver not attached");
-  if (crashed_.contains(from)) return;  // crash-stop: no sends after crash
-
-  Link& l = link(from, to);
+void Network::enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
+                      MessagePtr message, Lane lane) {
   sim::Duration delay = config_.delay + l.slowdown;
   if (config_.jitter > sim::Duration::zero()) {
     delay += sim::Duration::micros(static_cast<std::int64_t>(
@@ -48,12 +51,37 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr message,
   sim::TimePoint ready = sim_.now() + delay;
   if (ready < l.last_ready[li]) ready = l.last_ready[li];
   l.last_ready[li] = ready;
-  l.queue[li].push_back(QueuedMessage{std::move(message), ready});
+  const std::uint64_t key = message->order_key();
+  l.queue[li].push_back(QueuedMessage{std::move(message), ready, key});
   ++stats_.sent;
-  schedule_attempt(from, to, l, lane);
+  schedule_attempt(fi, ti, l, lane);
 }
 
-void Network::schedule_attempt(ProcessId from, ProcessId to, Link& l,
+void Network::send(ProcessId from, ProcessId to, MessagePtr message,
+                   Lane lane) {
+  SVS_REQUIRE(message != nullptr, "cannot send a null message");
+  const std::uint32_t fi = index_of(from);
+  const std::uint32_t ti = index_of(to);
+  if (crash_[fi].crashed) return;  // crash-stop: no sends after crash
+  enqueue(fi, ti, links_[static_cast<std::size_t>(fi) * size() + ti],
+          std::move(message), lane);
+}
+
+void Network::multicast(ProcessId from,
+                        std::span<const ProcessId> destinations,
+                        const MessagePtr& message, Lane lane, bool skip_self) {
+  SVS_REQUIRE(message != nullptr, "cannot send a null message");
+  const std::uint32_t fi = index_of(from);
+  if (crash_[fi].crashed) return;
+  const std::size_t row = static_cast<std::size_t>(fi) * size();
+  for (const ProcessId to : destinations) {
+    if (skip_self && to == from) continue;
+    const std::uint32_t ti = index_of(to);
+    enqueue(fi, ti, links_[row + ti], MessagePtr(message), lane);
+  }
+}
+
+void Network::schedule_attempt(std::uint32_t fi, std::uint32_t ti, Link& l,
                                Lane lane) {
   const int li = lane_index(lane);
   if (l.pending[li].valid()) return;          // attempt already scheduled
@@ -63,11 +91,12 @@ void Network::schedule_attempt(ProcessId from, ProcessId to, Link& l,
   const sim::TimePoint when =
       std::max(sim_.now(), l.queue[li].front().ready);
   l.pending[li] = sim_.schedule_at(
-      when, [this, from, to, lane] { attempt(from, to, lane); });
+      when, [this, fi, ti, lane] { attempt(fi, ti, lane); });
 }
 
-void Network::attempt(ProcessId from, ProcessId to, Lane lane) {
-  Link& l = link(from, to);
+void Network::attempt(std::uint32_t fi, std::uint32_t ti, Lane lane) {
+  const LinkRefScope scope(*this);
+  Link& l = links_[static_cast<std::size_t>(fi) * size() + ti];
   const int li = lane_index(lane);
   l.pending[li] = sim::EventId{};
   auto& q = l.queue[li];
@@ -89,8 +118,10 @@ void Network::attempt(ProcessId from, ProcessId to, Lane lane) {
   // through the normal resume() path, so only timing shifts, not outcomes.
   std::size_t budget = q.size();
   l.in_attempt[li] = true;
+  const ProcessId from = pid_of_[fi];
+  Endpoint* const endpoint = endpoints_[ti];
   while (budget-- > 0 && !q.empty() && q.front().ready <= sim_.now()) {
-    if (crashed_.contains(to)) {
+    if (crash_[ti].crashed) {
       if (lane == Lane::control) {
         // Nobody will ever read it; discard so long runs do not accumulate.
         q.pop_front();
@@ -111,7 +142,6 @@ void Network::attempt(ProcessId from, ProcessId to, Lane lane) {
     // suppresses re-entrant scheduling; the epilogue below re-arms the link.
     QueuedMessage head = std::move(q.front());
     q.pop_front();
-    Endpoint* endpoint = endpoints_.at(to);
     const bool accepted = endpoint->on_message(from, head.message, lane);
 
     if (lane == Lane::control) {
@@ -124,29 +154,27 @@ void Network::attempt(ProcessId from, ProcessId to, Lane lane) {
       break;
     }
     ++stats_.delivered;
-    if (lane == Lane::data) notify_drain(from);
+    if (lane == Lane::data) notify_drain(fi);
   }
   l.in_attempt[li] = false;
-  schedule_attempt(from, to, l, lane);
+  schedule_attempt(fi, ti, l, lane);
 }
 
 void Network::subscribe_backlog_drain(ProcessId from,
                                       std::function<void()> observer) {
   SVS_REQUIRE(observer != nullptr, "drain observer must be callable");
-  drain_observers_[from].push_back(std::move(observer));
+  drain_observers_[index_of(from)].push_back(std::move(observer));
 }
 
-void Network::notify_drain(ProcessId from) {
-  const auto it = drain_observers_.find(from);
-  if (it == drain_observers_.end()) return;
-  for (const auto& observer : it->second) observer();
+void Network::notify_drain(std::uint32_t fi) {
+  for (const auto& observer : drain_observers_[fi]) observer();
 }
 
 void Network::crash(ProcessId id) {
-  SVS_REQUIRE(endpoints_.contains(id), "unknown process");
-  const auto [it, inserted] = crashed_.emplace(id, sim_.now());
-  (void)it;
-  if (!inserted) return;  // already crashed
+  CrashRecord& record = crash_[index_of(id)];
+  if (record.crashed) return;  // already crashed
+  record.crashed = true;
+  record.at = sim_.now();
   for (const auto& observer : crash_observers_) observer(id, sim_.now());
 }
 
@@ -156,90 +184,56 @@ void Network::subscribe_crash(
   crash_observers_.push_back(std::move(observer));
 }
 
-bool Network::is_crashed(ProcessId id) const { return crashed_.contains(id); }
+bool Network::is_crashed(ProcessId id) const {
+  const auto idx = find_index(id);
+  return idx.has_value() && crash_[*idx].crashed;
+}
 
 std::optional<sim::TimePoint> Network::crash_time(ProcessId id) const {
-  const auto it = crashed_.find(id);
-  if (it == crashed_.end()) return std::nullopt;
-  return it->second;
+  const auto idx = find_index(id);
+  if (!idx.has_value() || !crash_[*idx].crashed) return std::nullopt;
+  return crash_[*idx].at;
 }
 
 void Network::resume(ProcessId to) {
-  for (auto& [key, l] : links_) {
-    if (key.second != to || !l.stalled) continue;
+  const std::uint32_t ti = index_of(to);
+  const std::uint32_t n = size();
+  for (std::uint32_t fi = 0; fi < n; ++fi) {
+    Link& l = links_[static_cast<std::size_t>(fi) * n + ti];
+    if (!l.stalled) continue;
     l.stalled = false;
-    schedule_attempt(key.first, to, l, Lane::data);
+    schedule_attempt(fi, ti, l, Lane::data);
   }
 }
 
 std::size_t Network::data_backlog(ProcessId from, ProcessId to) const {
-  const Link* l = find_link(from, to);
-  return l == nullptr ? 0 : l->queue[lane_index(Lane::data)].size();
+  const auto fi = find_index(from);
+  const auto ti = find_index(to);
+  if (!fi.has_value() || !ti.has_value()) return 0;
+  return links_[static_cast<std::size_t>(*fi) * size() + *ti]
+      .queue[lane_index(Lane::data)]
+      .size();
 }
 
-std::size_t Network::erase_from_queue(
-    Link& l, ProcessId from, ProcessId to,
-    const std::function<bool(const MessagePtr&)>& victim,
-    bool count_as_purged) {
+void Network::reaim_if_head_removed(Link& l, std::uint32_t fi,
+                                    std::uint32_t ti, bool head_scheduled,
+                                    const Message* old_head) {
   const int li = lane_index(Lane::data);
   auto& q = l.queue[li];
-  const std::size_t before = q.size();
-  const bool head_scheduled = l.pending[li].valid();
-  const MessagePtr head = q.empty() ? nullptr : q.front().message;
-
-  std::erase_if(q, [&](const QueuedMessage& qm) { return victim(qm.message); });
-
-  const std::size_t removed = before - q.size();
-  if (removed == 0) return 0;
-  if (count_as_purged) stats_.purged_outgoing += removed;
-  notify_drain(from);
-
-  // If the scheduled head was removed, re-aim the attempt at the new head.
   const bool head_removed =
-      head != nullptr && (q.empty() || q.front().message != head);
+      old_head != nullptr && (q.empty() || q.front().message.get() != old_head);
   if (head_scheduled && head_removed) {
     sim_.cancel(l.pending[li]);
     l.pending[li] = sim::EventId{};
-    schedule_attempt(from, to, l, Lane::data);
+    schedule_attempt(fi, ti, l, Lane::data);
   }
-  return removed;
-}
-
-std::size_t Network::purge_outgoing(
-    ProcessId from, const std::function<bool(const MessagePtr&)>& victim) {
-  std::size_t total = 0;
-  for (auto& [key, l] : links_) {
-    if (key.first != from) continue;
-    total += erase_from_queue(l, key.first, key.second, victim,
-                              /*count_as_purged=*/true);
-  }
-  return total;
-}
-
-std::size_t Network::purge_outgoing_to(
-    ProcessId from, ProcessId to,
-    const std::function<bool(const MessagePtr&)>& victim) {
-  const auto it = links_.find(LinkKey{from, to});
-  if (it == links_.end()) return 0;
-  return erase_from_queue(it->second, from, to, victim,
-                          /*count_as_purged=*/true);
-}
-
-std::size_t Network::drop_outgoing(
-    ProcessId from, const std::function<bool(const MessagePtr&)>& victim) {
-  std::size_t total = 0;
-  for (auto& [key, l] : links_) {
-    if (key.first != from) continue;
-    total += erase_from_queue(l, key.first, key.second, victim,
-                              /*count_as_purged=*/false);
-  }
-  return total;
 }
 
 void Network::set_link_slowdown(ProcessId from, ProcessId to,
                                 sim::Duration extra) {
   SVS_REQUIRE(extra >= sim::Duration::zero(), "slowdown must be >= 0");
-  link(from, to).slowdown = extra;
+  links_[static_cast<std::size_t>(index_of(from)) * size() + index_of(to)]
+      .slowdown = extra;
 }
 
 }  // namespace svs::net

@@ -14,23 +14,34 @@
 // no per-byte service time, only propagation delay (§5.3: "unlimited
 // bandwidth in order not to be a limiting factor").
 //
+// Representation (DESIGN.md §2): attach() assigns each ProcessId a dense
+// index; links live in one flat vector indexed by from_idx * n + to_idx, and
+// the endpoint / crash / drain-observer tables are dense vectors too.  Link
+// access on the send/receive/purge path is one multiply-add — no ordered-map
+// walk — and a whole sender row is contiguous, so multicast() resolves the
+// sender once and fans out cache-friendly.
+//
 // Semantic purging of outgoing buffers (the sender-side half of the paper's
 // buffer purging, detailed in the companion work [22] referenced from §3.3)
-// is exposed via purge_outgoing().
+// is exposed via purge_outgoing() and, for senders whose data-lane queues
+// are ordered by Message::order_key, the windowed purge_outgoing_window().
+// The victim predicates are templates: no std::function allocation on the
+// fan-out path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "net/message.hpp"
 #include "net/types.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "util/contracts.hpp"
 
 namespace svs::net {
 
@@ -53,6 +64,11 @@ struct NetworkStats {
   std::uint64_t dropped_to_crashed = 0;
   std::uint64_t purged_outgoing = 0;
   std::uint64_t refusals = 0;  // data-lane stall events
+  /// Queued messages examined by windowed outgoing purges (the sender-side
+  /// analogue of DeliveryQueue purge_scan_steps; bounded by coverage_floor).
+  std::uint64_t purge_window_scanned = 0;
+  /// Wire bytes saved by delta stability gossip vs full snapshots.
+  std::uint64_t gossip_bytes_saved = 0;
 };
 
 class Network {
@@ -69,14 +85,26 @@ class Network {
 
   Network(sim::Simulator& simulator, Config config);
 
-  /// Registers the endpoint for a process.  Must be called before any send
-  /// involving `id`.
+  /// Registers the endpoint for a process and assigns it the next dense
+  /// index.  Must be called before any send involving `id`.  Attaching
+  /// re-strides the flat link table; queued traffic survives (links are
+  /// addressed by stable dense indices, not positions).
   void attach(ProcessId id, Endpoint& endpoint);
 
   /// Enqueues a message from -> to.  No-op if the sender has crashed.
   /// Self-sends are allowed (they traverse a loopback link with the same
   /// delay), which keeps broadcast loops in upper layers uniform.
   void send(ProcessId from, ProcessId to, MessagePtr message, Lane lane);
+
+  /// Fan-out send: enqueues `message` from -> every destination, in order.
+  /// The sender row is resolved once; per destination the cost is one dense
+  /// index lookup and one queue push.  Equivalent to the send() loop,
+  /// including per-destination jitter draws.  With `skip_self` (the data
+  /// fan-out convention) `from` itself is skipped, so callers can pass a
+  /// whole view membership; without it a loopback copy is enqueued in the
+  /// destination's position (the INIT/PRED broadcast convention).
+  void multicast(ProcessId from, std::span<const ProcessId> destinations,
+                 const MessagePtr& message, Lane lane, bool skip_self = true);
 
   /// Marks a process crashed (crash-stop): it stops receiving (messages
   /// addressed to it are dropped on arrival) and its future sends are
@@ -111,31 +139,129 @@ class Network {
   /// for which `victim` returns true.  Returns the number removed.  This is
   /// sender-side semantic purging: only messages not yet accepted by the
   /// receiver can be removed.
-  std::size_t purge_outgoing(
-      ProcessId from, const std::function<bool(const MessagePtr&)>& victim);
+  template <typename Victim>
+  std::size_t purge_outgoing(ProcessId from, Victim&& victim) {
+    const std::uint32_t fi = index_of(from);
+    std::size_t total = 0;
+    const std::uint32_t n = size();
+    const std::size_t row = static_cast<std::size_t>(fi) * n;
+    for (std::uint32_t ti = 0; ti < n; ++ti) {
+      total += erase_from_link(links_[row + ti], fi, ti, victim,
+                               /*count_as_purged=*/true);
+    }
+    return total;
+  }
 
   /// As above but restricted to one destination.
-  std::size_t purge_outgoing_to(
-      ProcessId from, ProcessId to,
-      const std::function<bool(const MessagePtr&)>& victim);
+  template <typename Victim>
+  std::size_t purge_outgoing_to(ProcessId from, ProcessId to,
+                                Victim&& victim) {
+    const std::uint32_t fi = index_of(from);
+    const std::uint32_t ti = index_of(to);
+    return erase_from_link(links_[static_cast<std::size_t>(fi) * size() + ti],
+                           fi, ti, victim,
+                           /*count_as_purged=*/true);
+  }
+
+  /// Windowed sender-side purge (DESIGN.md §2): visits only the queued
+  /// data-lane messages whose order key lies in [floor_key, below_key),
+  /// located by binary search — the per-sender relation fast path, where
+  /// `below_key` is the covering message's seq and `floor_key` its
+  /// Relation::coverage_floor.  Precondition: the from -> to data queue is
+  /// non-decreasing in Message::order_key (true for protocol senders, which
+  /// emit their own seqs in order).  Returns the number removed.
+  template <typename Victim>
+  std::size_t purge_outgoing_window(ProcessId from, ProcessId to,
+                                    std::uint64_t floor_key,
+                                    std::uint64_t below_key, Victim&& victim) {
+    if (floor_key >= below_key) return 0;
+    const std::uint32_t fi = index_of(from);
+    const std::uint32_t ti = index_of(to);
+    const LinkRefScope scope(*this);
+    Link& l = links_[static_cast<std::size_t>(fi) * size() + ti];
+    auto& q = l.queue[lane_index(Lane::data)];
+    const auto [lo, hi] = window_of(q, floor_key, below_key);
+    if (lo == hi) return 0;
+    stats_.purge_window_scanned += static_cast<std::uint64_t>(hi - lo);
+
+    const bool head_scheduled = l.pending[lane_index(Lane::data)].valid();
+    const Message* head = q.front().message.get();
+
+    // Compact [lo, hi) in place: only the window and the tail shift.
+    auto keep = lo;
+    for (auto it = lo; it != hi; ++it) {
+      if (victim(it->message)) continue;
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+    const auto removed = static_cast<std::size_t>(hi - keep);
+    if (removed == 0) return 0;
+    q.erase(keep, hi);
+    stats_.purged_outgoing += removed;
+    notify_drain(fi);
+    reaim_if_head_removed(l, fi, ti, head_scheduled, head);
+    return removed;
+  }
+
+  /// Number of messages purge_outgoing_window would remove, without
+  /// removing them (the flow-control admission pre-check of t2).
+  template <typename Pred>
+  std::size_t count_outgoing_window(ProcessId from, ProcessId to,
+                                    std::uint64_t floor_key,
+                                    std::uint64_t below_key, Pred&& pred) {
+    if (floor_key >= below_key) return 0;
+    const std::uint32_t fi = index_of(from);
+    const std::uint32_t ti = index_of(to);
+    const LinkRefScope scope(*this);
+    auto& q = links_[static_cast<std::size_t>(fi) * size() + ti]
+                  .queue[lane_index(Lane::data)];
+    const auto [lo, hi] = window_of(q, floor_key, below_key);
+    stats_.purge_window_scanned += static_cast<std::uint64_t>(hi - lo);
+    std::size_t count = 0;
+    for (auto it = lo; it != hi; ++it) {
+      if (pred(it->message)) ++count;
+    }
+    return count;
+  }
 
   /// Drops every queued data-lane message from -> * matching `victim`.
   /// Unlike purge_outgoing this is not counted as semantic purging; it is
   /// used at view installation to discard messages of superseded views.
-  std::size_t drop_outgoing(
-      ProcessId from, const std::function<bool(const MessagePtr&)>& victim);
+  template <typename Victim>
+  std::size_t drop_outgoing(ProcessId from, Victim&& victim) {
+    const std::uint32_t fi = index_of(from);
+    std::size_t total = 0;
+    const std::uint32_t n = size();
+    const std::size_t row = static_cast<std::size_t>(fi) * n;
+    for (std::uint32_t ti = 0; ti < n; ++ti) {
+      total += erase_from_link(links_[row + ti], fi, ti, victim,
+                               /*count_as_purged=*/false);
+    }
+    return total;
+  }
 
   /// Adds `extra` to the propagation delay of link from -> to (simulated
   /// network perturbation).  Pass zero to clear.
   void set_link_slowdown(ProcessId from, ProcessId to, sim::Duration extra);
 
+  /// Credits wire bytes saved by a delta-encoded gossip (core-layer
+  /// telemetry surfaced with the other network counters).
+  void note_gossip_bytes_saved(std::uint64_t bytes) {
+    stats_.gossip_bytes_saved += bytes;
+  }
+
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// Number of attached processes (the dense registry's size).
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(endpoints_.size());
+  }
 
  private:
   struct QueuedMessage {
     MessagePtr message;
-    sim::TimePoint ready;  // earliest acceptance-attempt time
+    sim::TimePoint ready;    // earliest acceptance-attempt time
+    std::uint64_t order_key; // cached Message::order_key (windowed purges)
   };
 
   struct Link {
@@ -147,28 +273,109 @@ class Network {
     sim::Duration slowdown = sim::Duration::zero();
   };
 
-  using LinkKey = std::pair<ProcessId, ProcessId>;
+  static constexpr int lane_index(Lane lane) {
+    return lane == Lane::data ? 0 : 1;
+  }
 
-  Link& link(ProcessId from, ProcessId to);
-  [[nodiscard]] const Link* find_link(ProcessId from, ProcessId to) const;
-  void schedule_attempt(ProcessId from, ProcessId to, Link& l, Lane lane);
-  void attempt(ProcessId from, ProcessId to, Lane lane);
-  std::size_t erase_from_queue(
-      Link& l, ProcessId from, ProcessId to,
-      const std::function<bool(const MessagePtr&)>& victim, bool count_as_purged);
+  /// Dense index of an attached process; contract violation if unknown.
+  [[nodiscard]] std::uint32_t index_of(ProcessId id) const {
+    const auto raw = static_cast<std::size_t>(id.value());
+    SVS_REQUIRE(raw < dense_.size() && dense_[raw] >= 0,
+                "process not attached");
+    return static_cast<std::uint32_t>(dense_[raw]);
+  }
+  /// As index_of but returns nullopt instead of failing (query paths).
+  [[nodiscard]] std::optional<std::uint32_t> find_index(ProcessId id) const {
+    const auto raw = static_cast<std::size_t>(id.value());
+    if (raw >= dense_.size() || dense_[raw] < 0) return std::nullopt;
+    return static_cast<std::uint32_t>(dense_[raw]);
+  }
+
+  /// The [lo, hi) subrange of a data queue with order keys in
+  /// [floor_key, below_key), by binary search (queue keys non-decreasing).
+  static std::pair<std::deque<QueuedMessage>::iterator,
+                   std::deque<QueuedMessage>::iterator>
+  window_of(std::deque<QueuedMessage>& q, std::uint64_t floor_key,
+            std::uint64_t below_key) {
+    auto lo = std::partition_point(
+        q.begin(), q.end(),
+        [&](const QueuedMessage& qm) { return qm.order_key < floor_key; });
+    auto hi = std::partition_point(
+        lo, q.end(),
+        [&](const QueuedMessage& qm) { return qm.order_key < below_key; });
+    return {lo, hi};
+  }
+
+  /// Shared epilogue of every erase path: if the scheduled head was
+  /// removed, re-aim the pending attempt at the new head.
+  void reaim_if_head_removed(Link& l, std::uint32_t fi, std::uint32_t ti,
+                             bool head_scheduled, const Message* old_head);
+
+  /// Marks a region that holds references into links_.  attach() re-strides
+  /// the table (invalidating every Link reference), so it refuses to run
+  /// while any such region is active — delivery handlers, purge victims and
+  /// drain observers must not attach synchronously (defer to a simulator
+  /// event instead).
+  class LinkRefScope {
+   public:
+    explicit LinkRefScope(const Network& network) : network_(network) {
+      ++network_.link_refs_held_;
+    }
+    ~LinkRefScope() { --network_.link_refs_held_; }
+    LinkRefScope(const LinkRefScope&) = delete;
+    LinkRefScope& operator=(const LinkRefScope&) = delete;
+
+   private:
+    const Network& network_;
+  };
+  friend class LinkRefScope;
+
+  template <typename Victim>
+  std::size_t erase_from_link(Link& l, std::uint32_t fi, std::uint32_t ti,
+                              Victim&& victim, bool count_as_purged) {
+    const LinkRefScope scope(*this);
+    auto& q = l.queue[lane_index(Lane::data)];
+    const std::size_t before = q.size();
+    if (before == 0) return 0;
+    const bool head_scheduled = l.pending[lane_index(Lane::data)].valid();
+    const Message* head = q.front().message.get();
+
+    std::erase_if(q,
+                  [&](const QueuedMessage& qm) { return victim(qm.message); });
+
+    const std::size_t removed = before - q.size();
+    if (removed == 0) return 0;
+    if (count_as_purged) stats_.purged_outgoing += removed;
+    notify_drain(fi);
+    reaim_if_head_removed(l, fi, ti, head_scheduled, head);
+    return removed;
+  }
+
+  void enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
+               MessagePtr message, Lane lane);
+  void schedule_attempt(std::uint32_t fi, std::uint32_t ti, Link& l,
+                        Lane lane);
+  void attempt(std::uint32_t fi, std::uint32_t ti, Lane lane);
+  void notify_drain(std::uint32_t fi);
 
   sim::Simulator& sim_;
   Config config_;
   sim::Rng rng_;
-  std::unordered_map<ProcessId, Endpoint*> endpoints_;
-  std::unordered_map<ProcessId, sim::TimePoint> crashed_;
-  std::map<LinkKey, Link> links_;
-  std::vector<std::function<void(ProcessId, sim::TimePoint)>> crash_observers_;
-  std::unordered_map<ProcessId, std::vector<std::function<void()>>>
-      drain_observers_;
-  NetworkStats stats_;
 
-  void notify_drain(ProcessId from);
+  // Dense process registry: attach order assigns indices 0..n-1.
+  std::vector<Endpoint*> endpoints_;   // dense idx -> endpoint
+  std::vector<ProcessId> pid_of_;      // dense idx -> id
+  std::vector<std::int32_t> dense_;    // raw id -> dense idx (-1 unattached)
+  std::vector<Link> links_;            // from_idx * n + to_idx
+  struct CrashRecord {
+    bool crashed = false;
+    sim::TimePoint at = {};
+  };
+  std::vector<CrashRecord> crash_;     // dense idx
+  std::vector<std::vector<std::function<void()>>> drain_observers_;  // idx
+  std::vector<std::function<void(ProcessId, sim::TimePoint)>> crash_observers_;
+  NetworkStats stats_;
+  mutable std::uint32_t link_refs_held_ = 0;  // active LinkRefScopes
 };
 
 }  // namespace svs::net

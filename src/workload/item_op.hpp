@@ -20,6 +20,9 @@ using ItemId = std::uint64_t;
 
 class ItemOp final : public core::Payload {
  public:
+  /// Payload::payload_kind value claimed by ItemOp.
+  static constexpr std::uint32_t kPayloadKind = 1;
+
   ItemOp(OpKind op, ItemId item, std::uint64_t value, std::uint64_t round,
          bool commit)
       : op_(op), item_(item), value_(value), round_(round), commit_(commit) {}
@@ -36,6 +39,10 @@ class ItemOp final : public core::Payload {
     // op + item + round varints + 16 bytes of state (3D pos + velocity in a
     // compact fixed-point encoding, as a game server would ship).
     return 1 + 4 + 4 + 16;
+  }
+
+  [[nodiscard]] std::uint32_t payload_kind() const override {
+    return kPayloadKind;
   }
 
  private:

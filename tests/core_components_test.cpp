@@ -74,6 +74,54 @@ TEST(StabilityTracker, PeerReportsAreMonotone) {
   EXPECT_EQ(t.floor_of(pid(0), view3(), pid(0)), 8u);
 }
 
+TEST(StabilityTracker, TakeDeltaShipsOnlyRaisedMarks) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 3);
+  t.note_seen(pid(1), 1);
+  // First take: everything is new, so the delta is the full vector.
+  const auto first = t.take_delta();
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_FALSE(t.dirty());
+
+  t.note_seen(pid(0), 4);
+  const auto second = t.take_delta();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].first, pid(0));
+  EXPECT_EQ(second[0].second, 4u);
+
+  // A non-raising note dirties the tracker but adds nothing to the delta.
+  t.note_seen(pid(1), 1);
+  EXPECT_TRUE(t.dirty());
+  EXPECT_TRUE(t.take_delta().empty());
+}
+
+TEST(StabilityTracker, TakeSnapshotShipsEverythingAndClearsChanges) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 3);
+  (void)t.take_delta();
+  t.note_seen(pid(1), 1);
+  // A full round repeats unchanged marks (self-healing for dropped deltas).
+  const auto snap = t.take_snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_FALSE(t.dirty());
+  t.note_seen(pid(1), 1);  // no raise
+  EXPECT_TRUE(t.take_delta().empty());
+}
+
+TEST(StabilityTracker, DeltaFallsBackToFullVectorAfterReset) {
+  StabilityTracker t;
+  t.note_seen(pid(0), 5);
+  t.note_seen(pid(1), 2);
+  (void)t.take_delta();
+  t.reset();  // view install
+  t.note_seen(pid(0), 6);
+  t.note_seen(pid(1), 3);
+  // Post-install marks are all fresh: the first gossip is a full vector.
+  const auto delta = t.take_delta();
+  EXPECT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta.size(), t.tracked_senders());
+}
+
 TEST(StabilityTracker, SnapshotAndReset) {
   StabilityTracker t;
   t.note_seen(pid(0), 1);

@@ -1,0 +1,91 @@
+// Determinism golden test: the same seed and workload must produce
+// byte-identical substrate counters, run after run and PR after PR.
+//
+// The goldens below were captured from the dense-registry/flat-link-table
+// send path and verified identical to the pre-rewrite (PR 1) std::map link
+// representation — the rewrite is semantics-preserving, it only changes
+// what a send costs.  If a future change shifts these numbers it changed
+// the simulated protocol (event ordering, admission decisions, purge
+// behaviour), not just its speed: either find the unintended divergence or
+// re-capture the goldens deliberately and say so in the PR.
+//
+// Regenerate by printing the RunResult fields of these two configs (e.g.
+// temporarily EXPECT_EQ against 0 and read the failure output).
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+#include "workload/game_generator.hpp"
+
+namespace svs {
+namespace {
+
+workload::Trace make_trace(std::uint64_t seed, std::size_t rounds) {
+  workload::GameTraceGenerator::Config tc;
+  tc.seed = seed;
+  workload::GameTraceGenerator gen(tc);
+  return gen.generate(rounds);
+}
+
+// Uncontended: buffers never fill, no refusals, no purging pressure — the
+// pure fan-out/delivery event machinery.
+TEST(DeterminismGolden, UncontendedSlowConsumerRun) {
+  const auto trace = make_trace(42, 300);
+  bench::RunConfig rc;
+  rc.trace = &trace;
+  rc.replicas = 4;
+  rc.buffer = 10'000;
+  rc.consumer_rate = 5'000.0;
+  const auto r = bench::run_slow_consumer(rc);
+
+  EXPECT_TRUE(r.producer_done);
+  EXPECT_EQ(r.messages_sent, 4203u);
+  EXPECT_EQ(r.messages_delivered, 4203u);
+  EXPECT_EQ(r.sim_events, 14240u);
+  EXPECT_EQ(r.refused, 0u);
+  EXPECT_EQ(r.purged_sender, 0u);
+}
+
+// Contended: the Fig-4 shape — small buffers, slow consumer, refusals and
+// sender-side purging all active.  Locks the full feedback loop
+// (backpressure, admission, windowed outgoing purge, stability gossip).
+TEST(DeterminismGolden, ContendedSlowConsumerRun) {
+  const auto trace = make_trace(42, 800);
+  bench::RunConfig rc;
+  rc.trace = &trace;
+  rc.replicas = 4;
+  rc.buffer = 10;
+  rc.consumer_rate = 20.0;
+  const auto r = bench::run_slow_consumer(rc);
+
+  EXPECT_TRUE(r.producer_done);
+  EXPECT_EQ(r.messages_sent, 17511u);
+  EXPECT_EQ(r.messages_delivered, 16726u);
+  EXPECT_EQ(r.sim_events, 49247u);
+  EXPECT_EQ(r.refused, 1024u);
+  EXPECT_EQ(r.purged_sender, 785u);
+  EXPECT_EQ(r.purged_receiver, 40u);
+}
+
+// Same run twice from fresh state: every counter identical (no hidden
+// global state, no address-dependent ordering anywhere in the stack).
+TEST(DeterminismGolden, RepeatRunsAreIdentical) {
+  const auto trace = make_trace(7, 200);
+  bench::RunConfig rc;
+  rc.trace = &trace;
+  rc.replicas = 3;
+  rc.buffer = 12;
+  rc.consumer_rate = 40.0;
+  const auto a = bench::run_slow_consumer(rc);
+  const auto b = bench::run_slow_consumer(rc);
+
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.purged_sender, b.purged_sender);
+  EXPECT_EQ(a.purged_receiver, b.purged_receiver);
+  EXPECT_EQ(a.idle_fraction, b.idle_fraction);
+}
+
+}  // namespace
+}  // namespace svs

@@ -287,6 +287,80 @@ TEST(Node, BoundedQueueRefusesWhenFullAndPurgingDisabled) {
   EXPECT_EQ(g.network().data_backlog(g.pid(0), g.pid(1)), 5u);
 }
 
+TEST(Node, BlockedMulticastLeavesOutgoingBuffersIntact) {
+  // Regression: the sender-side purge used to run *before* the flow-control
+  // admission checks, so a refused multicast had already evicted the
+  // messages its never-sent covering message obsoleted — the receiver then
+  // got neither the victim nor the coverer.  The purge must happen after
+  // the commit point.
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::ItemTagRelation>());
+  cfg.node.delivery_capacity = 2;
+  cfg.node.out_capacity = 0;  // pressure comes from the sender's own queue
+  Group g(sim, cfg);
+  // Make node 2 a slow destination so its outgoing buffer retains traffic.
+  g.network().set_link_slowdown(g.pid(0), g.pid(2), sim::Duration::seconds(10));
+
+  // Step in short slices (not sim.run(), which would sit out the 10 s
+  // slowdown) so the copies towards p2 stay queued in the outgoing buffer.
+  const auto step = [&sim] {
+    sim.run_until(sim.now() + sim::Duration::millis(5));
+  };
+  ASSERT_TRUE(g.node(0).multicast(blob(1), obs::Annotation::item(7)));
+  step();
+  g.drain(0);  // frees the producer's own queue; item 7 stays queued to p2
+  ASSERT_TRUE(g.node(0).multicast(blob(2), obs::Annotation::item(8)));
+  step();
+  ASSERT_TRUE(g.node(0).multicast(blob(3), obs::Annotation::item(9)));
+  step();
+  ASSERT_EQ(g.node(0).delivery_data_count(), 2u);  // own queue now full
+  ASSERT_EQ(g.network().data_backlog(g.pid(0), g.pid(2)), 3u);
+
+  // An update of item 7 covers the copy queued towards p2, but the
+  // producer's own full queue refuses the multicast.  Nothing may change.
+  const auto purged_before = g.network().stats().purged_outgoing;
+  const auto blocked_before = g.node(0).stats().multicast_blocked;
+  EXPECT_FALSE(g.node(0).multicast(blob(4), obs::Annotation::item(7)));
+  EXPECT_EQ(g.node(0).stats().multicast_blocked, blocked_before + 1);
+  EXPECT_EQ(g.network().data_backlog(g.pid(0), g.pid(2)), 3u);
+  EXPECT_EQ(g.network().stats().purged_outgoing, purged_before);
+
+  // Once unblocked the retry purges the now-covered copy and goes through:
+  // p2 eventually gets items 8, 9 and the *new* 7 — no gap.
+  g.drain(0);
+  ASSERT_TRUE(g.node(0).multicast(blob(5), obs::Annotation::item(7)));
+  EXPECT_EQ(g.network().stats().purged_outgoing, purged_before + 1);
+  sim.run_until(sim.now() + sim::Duration::seconds(30.0));
+  auto msgs = data_of(g.drain(2));  // frees p2's bounded queue, link resumes
+  sim.run();
+  const auto tail = data_of(g.drain(2));
+  msgs.insert(msgs.end(), tail.begin(), tail.end());
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(blob_id(msgs[0]), 2);
+  EXPECT_EQ(blob_id(msgs[1]), 3);
+  EXPECT_EQ(blob_id(msgs[2]), 5);
+}
+
+TEST(Node, StabilityGossipSendsDeltasAndCountsSavedBytes) {
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  Group g(sim, cfg);
+  // Two senders report once, then only p0 keeps sending: later gossip
+  // rounds ship a 1-entry delta instead of the 2-entry snapshot, banking
+  // the difference against the full-vector wire model.
+  ASSERT_TRUE(g.node(1).multicast(blob(100), obs::Annotation::none()));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+    sim.run_until(sim.now() + sim::Duration::millis(60));
+    for (std::size_t n = 0; n < 3; ++n) g.drain(n);
+  }
+  sim.run();
+  EXPECT_GT(g.network().stats().gossip_bytes_saved, 0u);
+  // Delta gossip must not break stability GC: the delivered history is
+  // still collected once every member's report covers it.
+  EXPECT_GT(g.node(0).stats().stability_gcs, 0u);
+}
+
 TEST(Node, PurgingKeepsBoundedQueueFlowing) {
   sim::Simulator sim;
   auto cfg = base_config(std::make_shared<obs::ItemTagRelation>());
