@@ -117,6 +117,9 @@ RunResult run_slow_consumer(const RunConfig& config) {
   result.producer_done = producer.done();
   result.messages_sent = group.network().stats().sent;
   result.messages_delivered = group.network().stats().delivered;
+  result.bytes_sent = group.network().stats().bytes_sent;
+  result.bytes_delivered = group.network().stats().bytes_delivered;
+  result.bytes_purged = group.network().stats().bytes_purged;
   result.purge_scan_steps =
       group.node(slow).delivery_queue().stats().purge_scan_steps;
   result.sim_events = sim.executed();
@@ -145,6 +148,9 @@ JsonObject run_result_json(const RunResult& r) {
       .add("avg_backlog", r.avg_backlog)
       .add("messages_sent", static_cast<double>(r.messages_sent))
       .add("messages_delivered", static_cast<double>(r.messages_delivered))
+      .add("bytes_sent", static_cast<double>(r.bytes_sent))
+      .add("bytes_delivered", static_cast<double>(r.bytes_delivered))
+      .add("bytes_purged", static_cast<double>(r.bytes_purged))
       .add("purged_receiver", static_cast<double>(r.purged_receiver))
       .add("purged_sender", static_cast<double>(r.purged_sender))
       .add("refused", static_cast<double>(r.refused))

@@ -48,6 +48,11 @@ struct RunResult {
   // Substrate telemetry (the perf-trajectory fields of BENCH_*.json).
   std::uint64_t messages_sent = 0;       // network sends across the group
   std::uint64_t messages_delivered = 0;  // network-level deliveries
+  // Measured wire bytes (encoded sizes, codec-checked — see DESIGN.md §6):
+  // what the paper's §4.2 compactness argument is actually about.
+  std::uint64_t bytes_sent = 0;          // enqueued towards receivers
+  std::uint64_t bytes_delivered = 0;     // accepted by receivers
+  std::uint64_t bytes_purged = 0;        // reclaimed by sender-side purging
   std::uint64_t purge_scan_steps = 0;    // covers() work at the slow replica
   std::uint64_t sim_events = 0;          // simulator events executed
   double wall_seconds = 0.0;             // host time for the whole run

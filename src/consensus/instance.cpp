@@ -6,7 +6,7 @@
 
 namespace svs::consensus {
 
-Instance::Instance(net::Network& network, fd::FailureDetector& detector,
+Instance::Instance(net::Transport& network, fd::FailureDetector& detector,
                    net::ProcessId self,
                    std::vector<net::ProcessId> participants, InstanceId id,
                    DecideCallback on_decide)

@@ -35,7 +35,7 @@
 #include "consensus/message.hpp"
 #include "consensus/value.hpp"
 #include "fd/failure_detector.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace svs::consensus {
@@ -50,7 +50,7 @@ class Instance {
  public:
   using DecideCallback = std::function<void(const ValuePtr&)>;
 
-  Instance(net::Network& network, fd::FailureDetector& detector,
+  Instance(net::Transport& network, fd::FailureDetector& detector,
            net::ProcessId self, std::vector<net::ProcessId> participants,
            InstanceId id, DecideCallback on_decide);
 
@@ -87,7 +87,7 @@ class Instance {
   void advance();
   void decide(const ValuePtr& value);
 
-  net::Network& net_;
+  net::Transport& net_;
   fd::FailureDetector& fd_;
   net::ProcessId self_;
   std::vector<net::ProcessId> participants_;

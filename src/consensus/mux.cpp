@@ -6,7 +6,7 @@
 
 namespace svs::consensus {
 
-Instance& Mux::open(net::Network& network, fd::FailureDetector& detector,
+Instance& Mux::open(net::Transport& network, fd::FailureDetector& detector,
                     InstanceId id, std::vector<net::ProcessId> participants,
                     Instance::DecideCallback on_decide) {
   SVS_REQUIRE(!instances_.contains(id), "instance already open");

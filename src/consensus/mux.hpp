@@ -21,7 +21,7 @@ class Mux {
 
   /// Creates (and retains forever — instances are tiny and runs open few)
   /// the instance and replays any buffered messages for it.
-  Instance& open(net::Network& network, fd::FailureDetector& detector,
+  Instance& open(net::Transport& network, fd::FailureDetector& detector,
                  InstanceId id, std::vector<net::ProcessId> participants,
                  Instance::DecideCallback on_decide);
 

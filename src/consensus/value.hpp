@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 namespace svs::consensus {
@@ -21,10 +22,28 @@ class ValueBase {
   ValueBase& operator=(const ValueBase&) = delete;
   virtual ~ValueBase() = default;
 
-  /// Estimated encoded size; consensus messages account for it.
+  /// Exact encoded size of the value body; the registered value codec
+  /// (net/codec.hpp) asserts the equality at every encode.  Kind-0 values
+  /// are encoded as `wire_size()` filler bytes.
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Wire-decode tag, mirroring core::Payload::payload_kind.  0 is the
+  /// opaque fallback (size-preserving, not interpretable after a round
+  /// trip); protocols claim small positive values and register a codec.
+  [[nodiscard]] virtual std::uint32_t value_kind() const { return 0; }
 };
 
 using ValuePtr = std::shared_ptr<const ValueBase>;
+
+/// Size-preserving stand-in produced when a kind-0 value is decoded from
+/// the wire (cf. core::OpaquePayload).
+class OpaqueValue final : public ValueBase {
+ public:
+  explicit OpaqueValue(std::size_t encoded_size) : size_(encoded_size) {}
+  [[nodiscard]] std::size_t wire_size() const override { return size_; }
+
+ private:
+  std::size_t size_;
+};
 
 }  // namespace svs::consensus

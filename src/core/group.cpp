@@ -6,7 +6,12 @@ namespace svs::core {
 
 Group::Group(sim::Simulator& simulator, Config config) : sim_(simulator) {
   SVS_REQUIRE(config.size >= 1, "a group needs at least one member");
-  network_ = std::make_unique<net::Network>(simulator, config.network);
+  if (config.backend == Backend::threaded_loopback) {
+    network_ =
+        std::make_unique<net::ThreadedLoopback>(simulator, config.network);
+  } else {
+    network_ = std::make_unique<net::Network>(simulator, config.network);
+  }
 
   std::vector<net::ProcessId> members;
   members.reserve(config.size);

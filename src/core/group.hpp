@@ -1,5 +1,5 @@
-// Convenience harness: a fully wired group of SVS nodes over a simulated
-// network, with per-node failure detectors and membership policies.
+// Convenience harness: a fully wired group of SVS nodes over a transport
+// backend, with per-node failure detectors and membership policies.
 // Used by tests, examples and the experiment drivers.
 #pragma once
 
@@ -11,6 +11,7 @@
 #include "core/observer.hpp"
 #include "fd/heartbeat.hpp"
 #include "fd/oracle.hpp"
+#include "net/loopback.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,10 +21,18 @@ class Group {
  public:
   enum class FdKind { oracle, heartbeat };
 
+  /// Which net::Transport implementation carries the group's traffic.
+  enum class Backend {
+    sim,                // in-memory simulated fabric (the default)
+    threaded_loopback,  // every delivery encoded, moved across a wire
+                        // thread as bytes, and decoded fresh
+  };
+
   struct Config {
     std::size_t size = 3;
     NodeConfig node;  // template applied to every node
     net::Network::Config network;
+    Backend backend = Backend::sim;
     FdKind fd_kind = FdKind::oracle;
     /// Oracle detection delay (crash -> suspicion).
     sim::Duration oracle_delay = sim::Duration::millis(30);
@@ -49,7 +58,11 @@ class Group {
   [[nodiscard]] MembershipPolicy* policy(std::size_t i) {
     return policies_.empty() ? nullptr : policies_.at(i).get();
   }
-  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::Transport& network() { return *network_; }
+  /// The loopback backend's wire telemetry; null on the sim backend.
+  [[nodiscard]] net::ThreadedLoopback* loopback() {
+    return dynamic_cast<net::ThreadedLoopback*>(network_.get());
+  }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   /// Crash-stops process i.
@@ -60,7 +73,7 @@ class Group {
 
  private:
   sim::Simulator& sim_;
-  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::Transport> network_;
   std::vector<std::unique_ptr<fd::FailureDetector>> detectors_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<MembershipPolicy>> policies_;

@@ -15,6 +15,7 @@
 #include "net/message.hpp"
 #include "obs/annotation.hpp"
 #include "obs/relation.hpp"
+#include "util/bytes.hpp"
 
 namespace svs::core {
 
@@ -26,15 +27,31 @@ class Payload {
   Payload& operator=(const Payload&) = delete;
   virtual ~Payload() = default;
 
+  /// Exact number of bytes this payload's registered codec writes
+  /// (net::PayloadCodecRegistry asserts the equality at every encode).
+  /// Kind-0 payloads are encoded as `wire_size()` filler bytes.
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
 
   /// Application-level decode tag (the data-lane analogue of
   /// net::MessageType, so consumers dispatch without RTTI).  0 is reserved
-  /// for opaque payloads; applications claim small positive values.
+  /// for opaque payloads; applications claim small positive values and
+  /// register a codec for them (net/codec.hpp).
   [[nodiscard]] virtual std::uint32_t payload_kind() const { return 0; }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Size-preserving stand-in produced when a kind-0 (opaque) payload is
+/// decoded from the wire: the bytes are not interpretable, but the wire
+/// cost is, so byte accounting stays exact across a codec round trip.
+class OpaquePayload final : public Payload {
+ public:
+  explicit OpaquePayload(std::size_t encoded_size) : size_(encoded_size) {}
+  [[nodiscard]] std::size_t wire_size() const override { return size_; }
+
+ private:
+  std::size_t size_;
+};
 
 /// [DATA, v, d] — an application message tagged with the view it was sent
 /// in, carrying its obsolescence annotation.
@@ -63,7 +80,7 @@ class DataMessage final : public net::Message {
     return obs::MessageRef{sender_, seq_, &annotation_};
   }
 
-  [[nodiscard]] std::size_t wire_size() const override;
+  [[nodiscard]] std::size_t compute_wire_size() const override;
 
  private:
   net::ProcessId sender_;
@@ -88,8 +105,12 @@ class InitMessage final : public net::Message {
     return leave_;
   }
 
-  [[nodiscard]] std::size_t wire_size() const override {
-    return 10 + 4 * leave_.size();
+  [[nodiscard]] std::size_t compute_wire_size() const override {
+    // tag + view + count + member ids (varints), as the codec encodes it.
+    std::size_t n = 1 + util::varint_size(view_.value()) +
+                    util::varint_size(leave_.size());
+    for (const auto p : leave_) n += util::varint_size(p.value());
+    return n;
   }
 
  private:
@@ -112,8 +133,11 @@ class PredMessage final : public net::Message {
     return accepted_;
   }
 
-  [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t n = 10;
+  [[nodiscard]] std::size_t compute_wire_size() const override {
+    // tag + view + count, then each accepted message as a full (tagged)
+    // data-message encoding — nested messages are self-delimiting.
+    std::size_t n = 1 + util::varint_size(view_.value()) +
+                    util::varint_size(accepted_.size());
     for (const auto& m : accepted_) n += m->wire_size();
     return n;
   }
@@ -141,14 +165,30 @@ class StabilityMessage final : public net::Message {
   [[nodiscard]] ViewId view() const { return view_; }
   [[nodiscard]] const Seen& seen() const { return seen_; }
 
-  /// Wire model shared by wire_size() and the delta-gossip savings credit
-  /// (Node::gossip_stability): header + 10 bytes per (sender, seq) entry.
-  [[nodiscard]] static std::size_t wire_size_for(std::size_t entries) {
-    return 10 + 10 * entries;
+  /// Exact encoded size of a stability message carrying `seen` in view
+  /// `view` — the same arithmetic the codec writes.
+  [[nodiscard]] static std::size_t wire_size_for(ViewId view,
+                                                const Seen& seen) {
+    std::size_t entry_bytes = 0;
+    for (const auto& [sender, seq] : seen) {
+      entry_bytes += util::varint_size(sender.value()) +
+                     util::varint_size(seq);
+    }
+    return wire_size_for_entries(view, seen.size(), entry_bytes);
   }
 
-  [[nodiscard]] std::size_t wire_size() const override {
-    return wire_size_for(seen_.size());
+  /// As wire_size_for, from pre-aggregated entry stats — lets the
+  /// delta-gossip savings credit (Node::gossip_stability) price the full
+  /// snapshot it avoided sending without materializing it
+  /// (StabilityTracker::entry_wire_bytes is maintained incrementally).
+  [[nodiscard]] static std::size_t wire_size_for_entries(
+      ViewId view, std::size_t entries, std::size_t entry_bytes) {
+    return 1 + util::varint_size(view.value()) + util::varint_size(entries) +
+           entry_bytes;
+  }
+
+  [[nodiscard]] std::size_t compute_wire_size() const override {
+    return wire_size_for(view_, seen_);
   }
 
  private:
@@ -159,6 +199,9 @@ class StabilityMessage final : public net::Message {
 /// The value decided by consensus at t7: (next-view, pred-view).
 class ProposalValue final : public consensus::ValueBase {
  public:
+  /// consensus::ValueBase::value_kind claimed by ProposalValue.
+  static constexpr std::uint32_t kValueKind = 1;
+
   ProposalValue(View next_view, std::vector<DataMessagePtr> pred_view)
       : next_view_(std::move(next_view)), pred_view_(std::move(pred_view)) {}
 
@@ -168,9 +211,18 @@ class ProposalValue final : public consensus::ValueBase {
   }
 
   [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t n = 10 + 4 * next_view_.size();
+    // view id + member count + member ids, pred count + full data-message
+    // encodings — exactly what the registered value codec writes.
+    std::size_t n = util::varint_size(next_view_.id().value()) +
+                    util::varint_size(next_view_.size());
+    for (const auto p : next_view_.members()) n += util::varint_size(p.value());
+    n += util::varint_size(pred_view_.size());
     for (const auto& m : pred_view_) n += m->wire_size();
     return n;
+  }
+
+  [[nodiscard]] std::uint32_t value_kind() const override {
+    return kValueKind;
   }
 
  private:

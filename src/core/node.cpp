@@ -5,7 +5,7 @@
 
 namespace svs::core {
 
-Node::Node(sim::Simulator& simulator, net::Network& network,
+Node::Node(sim::Simulator& simulator, net::Transport& network,
            fd::FailureDetector& detector, net::ProcessId self, View initial,
            NodeConfig config, NodeObserver* observer)
     : sim_(simulator),
@@ -282,13 +282,18 @@ void Node::gossip_stability() {
   const bool full =
       gossip_round_ < 2 || gossip_round_ % kFullGossipPeriod == 0;
   ++gossip_round_;
-  const std::size_t tracked = stability_.tracked_senders();
   const auto m = std::make_shared<StabilityMessage>(
       view_.id(),
       full ? stability_.take_snapshot() : stability_.take_delta());
-  // Bytes a full-snapshot gossip would have cost, credited across the
+  // Bytes a full-snapshot gossip would have cost (exact encoded size of the
+  // current reception vector, aggregated incrementally by the tracker — no
+  // snapshot is materialized on the delta path), credited across the
   // fan-out.
-  const std::size_t full_size = StabilityMessage::wire_size_for(tracked);
+  const std::size_t full_size =
+      full ? m->wire_size()
+           : StabilityMessage::wire_size_for_entries(
+                 view_.id(), stability_.tracked_senders(),
+                 stability_.entry_wire_bytes());
   net_.note_gossip_bytes_saved(
       static_cast<std::uint64_t>(full_size - m->wire_size()) *
       (view_.size() - 1));

@@ -44,7 +44,7 @@
 #include "core/types.hpp"
 #include "core/view_change_engine.hpp"
 #include "fd/failure_detector.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/relation.hpp"
 #include "sim/simulator.hpp"
 
@@ -89,7 +89,9 @@ struct NodeStats {
 
 class Node final : public net::Endpoint {
  public:
-  Node(sim::Simulator& simulator, net::Network& network,
+  /// The node is backend-agnostic: it talks to any net::Transport (the sim
+  /// fabric, the threaded byte-moving loopback, a future socket backend).
+  Node(sim::Simulator& simulator, net::Transport& network,
        fd::FailureDetector& detector, net::ProcessId self, View initial,
        NodeConfig config, NodeObserver* observer = nullptr);
 
@@ -210,7 +212,7 @@ class Node final : public net::Endpoint {
   void replay_pending_control();
 
   sim::Simulator& sim_;
-  net::Network& net_;
+  net::Transport& net_;
   fd::FailureDetector& fd_;
   net::ProcessId self_;
   NodeConfig config_;

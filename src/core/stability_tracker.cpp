@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "util/bytes.hpp"
+
 namespace svs::core {
 
 void StabilityTracker::note_seen(net::ProcessId sender, std::uint64_t seq) {
   const auto [it, inserted] = seen_seq_.try_emplace(sender, seq);
   if (inserted) {
     changed_.insert(sender);
+    entry_wire_bytes_ +=
+        util::varint_size(sender.value()) + util::varint_size(seq);
   } else if (seq > it->second) {
+    entry_wire_bytes_ += util::varint_size(seq) - util::varint_size(it->second);
     it->second = seq;
     changed_.insert(sender);
   }
@@ -72,6 +77,7 @@ void StabilityTracker::reset() {
   seen_seq_.clear();
   peer_seen_.clear();
   changed_.clear();
+  entry_wire_bytes_ = 0;
   dirty_ = false;
 }
 

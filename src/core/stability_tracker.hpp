@@ -54,6 +54,14 @@ class StabilityTracker {
     return seen_seq_.size();
   }
 
+  /// Exact encoded size of the snapshot's (sender, seq) entries — what a
+  /// full-vector gossip's entry section would put on the wire.  Maintained
+  /// incrementally (O(1) per mark update), so the delta-gossip savings
+  /// telemetry never materializes the snapshot it avoided sending.
+  [[nodiscard]] std::size_t entry_wire_bytes() const {
+    return entry_wire_bytes_;
+  }
+
   /// Merges a peer's gossiped reception vector (marks are monotone).
   void merge_report(net::ProcessId from, const StabilityMessage::Seen& seen);
 
@@ -83,6 +91,9 @@ class StabilityTracker {
   std::map<net::ProcessId, std::map<net::ProcessId, std::uint64_t>> peer_seen_;
   // Senders whose mark rose since the last take_delta().
   std::set<net::ProcessId> changed_;
+  // Exact encoded bytes of the snapshot's (sender, seq) entries (see
+  // entry_wire_bytes()).
+  std::size_t entry_wire_bytes_ = 0;
   bool dirty_ = false;
 };
 

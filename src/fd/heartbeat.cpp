@@ -7,7 +7,7 @@
 namespace svs::fd {
 
 HeartbeatDetector::HeartbeatDetector(sim::Simulator& simulator,
-                                     net::Network& network,
+                                     net::Transport& network,
                                      net::ProcessId owner,
                                      std::vector<net::ProcessId> peers,
                                      Config config)

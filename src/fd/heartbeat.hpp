@@ -15,7 +15,7 @@
 
 #include "fd/failure_detector.hpp"
 #include "net/message.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace svs::fd {
@@ -25,8 +25,8 @@ class HeartbeatMessage final : public net::Message {
  public:
   HeartbeatMessage() : net::Message(net::MessageType::heartbeat) {}
 
-  [[nodiscard]] std::size_t wire_size() const override {
-    return 8;  // sender id + type tag, varint-encoded
+  [[nodiscard]] std::size_t compute_wire_size() const override {
+    return 1;  // the type tag is the whole message; sender/lane are framing
   }
 };
 
@@ -41,7 +41,7 @@ class HeartbeatDetector final : public FailureDetector {
   };
 
   /// Monitors `peers` (which must not contain `owner`) on behalf of `owner`.
-  HeartbeatDetector(sim::Simulator& simulator, net::Network& network,
+  HeartbeatDetector(sim::Simulator& simulator, net::Transport& network,
                     net::ProcessId owner, std::vector<net::ProcessId> peers,
                     Config config);
 
@@ -62,7 +62,7 @@ class HeartbeatDetector final : public FailureDetector {
   void on_timeout(net::ProcessId p);
 
   sim::Simulator& sim_;
-  net::Network& net_;
+  net::Transport& net_;
   net::ProcessId owner_;
   std::vector<net::ProcessId> peers_;
   Config config_;

@@ -3,7 +3,7 @@
 namespace svs::fd {
 
 OracleDetector::OracleDetector(sim::Simulator& simulator,
-                               net::Network& network, net::ProcessId owner,
+                               net::Transport& network, net::ProcessId owner,
                                sim::Duration detection_delay)
     : sim_(simulator), owner_(owner), detection_delay_(detection_delay) {
   SVS_REQUIRE(detection_delay >= sim::Duration::zero(),

@@ -10,7 +10,7 @@
 #include <unordered_set>
 
 #include "fd/failure_detector.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace svs::fd {
@@ -19,7 +19,7 @@ class OracleDetector final : public FailureDetector {
  public:
   /// One instance monitors crashes on behalf of one owner process.  The
   /// owner itself is never suspected (it would be dead, not suspicious).
-  OracleDetector(sim::Simulator& simulator, net::Network& network,
+  OracleDetector(sim::Simulator& simulator, net::Transport& network,
                  net::ProcessId owner, sim::Duration detection_delay);
 
   [[nodiscard]] bool suspects(net::ProcessId p) const override;

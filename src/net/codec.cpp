@@ -1,0 +1,445 @@
+#include "net/codec.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "consensus/message.hpp"
+#include "core/types.hpp"
+#include "fd/heartbeat.hpp"
+#include "obs/annotation.hpp"
+#include "util/contracts.hpp"
+#include "workload/item_op.hpp"
+
+namespace svs::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// registries
+// ---------------------------------------------------------------------------
+
+template <typename EncodeFn, typename DecodeFn>
+struct Registry {
+  struct Entry {
+    EncodeFn encode;
+    DecodeFn decode;
+  };
+  std::mutex mutex;
+  std::map<std::uint32_t, Entry> entries;
+
+  void add(std::uint32_t kind, EncodeFn encode, DecodeFn decode) {
+    SVS_REQUIRE(kind != 0, "kind 0 is the reserved opaque fallback");
+    SVS_REQUIRE(encode != nullptr && decode != nullptr,
+                "codec functions must be callable");
+    const std::lock_guard<std::mutex> lock(mutex);
+    entries[kind] = Entry{encode, decode};
+  }
+
+  /// Returned by value (two function pointers): nothing escapes the lock,
+  /// so concurrent wire-thread lookups never alias a mutating map slot.
+  [[nodiscard]] std::optional<Entry> find(std::uint32_t kind) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = entries.find(kind);
+    if (it == entries.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+using PayloadRegistry =
+    Registry<PayloadCodecRegistry::Encode, PayloadCodecRegistry::Decode>;
+using ValueRegistry =
+    Registry<ValueCodecRegistry::Encode, ValueCodecRegistry::Decode>;
+
+// Built-in codecs are registered on first registry access, so no static
+// initialization order or library dead-stripping games are required.
+void ensure_builtins();
+
+PayloadRegistry& payload_registry_instance() {
+  static PayloadRegistry registry;
+  return registry;
+}
+
+ValueRegistry& value_registry_instance() {
+  static ValueRegistry registry;
+  return registry;
+}
+
+PayloadRegistry& payload_registry() {
+  ensure_builtins();
+  return payload_registry_instance();
+}
+
+ValueRegistry& value_registry() {
+  ensure_builtins();
+  return value_registry_instance();
+}
+
+// ---------------------------------------------------------------------------
+// built-in payload codec: workload::ItemOp (payload_kind 1)
+// ---------------------------------------------------------------------------
+
+void encode_item_op(const core::Payload& payload, util::ByteWriter& w) {
+  const auto& op = static_cast<const workload::ItemOp&>(payload);
+  // op kind in the low bits, commit flag in bit 7 — one byte, as the
+  // wire_size() arithmetic promises.
+  const auto packed = static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(op.op()) |
+      (op.commit() ? std::uint8_t{0x80} : std::uint8_t{0}));
+  w.u8(packed);
+  w.u64(op.item());
+  w.u64(op.round());
+  w.fixed64(op.value());
+}
+
+core::PayloadPtr decode_item_op(util::ByteReader& r) {
+  const std::uint8_t packed = r.u8();
+  const auto op_raw = static_cast<std::uint8_t>(packed & 0x7FU);
+  SVS_REQUIRE(op_raw <= static_cast<std::uint8_t>(workload::OpKind::destroy),
+              "bad ItemOp kind on the wire");
+  const bool commit = (packed & 0x80U) != 0;
+  const std::uint64_t item = r.u64();
+  const std::uint64_t round = r.u64();
+  const std::uint64_t value = r.fixed64();
+  return std::make_shared<workload::ItemOp>(
+      static_cast<workload::OpKind>(op_raw), item, value, round, commit);
+}
+
+// ---------------------------------------------------------------------------
+// built-in value codec: core::ProposalValue (value_kind 1)
+// ---------------------------------------------------------------------------
+
+void encode_proposal(const consensus::ValueBase& value, util::ByteWriter& w) {
+  const auto& proposal = static_cast<const core::ProposalValue&>(value);
+  w.u64(proposal.next_view().id().value());
+  w.u64(proposal.next_view().size());
+  for (const auto p : proposal.next_view().members()) w.u32(p.value());
+  w.u64(proposal.pred_view().size());
+  for (const auto& m : proposal.pred_view()) Codec::encode(*m, w);
+}
+
+consensus::ValuePtr decode_proposal(util::ByteReader& r) {
+  const core::ViewId view_id(r.u64());
+  const std::uint64_t member_count = r.u64();
+  SVS_REQUIRE(member_count <= r.remaining(),
+              "view membership longer than the buffer");
+  std::vector<ProcessId> members;
+  members.reserve(member_count);
+  for (std::uint64_t i = 0; i < member_count; ++i) {
+    members.emplace_back(r.u32());
+  }
+  const std::uint64_t pred_count = r.u64();
+  SVS_REQUIRE(pred_count <= r.remaining(),
+              "pred-view longer than the buffer");
+  std::vector<core::DataMessagePtr> pred;
+  pred.reserve(pred_count);
+  for (std::uint64_t i = 0; i < pred_count; ++i) {
+    MessagePtr m = Codec::decode(r);
+    SVS_REQUIRE(m->type() == MessageType::data,
+                "pred-view must contain data messages");
+    pred.push_back(std::static_pointer_cast<const core::DataMessage>(m));
+  }
+  return std::make_shared<core::ProposalValue>(
+      core::View(view_id, std::move(members)), std::move(pred));
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    payload_registry_instance().add(workload::ItemOp::kPayloadKind,
+                                    encode_item_op, decode_item_op);
+    value_registry_instance().add(core::ProposalValue::kValueKind,
+                                  encode_proposal, decode_proposal);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// framed blobs: [kind u32][length u64][body]
+//
+// One protocol shared by application payloads and consensus values, so the
+// framing rules (opaque filler for kind 0, exact-length asserts on both
+// sides) cannot drift between the two.
+// ---------------------------------------------------------------------------
+
+template <typename Object, typename Registry>
+void write_framed(util::ByteWriter& w, std::uint32_t kind, std::size_t length,
+                  const Object* object, Registry& registry) {
+  w.u32(kind);
+  w.u64(length);
+  const std::size_t start = w.size();
+  if (kind == 0) {
+    // Opaque: the bytes are filler, but the *count* is the object's honest
+    // encoded size, so byte accounting survives the round trip.
+    for (std::size_t i = 0; i < length; ++i) w.u8(0);
+  } else {
+    const auto entry = registry.find(kind);
+    SVS_REQUIRE(entry.has_value(),
+                "kind has no registered codec; register it before sending "
+                "over a byte-moving transport");
+    entry->encode(*object, w);
+  }
+  SVS_ASSERT(w.size() - start == length,
+             "registered codec wrote a different number of bytes than the "
+             "object's wire_size()");
+}
+
+/// MakeOpaque builds the kind-0 stand-in from the framed length; GetKind
+/// reads the decoded object's kind back for the shape check.
+template <typename Ptr, typename Registry, typename MakeOpaque,
+          typename GetKind>
+Ptr read_framed(util::ByteReader& r, Registry& registry,
+                MakeOpaque&& make_opaque, GetKind&& get_kind) {
+  const std::uint32_t kind = r.u32();
+  const std::uint64_t length = r.u64();
+  SVS_REQUIRE(length <= r.remaining(), "framed body truncated");
+  if (kind == 0) {
+    r.skip(length);
+    return make_opaque(length);
+  }
+  const auto entry = registry.find(kind);
+  SVS_REQUIRE(entry.has_value(), "unknown kind on the wire");
+  const std::size_t start = r.position();
+  Ptr decoded = entry->decode(r);
+  SVS_REQUIRE(decoded != nullptr && r.position() - start == length &&
+                  get_kind(*decoded) == kind,
+              "registered codec decoded a different shape than framed");
+  return decoded;
+}
+
+// ---------------------------------------------------------------------------
+// per-type bodies
+// ---------------------------------------------------------------------------
+
+void encode_payload(const core::PayloadPtr& payload, util::ByteWriter& w) {
+  const std::uint32_t kind = payload != nullptr ? payload->payload_kind() : 0;
+  const std::size_t length = payload != nullptr ? payload->wire_size() : 0;
+  write_framed(w, kind, length, payload.get(), payload_registry());
+}
+
+core::PayloadPtr decode_payload(util::ByteReader& r) {
+  return read_framed<core::PayloadPtr>(
+      r, payload_registry(),
+      [](std::uint64_t length) -> core::PayloadPtr {
+        if (length == 0) return nullptr;
+        return std::make_shared<core::OpaquePayload>(length);
+      },
+      [](const core::Payload& p) { return p.payload_kind(); });
+}
+
+void encode_data(const core::DataMessage& m, util::ByteWriter& w) {
+  w.u32(m.sender().value());
+  w.u64(m.seq());
+  w.u64(m.view().value());
+  m.annotation().encode(w);
+  encode_payload(m.payload(), w);
+}
+
+MessagePtr decode_data(util::ByteReader& r) {
+  const ProcessId sender(r.u32());
+  const std::uint64_t seq = r.u64();
+  const core::ViewId view(r.u64());
+  obs::Annotation annotation = obs::Annotation::decode(r);
+  core::PayloadPtr payload = decode_payload(r);
+  return std::make_shared<core::DataMessage>(sender, seq, view,
+                                             std::move(annotation),
+                                             std::move(payload));
+}
+
+void encode_init(const core::InitMessage& m, util::ByteWriter& w) {
+  w.u64(m.view().value());
+  w.u64(m.leave().size());
+  for (const auto p : m.leave()) w.u32(p.value());
+}
+
+MessagePtr decode_init(util::ByteReader& r) {
+  const core::ViewId view(r.u64());
+  const std::uint64_t count = r.u64();
+  SVS_REQUIRE(count <= r.remaining(), "leave set longer than the buffer");
+  std::vector<ProcessId> leave;
+  leave.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) leave.emplace_back(r.u32());
+  return std::make_shared<core::InitMessage>(view, std::move(leave));
+}
+
+void encode_pred(const core::PredMessage& m, util::ByteWriter& w) {
+  w.u64(m.view().value());
+  w.u64(m.accepted().size());
+  for (const auto& accepted : m.accepted()) Codec::encode(*accepted, w);
+}
+
+MessagePtr decode_pred(util::ByteReader& r) {
+  const core::ViewId view(r.u64());
+  const std::uint64_t count = r.u64();
+  SVS_REQUIRE(count <= r.remaining(), "accepted set longer than the buffer");
+  std::vector<core::DataMessagePtr> accepted;
+  accepted.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MessagePtr m = Codec::decode(r);
+    SVS_REQUIRE(m->type() == MessageType::data,
+                "PRED must contain data messages");
+    accepted.push_back(std::static_pointer_cast<const core::DataMessage>(m));
+  }
+  return std::make_shared<core::PredMessage>(view, std::move(accepted));
+}
+
+void encode_stability(const core::StabilityMessage& m, util::ByteWriter& w) {
+  w.u64(m.view().value());
+  w.u64(m.seen().size());
+  for (const auto& [sender, seq] : m.seen()) {
+    w.u32(sender.value());
+    w.u64(seq);
+  }
+}
+
+MessagePtr decode_stability(util::ByteReader& r) {
+  const core::ViewId view(r.u64());
+  const std::uint64_t count = r.u64();
+  // Each entry is at least two bytes (two varints).
+  SVS_REQUIRE(count <= r.remaining(), "seen vector longer than the buffer");
+  core::StabilityMessage::Seen seen;
+  seen.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ProcessId sender(r.u32());
+    const std::uint64_t seq = r.u64();
+    seen.emplace_back(sender, seq);
+  }
+  return std::make_shared<core::StabilityMessage>(view, std::move(seen));
+}
+
+void encode_consensus(const consensus::ConsensusMessage& m,
+                      util::ByteWriter& w) {
+  w.u64(m.instance().value());
+  w.u32(m.round());
+  w.u8(static_cast<std::uint8_t>(m.phase()));
+  w.u32(m.timestamp());
+  const auto& value = m.value();
+  w.u8(value != nullptr ? 1 : 0);
+  if (value == nullptr) return;
+  write_framed(w, value->value_kind(), value->wire_size(), value.get(),
+               value_registry());
+}
+
+MessagePtr decode_consensus(util::ByteReader& r) {
+  const consensus::InstanceId instance(r.u64());
+  const consensus::Round round = r.u32();
+  const std::uint8_t phase_raw = r.u8();
+  SVS_REQUIRE(
+      phase_raw <= static_cast<std::uint8_t>(consensus::Phase::decide),
+      "bad consensus phase on the wire");
+  const consensus::Round timestamp = r.u32();
+  const std::uint8_t has_value = r.u8();
+  SVS_REQUIRE(has_value <= 1, "bad value-presence flag on the wire");
+  consensus::ValuePtr value;
+  if (has_value == 1) {
+    value = read_framed<consensus::ValuePtr>(
+        r, value_registry(),
+        [](std::uint64_t length) {
+          return std::make_shared<consensus::OpaqueValue>(length);
+        },
+        [](const consensus::ValueBase& v) { return v.value_kind(); });
+  }
+  return std::make_shared<consensus::ConsensusMessage>(
+      instance, round, static_cast<consensus::Phase>(phase_raw),
+      std::move(value), timestamp);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// registries (public surface)
+// ---------------------------------------------------------------------------
+
+void PayloadCodecRegistry::register_codec(std::uint32_t kind, Encode encode,
+                                          Decode decode) {
+  payload_registry().add(kind, encode, decode);
+}
+
+bool PayloadCodecRegistry::registered(std::uint32_t kind) {
+  return payload_registry().find(kind).has_value();
+}
+
+void ValueCodecRegistry::register_codec(std::uint32_t kind, Encode encode,
+                                        Decode decode) {
+  value_registry().add(kind, encode, decode);
+}
+
+bool ValueCodecRegistry::registered(std::uint32_t kind) {
+  return value_registry().find(kind).has_value();
+}
+
+// ---------------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------------
+
+void Codec::encode(const Message& m, util::ByteWriter& w) {
+  const std::size_t start = w.size();
+  w.u8(static_cast<std::uint8_t>(m.type()));
+  switch (m.type()) {
+    case MessageType::data:
+      encode_data(static_cast<const core::DataMessage&>(m), w);
+      break;
+    case MessageType::init:
+      encode_init(static_cast<const core::InitMessage&>(m), w);
+      break;
+    case MessageType::pred:
+      encode_pred(static_cast<const core::PredMessage&>(m), w);
+      break;
+    case MessageType::stability:
+      encode_stability(static_cast<const core::StabilityMessage&>(m), w);
+      break;
+    case MessageType::consensus:
+      encode_consensus(static_cast<const consensus::ConsensusMessage&>(m), w);
+      break;
+    case MessageType::heartbeat:
+      break;  // the tag is the whole message
+    case MessageType::other:
+      SVS_REQUIRE(false,
+                  "MessageType::other has no wire encoding; byte-moving "
+                  "transports carry protocol messages only");
+  }
+  // The drift guard of DESIGN.md §6: wire_size() *is* the encoded size.
+  SVS_ASSERT(w.size() - start == m.wire_size(),
+             "codec wrote a different number of bytes than wire_size() "
+             "promises");
+}
+
+util::Bytes Codec::encode(const Message& m) {
+  util::ByteWriter w;
+  encode(m, w);
+  return w.take();
+}
+
+MessagePtr Codec::decode(util::ByteReader& r) {
+  const std::uint8_t tag = r.u8();
+  SVS_REQUIRE(tag > static_cast<std::uint8_t>(MessageType::other) &&
+                  tag <= static_cast<std::uint8_t>(MessageType::heartbeat),
+              "bad message type tag on the wire");
+  switch (static_cast<MessageType>(tag)) {
+    case MessageType::data:
+      return decode_data(r);
+    case MessageType::init:
+      return decode_init(r);
+    case MessageType::pred:
+      return decode_pred(r);
+    case MessageType::stability:
+      return decode_stability(r);
+    case MessageType::consensus:
+      return decode_consensus(r);
+    case MessageType::heartbeat:
+      return std::make_shared<fd::HeartbeatMessage>();
+    case MessageType::other:
+      break;
+  }
+  SVS_UNREACHABLE("tag range checked above");
+}
+
+MessagePtr Codec::decode(const util::Bytes& frame) {
+  util::ByteReader r(frame);
+  MessagePtr m = decode(r);
+  SVS_REQUIRE(r.exhausted(), "garbage bytes after the message");
+  return m;
+}
+
+}  // namespace svs::net

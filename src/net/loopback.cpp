@@ -1,0 +1,96 @@
+#include "net/loopback.hpp"
+
+#include <utility>
+
+#include "net/codec.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::net {
+
+ThreadedLoopback::~ThreadedLoopback() {
+  for (const auto& channel : channels_) {
+    {
+      const std::lock_guard<std::mutex> lock(channel->mutex);
+      channel->stop = true;
+    }
+    channel->frame_ready.notify_one();
+  }
+  for (const auto& channel : channels_) {
+    if (channel->thread.joinable()) channel->thread.join();
+  }
+}
+
+void ThreadedLoopback::attach(ProcessId id, Endpoint& endpoint) {
+  auto channel = std::make_unique<WireChannel>();
+  channel->thread = std::thread([c = channel.get()] { c->run(); });
+  auto adapter = std::make_unique<WireAdapter>(*this, endpoint, *channel);
+  // Attach last: if the inner network rejects (double attach), the channel
+  // is torn down by our destructor like any other.
+  channels_.push_back(std::move(channel));
+  adapters_.push_back(std::move(adapter));
+  inner_.attach(id, *adapters_.back());
+}
+
+void ThreadedLoopback::WireChannel::run() {
+  for (;;) {
+    util::Bytes frame;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      frame_ready.wait(lock, [this] { return stop || !frames.empty(); });
+      if (stop && frames.empty()) return;
+      frame = std::move(frames.front());
+      frames.pop_front();
+    }
+    MessagePtr fresh;
+    std::exception_ptr failure;
+    try {
+      // Decoded from bytes on this thread: the object handed back shares
+      // nothing with whatever the sender queued.
+      fresh = Codec::decode(frame);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (failure != nullptr) {
+        error = failure;
+      } else {
+        decoded.push_back(std::move(fresh));
+      }
+    }
+    decode_done.notify_one();
+  }
+}
+
+MessagePtr ThreadedLoopback::WireChannel::round_trip(util::Bytes frame) {
+  std::unique_lock<std::mutex> lock(mutex);
+  frames.push_back(std::move(frame));
+  frame_ready.notify_one();
+  decode_done.wait(lock,
+                   [this] { return error != nullptr || !decoded.empty(); });
+  if (error != nullptr) {
+    const std::exception_ptr failure = std::exchange(error, nullptr);
+    std::rethrow_exception(failure);
+  }
+  MessagePtr fresh = std::move(decoded.front());
+  decoded.pop_front();
+  return fresh;
+}
+
+bool ThreadedLoopback::WireAdapter::on_message(ProcessId from,
+                                               const MessagePtr& message,
+                                               Lane lane) {
+  // Encode on the protocol thread (the sender's NIC), decode on the
+  // receiver's wire thread.  Codec::encode asserts the measured size
+  // against wire_size(), so the byte counters of the link layer are the
+  // sizes of these very buffers.
+  util::Bytes frame = Codec::encode(*message);
+  ++owner_.wire_frames_;
+  owner_.wire_bytes_ += frame.size();
+  const MessagePtr fresh = channel_.round_trip(std::move(frame));
+  SVS_ASSERT(fresh != nullptr && fresh.get() != message.get(),
+             "the wire must hand back a distinct, freshly decoded object");
+  return real_.on_message(from, fresh, lane);
+}
+
+}  // namespace svs::net

@@ -1,0 +1,183 @@
+// Threaded loopback transport backend (DESIGN.md §6).
+//
+// Same link discipline as the sim backend — it *contains* a net::Network,
+// so FIFO order, propagation delay, backpressure, stalls, purging and crash
+// semantics are identical and runs stay deterministic — but the in-memory
+// handoff at delivery time is replaced by a real wire:
+//
+//   sender side                     "the wire"              receiver side
+//   ───────────────────────────────────────────────────────────────────────
+//   Message object queued    →  Codec::encode → Bytes   →  per-process
+//   in the outgoing buffer      pushed to the receiver's    wire thread
+//   (retransmission copy,       mailbox (mutex+condvar)     decodes a fresh
+//   purgeable, sender-local)                                Message object
+//                                                           ↓
+//                               endpoint->on_message(fresh) back on the
+//                                                           protocol thread
+//
+// The receiver never sees the sender's object: every delivered message is a
+// byte buffer that crossed a thread boundary and was decoded from scratch.
+// If anything in core/ relied on shared-pointer identity across the "wire"
+// (pointer-compared flush dedup, aliased annotations, mutated payloads), it
+// would break here and only here — the cross-backend equivalence test
+// (tests/loopback_test.cpp) runs a crash + view-change + slow-consumer
+// scenario on both backends and demands identical per-process delivery.
+//
+// The sender-side outgoing queues keep the original objects: that is the
+// honest model (a real sender purges its own unserialized retransmission
+// buffer; serialization happens when bytes hit the wire), and it is what
+// lets the purge/backpressure machinery behave identically on both
+// backends.
+//
+// Refused deliveries (receiver full) are re-attempted later by the link
+// layer; the retry re-encodes and re-crosses the wire, as a real
+// retransmission would.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace svs::net {
+
+class ThreadedLoopback final : public Transport {
+ public:
+  using Config = Network::Config;
+
+  ThreadedLoopback(sim::Simulator& simulator, Config config)
+      : inner_(simulator, config) {}
+  ~ThreadedLoopback() override;
+
+  ThreadedLoopback(const ThreadedLoopback&) = delete;
+  ThreadedLoopback& operator=(const ThreadedLoopback&) = delete;
+
+  /// Attaches the endpoint behind a codec wire: spawns the process's wire
+  /// thread and registers the encode/decode adapter with the link layer.
+  void attach(ProcessId id, Endpoint& endpoint) override;
+
+  // Link-layer surface: identical semantics to the sim backend, by
+  // construction — the inner Network owns the queues, timers and stalls.
+  void send(ProcessId from, ProcessId to, MessagePtr message,
+            Lane lane) override {
+    inner_.send(from, to, std::move(message), lane);
+  }
+  void multicast(ProcessId from, std::span<const ProcessId> destinations,
+                 const MessagePtr& message, Lane lane,
+                 bool skip_self = true) override {
+    inner_.multicast(from, destinations, message, lane, skip_self);
+  }
+  void crash(ProcessId id) override { inner_.crash(id); }
+  void subscribe_crash(
+      std::function<void(ProcessId, sim::TimePoint)> observer) override {
+    inner_.subscribe_crash(std::move(observer));
+  }
+  [[nodiscard]] bool is_crashed(ProcessId id) const override {
+    return inner_.is_crashed(id);
+  }
+  [[nodiscard]] std::optional<sim::TimePoint> crash_time(
+      ProcessId id) const override {
+    return inner_.crash_time(id);
+  }
+  void resume(ProcessId to) override { inner_.resume(to); }
+  void subscribe_backlog_drain(ProcessId from,
+                               std::function<void()> observer) override {
+    inner_.subscribe_backlog_drain(from, std::move(observer));
+  }
+  [[nodiscard]] std::size_t data_backlog(ProcessId from,
+                                         ProcessId to) const override {
+    return inner_.data_backlog(from, to);
+  }
+  std::size_t purge_outgoing(ProcessId from, VictimRef victim) override {
+    return inner_.purge_outgoing(from, victim);
+  }
+  std::size_t purge_outgoing_window(ProcessId from, ProcessId to,
+                                    std::uint64_t floor_key,
+                                    std::uint64_t below_key,
+                                    VictimRef victim) override {
+    return inner_.purge_outgoing_window(from, to, floor_key, below_key,
+                                        victim);
+  }
+  std::size_t count_outgoing_window(ProcessId from, ProcessId to,
+                                    std::uint64_t floor_key,
+                                    std::uint64_t below_key,
+                                    VictimRef pred) override {
+    return inner_.count_outgoing_window(from, to, floor_key, below_key, pred);
+  }
+  std::size_t drop_outgoing(ProcessId from, VictimRef victim) override {
+    return inner_.drop_outgoing(from, victim);
+  }
+  void set_link_slowdown(ProcessId from, ProcessId to,
+                         sim::Duration extra) override {
+    inner_.set_link_slowdown(from, to, extra);
+  }
+  void note_gossip_bytes_saved(std::uint64_t bytes) override {
+    inner_.note_gossip_bytes_saved(bytes);
+  }
+  [[nodiscard]] const NetworkStats& stats() const override {
+    return inner_.stats();
+  }
+  [[nodiscard]] std::uint32_t size() const override { return inner_.size(); }
+
+  // -- wire telemetry ----------------------------------------------------
+
+  /// Encoded frames that crossed a wire thread (one per delivery attempt;
+  /// retries after a refusal cross again, like real retransmissions).
+  [[nodiscard]] std::uint64_t wire_frames() const { return wire_frames_; }
+  /// Total encoded bytes those frames carried — measured on the actual
+  /// buffers, cross-checkable against stats().bytes_delivered.
+  [[nodiscard]] std::uint64_t wire_bytes() const { return wire_bytes_; }
+
+ private:
+  /// One process's half of the wire: a mailbox the protocol thread feeds
+  /// encoded frames into and a decoder thread that hands fresh messages
+  /// back.  The handoff is synchronous per frame (the link layer already
+  /// serializes deliveries), so at most one frame is in flight per process.
+  struct WireChannel {
+    std::mutex mutex;
+    std::condition_variable frame_ready;
+    std::condition_variable decode_done;
+    std::deque<util::Bytes> frames;
+    std::deque<MessagePtr> decoded;
+    std::exception_ptr error;
+    bool stop = false;
+    std::thread thread;
+
+    /// Protocol thread: ship `frame` across and wait for the decode.
+    MessagePtr round_trip(util::Bytes frame);
+    /// Wire thread body.
+    void run();
+  };
+
+  /// Interposed endpoint: encode, cross the wire, deliver the fresh object.
+  class WireAdapter final : public Endpoint {
+   public:
+    WireAdapter(ThreadedLoopback& owner, Endpoint& real, WireChannel& channel)
+        : owner_(owner), real_(real), channel_(channel) {}
+    bool on_message(ProcessId from, const MessagePtr& message,
+                    Lane lane) override;
+
+   private:
+    ThreadedLoopback& owner_;
+    Endpoint& real_;
+    WireChannel& channel_;
+  };
+
+  Network inner_;
+  std::vector<std::unique_ptr<WireChannel>> channels_;
+  std::vector<std::unique_ptr<WireAdapter>> adapters_;
+  // Touched only from the protocol thread (the wire threads never see
+  // these), so plain integers suffice.
+  std::uint64_t wire_frames_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+};
+
+}  // namespace svs::net

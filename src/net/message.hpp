@@ -42,8 +42,16 @@ class Message {
   Message& operator=(const Message&) = delete;
   virtual ~Message() = default;
 
-  /// Estimated size in bytes when encoded for the wire.
-  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  /// Exact size in bytes when encoded for the wire — the number of bytes
+  /// net::Codec writes, asserted against the actual encoding at every
+  /// encode site (DESIGN.md §6).  Computed once per message and cached:
+  /// messages are immutable, and byte accounting touches every delivery,
+  /// so the fan-out shares one computation instead of paying a walk over
+  /// nested structures per destination.
+  [[nodiscard]] std::size_t wire_size() const {
+    if (wire_size_cache_ == 0) wire_size_cache_ = compute_wire_size();
+    return wire_size_cache_;
+  }
 
   /// Dispatch tag; receivers switch on it instead of RTTI-probing.
   [[nodiscard]] MessageType type() const { return type_; }
@@ -53,9 +61,20 @@ class Message {
   /// queues are non-decreasing in this key, enabling windowed purges.
   [[nodiscard]] std::uint64_t order_key() const { return order_key_; }
 
+ protected:
+  /// The exact encoded size; every concrete message implements this from
+  /// the same arithmetic the codec uses.  Called at most once per object
+  /// (via the wire_size() cache).
+  [[nodiscard]] virtual std::size_t compute_wire_size() const = 0;
+
  private:
   MessageType type_ = MessageType::other;
   std::uint64_t order_key_ = 0;
+  // 0 = not yet computed (no real message encodes to zero bytes: the type
+  // tag alone is one byte).  Messages are confined to one thread at a time
+  // (the loopback wire hands decoded objects across a mutex), so a plain
+  // mutable cell is safe.
+  mutable std::size_t wire_size_cache_ = 0;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

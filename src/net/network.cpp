@@ -40,7 +40,8 @@ void Network::attach(ProcessId id, Endpoint& endpoint) {
 }
 
 void Network::enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
-                      MessagePtr message, Lane lane) {
+                      MessagePtr message, Lane lane,
+                      std::size_t wire_bytes) {
   sim::Duration delay = config_.delay + l.slowdown;
   if (config_.jitter > sim::Duration::zero()) {
     delay += sim::Duration::micros(static_cast<std::int64_t>(
@@ -54,6 +55,7 @@ void Network::enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
   const std::uint64_t key = message->order_key();
   l.queue[li].push_back(QueuedMessage{std::move(message), ready, key});
   ++stats_.sent;
+  stats_.bytes_sent += wire_bytes;
   schedule_attempt(fi, ti, l, lane);
 }
 
@@ -63,8 +65,9 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr message,
   const std::uint32_t fi = index_of(from);
   const std::uint32_t ti = index_of(to);
   if (crash_[fi].crashed) return;  // crash-stop: no sends after crash
+  const std::size_t wire_bytes = message->wire_size();
   enqueue(fi, ti, links_[static_cast<std::size_t>(fi) * size() + ti],
-          std::move(message), lane);
+          std::move(message), lane, wire_bytes);
 }
 
 void Network::multicast(ProcessId from,
@@ -73,11 +76,14 @@ void Network::multicast(ProcessId from,
   SVS_REQUIRE(message != nullptr, "cannot send a null message");
   const std::uint32_t fi = index_of(from);
   if (crash_[fi].crashed) return;
+  // One encode-size computation for the whole fan-out: every destination
+  // receives the same bytes.
+  const std::size_t wire_bytes = message->wire_size();
   const std::size_t row = static_cast<std::size_t>(fi) * size();
   for (const ProcessId to : destinations) {
     if (skip_self && to == from) continue;
     const std::uint32_t ti = index_of(to);
-    enqueue(fi, ti, links_[row + ti], MessagePtr(message), lane);
+    enqueue(fi, ti, links_[row + ti], MessagePtr(message), lane, wire_bytes);
   }
 }
 
@@ -154,6 +160,7 @@ void Network::attempt(std::uint32_t fi, std::uint32_t ti, Lane lane) {
       break;
     }
     ++stats_.delivered;
+    stats_.bytes_delivered += head.message->wire_size();
     if (lane == Lane::data) notify_drain(fi);
   }
   l.in_attempt[li] = false;

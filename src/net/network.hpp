@@ -1,5 +1,8 @@
 // Simulated point-to-point network: n x n reliable FIFO channels (§3.1) with
 // propagation delay, receiver backpressure and purgeable outgoing queues.
+// This is the deterministic sim backend of net::Transport; the threaded
+// loopback backend (net/loopback.hpp) layers a byte-moving wire on top of
+// the same link discipline.
 //
 // Model (matches §5.3): each ordered pair (from, to) has one queue per lane.
 // A queued message is still in the *sender's outgoing buffer* until the
@@ -25,8 +28,13 @@
 // buffer purging, detailed in the companion work [22] referenced from §3.3)
 // is exposed via purge_outgoing() and, for senders whose data-lane queues
 // are ordered by Message::order_key, the windowed purge_outgoing_window().
-// The victim predicates are templates: no std::function allocation on the
-// fan-out path.
+// The victim predicates are templates on the concrete fast path (no
+// std::function allocation on the fan-out path); the Transport overrides
+// funnel through the same code with a two-word util::FunctionRef.
+//
+// Byte accounting: every enqueue records the message's encoded size
+// (wire_size(), contract-checked against net::Codec at every encode site),
+// so bytes_sent / bytes_delivered / bytes_purged are measured wire bytes.
 #pragma once
 
 #include <algorithm>
@@ -35,9 +43,11 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/transport.hpp"
 #include "net/types.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -45,33 +55,7 @@
 
 namespace svs::net {
 
-/// Receives messages from the network.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-
-  /// Handles an arriving message.  May return false only for Lane::data,
-  /// meaning "my delivery buffers are full, retry later"; the link then
-  /// stalls until resume() is signalled for this receiver.
-  virtual bool on_message(ProcessId from, const MessagePtr& message,
-                          Lane lane) = 0;
-};
-
-/// Aggregate counters (per network).
-struct NetworkStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped_to_crashed = 0;
-  std::uint64_t purged_outgoing = 0;
-  std::uint64_t refusals = 0;  // data-lane stall events
-  /// Queued messages examined by windowed outgoing purges (the sender-side
-  /// analogue of DeliveryQueue purge_scan_steps; bounded by coverage_floor).
-  std::uint64_t purge_window_scanned = 0;
-  /// Wire bytes saved by delta stability gossip vs full snapshots.
-  std::uint64_t gossip_bytes_saved = 0;
-};
-
-class Network {
+class Network final : public Transport {
  public:
   struct Config {
     /// One-way propagation delay applied to every message.
@@ -89,12 +73,13 @@ class Network {
   /// index.  Must be called before any send involving `id`.  Attaching
   /// re-strides the flat link table; queued traffic survives (links are
   /// addressed by stable dense indices, not positions).
-  void attach(ProcessId id, Endpoint& endpoint);
+  void attach(ProcessId id, Endpoint& endpoint) override;
 
   /// Enqueues a message from -> to.  No-op if the sender has crashed.
   /// Self-sends are allowed (they traverse a loopback link with the same
   /// delay), which keeps broadcast loops in upper layers uniform.
-  void send(ProcessId from, ProcessId to, MessagePtr message, Lane lane);
+  void send(ProcessId from, ProcessId to, MessagePtr message,
+            Lane lane) override;
 
   /// Fan-out send: enqueues `message` from -> every destination, in order.
   /// The sender row is resolved once; per destination the cost is one dense
@@ -104,42 +89,48 @@ class Network {
   /// whole view membership; without it a loopback copy is enqueued in the
   /// destination's position (the INIT/PRED broadcast convention).
   void multicast(ProcessId from, std::span<const ProcessId> destinations,
-                 const MessagePtr& message, Lane lane, bool skip_self = true);
+                 const MessagePtr& message, Lane lane,
+                 bool skip_self = true) override;
 
   /// Marks a process crashed (crash-stop): it stops receiving (messages
   /// addressed to it are dropped on arrival) and its future sends are
   /// ignored.  Messages it already sent keep flowing — a real crashed host's
   /// packets already on the wire still arrive.
-  void crash(ProcessId id);
+  void crash(ProcessId id) override;
 
   /// Registers an observer invoked (synchronously) whenever a process
   /// crashes.  Used by oracle failure detectors.
-  void subscribe_crash(std::function<void(ProcessId, sim::TimePoint)> observer);
+  void subscribe_crash(
+      std::function<void(ProcessId, sim::TimePoint)> observer) override;
 
-  [[nodiscard]] bool is_crashed(ProcessId id) const;
+  [[nodiscard]] bool is_crashed(ProcessId id) const override;
 
   /// Virtual time at which `id` crashed, if it did (used by the oracle
   /// failure detector).
-  [[nodiscard]] std::optional<sim::TimePoint> crash_time(ProcessId id) const;
+  [[nodiscard]] std::optional<sim::TimePoint> crash_time(
+      ProcessId id) const override;
 
   /// Signals that `to` has freed buffer space: all links stalled on `to`
   /// retry their head message.
-  void resume(ProcessId to);
+  void resume(ProcessId to) override;
 
   /// Registers an observer fired whenever an outgoing data-lane backlog of
   /// `from` shrinks (delivery accepted, purge, or drop).  Senders use it to
   /// wake blocked producers.
-  void subscribe_backlog_drain(ProcessId from, std::function<void()> observer);
+  void subscribe_backlog_drain(ProcessId from,
+                               std::function<void()> observer) override;
 
   /// Number of data-lane messages queued from -> to (the sender's outgoing
   /// buffer occupancy towards that destination).
-  [[nodiscard]] std::size_t data_backlog(ProcessId from, ProcessId to) const;
+  [[nodiscard]] std::size_t data_backlog(ProcessId from,
+                                         ProcessId to) const override;
 
   /// Removes data-lane messages queued from `from` (to every destination)
   /// for which `victim` returns true.  Returns the number removed.  This is
   /// sender-side semantic purging: only messages not yet accepted by the
   /// receiver can be removed.
   template <typename Victim>
+    requires(!std::is_same_v<std::remove_cvref_t<Victim>, VictimRef>)
   std::size_t purge_outgoing(ProcessId from, Victim&& victim) {
     const std::uint32_t fi = index_of(from);
     std::size_t total = 0;
@@ -150,6 +141,10 @@ class Network {
                                /*count_as_purged=*/true);
     }
     return total;
+  }
+  std::size_t purge_outgoing(ProcessId from, VictimRef victim) override {
+    return purge_outgoing(
+        from, [&victim](const MessagePtr& m) { return victim(m); });
   }
 
   /// As above but restricted to one destination.
@@ -171,6 +166,7 @@ class Network {
   /// non-decreasing in Message::order_key (true for protocol senders, which
   /// emit their own seqs in order).  Returns the number removed.
   template <typename Victim>
+    requires(!std::is_same_v<std::remove_cvref_t<Victim>, VictimRef>)
   std::size_t purge_outgoing_window(ProcessId from, ProcessId to,
                                     std::uint64_t floor_key,
                                     std::uint64_t below_key, Victim&& victim) {
@@ -189,8 +185,12 @@ class Network {
 
     // Compact [lo, hi) in place: only the window and the tail shift.
     auto keep = lo;
+    std::uint64_t removed_bytes = 0;
     for (auto it = lo; it != hi; ++it) {
-      if (victim(it->message)) continue;
+      if (victim(it->message)) {
+        removed_bytes += it->message->wire_size();
+        continue;
+      }
       if (keep != it) *keep = std::move(*it);
       ++keep;
     }
@@ -198,14 +198,24 @@ class Network {
     if (removed == 0) return 0;
     q.erase(keep, hi);
     stats_.purged_outgoing += removed;
+    stats_.bytes_purged += removed_bytes;
     notify_drain(fi);
     reaim_if_head_removed(l, fi, ti, head_scheduled, head);
     return removed;
+  }
+  std::size_t purge_outgoing_window(ProcessId from, ProcessId to,
+                                    std::uint64_t floor_key,
+                                    std::uint64_t below_key,
+                                    VictimRef victim) override {
+    return purge_outgoing_window(
+        from, to, floor_key, below_key,
+        [&victim](const MessagePtr& m) { return victim(m); });
   }
 
   /// Number of messages purge_outgoing_window would remove, without
   /// removing them (the flow-control admission pre-check of t2).
   template <typename Pred>
+    requires(!std::is_same_v<std::remove_cvref_t<Pred>, VictimRef>)
   std::size_t count_outgoing_window(ProcessId from, ProcessId to,
                                     std::uint64_t floor_key,
                                     std::uint64_t below_key, Pred&& pred) {
@@ -223,11 +233,20 @@ class Network {
     }
     return count;
   }
+  std::size_t count_outgoing_window(ProcessId from, ProcessId to,
+                                    std::uint64_t floor_key,
+                                    std::uint64_t below_key,
+                                    VictimRef pred) override {
+    return count_outgoing_window(
+        from, to, floor_key, below_key,
+        [&pred](const MessagePtr& m) { return pred(m); });
+  }
 
   /// Drops every queued data-lane message from -> * matching `victim`.
   /// Unlike purge_outgoing this is not counted as semantic purging; it is
   /// used at view installation to discard messages of superseded views.
   template <typename Victim>
+    requires(!std::is_same_v<std::remove_cvref_t<Victim>, VictimRef>)
   std::size_t drop_outgoing(ProcessId from, Victim&& victim) {
     const std::uint32_t fi = index_of(from);
     std::size_t total = 0;
@@ -239,29 +258,39 @@ class Network {
     }
     return total;
   }
+  std::size_t drop_outgoing(ProcessId from, VictimRef victim) override {
+    return drop_outgoing(
+        from, [&victim](const MessagePtr& m) { return victim(m); });
+  }
 
   /// Adds `extra` to the propagation delay of link from -> to (simulated
   /// network perturbation).  Pass zero to clear.
-  void set_link_slowdown(ProcessId from, ProcessId to, sim::Duration extra);
+  void set_link_slowdown(ProcessId from, ProcessId to,
+                         sim::Duration extra) override;
 
   /// Credits wire bytes saved by a delta-encoded gossip (core-layer
   /// telemetry surfaced with the other network counters).
-  void note_gossip_bytes_saved(std::uint64_t bytes) {
+  void note_gossip_bytes_saved(std::uint64_t bytes) override {
     stats_.gossip_bytes_saved += bytes;
   }
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const override { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   /// Number of attached processes (the dense registry's size).
-  [[nodiscard]] std::uint32_t size() const {
+  [[nodiscard]] std::uint32_t size() const override {
     return static_cast<std::uint32_t>(endpoints_.size());
   }
 
  private:
+  // Byte counters re-derive wire_size() from the message at delivery/purge
+  // time instead of caching it here: a fourth word would push the entry
+  // from 32 to 40 bytes and measurably slow the flood hot path, while the
+  // wire_size() call is one predicted virtual dispatch on paths that
+  // already touch the message object.
   struct QueuedMessage {
     MessagePtr message;
-    sim::TimePoint ready;    // earliest acceptance-attempt time
-    std::uint64_t order_key; // cached Message::order_key (windowed purges)
+    sim::TimePoint ready;     // earliest acceptance-attempt time
+    std::uint64_t order_key;  // cached Message::order_key (windowed purges)
   };
 
   struct Link {
@@ -340,19 +369,26 @@ class Network {
     const bool head_scheduled = l.pending[lane_index(Lane::data)].valid();
     const Message* head = q.front().message.get();
 
-    std::erase_if(q,
-                  [&](const QueuedMessage& qm) { return victim(qm.message); });
+    std::uint64_t removed_bytes = 0;
+    std::erase_if(q, [&](const QueuedMessage& qm) {
+      if (!victim(qm.message)) return false;
+      removed_bytes += qm.message->wire_size();
+      return true;
+    });
 
     const std::size_t removed = before - q.size();
     if (removed == 0) return 0;
-    if (count_as_purged) stats_.purged_outgoing += removed;
+    if (count_as_purged) {
+      stats_.purged_outgoing += removed;
+      stats_.bytes_purged += removed_bytes;
+    }
     notify_drain(fi);
     reaim_if_head_removed(l, fi, ti, head_scheduled, head);
     return removed;
   }
 
   void enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
-               MessagePtr message, Lane lane);
+               MessagePtr message, Lane lane, std::size_t wire_bytes);
   void schedule_attempt(std::uint32_t fi, std::uint32_t ti, Link& l,
                         Lane lane);
   void attempt(std::uint32_t fi, std::uint32_t ti, Lane lane);

@@ -92,14 +92,20 @@ void Annotation::encode(util::ByteWriter& writer) const {
 }
 
 Annotation Annotation::decode(util::ByteReader& reader) {
-  const auto kind = static_cast<AnnotationKind>(reader.u8());
-  switch (kind) {
+  const std::uint8_t kind_raw = reader.u8();
+  // Wire-facing: a bad tag is malformed input (ContractViolation), never UB.
+  SVS_REQUIRE(kind_raw <= static_cast<std::uint8_t>(AnnotationKind::k_enum),
+              "bad annotation kind on the wire");
+  switch (static_cast<AnnotationKind>(kind_raw)) {
     case AnnotationKind::none:
       return none();
     case AnnotationKind::item_tag:
       return item(reader.u64());
     case AnnotationKind::enumeration: {
       const std::uint64_t n = reader.u64();
+      // Each delta is at least one byte: bounds the allocation below.
+      SVS_REQUIRE(n <= reader.remaining(),
+                  "enumeration longer than the buffer");
       std::vector<std::uint64_t> seqs;
       seqs.reserve(n);
       std::uint64_t prev = 0;
@@ -112,7 +118,7 @@ Annotation Annotation::decode(util::ByteReader& reader) {
     case AnnotationKind::k_enum:
       return kenum(KBitmap::decode(reader));
   }
-  SVS_UNREACHABLE("invalid annotation kind on the wire");
+  SVS_UNREACHABLE("kind range checked above");
 }
 
 }  // namespace svs::obs

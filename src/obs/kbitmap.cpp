@@ -98,6 +98,10 @@ void KBitmap::encode(util::ByteWriter& writer) const {
 
 KBitmap KBitmap::decode(util::ByteReader& reader) {
   const std::uint64_t k = reader.u64();
+  // The payload is ceil(k/8) bytes; a horizon the buffer cannot possibly
+  // hold is malformed input, not a gigabyte allocation.
+  SVS_REQUIRE(k <= 8 * static_cast<std::uint64_t>(reader.remaining()),
+              "bitmap horizon longer than the buffer");
   KBitmap bm(static_cast<std::size_t>(k));
   for (std::size_t byte = 0; byte < (k + 7) / 8; ++byte) {
     const std::uint8_t b = reader.u8();

@@ -43,6 +43,9 @@ std::uint64_t ByteReader::u64() {
     SVS_REQUIRE(pos_ < buf_.size(), "varint truncated");
     SVS_REQUIRE(shift < 64, "varint too long");
     const std::uint8_t byte = buf_[pos_++];
+    // The 10th byte holds bit 63 only: anything above would be silently
+    // shifted out, so an over-long encoding must be rejected, not wrapped.
+    SVS_REQUIRE(shift < 63 || byte <= 1, "varint overflows 64 bits");
     result |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
     if ((byte & 0x80U) == 0) return result;
     shift += 7;
@@ -62,6 +65,11 @@ std::uint64_t ByteReader::fixed64() {
     v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
   }
   return v;
+}
+
+void ByteReader::skip(std::size_t n) {
+  SVS_REQUIRE(remaining() >= n, "skip past end of buffer");
+  pos_ += n;
 }
 
 std::string ByteReader::str() {

@@ -45,8 +45,13 @@ class ByteReader {
   std::uint64_t fixed64();
   std::string str();
 
+  /// Skips `n` bytes; throws ContractViolation on underrun.
+  void skip(std::size_t n);
+
   [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
   [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+  /// Bytes consumed so far (length-framed decoders verify consumption).
+  [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:
   const Bytes& buf_;

@@ -1,0 +1,43 @@
+// Non-owning callable reference.
+//
+// The Transport interface (net/transport.hpp) exposes purge operations whose
+// victim predicates must cross a virtual-call boundary.  A template parameter
+// cannot (templates cannot be virtual) and std::function would allocate per
+// call on the multicast fan-out path.  FunctionRef is two words — object
+// pointer + trampoline — valid for the duration of the call, which is all a
+// purge needs: the predicate never outlives the purge that runs it.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace svs::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace svs::util

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/message.hpp"
+#include "util/bytes.hpp"
 
 namespace svs::workload {
 
@@ -36,9 +37,10 @@ class ItemOp final : public core::Payload {
   [[nodiscard]] bool commit() const { return commit_; }
 
   [[nodiscard]] std::size_t wire_size() const override {
-    // op + item + round varints + 16 bytes of state (3D pos + velocity in a
-    // compact fixed-point encoding, as a game server would ship).
-    return 1 + 4 + 4 + 16;
+    // Exactly what the registered codec writes: op/commit byte + item and
+    // round varints + 8 bytes of fixed-width state (the compact fixed-point
+    // item value a game server would ship).
+    return 1 + util::varint_size(item_) + util::varint_size(round_) + 8;
   }
 
   [[nodiscard]] std::uint32_t payload_kind() const override {

@@ -1,0 +1,441 @@
+// Wire-codec tests (DESIGN.md §6): a round-trip property for every
+// MessageType and every registered payload/value kind, the measured-bytes
+// contract (encoded.size() == wire_size(), always), and decode hardening —
+// truncations, bad tags, garbage suffixes and a deterministic byte-mutation
+// fuzz loop must throw ContractViolation, never crash.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/message.hpp"
+#include "core/message.hpp"
+#include "fd/heartbeat.hpp"
+#include "net/codec.hpp"
+#include "obs/kbitmap.hpp"
+#include "util/bytes.hpp"
+#include "util/contracts.hpp"
+#include "workload/item_op.hpp"
+#include "xorshift.hpp"
+
+namespace svs::net {
+namespace {
+
+using core::DataMessage;
+using core::DataMessagePtr;
+using core::ViewId;
+
+// A registered test payload with interesting fields (string + varint).
+class BlobPayload final : public core::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 7;
+
+  BlobPayload(std::uint64_t x, std::string s) : x_(x), s_(std::move(s)) {}
+
+  [[nodiscard]] std::uint64_t x() const { return x_; }
+  [[nodiscard]] const std::string& s() const { return s_; }
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return util::varint_size(x_) + util::varint_size(s_.size()) + s_.size();
+  }
+  [[nodiscard]] std::uint32_t payload_kind() const override { return kKind; }
+
+  static void encode(const core::Payload& p, util::ByteWriter& w) {
+    const auto& blob = static_cast<const BlobPayload&>(p);
+    w.u64(blob.x_);
+    w.str(blob.s_);
+  }
+  static core::PayloadPtr decode(util::ByteReader& r) {
+    const std::uint64_t x = r.u64();
+    std::string s = r.str();
+    return std::make_shared<BlobPayload>(x, std::move(s));
+  }
+
+ private:
+  std::uint64_t x_;
+  std::string s_;
+};
+
+// An unregistered kind-0 payload: must survive as a size-preserving opaque.
+class NullPayload final : public core::Payload {
+ public:
+  explicit NullPayload(std::size_t n) : n_(n) {}
+  [[nodiscard]] std::size_t wire_size() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+struct CodecFixture : ::testing::Test {
+  CodecFixture() {
+    PayloadCodecRegistry::register_codec(BlobPayload::kKind,
+                                         BlobPayload::encode,
+                                         BlobPayload::decode);
+  }
+
+  /// Encode, check the measured-bytes contract, decode the whole frame.
+  static MessagePtr round_trip(const Message& m) {
+    const util::Bytes frame = Codec::encode(m);
+    EXPECT_EQ(frame.size(), m.wire_size())
+        << "encoded size must equal wire_size()";
+    const MessagePtr back = Codec::decode(frame);
+    EXPECT_EQ(back->type(), m.type());
+    EXPECT_EQ(back->wire_size(), m.wire_size())
+        << "round trip must preserve the encoded size";
+    return back;
+  }
+
+  static void expect_data_equal(const DataMessage& a, const DataMessage& b) {
+    EXPECT_EQ(a.sender(), b.sender());
+    EXPECT_EQ(a.seq(), b.seq());
+    EXPECT_EQ(a.view(), b.view());
+    EXPECT_EQ(a.annotation(), b.annotation());
+    EXPECT_EQ(a.order_key(), b.order_key());
+    const bool a_has = a.payload() != nullptr;
+    const bool b_has = b.payload() != nullptr;
+    ASSERT_EQ(a_has, b_has);
+    if (a_has) {
+      EXPECT_EQ(a.payload()->payload_kind(), b.payload()->payload_kind());
+      EXPECT_EQ(a.payload()->wire_size(), b.payload()->wire_size());
+    }
+  }
+
+  static DataMessagePtr make_data(std::uint32_t sender, std::uint64_t seq,
+                                  obs::Annotation annotation,
+                                  core::PayloadPtr payload,
+                                  std::uint64_t view = 3) {
+    return std::make_shared<DataMessage>(ProcessId(sender), seq, ViewId(view),
+                                         std::move(annotation),
+                                         std::move(payload));
+  }
+
+  /// The annotation corpus: one of each representation.
+  static std::vector<obs::Annotation> annotations() {
+    obs::KBitmap bm(32);
+    bm.set(1);
+    bm.set(7);
+    bm.set(32);
+    return {obs::Annotation::none(), obs::Annotation::item(777),
+            obs::Annotation::enumerate({3, 9, 200, 4096}),
+            obs::Annotation::kenum(bm)};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// round trips, one per MessageType and payload/value kind
+// ---------------------------------------------------------------------------
+
+TEST_F(CodecFixture, DataRoundTripsEveryAnnotationKind) {
+  for (const auto& annotation : annotations()) {
+    const auto m = make_data(
+        5, 12345, annotation,
+        std::make_shared<workload::ItemOp>(workload::OpKind::update, 42,
+                                           0xDEADBEEFCAFEULL, 17, true));
+    const auto back = round_trip(*m);
+    ASSERT_EQ(back->type(), MessageType::data);
+    expect_data_equal(*m, static_cast<const DataMessage&>(*back));
+  }
+}
+
+TEST_F(CodecFixture, ItemOpPayloadRoundTripsFieldByField) {
+  const auto m = make_data(
+      1, 2, obs::Annotation::item(9),
+      std::make_shared<workload::ItemOp>(workload::OpKind::destroy, 300, 0, 9,
+                                         false));
+  const auto back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*m));
+  const auto* op =
+      static_cast<const workload::ItemOp*>(back->payload().get());
+  EXPECT_EQ(op->op(), workload::OpKind::destroy);
+  EXPECT_EQ(op->item(), 300u);
+  EXPECT_EQ(op->value(), 0u);
+  EXPECT_EQ(op->round(), 9u);
+  EXPECT_FALSE(op->commit());
+}
+
+TEST_F(CodecFixture, RegisteredBlobPayloadRoundTrips) {
+  const auto m = make_data(
+      2, 77, obs::Annotation::none(),
+      std::make_shared<BlobPayload>(1ULL << 40, "hello \x01 wire"));
+  const auto back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*m));
+  const auto* blob =
+      static_cast<const BlobPayload*>(back->payload().get());
+  EXPECT_EQ(blob->x(), 1ULL << 40);
+  EXPECT_EQ(blob->s(), "hello \x01 wire");
+}
+
+TEST_F(CodecFixture, OpaquePayloadPreservesWireSize) {
+  const auto m = make_data(3, 4, obs::Annotation::none(),
+                           std::make_shared<NullPayload>(13));
+  const auto back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*m));
+  ASSERT_NE(back->payload(), nullptr);
+  EXPECT_EQ(back->payload()->payload_kind(), 0u);
+  EXPECT_EQ(back->payload()->wire_size(), 13u);
+}
+
+TEST_F(CodecFixture, NullPayloadRoundTrips) {
+  const auto m = make_data(3, 4, obs::Annotation::none(), nullptr);
+  const auto back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*m));
+  EXPECT_EQ(back->payload(), nullptr);
+}
+
+TEST_F(CodecFixture, InitRoundTrips) {
+  const core::InitMessage m(ViewId(6), {ProcessId(2), ProcessId(900)});
+  const auto back = round_trip(m);
+  const auto& init = static_cast<const core::InitMessage&>(*back);
+  EXPECT_EQ(init.view(), ViewId(6));
+  EXPECT_EQ(init.leave(),
+            (std::vector<ProcessId>{ProcessId(2), ProcessId(900)}));
+}
+
+TEST_F(CodecFixture, PredRoundTripsNestedMessages) {
+  std::vector<DataMessagePtr> accepted;
+  std::uint64_t seq = 100;
+  for (const auto& annotation : annotations()) {
+    ++seq;
+    accepted.push_back(make_data(
+        4, seq, annotation,
+        std::make_shared<workload::ItemOp>(workload::OpKind::create, seq,
+                                           seq * 3, 1, false)));
+  }
+  const core::PredMessage m(ViewId(3), accepted);
+  const auto back = round_trip(m);
+  const auto& pred = static_cast<const core::PredMessage&>(*back);
+  EXPECT_EQ(pred.view(), ViewId(3));
+  ASSERT_EQ(pred.accepted().size(), accepted.size());
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    expect_data_equal(*accepted[i], *pred.accepted()[i]);
+    // The wire must not preserve object identity.
+    EXPECT_NE(pred.accepted()[i].get(), accepted[i].get());
+  }
+}
+
+TEST_F(CodecFixture, StabilityRoundTrips) {
+  const core::StabilityMessage m(
+      ViewId(2), {{ProcessId(0), 17}, {ProcessId(3), 0}, {ProcessId(9), 1u << 20}});
+  const auto back = round_trip(m);
+  const auto& stability = static_cast<const core::StabilityMessage&>(*back);
+  EXPECT_EQ(stability.view(), ViewId(2));
+  EXPECT_EQ(stability.seen(), m.seen());
+}
+
+TEST_F(CodecFixture, ConsensusWithProposalValueRoundTrips) {
+  std::vector<DataMessagePtr> pred{
+      make_data(1, 5, obs::Annotation::item(2),
+                std::make_shared<workload::ItemOp>(workload::OpKind::update,
+                                                   2, 99, 3, true))};
+  const auto value = std::make_shared<core::ProposalValue>(
+      core::View(ViewId(4), {ProcessId(0), ProcessId(1), ProcessId(2)}),
+      pred);
+  const consensus::ConsensusMessage m(consensus::InstanceId(3), 2,
+                                      consensus::Phase::propose, value, 1);
+  const auto back = round_trip(m);
+  const auto& cm = static_cast<const consensus::ConsensusMessage&>(*back);
+  EXPECT_EQ(cm.instance(), consensus::InstanceId(3));
+  EXPECT_EQ(cm.round(), 2u);
+  EXPECT_EQ(cm.phase(), consensus::Phase::propose);
+  EXPECT_EQ(cm.timestamp(), 1u);
+  const auto decided =
+      std::dynamic_pointer_cast<const core::ProposalValue>(cm.value());
+  ASSERT_NE(decided, nullptr) << "ProposalValue must round-trip as itself";
+  EXPECT_EQ(decided->next_view().id(), ViewId(4));
+  EXPECT_EQ(decided->next_view().members(),
+            (std::vector<ProcessId>{ProcessId(0), ProcessId(1), ProcessId(2)}));
+  ASSERT_EQ(decided->pred_view().size(), 1u);
+  expect_data_equal(*pred[0], *decided->pred_view()[0]);
+}
+
+TEST_F(CodecFixture, ConsensusWithNullValueRoundTrips) {
+  const consensus::ConsensusMessage m(consensus::InstanceId(1), 0,
+                                      consensus::Phase::ack, nullptr, 0);
+  const auto back = round_trip(m);
+  const auto& cm = static_cast<const consensus::ConsensusMessage&>(*back);
+  EXPECT_EQ(cm.value(), nullptr);
+  EXPECT_EQ(cm.phase(), consensus::Phase::ack);
+}
+
+TEST_F(CodecFixture, ConsensusWithOpaqueValuePreservesSize) {
+  class IntValue final : public consensus::ValueBase {
+   public:
+    [[nodiscard]] std::size_t wire_size() const override { return 4; }
+  };
+  const consensus::ConsensusMessage m(consensus::InstanceId(2), 1,
+                                      consensus::Phase::estimate,
+                                      std::make_shared<IntValue>(), 0);
+  const auto back = round_trip(m);
+  const auto& cm = static_cast<const consensus::ConsensusMessage&>(*back);
+  ASSERT_NE(cm.value(), nullptr);
+  EXPECT_EQ(cm.value()->value_kind(), 0u);
+  EXPECT_EQ(cm.value()->wire_size(), 4u);
+}
+
+TEST_F(CodecFixture, HeartbeatRoundTrips) {
+  const fd::HeartbeatMessage m;
+  const auto back = round_trip(m);
+  EXPECT_EQ(back->type(), MessageType::heartbeat);
+  EXPECT_EQ(m.wire_size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// the measured-bytes contract
+// ---------------------------------------------------------------------------
+
+TEST_F(CodecFixture, EncodeRejectsUnencodableTypes) {
+  class OtherMessage final : public Message {
+   public:
+    OtherMessage() : Message(MessageType::other) {}
+    [[nodiscard]] std::size_t compute_wire_size() const override { return 4; }
+  };
+  const OtherMessage m;
+  EXPECT_THROW((void)Codec::encode(m), util::ContractViolation);
+}
+
+TEST_F(CodecFixture, EncodeRejectsUnregisteredPayloadKinds) {
+  class StrayPayload final : public core::Payload {
+   public:
+    [[nodiscard]] std::size_t wire_size() const override { return 2; }
+    [[nodiscard]] std::uint32_t payload_kind() const override { return 999; }
+  };
+  const auto m = make_data(0, 1, obs::Annotation::none(),
+                           std::make_shared<StrayPayload>());
+  EXPECT_THROW((void)Codec::encode(*m), util::ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// decode hardening
+// ---------------------------------------------------------------------------
+
+/// A representative corpus: one valid encoding per shape.
+std::vector<util::Bytes> corpus() {
+  std::vector<util::Bytes> out;
+  obs::KBitmap bm(16);
+  bm.set(2);
+  bm.set(16);
+  const auto data = std::make_shared<DataMessage>(
+      ProcessId(3), 41, ViewId(2), obs::Annotation::kenum(bm),
+      std::make_shared<workload::ItemOp>(workload::OpKind::update, 11, 12, 13,
+                                         true));
+  out.push_back(Codec::encode(*data));
+  out.push_back(Codec::encode(core::InitMessage(ViewId(1), {ProcessId(4)})));
+  out.push_back(Codec::encode(core::PredMessage(ViewId(2), {data})));
+  out.push_back(Codec::encode(core::StabilityMessage(
+      ViewId(2), {{ProcessId(0), 5}, {ProcessId(1), 7}})));
+  out.push_back(Codec::encode(consensus::ConsensusMessage(
+      consensus::InstanceId(2), 1, consensus::Phase::propose,
+      std::make_shared<core::ProposalValue>(
+          core::View(ViewId(3), {ProcessId(0), ProcessId(1)}),
+          std::vector<DataMessagePtr>{data}),
+      1)));
+  out.push_back(Codec::encode(fd::HeartbeatMessage()));
+  return out;
+}
+
+TEST_F(CodecFixture, EveryStrictPrefixThrows) {
+  for (const auto& frame : corpus()) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const util::Bytes prefix(frame.begin(),
+                               frame.begin() + static_cast<long>(cut));
+      EXPECT_THROW((void)Codec::decode(prefix), util::ContractViolation)
+          << "prefix of length " << cut << " of a " << frame.size()
+          << "-byte frame";
+    }
+  }
+}
+
+TEST_F(CodecFixture, GarbageSuffixThrows) {
+  for (const auto& frame : corpus()) {
+    util::Bytes extended = frame;
+    extended.push_back(0x00);
+    EXPECT_THROW((void)Codec::decode(extended), util::ContractViolation);
+  }
+}
+
+TEST_F(CodecFixture, BadTypeTagThrows) {
+  for (const std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{7},
+                                 std::uint8_t{0x80}, std::uint8_t{0xFF}}) {
+    util::Bytes frame = corpus().front();
+    frame[0] = tag;
+    EXPECT_THROW((void)Codec::decode(frame), util::ContractViolation);
+  }
+}
+
+TEST_F(CodecFixture, UnknownPayloadKindThrows) {
+  // data message, sender 1, seq 1, view 1, annotation none, kind 999.
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::data));
+  w.u32(1);
+  w.u64(1);
+  w.u64(1);
+  w.u8(0);  // AnnotationKind::none
+  w.u32(999);
+  w.u64(0);
+  EXPECT_THROW((void)Codec::decode(w.data()), util::ContractViolation);
+}
+
+TEST_F(CodecFixture, PayloadLengthOverrunThrows) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::data));
+  w.u32(1);
+  w.u64(1);
+  w.u64(1);
+  w.u8(0);   // AnnotationKind::none
+  w.u32(0);  // opaque
+  w.u64(100);  // claims 100 payload bytes; none follow
+  EXPECT_THROW((void)Codec::decode(w.data()), util::ContractViolation);
+}
+
+TEST_F(CodecFixture, HugeCountsAreRejectedNotAllocated) {
+  // A stability message claiming ~2^60 entries must be rejected by the
+  // bounds check, not by attempting the allocation.
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::stability));
+  w.u64(1);
+  w.u64(1ULL << 60);
+  EXPECT_THROW((void)Codec::decode(w.data()), util::ContractViolation);
+
+  // Same for a k-enumeration bitmap with an absurd horizon.
+  util::ByteWriter w2;
+  w2.u8(static_cast<std::uint8_t>(MessageType::data));
+  w2.u32(1);
+  w2.u64(1);
+  w2.u64(1);
+  w2.u8(3);            // AnnotationKind::k_enum
+  w2.u64(1ULL << 50);  // horizon
+  EXPECT_THROW((void)Codec::decode(w2.data()), util::ContractViolation);
+}
+
+TEST_F(CodecFixture, ByteMutationFuzzNeverCrashes) {
+  // Deterministic mutation fuzz: any single- or multi-byte corruption of a
+  // valid frame either decodes to *something* or throws ContractViolation.
+  // LogicViolation or UB would mean a decoder bug (the ASan/UBSan CI job
+  // runs this same loop under sanitizers).
+  svs::testing::Xorshift64 next_random(0x5eed1235ULL);
+  const auto frames = corpus();
+  int decoded_ok = 0;
+  int rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    util::Bytes frame = frames[next_random() % frames.size()];
+    const int flips = 1 + static_cast<int>(next_random() % 4);
+    for (int f = 0; f < flips; ++f) {
+      frame[next_random() % frame.size()] ^=
+          static_cast<std::uint8_t>(1U << (next_random() % 8));
+    }
+    try {
+      const MessagePtr m = Codec::decode(frame);
+      ASSERT_NE(m, nullptr);
+      ++decoded_ok;
+    } catch (const util::ContractViolation&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes must actually occur, or the fuzz is vacuous.
+  EXPECT_GT(decoded_ok, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace svs::net

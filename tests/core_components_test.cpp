@@ -122,6 +122,30 @@ TEST(StabilityTracker, DeltaFallsBackToFullVectorAfterReset) {
   EXPECT_EQ(delta.size(), t.tracked_senders());
 }
 
+TEST(StabilityTracker, EntryWireBytesTracksSnapshotEncoding) {
+  // The incrementally maintained entry_wire_bytes must always equal the
+  // encoded size of the materialized snapshot's entries — it is what the
+  // delta-gossip savings credit prices full rounds with.
+  StabilityTracker t;
+  const auto reference = [&t] {
+    std::size_t bytes = 0;
+    for (const auto& [sender, seq] : t.snapshot()) {
+      bytes += util::varint_size(sender.value()) + util::varint_size(seq);
+    }
+    return bytes;
+  };
+  EXPECT_EQ(t.entry_wire_bytes(), 0u);
+  t.note_seen(pid(0), 1);
+  t.note_seen(pid(1), 100);  // one varint byte becomes two
+  EXPECT_EQ(t.entry_wire_bytes(), reference());
+  t.note_seen(pid(1), 200);   // same width
+  t.note_seen(pid(0), 20000); // widens to three bytes
+  t.note_seen(pid(0), 5);     // stale: no change
+  EXPECT_EQ(t.entry_wire_bytes(), reference());
+  t.reset();
+  EXPECT_EQ(t.entry_wire_bytes(), 0u);
+}
+
 TEST(StabilityTracker, SnapshotAndReset) {
   StabilityTracker t;
   t.note_seen(pid(0), 1);

@@ -7,6 +7,7 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/contracts.hpp"
+#include "xorshift.hpp"
 
 namespace svs::net {
 namespace {
@@ -17,7 +18,7 @@ class TestMessage final : public Message {
       : Message(MessageType::other, static_cast<std::uint64_t>(tag)),
         tag_(tag) {}
   [[nodiscard]] int tag() const { return tag_; }
-  [[nodiscard]] std::size_t wire_size() const override { return 4; }
+  [[nodiscard]] std::size_t compute_wire_size() const override { return 4; }
 
  private:
   int tag_;
@@ -396,13 +397,7 @@ TEST(NetPurgeEquivalence, WindowedMatchesFullScanRandomized) {
   // reference full-deque scan with the equivalent predicate must remove the
   // same victims and deliver the same survivors, for arbitrary windows and
   // victim sets — mirroring the delivery-queue equivalence test.
-  std::uint64_t state = 0x5eed5eedULL;
-  const auto next_random = [&state] {
-    state ^= state << 13;
-    state ^= state >> 7;
-    state ^= state << 17;
-    return state;
-  };
+  svs::testing::Xorshift64 next_random(0x5eed5eedULL);
   for (int round = 0; round < 60; ++round) {
     sim::Simulator sim_a, sim_b;
     Network net_a(sim_a, {});

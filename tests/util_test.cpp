@@ -7,6 +7,7 @@
 #include "util/bytes.hpp"
 #include "util/contracts.hpp"
 #include "util/strong_id.hpp"
+#include "xorshift.hpp"
 
 namespace svs::util {
 namespace {
@@ -117,6 +118,22 @@ TEST(Bytes, UnderrunThrows) {
   EXPECT_THROW(r.u64(), ContractViolation);
 }
 
+TEST(Bytes, OverlongVarintRejected) {
+  // Ten bytes whose tail would set bits above 63: the value cannot be
+  // represented, so the decoder must throw instead of silently wrapping.
+  Bytes buf(9, 0x80);
+  buf.push_back(0x7F);
+  ByteReader r(buf);
+  EXPECT_THROW(r.u64(), ContractViolation);
+
+  // The canonical 10-byte encoding of ~0 (final byte 0x01) stays valid.
+  ByteWriter w;
+  w.u64(~0ULL);
+  EXPECT_EQ(w.size(), 10u);
+  ByteReader r2(w.data());
+  EXPECT_EQ(r2.u64(), ~0ULL);
+}
+
 TEST(Bytes, U32OverflowRejected) {
   ByteWriter w;
   w.u64(1ULL << 33);
@@ -129,6 +146,47 @@ TEST(Bytes, EmptyReaderIsExhausted) {
   ByteReader r(empty);
   EXPECT_TRUE(r.exhausted());
   EXPECT_THROW(r.u8(), ContractViolation);
+}
+
+TEST(Bytes, SkipBoundsChecked) {
+  ByteWriter w;
+  w.u64(300);
+  ByteReader r(w.data());
+  r.skip(1);
+  EXPECT_EQ(r.position(), 1u);
+  EXPECT_THROW(r.skip(5), ContractViolation);
+  r.skip(r.remaining());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ReaderFuzzNeverMisbehaves) {
+  // Deterministic byte-level fuzz of the primitive decoders: on arbitrary
+  // buffers every read either returns a value or throws ContractViolation —
+  // no UB, no LogicViolation, and the position never runs past the end.
+  // (The message-level mutation fuzz lives in codec_test.cpp; the ASan +
+  // UBSan CI job runs both under sanitizers.)
+  svs::testing::Xorshift64 next_random(0x0ddba11ULL);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes buf(next_random() % 24);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(next_random());
+    ByteReader r(buf);
+    while (!r.exhausted()) {
+      const std::size_t before = r.position();
+      try {
+        switch (next_random() % 5) {
+          case 0: (void)r.u8(); break;
+          case 1: (void)r.u32(); break;
+          case 2: (void)r.u64(); break;
+          case 3: (void)r.fixed64(); break;
+          default: (void)r.str(); break;
+        }
+      } catch (const ContractViolation&) {
+        break;  // malformed from here on; this buffer is done
+      }
+      ASSERT_GT(r.position(), before) << "reads must consume";
+      ASSERT_LE(r.position(), buf.size());
+    }
+  }
 }
 
 }  // namespace

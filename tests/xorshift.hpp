@@ -1,0 +1,28 @@
+// Shared deterministic generator for randomized/fuzz tests.
+//
+// xorshift64: tiny, seedable, and identical across test binaries, so the
+// randomized equivalence and byte-mutation loops stay reproducible and a
+// generator fix lands everywhere at once.  Not a std:: engine on purpose —
+// libstdc++ engines may change across versions; test vectors must not.
+#pragma once
+
+#include <cstdint>
+
+namespace svs::testing {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t operator()() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace svs::testing
