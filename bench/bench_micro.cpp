@@ -17,6 +17,7 @@
 #include "core/group.hpp"
 #include "fd/oracle.hpp"
 #include "obs/batch.hpp"
+#include "sim/explorer.hpp"
 #include "sim/simulator.hpp"
 #include "workload/game_generator.hpp"
 
@@ -339,6 +340,45 @@ bench::JsonObject measure_events_per_second() {
   return o;
 }
 
+/// Scenario-explorer throughput: full seed-derived fault-injected scenarios
+/// (group + consumers + fault plan + SpecChecker + quiescence drive) per
+/// wall second, and the simulator event rate achieved inside them.  This is
+/// the cost of one unit of model-testing coverage — what bounds how many
+/// seeds a CI sweep can afford.
+bench::JsonObject measure_explorer_throughput() {
+  constexpr std::uint64_t kSeeds = 64;
+  sim::ScenarioExplorer explorer;
+  std::uint64_t events = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t fault_specs = 0;
+  std::uint64_t fault_events = 0;  // measured injector activity
+  std::uint64_t violations = 0;
+  const bench::WallClock wall;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto outcome = explorer.run(sim::ScenarioSpec{.seed = seed});
+    events += outcome.sim_events;
+    deliveries += outcome.deliveries;
+    fault_specs += outcome.faults_active;
+    fault_events += outcome.net_stats.injected_duplicates +
+                    outcome.net_stats.injected_drops +
+                    outcome.net_stats.injected_pauses;
+    violations += outcome.violations.size();
+  }
+  const double seconds = wall.seconds();
+  bench::JsonObject o;
+  o.add("scenarios", static_cast<double>(kSeeds))
+      .add("fault_specs_scheduled", static_cast<double>(fault_specs))
+      .add("fault_events_injected", static_cast<double>(fault_events))
+      .add("deliveries", static_cast<double>(deliveries))
+      .add("violations", static_cast<double>(violations))
+      .add("wall_seconds", seconds)
+      .add("scenarios_per_second",
+           seconds > 0.0 ? static_cast<double>(kSeeds) / seconds : 0.0)
+      .add("events_per_second",
+           seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0);
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,6 +409,7 @@ int main(int argc, char** argv) {
       .raw("fanout_scaling", fanout.render())
       .raw("net_fanout_scaling", net_fanout.render())
       .raw("multicast_flood", measure_events_per_second().render())
+      .raw("explorer_throughput", measure_explorer_throughput().render())
       .add("wall_seconds", wall.seconds());
   svs::bench::write_bench_json("micro", payload);
   return 0;

@@ -43,6 +43,10 @@ void SpecChecker::on_excluded(net::ProcessId p, ViewId last_view) {
   logs_[p].events.push_back(Event{nullptr, std::nullopt, last_view});
 }
 
+void SpecChecker::on_flush_in(net::ProcessId p, const DataMessagePtr& m) {
+  flush_ins_[p].insert(m->id());
+}
+
 bool SpecChecker::covered(const DataMessage& older,
                           const DataMessage& newer) const {
   if (older.id() == newer.id()) return true;
@@ -103,20 +107,28 @@ std::vector<std::string> SpecChecker::verify() const {
   }
 
   // ---- FIFO (i): per-sender delivery order -------------------------------
+  // Flush-ins are exempt (retro-delivery of a sender-purged gap whose cover
+  // died with an excluded sender — see the header); everything else must be
+  // strictly seq-increasing per sender.  The frontier keeps its maximum so
+  // post-repair channel deliveries are still checked against it.
   for (const auto& [p, log] : logs_) {
+    const auto flush_in = flush_ins_.find(p);
     std::map<net::ProcessId, std::uint64_t> last_seq;
     for (const auto& e : log.events) {
       if (e.data == nullptr) continue;
       const auto sender = e.data->sender();
       const auto it = last_seq.find(sender);
-      if (it != last_seq.end() && e.data->seq() <= it->second) {
+      if (it != last_seq.end() && e.data->seq() <= it->second &&
+          (flush_in == flush_ins_.end() ||
+           !flush_in->second.contains(e.data->id()))) {
         std::ostringstream os;
         os << p << " delivered " << describe(e.data->id())
            << " after seq " << it->second << " of the same sender"
            << " (FIFO clause (i) violated)";
         complain(os.str());
       }
-      last_seq[sender] = e.data->seq();
+      auto& frontier = last_seq[sender];
+      frontier = std::max(frontier, e.data->seq());
     }
   }
 
@@ -221,6 +233,106 @@ std::vector<std::string> SpecChecker::verify() const {
     }
   }
 
+  return violations;
+}
+
+std::vector<std::string> SpecChecker::verify_quiescence(
+    std::span<const net::ProcessId> alive) const {
+  std::vector<std::string> violations;
+
+  // Survivors: alive and never excluded (a voluntary leave or a membership
+  // exclusion both surface as an exclusion event in the process's log).
+  std::vector<net::ProcessId> survivors;
+  for (const auto p : alive) {
+    const auto log = logs_.find(p);
+    const bool excluded =
+        log != logs_.end() &&
+        std::any_of(log->second.events.begin(), log->second.events.end(),
+                    [](const Event& e) { return e.excluded.has_value(); });
+    if (!excluded) survivors.push_back(p);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  survivors.erase(std::unique(survivors.begin(), survivors.end()),
+                  survivors.end());
+  if (survivors.empty()) return violations;
+
+  // ---- convergence: one common final view ---------------------------------
+  // Unconditional: view agreement is decided by consensus, so survivors end
+  // in the same final view even when the group lost its alive quorum.
+  std::optional<View> final_view;
+  for (const auto q : survivors) {
+    const auto views = views_installed(q);
+    if (views.empty()) {
+      std::ostringstream os;
+      os << q << " never installed a view (quiescence violated)";
+      violations.push_back(os.str());
+      continue;
+    }
+    if (!final_view.has_value()) {
+      final_view = views.back();
+    } else if (views.back() != *final_view) {
+      std::ostringstream os;
+      os << q << " ended in " << views.back() << " but others ended in "
+         << *final_view << " (final views diverged; quiescence violated)";
+      violations.push_back(os.str());
+    }
+  }
+  if (!final_view.has_value()) return violations;
+  for (const auto q : survivors) {
+    if (!final_view->contains(q)) {
+      std::ostringstream os;
+      os << q << " survived but is not a member of the final view "
+         << *final_view << " (quiescence violated)";
+      violations.push_back(os.str());
+    }
+  }
+
+  // Liveness below is *conditional* on the final view retaining an alive
+  // strict majority: a rump view without quorum cannot decide the view
+  // change that would exclude its dead members or flush its channels — a
+  // primary-partition stack legitimately halts there (DESIGN.md §7).
+  const bool quorum_held = 2 * survivors.size() > final_view->size();
+  if (!quorum_held) return violations;
+
+  if (final_view->members() != survivors) {
+    std::ostringstream os;
+    os << "final view " << *final_view << " does not match the survivor set"
+       << " despite an alive quorum (quiescence violated)";
+    violations.push_back(os.str());
+  }
+
+  // ---- liveness: surviving senders' messages reach every survivor --------
+  // Delivered or obsoleted-by-⊑: q delivered m itself, or delivered some m''
+  // that covers m under the ground truth.
+  for (const auto q : survivors) {
+    const auto log = logs_.find(q);
+    std::unordered_set<MsgId> delivered_ids;
+    std::vector<const DataMessage*> delivered;
+    if (log != logs_.end()) {
+      for (const auto& e : log->second.events) {
+        if (e.data == nullptr) continue;
+        delivered_ids.insert(e.data->id());
+        delivered.push_back(e.data.get());
+      }
+    }
+    for (const auto& [id, m] : sent_) {
+      if (!std::binary_search(survivors.begin(), survivors.end(),
+                              m->sender())) {
+        continue;  // §3.2 does not promise delivery for dead/left senders
+      }
+      if (delivered_ids.contains(id)) continue;
+      const bool obsoleted =
+          std::any_of(delivered.begin(), delivered.end(),
+                      [&](const DataMessage* c) { return covered(*m, *c); });
+      if (!obsoleted) {
+        std::ostringstream os;
+        os << q << " neither delivered nor obsoleted " << describe(id)
+           << " from surviving sender " << m->sender()
+           << " (quiescent liveness violated)";
+        violations.push_back(os.str());
+      }
+    }
+  }
   return violations;
 }
 

@@ -7,7 +7,13 @@
 //     m in v_i, every q installing both delivers some m' with m ⊑ m'
 //     before installing v_{i+1};
 //   * FIFO Semantically Reliable (i) — no process delivers m after m' when
-//     their sender multicast m first;
+//     their sender multicast m first.  One precise exemption: a view-change
+//     flush may retro-deliver a message its sender had purged out of the
+//     channel when the gap's only cover died with an excluded sender —
+//     omitting it would violate SVS and diverge replicas, so the flush
+//     repairs it late.  Only deliveries the node tagged as flush-ins
+//     (NodeObserver::on_flush_in) are exempt; any other reorder is flagged
+//     (DESIGN.md §7);
 //   * FIFO Semantically Reliable (ii) — per sender, only obsolete
 //     predecessors of the last delivered message may be omitted at a view
 //     boundary;
@@ -26,6 +32,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -46,6 +53,7 @@ class SpecChecker final : public NodeObserver {
   void on_deliver(net::ProcessId p, const DataMessagePtr& m) override;
   void on_install(net::ProcessId p, const View& v) override;
   void on_excluded(net::ProcessId p, ViewId last_view) override;
+  void on_flush_in(net::ProcessId p, const DataMessagePtr& m) override;
 
   // -- verification -------------------------------------------------------
 
@@ -56,6 +64,30 @@ class SpecChecker final : public NodeObserver {
   /// exactly the same data messages in v_i.  Holds when the relation is
   /// empty; under purging it is expected to fail (that is the relaxation).
   [[nodiscard]] std::vector<std::string> verify_strict_vs() const;
+
+  /// Quiescence / liveness.  Intended for runs driven to a stable end state
+  /// (every fault healed, traffic stopped, membership policies in place,
+  /// all queues drained): `alive` is the set of processes that had not
+  /// crashed by the end of the run; the *survivors* are the alive processes
+  /// that were never excluded.  Verifies that
+  ///   * every survivor installed the same final view F and is a member of
+  ///     it (the group converged — consensus agreement makes this
+  ///     unconditional, even under quorum loss);
+  /// and, when F retained an alive quorum (2·|survivors| > |F| — liveness
+  /// in a primary-partition group stack is *conditional* on an alive
+  /// majority; a rump view below quorum legitimately halts, DESIGN.md §7):
+  ///   * F's membership is exactly the survivor set (dead and departed
+  ///     members were excluded);
+  ///   * every message multicast by a survivor was, at every survivor,
+  ///     either delivered or obsoleted-by-⊑ (some delivered message covers
+  ///     it under the ground truth) — nothing a live sender published is
+  ///     silently lost, which verify() alone cannot promise for the final
+  ///     (never-closed) view.
+  /// Safety (verify()) holds mid-run; this check is only meaningful at
+  /// quiescence — calling it on a run cut off mid-view-change reports
+  /// spurious divergence.
+  [[nodiscard]] std::vector<std::string> verify_quiescence(
+      std::span<const net::ProcessId> alive) const;
 
   // -- history introspection ----------------------------------------------
 
@@ -88,6 +120,9 @@ class SpecChecker final : public NodeObserver {
                              const DataMessage& newer) const;
 
   std::map<net::ProcessId, ProcessLog> logs_;
+  // Messages each process obtained via a t7 flush — the only deliveries
+  // exempt from the FIFO (i) order check (gap repairs may be retrograde).
+  std::map<net::ProcessId, std::unordered_set<MsgId>> flush_ins_;
   std::map<MsgId, DataMessagePtr> sent_;
   // Per sender: seqs in multicast order (they are assigned monotonically).
   std::map<net::ProcessId, std::vector<DataMessagePtr>> sent_by_sender_;

@@ -57,6 +57,14 @@ class DeliveryQueue {
   // -- queue --------------------------------------------------------------
 
   void push_data(const DataMessagePtr& m);
+
+  /// Flush-in variant of push_data (t7): inserts `m` before the first
+  /// queued entry of the same sender with a higher seq, so a view-change
+  /// repair of a sender-purged gap keeps per-sender FIFO whenever the later
+  /// seqs are still undelivered; appends when none is queued (the repair is
+  /// then a retro-delivery, which the spec checker exempts from FIFO (i) —
+  /// DESIGN.md §7).
+  void push_data_flush(const DataMessagePtr& m);
   void push_view(const View& v);
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }
@@ -85,8 +93,23 @@ class DeliveryQueue {
 
   /// GC of the stable delivered prefix: removes (and un-accepts) delivered
   /// messages with seq <= floor_of(sender).  Returns the number collected.
+  ///
+  /// With `require_retained_cover`, a message is additionally collected
+  /// only if some other accepted (delivered or queued) message covers it.
+  /// Senders that purge their outgoing buffers pass true for transitively
+  /// closed relations: the gossiped marks are channel high-waters, and
+  /// under sender-side purging a high mark does not prove the receiver got
+  /// the gap seqs below it — the only safe drops are those whose coverage
+  /// this node keeps, so its local pred always carries a cover for
+  /// everything it ever delivered (the flush-safety invariant, DESIGN.md
+  /// §3/§7).  The rule needs Relation::transitive_covers(): witnesses may
+  /// be collected in the same pass because every cover chain then tops out
+  /// at an uncovered, retained message; an intransitive representation
+  /// (k-enumeration) could strand a collected witness's dependents, so it
+  /// keeps the mark-based GC instead.
   std::size_t collect_delivered(
-      const std::function<std::uint64_t(net::ProcessId)>& floor_of);
+      const std::function<std::uint64_t(net::ProcessId)>& floor_of,
+      bool require_retained_cover);
 
   // -- semantic purging ---------------------------------------------------
 

@@ -55,6 +55,20 @@ void MembershipPolicy::act_on_suspicions() {
   }
   const auto suspects = current_suspects();
   if (suspects.empty()) return;
+  // Primary-partition guard: when the suspected set is half the view or
+  // more, the unsuspected remainder (this node's side) may itself be the
+  // partitioned minority — an unreliable detector cannot tell "they all
+  // died" from "I am cut off".  Excising a live majority would strand the
+  // group: the resulting rump view can lose its alive quorum at the next
+  // real crash and block every later view change forever (found by the
+  // scenario explorer: asymmetric partition + heartbeat FD + late crash).
+  // Only a side that retains a strict majority may act; a true minority
+  // waits — either the suspicions heal, or the majority excludes us.
+  const std::size_t view_size = node_.current_view().size();
+  if (2 * (view_size - suspects.size()) <= view_size) {
+    reevaluate_suspicions();  // keep watching; crashes re-trigger the timer
+    return;
+  }
   if (!is_initiator()) return;  // someone ahead of us will take care of it
   if (node_.request_view_change(suspects)) ++exclusions_triggered_;
 }

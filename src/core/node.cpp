@@ -219,8 +219,19 @@ bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
   }
 
   SVS_ASSERT(view_.contains(from), "DATA in cv from a non-member");
-  SVS_ASSERT(!queue_.accepted(m->id()),
-             "FIFO channels must not deliver duplicates");
+
+  // Network-level duplication (an injected fault, or a conservative
+  // retransmitter in a real stack) is tolerated: FIFO channels deliver the
+  // copy after the original, so a current-view arrival at or below the
+  // per-sender reception high-water mark can only be a duplicate.  The
+  // accepted() probe alone would not do — the original may have been
+  // suppressed as obsolete, or already stability-collected.
+  const auto frontier = stability_.high_water(m->sender());
+  if ((frontier.has_value() && m->seq() <= *frontier) ||
+      queue_.accepted(m->id())) {
+    ++stats_.duplicate_drops;
+    return true;  // consumed; the original already went through t3
+  }
 
   // t3's test: already covered by an accepted message?
   if (queue_.covered_by_accepted(*m, view_.id())) {
@@ -314,10 +325,22 @@ void Node::collect_stable() {
   // member that has not reported yet (or a crashed one whose reports
   // stopped) holds the floor down — stability then waits for the view
   // change that excludes it, as in a real group stack.
-  stats_.stability_gcs +=
-      queue_.collect_delivered([this](net::ProcessId sender) {
+  //
+  // Under sender-side purging the gossiped marks are not proof of
+  // reception (purged seqs leave gaps below a receiver's high-water), so
+  // collection additionally demands a retained cover — keeping this node's
+  // local pred able to stand in for everything it ever delivered.  The
+  // insurance needs declared coverage to compose (a collected witness's own
+  // witness must still cover the original), so it applies only to
+  // transitively closed relations; k-enumeration keeps the historical
+  // mark-based GC and its residual GC-vs-flush race is a documented open
+  // item (DESIGN.md §7).
+  stats_.stability_gcs += queue_.collect_delivered(
+      [this](net::ProcessId sender) {
         return stability_.floor_of(sender, view_, self_);
-      });
+      },
+      /*require_retained_cover=*/config_.purge_outgoing &&
+          config_.relation->transitive_covers());
 }
 
 // ---------------------------------------------------------------------------
@@ -421,19 +444,20 @@ void Node::install(const ProposalValue& decided) {
 
   // Flush: append the agreed messages this process is missing, in
   // (sender, seq) order.  A message is skipped when (a) it is still here,
-  // (b) an accepted message covers it (t3's own test), or (c) it is at or
-  // below the per-sender reception high-water mark — it was received and
-  // consumed earlier, and whatever covered it then was delivered or is
-  // about to be (DESIGN.md §3).  Capacity is not enforced here: the flush
-  // uses the reserved view-change space (§5.3).
+  // (b) it was received here earlier — the exact reception record, NOT the
+  // high-water mark: sender-side purging leaves gaps below the mark that
+  // were never received (the scenario explorer caught the resulting SVS
+  // violation, DESIGN.md §7) — or (c) an accepted message covers it (t3's
+  // own test).  Capacity is not enforced here: the flush uses the reserved
+  // view-change space (§5.3).
   for (const auto& m : decided.pred_view()) {
     if (m->view() != view_.id()) continue;  // defensive; all should be cv
     if (queue_.accepted(m->id())) continue;
-    const auto seen = stability_.seen(m->sender());
-    if (seen.has_value() && m->seq() <= *seen) continue;
+    if (stability_.received(m->sender(), m->seq())) continue;
     if (queue_.covered_by_accepted(*m, view_.id())) continue;
-    queue_.push_data(m);
+    queue_.push_data_flush(m);
     note_seen(*m);
+    if (observer_ != nullptr) observer_->on_flush_in(self_, m);
     ++stats_.flushed_in;
   }
   if (config_.purge_delivery_queue) queue_.purge_full(view_.id());

@@ -78,6 +78,7 @@ struct NodeStats {
   std::uint64_t purged_delivery = 0;     // victims removed from the queue
   std::uint64_t suppressed_obsolete = 0; // arrivals already covered (t3 test)
   std::uint64_t stale_view_drops = 0;    // data of superseded views discarded
+  std::uint64_t duplicate_drops = 0;     // network-duplicated arrivals dropped
   std::uint64_t refused_data = 0;        // arrivals stalled (buffer full)
   std::uint64_t flushed_in = 0;          // pred-view messages added at install
   std::uint64_t stability_gcs = 0;       // delivered messages collected

@@ -43,6 +43,16 @@ class NodeObserver {
     (void)last_view;
   }
 
+  /// `p`'s t7 flush added `m` from the agreed pred-view (it was missing
+  /// here).  When the flush repairs a sender-purged gap whose cover died
+  /// with an excluded sender, the delivery of `m` may be retrograde in the
+  /// per-sender seq order; the spec checker exempts exactly these
+  /// deliveries from FIFO clause (i) (DESIGN.md §7).
+  virtual void on_flush_in(net::ProcessId p, const DataMessagePtr& m) {
+    (void)p;
+    (void)m;
+  }
+
   /// `victim` was purged from a buffer of `p` because `by` covers it.
   virtual void on_purge(net::ProcessId p, const DataMessagePtr& victim,
                         const DataMessagePtr& by) {

@@ -7,28 +7,66 @@
 namespace svs::core {
 
 void StabilityTracker::note_seen(net::ProcessId sender, std::uint64_t seq) {
-  const auto [it, inserted] = seen_seq_.try_emplace(sender, seq);
+  const auto [it, inserted] = seen_seq_.try_emplace(sender);
+  Reception& r = it->second;
   if (inserted) {
+    r.base = r.floor = r.high = seq;
     changed_.insert(sender);
     entry_wire_bytes_ +=
         util::varint_size(sender.value()) + util::varint_size(seq);
-  } else if (seq > it->second) {
-    entry_wire_bytes_ += util::varint_size(seq) - util::varint_size(it->second);
-    it->second = seq;
-    changed_.insert(sender);
+    dirty_ = true;
+    return;
   }
-  dirty_ = true;
+  if (seq > r.high) {
+    // Only the high-water mark is gossiped, so only its rise dirties the
+    // round (gap-closing receptions below it change nothing on the wire).
+    entry_wire_bytes_ += util::varint_size(seq) - util::varint_size(r.high);
+    r.high = seq;
+    changed_.insert(sender);
+    dirty_ = true;
+  }
+  if (seq == r.floor + 1) {
+    // Contiguous extension; absorb any sparse entries it now connects.
+    ++r.floor;
+    auto next = r.sparse.begin();
+    while (next != r.sparse.end() && *next == r.floor + 1) {
+      ++r.floor;
+      next = r.sparse.erase(next);
+    }
+  } else if (seq > r.floor + 1) {
+    r.sparse.insert(seq);  // received across a gap (or ahead of the floor)
+  } else if (seq + 1 == r.base) {
+    // A flush-in just below the base (the view's first arrivals were purged
+    // out of the channel): extend downwards.
+    --r.base;
+  } else if (seq < r.base) {
+    r.sparse.insert(seq);  // below-base reception with a further gap
+  }
+  // seq within [base, floor] or already sparse: duplicate note, no-op.
 }
 
-std::optional<std::uint64_t> StabilityTracker::seen(
+bool StabilityTracker::received(net::ProcessId sender,
+                                std::uint64_t seq) const {
+  const auto it = seen_seq_.find(sender);
+  if (it == seen_seq_.end()) return false;
+  const Reception& r = it->second;
+  return (seq >= r.base && seq <= r.floor) || r.sparse.contains(seq);
+}
+
+std::optional<std::uint64_t> StabilityTracker::high_water(
     net::ProcessId sender) const {
   const auto it = seen_seq_.find(sender);
   if (it == seen_seq_.end()) return std::nullopt;
-  return it->second;
+  return it->second.high;
 }
 
 StabilityMessage::Seen StabilityTracker::snapshot() const {
-  return StabilityMessage::Seen(seen_seq_.begin(), seen_seq_.end());
+  StabilityMessage::Seen out;
+  out.reserve(seen_seq_.size());
+  for (const auto& [sender, reception] : seen_seq_) {
+    out.emplace_back(sender, reception.high);
+  }
+  return out;
 }
 
 StabilityMessage::Seen StabilityTracker::take_snapshot() {
@@ -41,7 +79,7 @@ StabilityMessage::Seen StabilityTracker::take_delta() {
   StabilityMessage::Seen delta;
   delta.reserve(changed_.size());
   for (const auto sender : changed_) {
-    delta.emplace_back(sender, seen_seq_.at(sender));
+    delta.emplace_back(sender, seen_seq_.at(sender).high);
   }
   changed_.clear();
   dirty_ = false;
@@ -61,7 +99,7 @@ std::uint64_t StabilityTracker::floor_of(net::ProcessId sender,
                                          const View& view,
                                          net::ProcessId self) const {
   const auto own = seen_seq_.find(sender);
-  std::uint64_t floor = own == seen_seq_.end() ? 0 : own->second;
+  std::uint64_t floor = own == seen_seq_.end() ? 0 : own->second.high;
   for (const auto p : view.members()) {
     if (p == self) continue;
     const auto vec = peer_seen_.find(p);

@@ -1,11 +1,32 @@
 // Stability tracking — the gossip GC of the delivered history (§2.1).
 //
-// Tracks this node's per-sender reception high-water marks (seen) and the
-// latest reception vectors reported by the other members of the view.  A
-// delivered message whose seq is at or below every member's mark is stable:
-// every process received it, so it can never be needed by a t7 flush again
-// and is garbage-collected from the delivered history — which is also what
-// keeps PRED messages and the agreed pred-view small.
+// Tracks this node's per-sender reception record and the latest reception
+// vectors reported by the other members of the view.  A delivered message
+// whose seq is at or below every member's reported mark is *stable*: the
+// gossip says every process received it, so it should never be needed by a
+// t7 flush again and is garbage-collected from the delivered history —
+// which is also what keeps PRED messages and the agreed pred-view small.
+//
+// Reception is NOT contiguous under sender-side semantic purging: a sender
+// may purge seq q out of a channel (its cover rides behind), so the
+// receiver's high-water mark can jump a gap it never received.  The
+// scenario explorer found the resulting §3.2 violation (DESIGN.md §7): a
+// high mark was read as proof of reception, a message was GC'd everywhere,
+// and its only in-channel cover died with an excluded sender.  Hence the
+// tracker records the exact per-sender reception *set* — compressed as
+// (base, contiguous floor, sparse tail) so the common gap-free case stays
+// O(1) — and exposes two distinct queries:
+//
+//   * received(sender, seq) — exact membership; what the t7 flush skip and
+//     any "was this consumed here?" reasoning must use;
+//   * high_water(sender)    — the FIFO channel's monotone frontier; what
+//     duplicate suppression may use (a purged gap seq can never arrive, so
+//     any arrival at or below the frontier is a duplicate).
+//
+// The gossiped marks stay scalar high-waters (wire format unchanged); the
+// GC therefore additionally requires a retained cover for purging senders
+// (DeliveryQueue::collect_delivered), because a scalar mark cannot promise
+// reception of the gap seqs below it.
 //
 // The tracker owns the state and the stability arithmetic; the Node owns
 // the gossip timer and the wire traffic (it knows the network and the
@@ -25,12 +46,21 @@ namespace svs::core {
 
 class StabilityTracker {
  public:
-  /// Records a reception (accepted or suppressed) of `seq` from `sender`
-  /// and marks the tracker dirty for the next gossip round.
+  /// Records a reception (accepted, suppressed, or flushed-in) of `seq`
+  /// from `sender` and marks the tracker dirty for the next gossip round.
+  /// Idempotent.
   void note_seen(net::ProcessId sender, std::uint64_t seq);
 
-  /// This node's high-water mark for `sender`, if any message was received.
-  [[nodiscard]] std::optional<std::uint64_t> seen(net::ProcessId sender) const;
+  /// Exact reception query: was `seq` from `sender` received here in this
+  /// view?  Sound under the reception gaps sender-side purging creates.
+  [[nodiscard]] bool received(net::ProcessId sender, std::uint64_t seq) const;
+
+  /// This node's reception high-water mark for `sender`, if any message was
+  /// received.  On a FIFO channel every arrival at or below it is a
+  /// duplicate (gap seqs were purged out of the channel and never arrive);
+  /// it is NOT evidence that the seqs below it were received.
+  [[nodiscard]] std::optional<std::uint64_t> high_water(
+      net::ProcessId sender) const;
 
   /// Snapshot of the local reception vector, as gossiped to the peers.
   [[nodiscard]] StabilityMessage::Seen snapshot() const;
@@ -82,11 +112,19 @@ class StabilityTracker {
   void reset();
 
  private:
-  // Highest sequence number received (accepted or suppressed) per sender in
-  // the current view.  FIFO channels make reception contiguous, so at t7 a
-  // pred-view message at or below this mark was already received here and
-  // must not be re-added (DESIGN.md §3).
-  std::map<net::ProcessId, std::uint64_t> seen_seq_;
+  // Per-sender reception record for the current view, compressed: every
+  // seq in [base, floor] was received, plus the sparse set above the floor
+  // (entries there have unreceived gaps below them).  Gap-free reception —
+  // the common case — only advances `floor`, O(1); a flush-in can close a
+  // gap and re-absorb the sparse tail.  `high` is the monotone channel
+  // frontier reported to peers and used for duplicate detection.
+  struct Reception {
+    std::uint64_t base = 0;
+    std::uint64_t floor = 0;
+    std::uint64_t high = 0;
+    std::set<std::uint64_t> sparse;
+  };
+  std::map<net::ProcessId, Reception> seen_seq_;
   // Latest reception vectors reported by the other members.
   std::map<net::ProcessId, std::map<net::ProcessId, std::uint64_t>> peer_seen_;
   // Senders whose mark rose since the last take_delta().

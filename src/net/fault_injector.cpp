@@ -1,0 +1,114 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::net {
+namespace {
+
+/// Link match for directed-link faults (fault endpoints are raw ids).
+bool on_link(const sim::FaultSpec& f, ProcessId from, ProcessId to) {
+  return f.a == from.value() && f.b == to.value();
+}
+
+/// Side-A membership: the mask names raw ids 0..63; anything beyond is
+/// side B by definition (FaultPlan::generate caps groups at 64, and a
+/// hand-built plan must not silently alias high ids onto low bits).
+bool in_side_a(const sim::FaultSpec& f, ProcessId p) {
+  return p.value() < 64 && ((f.side_mask >> p.value()) & 1) != 0;
+}
+
+/// True when a partition spec severs from -> to at `now`.
+bool severs(const sim::FaultSpec& f, ProcessId from, ProcessId to,
+            sim::TimePoint now) {
+  if (!f.active_at(now)) return false;
+  const bool from_a = in_side_a(f, from);
+  const bool to_a = in_side_a(f, to);
+  if (from_a == to_a) return false;  // same side: unaffected
+  return f.symmetric || from_a;      // asymmetric: only A -> B is severed
+}
+
+}  // namespace
+
+PlannedFaultInjector::PlannedFaultInjector(sim::FaultPlan plan)
+    : plan_(std::move(plan)) {
+  armed_.reserve(plan_.faults.size());
+  for (const auto& spec : plan_.faults) {
+    armed_.push_back(Armed{spec, sim::Rng::stream(plan_.seed, 1 + spec.id), 0});
+  }
+}
+
+FaultInjector::SendFault PlannedFaultInjector::on_send(ProcessId from,
+                                                       ProcessId to, Lane lane,
+                                                       const Message& message,
+                                                       sim::TimePoint now) {
+  (void)message;
+  SendFault fault;
+  // Drop and duplication compose independently of plan order: a dropped
+  // message stays dropped no matter how many duplicate entries follow it.
+  bool dropped = false;
+  std::uint32_t extra_copies = 0;
+  for (auto& armed : armed_) {
+    const sim::FaultSpec& f = armed.spec;
+    switch (f.kind) {
+      case sim::FaultKind::link_jitter:
+        if (on_link(f, from, to) && f.active_at(now)) {
+          fault.extra_delay += sim::Duration::micros(
+              static_cast<std::int64_t>(armed.rng.below(
+                  static_cast<std::uint64_t>(f.magnitude.as_micros()) + 1)));
+        }
+        break;
+      case sim::FaultKind::partition:
+        if (severs(f, from, to, now)) {
+          // Outage with retransmission: hold until heal.  The base link
+          // delay still applies on top, so arrival is strictly after heal.
+          fault.extra_delay += f.end - now;
+        }
+        break;
+      case sim::FaultKind::duplicate:
+        if (lane == Lane::data && on_link(f, from, to) && f.active_at(now) &&
+            armed.rng.chance(f.probability)) {
+          ++extra_copies;
+        }
+        break;
+      case sim::FaultKind::drop_one:
+        if (lane == Lane::data && on_link(f, from, to) && f.active_at(now)) {
+          if (++armed.data_seen == f.param) dropped = true;
+        }
+        break;
+      case sim::FaultKind::crash:
+      case sim::FaultKind::pause_receiver:
+        break;  // not enqueue-time faults
+    }
+  }
+  fault.copies = dropped ? 0 : 1 + extra_copies;
+  return fault;
+}
+
+std::optional<sim::TimePoint> PlannedFaultInjector::receive_paused_until(
+    ProcessId to, sim::TimePoint now) {
+  std::optional<sim::TimePoint> until;
+  for (const auto& armed : armed_) {
+    const sim::FaultSpec& f = armed.spec;
+    if (f.kind != sim::FaultKind::pause_receiver) continue;
+    if (f.a != to.value() || !f.active_at(now)) continue;
+    if (!until.has_value() || f.end > *until) until = f.end;
+  }
+  return until;
+}
+
+void schedule_crashes(sim::Simulator& simulator, Transport& transport,
+                      const sim::FaultPlan& plan) {
+  for (const auto& f : plan.faults) {
+    if (f.kind != sim::FaultKind::crash) continue;
+    const ProcessId victim(f.a);
+    simulator.schedule_at(std::max(simulator.now(), f.start),
+                          [&transport, victim] { transport.crash(victim); });
+  }
+}
+
+}  // namespace svs::net

@@ -119,6 +119,12 @@ class ThreadedLoopback final : public Transport {
                          sim::Duration extra) override {
     inner_.set_link_slowdown(from, to, extra);
   }
+  void set_fault_injector(FaultInjector* injector) override {
+    // The inner Network owns the link discipline, so injected faults hit
+    // both backends identically; duplicated copies cross the wire thread as
+    // separately encoded frames, like real retransmissions.
+    inner_.set_fault_injector(injector);
+  }
   void note_gossip_bytes_saved(std::uint64_t bytes) override {
     inner_.note_gossip_bytes_saved(bytes);
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/fault_injector.hpp"
+
 namespace svs::net {
 
 Network::Network(sim::Simulator& simulator, Config config)
@@ -24,6 +26,7 @@ void Network::attach(ProcessId id, Endpoint& endpoint) {
   endpoints_.push_back(&endpoint);
   pid_of_.push_back(id);
   crash_.emplace_back();
+  pause_wakeup_.emplace_back();
   drain_observers_.emplace_back();
 
   // Re-stride the flat link table from n_old x n_old to n x n.  Links move
@@ -42,20 +45,44 @@ void Network::attach(ProcessId id, Endpoint& endpoint) {
 void Network::enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
                       MessagePtr message, Lane lane,
                       std::size_t wire_bytes) {
-  sim::Duration delay = config_.delay + l.slowdown;
-  if (config_.jitter > sim::Duration::zero()) {
-    delay += sim::Duration::micros(static_cast<std::int64_t>(
-        rng_.below(static_cast<std::uint64_t>(config_.jitter.as_micros()) + 1)));
+  // Fault injection first: the hook may add delay (jitter, partitions held
+  // until heal), duplicate the message, or — out-of-model — drop it before
+  // it ever enters the link queue.
+  std::uint32_t copies = 1;
+  sim::Duration injected = sim::Duration::zero();
+  if (injector_ != nullptr) {
+    const FaultInjector::SendFault fault =
+        injector_->on_send(pid_of_[fi], pid_of_[ti], lane, *message,
+                           sim_.now());
+    if (fault.copies == 0) {
+      ++stats_.injected_drops;
+      return;  // never enqueued: counts neither as sent nor as bytes
+    }
+    copies = fault.copies;
+    stats_.injected_duplicates += copies - 1;
+    injected = fault.extra_delay;
   }
-  // FIFO per lane: acceptance attempts never reorder.
+
   const int li = lane_index(lane);
-  sim::TimePoint ready = sim_.now() + delay;
-  if (ready < l.last_ready[li]) ready = l.last_ready[li];
-  l.last_ready[li] = ready;
   const std::uint64_t key = message->order_key();
-  l.queue[li].push_back(QueuedMessage{std::move(message), ready, key});
-  ++stats_.sent;
-  stats_.bytes_sent += wire_bytes;
+  // Countdown so the last copy moves the pointer: the single-copy case —
+  // the entire hot path — never pays a refcount bump here.
+  for (std::uint32_t c = copies; c-- > 0;) {
+    sim::Duration delay = config_.delay + l.slowdown + injected;
+    if (config_.jitter > sim::Duration::zero()) {
+      delay += sim::Duration::micros(static_cast<std::int64_t>(rng_.below(
+          static_cast<std::uint64_t>(config_.jitter.as_micros()) + 1)));
+    }
+    // FIFO per lane: acceptance attempts never reorder.
+    sim::TimePoint ready = sim_.now() + delay;
+    if (ready < l.last_ready[li]) ready = l.last_ready[li];
+    l.last_ready[li] = ready;
+    // Duplicated copies are real wire traffic: each counts sent bytes.
+    l.queue[li].push_back(QueuedMessage{
+        c == 0 ? std::move(message) : MessagePtr(message), ready, key});
+    ++stats_.sent;
+    stats_.bytes_sent += wire_bytes;
+  }
   schedule_attempt(fi, ti, l, lane);
 }
 
@@ -111,6 +138,22 @@ void Network::attempt(std::uint32_t fi, std::uint32_t ti, Lane lane) {
   SVS_ASSERT(q.front().ready <= sim_.now(),
              "attempt ran before message was ready");
 
+  // Injected receiver pause (slow-consumer throttling, fault_injector.hpp):
+  // the receiver refuses data for the window, so the link stalls exactly as
+  // it would on a full delivery queue — backpressure, not loss.  One wake-up
+  // per receiver re-attempts at the window's end.  Control-lane traffic is
+  // never paused (§5.3 reserves buffer space for control information).
+  if (lane == Lane::data && injector_ != nullptr) {
+    const auto until =
+        injector_->receive_paused_until(pid_of_[ti], sim_.now());
+    if (until.has_value()) {
+      l.stalled = true;
+      ++stats_.injected_pauses;
+      arm_pause_wakeup(ti, *until);
+      return;
+    }
+  }
+
   // Per-link delivery timer: drain every message already due in this one
   // event instead of scheduling one event per message.  A burst of n
   // same-ready messages (the common case on heavy traces) costs one heap
@@ -165,6 +208,17 @@ void Network::attempt(std::uint32_t fi, std::uint32_t ti, Lane lane) {
   }
   l.in_attempt[li] = false;
   schedule_attempt(fi, ti, l, lane);
+}
+
+void Network::arm_pause_wakeup(std::uint32_t ti, sim::TimePoint until) {
+  if (pause_wakeup_[ti] >= until) return;  // already armed for this window
+  pause_wakeup_[ti] = until;
+  sim_.schedule_at(until, [this, ti] {
+    // An overlapping later window may have re-armed past this event; keep
+    // the mark then (a still-paused receiver just re-stalls on re-attempt).
+    if (pause_wakeup_[ti] <= sim_.now()) pause_wakeup_[ti] = sim::TimePoint{};
+    resume(pid_of_[ti]);
+  });
 }
 
 void Network::subscribe_backlog_drain(ProcessId from,

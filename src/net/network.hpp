@@ -268,6 +268,15 @@ class Network final : public Transport {
   void set_link_slowdown(ProcessId from, ProcessId to,
                          sim::Duration extra) override;
 
+  /// Fault-injection hook (fault_injector.hpp): consulted once per enqueued
+  /// message per destination (extra delay / duplication / drop) and before
+  /// every data-lane delivery attempt (receiver-pause stalls).  FIFO order
+  /// survives any injected delay (ready times are clamped monotone per
+  /// lane).  Pass nullptr to clear.
+  void set_fault_injector(FaultInjector* injector) override {
+    injector_ = injector;
+  }
+
   /// Credits wire bytes saved by a delta-encoded gossip (core-layer
   /// telemetry surfaced with the other network counters).
   void note_gossip_bytes_saved(std::uint64_t bytes) override {
@@ -393,6 +402,9 @@ class Network final : public Transport {
                         Lane lane);
   void attempt(std::uint32_t fi, std::uint32_t ti, Lane lane);
   void notify_drain(std::uint32_t fi);
+  /// Injected receiver pause: stalls the link and arms one wake-up event
+  /// per receiver per pause window (idempotent across the n stalling links).
+  void arm_pause_wakeup(std::uint32_t ti, sim::TimePoint until);
 
   sim::Simulator& sim_;
   Config config_;
@@ -408,9 +420,12 @@ class Network final : public Transport {
     sim::TimePoint at = {};
   };
   std::vector<CrashRecord> crash_;     // dense idx
+  // Per receiver: latest pause wake-up already scheduled (origin = none).
+  std::vector<sim::TimePoint> pause_wakeup_;  // dense idx
   std::vector<std::vector<std::function<void()>>> drain_observers_;  // idx
   std::vector<std::function<void(ProcessId, sim::TimePoint)>> crash_observers_;
   NetworkStats stats_;
+  FaultInjector* injector_ = nullptr;  // not owned; nullable
   mutable std::uint32_t link_refs_held_ = 0;  // active LinkRefScopes
 };
 

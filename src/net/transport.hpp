@@ -35,6 +35,8 @@
 
 namespace svs::net {
 
+class FaultInjector;  // fault_injector.hpp
+
 /// Receives messages from the network.
 class Endpoint {
  public:
@@ -70,6 +72,12 @@ struct NetworkStats {
   /// Encoded bytes reclaimed from outgoing buffers by semantic purging —
   /// the sender-side wire-cost saving the paper's §4.2 argues about.
   std::uint64_t bytes_purged = 0;
+  /// Fault injection (DESIGN.md §7): extra copies enqueued by duplication
+  /// faults, messages silently dropped by out-of-model drop faults, and
+  /// delivery attempts stalled by receiver-pause windows.
+  std::uint64_t injected_duplicates = 0;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_pauses = 0;
 };
 
 /// The send/multicast/attach surface of a network backend.
@@ -155,6 +163,11 @@ class Transport {
   /// network perturbation).  Pass zero to clear.
   virtual void set_link_slowdown(ProcessId from, ProcessId to,
                                  sim::Duration extra) = 0;
+
+  /// Installs (or clears, with nullptr) the fault-injection hook consulted
+  /// at every enqueue and before every data-lane delivery attempt
+  /// (fault_injector.hpp).  Not owned; must outlive the traffic it faults.
+  virtual void set_fault_injector(FaultInjector* injector) = 0;
 
   /// Credits wire bytes saved by a delta-encoded gossip (core-layer
   /// telemetry surfaced with the other transport counters).

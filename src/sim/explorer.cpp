@@ -1,0 +1,494 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/checker.hpp"
+#include "core/group.hpp"
+#include "net/fault_injector.hpp"
+#include "obs/relation.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "workload/consumer.hpp"
+#include "workload/item_op.hpp"
+
+namespace svs::sim {
+namespace {
+
+struct PlannedSend {
+  TimePoint at;
+  std::uint64_t item = 0;
+};
+
+/// The fully derived scenario (shape + workload + faults), after the spec's
+/// mask and truncation have been applied.  Everything here is a pure
+/// function of the ScenarioSpec.
+struct Scenario {
+  std::uint32_t n = 3;
+  bool item_tags = true;
+  bool purging = true;
+  std::size_t delivery_capacity = 0;
+  std::size_t out_capacity = 0;
+  bool heartbeat_fd = false;
+  sim::Duration oracle_delay = sim::Duration::millis(30);
+  sim::Duration suspicion_grace = sim::Duration::millis(20);
+  bool slow_consumer = false;
+  double slow_rate = 50.0;
+  bool reconfigure = false;
+  std::uint32_t reconfigurer = 0;
+  TimePoint reconfigure_at;
+  bool leave = false;
+  std::uint32_t leaver = 0;
+  TimePoint leave_at;
+  Duration horizon = Duration::millis(1500);
+  std::vector<std::vector<PlannedSend>> sends;  // per node, time-sorted
+  FaultPlan faults;                             // masked
+  std::size_t faults_total = 0;                 // before masking
+  std::size_t planned_total = 0;                // after truncation
+};
+
+// Master-seed stream ids (sim::Rng::stream): keep them distinct so no two
+// derivation phases share a sequence.
+constexpr std::uint64_t kShapeStream = 0;
+constexpr std::uint64_t kWorkloadStream = 1;
+constexpr std::uint64_t kFaultSeedStream = 2;
+
+Scenario make_scenario(const ScenarioSpec& spec) {
+  Scenario sc;
+  Rng shape = Rng::stream(spec.seed, kShapeStream);
+
+  sc.n = static_cast<std::uint32_t>(3 + shape.below(4));  // 3..6
+  sc.item_tags = shape.chance(0.7);
+  sc.purging = sc.item_tags ? shape.chance(0.85) : true;  // no-op when empty
+  if (shape.chance(0.55)) {
+    sc.delivery_capacity = 5 + shape.below(12);
+    sc.out_capacity = 5 + shape.below(12);
+  }
+  sc.heartbeat_fd = shape.chance(0.25);
+  sc.oracle_delay = Duration::millis(5 + static_cast<std::int64_t>(shape.below(30)));
+  sc.suspicion_grace =
+      Duration::millis(5 + static_cast<std::int64_t>(shape.below(20)));
+  sc.slow_consumer = shape.chance(0.5);
+  sc.slow_rate = 25.0 + static_cast<double>(shape.below(60));
+
+  // Departure budget: crashes plus voluntary leaves must leave every view
+  // with an alive majority (consensus liveness), so cap them below half of
+  // the initial group.
+  const std::uint32_t budget = (sc.n - 1) / 2;
+  sc.leave = budget > 0 && shape.chance(0.3);
+  const std::uint32_t crash_budget = budget - (sc.leave ? 1 : 0);
+
+  // The fault plan draws from its own master seed, so its internal streams
+  // (shape, per-fault) can never collide with the explorer's.
+  const std::uint64_t plan_seed =
+      Rng::stream(spec.seed, kFaultSeedStream).next_u64();
+  FaultPlan::GenerateOptions fault_options;
+  fault_options.processes = sc.n;
+  fault_options.horizon = sc.horizon;
+  fault_options.max_crashes = crash_budget;
+  fault_options.hostile = spec.hostile;
+  const FaultPlan full = FaultPlan::generate(plan_seed, fault_options);
+  sc.faults_total = full.faults.size();
+  sc.faults = full.masked(spec.fault_mask);
+
+  // The voluntary leaver must not be one of the (unmasked) plan's crash
+  // victims — a crashed node cannot request its own departure.  Note the
+  // choice depends on the full plan, not the mask, so shrinking the mask
+  // never moves the leaver.
+  if (sc.leave) {
+    std::vector<std::uint32_t> victims;
+    for (const auto& f : full.faults) {
+      if (f.kind == FaultKind::crash) victims.push_back(f.a);
+    }
+    std::uint32_t pick =
+        static_cast<std::uint32_t>(shape.below(sc.n - victims.size()));
+    for (std::uint32_t p = 0; p < sc.n; ++p) {
+      if (std::find(victims.begin(), victims.end(), p) != victims.end()) {
+        continue;
+      }
+      if (pick == 0) {
+        sc.leaver = p;
+        break;
+      }
+      --pick;
+    }
+    sc.leave_at = TimePoint::origin() + sc.horizon + sc.horizon / 5;
+  }
+  sc.reconfigure = shape.chance(0.5);
+  sc.reconfigurer = static_cast<std::uint32_t>(shape.below(sc.n));
+  sc.reconfigure_at = TimePoint::origin() + sc.horizon * 9 / 20;
+
+  // Workload: per node, a time-sorted plan of tagged multicasts within the
+  // horizon.  Generated in full, then truncated to the spec's per-node
+  // prefix (the shrinker's second knob).
+  Rng workload = Rng::stream(spec.seed, kWorkloadStream);
+  sc.sends.resize(sc.n);
+  for (std::uint32_t i = 0; i < sc.n; ++i) {
+    const std::uint64_t count = 8 + workload.below(25);
+    auto& plan = sc.sends[i];
+    plan.reserve(count);
+    for (std::uint64_t m = 0; m < count; ++m) {
+      plan.push_back(PlannedSend{
+          TimePoint::origin() +
+              Duration::micros(static_cast<std::int64_t>(workload.below(
+                  static_cast<std::uint64_t>(sc.horizon.as_micros())))),
+          workload.below(6)});
+    }
+    // stable_sort: equal-time ties keep generation order, so the plan is
+    // identical across standard libraries (repro lines are cross-platform).
+    std::stable_sort(plan.begin(), plan.end(),
+                     [](const PlannedSend& a, const PlannedSend& b) {
+                       return a.at < b.at;
+                     });
+    if (spec.message_limit != ScenarioSpec::kNoLimit &&
+        plan.size() > spec.message_limit) {
+      plan.resize(spec.message_limit);
+    }
+    sc.planned_total += plan.size();
+  }
+  return sc;
+}
+
+std::string summarize(const Scenario& sc) {
+  std::ostringstream os;
+  os << "n=" << sc.n << (sc.item_tags ? " item-tags" : " empty-rel")
+     << (sc.purging ? " purge" : " reliable") << " cap="
+     << sc.delivery_capacity << "/" << sc.out_capacity
+     << (sc.heartbeat_fd ? " hb-fd" : " oracle-fd");
+  if (sc.slow_consumer) os << " slow=" << sc.slow_rate << "/s";
+  if (sc.reconfigure) os << " reconf@p" << sc.reconfigurer;
+  if (sc.leave) os << " leave@p" << sc.leaver;
+  os << " msgs=" << sc.planned_total << " | " << sc.faults.describe();
+  return os.str();
+}
+
+/// Per-node producer: multicasts its planned sends at their times, retrying
+/// around flow control via the unblocked callback; stops when the node
+/// leaves the group or crash-stops.
+class Driver {
+ public:
+  Driver(Simulator& sim, core::Group& group, std::size_t index,
+         std::vector<PlannedSend> planned, bool item_tags)
+      : sim_(sim),
+        group_(group),
+        index_(index),
+        planned_(std::move(planned)),
+        item_tags_(item_tags) {}
+
+  void start() {
+    group_.node(index_).set_unblocked_callback([this] { pump(); });
+    if (!planned_.empty()) {
+      sim_.schedule_at(planned_[0].at, [this] { pump(); });
+    }
+  }
+
+  [[nodiscard]] bool done() const {
+    return next_ >= planned_.size() || group_.node(index_).excluded() ||
+           group_.network().is_crashed(group_.pid(index_));
+  }
+
+ private:
+  void pump() {
+    core::Node& node = group_.node(index_);
+    while (next_ < planned_.size()) {
+      if (node.excluded() ||
+          group_.network().is_crashed(group_.pid(index_))) {
+        return;  // left the group (or the fault plan crash-stopped us)
+      }
+      const PlannedSend& p = planned_[next_];
+      if (sim_.now() < p.at) {
+        sim_.schedule_at(p.at, [this] { pump(); });
+        return;
+      }
+      const auto annotation = item_tags_ ? obs::Annotation::item(p.item)
+                                         : obs::Annotation::none();
+      const auto payload = std::make_shared<workload::ItemOp>(
+          workload::OpKind::update, p.item, next_ * 17 + index_,
+          next_, true);
+      if (!node.multicast(payload, annotation).has_value()) {
+        return;  // flow-controlled; the unblocked callback re-enters
+      }
+      ++next_;
+    }
+  }
+
+  Simulator& sim_;
+  core::Group& group_;
+  std::size_t index_;
+  std::vector<PlannedSend> planned_;
+  bool item_tags_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::string ScenarioSpec::repro() const {
+  std::ostringstream os;
+  os << "svs_explore --seed=" << seed;
+  if (hostile) os << " --hostile";
+  if (fault_mask != ~0ULL) {
+    os << " --faults=0x" << std::hex << fault_mask << std::dec;
+  }
+  if (message_limit != kNoLimit) os << " --msgs=" << message_limit;
+  return os.str();
+}
+
+ScenarioOutcome ScenarioExplorer::run(const ScenarioSpec& spec) const {
+  const Scenario sc = make_scenario(spec);
+
+  Simulator sim;
+  obs::RelationPtr relation;
+  if (sc.item_tags) {
+    relation = std::make_shared<obs::ItemTagRelation>();
+  } else {
+    relation = std::make_shared<obs::EmptyRelation>();
+  }
+  core::SpecChecker checker(relation);
+
+  core::Group::Config cfg;
+  cfg.size = sc.n;
+  cfg.node.relation = relation;
+  cfg.node.purge_delivery_queue = sc.purging;
+  cfg.node.purge_outgoing = sc.purging;
+  cfg.node.delivery_capacity = sc.delivery_capacity;
+  cfg.node.out_capacity = sc.out_capacity;
+  cfg.fd_kind = sc.heartbeat_fd ? core::Group::FdKind::heartbeat
+                                : core::Group::FdKind::oracle;
+  cfg.oracle_delay = sc.oracle_delay;
+  cfg.membership.suspicion_grace = sc.suspicion_grace;
+  cfg.auto_membership = true;
+  cfg.observer = &checker;
+
+  // Injector declared before the group: the transport is torn down first,
+  // so the hook can never dangle.
+  net::PlannedFaultInjector injector(sc.faults);
+  core::Group group(sim, cfg);
+  group.network().set_fault_injector(&injector);
+  net::schedule_crashes(sim, group.network(), sc.faults);
+
+  // Consumers: everyone drains; at most one node is rate-limited.
+  std::vector<std::unique_ptr<workload::InstantConsumer>> instant;
+  std::unique_ptr<workload::RateConsumer> slow;
+  const std::size_t slow_at = sc.slow_consumer ? sc.n - 1 : sc.n;
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    if (i == slow_at) {
+      slow = std::make_unique<workload::RateConsumer>(sim, group.node(i),
+                                                      sc.slow_rate);
+      slow->start();
+    } else {
+      instant.push_back(
+          std::make_unique<workload::InstantConsumer>(sim, group.node(i)));
+      instant.back()->start();
+    }
+  }
+
+  std::vector<std::unique_ptr<Driver>> drivers;
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    drivers.push_back(std::make_unique<Driver>(sim, group, i, sc.sends[i],
+                                               sc.item_tags));
+    drivers.back()->start();
+  }
+
+  if (sc.reconfigure) {
+    sim.schedule_at(sc.reconfigure_at, [&group, &sc] {
+      core::Node& node = group.node(sc.reconfigurer);
+      if (!node.excluded() &&
+          !group.network().is_crashed(group.pid(sc.reconfigurer))) {
+        node.request_view_change({});
+      }
+    });
+  }
+  if (sc.leave) {
+    sim.schedule_at(sc.leave_at, [&group, &sc] {
+      core::Node& node = group.node(sc.leaver);
+      if (!node.excluded() &&
+          !group.network().is_crashed(group.pid(sc.leaver))) {
+        node.request_view_change({group.pid(sc.leaver)});
+      }
+    });
+  }
+
+  // Latest scheduled disturbance: quiescence cannot begin before it.
+  TimePoint settle = TimePoint::origin() + sc.horizon;
+  for (const auto& f : sc.faults.faults) {
+    settle = std::max(settle, std::max(f.start, f.end));
+  }
+  if (sc.leave) settle = std::max(settle, sc.leave_at);
+  if (sc.reconfigure) settle = std::max(settle, sc.reconfigure_at);
+
+  const auto is_survivor = [&](std::size_t i) {
+    return !group.network().is_crashed(group.pid(i)) &&
+           !group.node(i).excluded();
+  };
+  // A node is *stranded* when its current view has no alive strict
+  // majority: no view change can ever decide there (a blocked one stays
+  // blocked; the membership guard rightly refuses to start one), so
+  // backlogs towards dead members never clear and producers stay throttled.
+  // A primary-partition stack legitimately halts in that state, so
+  // stranded nodes are exempt from the progress conditions below and the
+  // checker applies only the unconditional (quorum-free) guarantees.
+  const auto stranded = [&](std::size_t i) {
+    const core::View& v = group.node(i).current_view();
+    std::size_t alive = 0;
+    for (const auto p : v.members()) {
+      if (!group.network().is_crashed(p)) ++alive;
+    }
+    return 2 * alive <= v.size();
+  };
+  const auto quiesced = [&] {
+    if (sim.now() <= settle) return false;
+    for (std::size_t i = 0; i < sc.n; ++i) {
+      if (!drivers[i]->done() && !stranded(i)) return false;
+    }
+    for (std::size_t i = 0; i < sc.n; ++i) {
+      if (!is_survivor(i)) continue;
+      if (group.node(i).delivery_queue_length() != 0) return false;
+      if (stranded(i)) continue;  // halted below quorum: nothing will move
+      if (group.node(i).blocked()) return false;
+      for (std::size_t j = 0; j < sc.n; ++j) {
+        if (i == j || group.network().is_crashed(group.pid(j)) ||
+            stranded(j)) {
+          continue;
+        }
+        if (group.network().data_backlog(group.pid(i), group.pid(j)) != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Drive to quiescence.  The generous deadline leaves room for adaptive
+  // heartbeat timeouts and slow consumers; virtual seconds are cheap.
+  const TimePoint deadline = settle + Duration::seconds(40.0);
+  int stable = 0;
+  while (sim.now() < deadline) {
+    sim.run_until(sim.now() + Duration::millis(500));
+    // Two consecutive quiet samples: anything in flight at the first one
+    // (a consensus decision, a deferred install) lands within the extra
+    // half-second of virtual time.
+    if (quiesced()) {
+      if (++stable >= 2) break;
+    } else {
+      stable = 0;
+    }
+  }
+  ScenarioOutcome outcome;
+  outcome.quiesced = quiesced();
+
+  // Close every log: pull whatever the consumers have not drained yet.
+  for (std::size_t i = 0; i < sc.n; ++i) group.drain(i);
+
+  outcome.violations = checker.verify();
+  if (!sc.item_tags) {
+    const auto strict = checker.verify_strict_vs();
+    outcome.violations.insert(outcome.violations.end(), strict.begin(),
+                              strict.end());
+  }
+  if (outcome.quiesced) {
+    std::vector<net::ProcessId> alive;
+    for (std::size_t i = 0; i < sc.n; ++i) {
+      if (!group.network().is_crashed(group.pid(i))) {
+        alive.push_back(group.pid(i));
+      }
+    }
+    const auto quiet = checker.verify_quiescence(alive);
+    outcome.violations.insert(outcome.violations.end(), quiet.begin(),
+                              quiet.end());
+  } else {
+    outcome.violations.push_back(
+        "run did not quiesce before the deadline (liveness violated)");
+  }
+
+  outcome.group_size = sc.n;
+  outcome.faults_active = sc.faults.faults.size();
+  outcome.faults_total = sc.faults_total;
+  outcome.planned_sends = sc.planned_total;
+  outcome.multicasts = checker.total_multicasts();
+  outcome.deliveries = checker.total_deliveries();
+  outcome.sim_events = sim.executed();
+  outcome.net_stats = group.network().stats();
+  outcome.summary = summarize(sc);
+  return outcome;
+}
+
+ScenarioSpec ScenarioExplorer::shrink(const ScenarioSpec& failing) const {
+  const auto fails = [this](const ScenarioSpec& trial) {
+    return !run(trial).violations.empty();
+  };
+
+  ScenarioSpec best = failing;
+  const Scenario full = make_scenario(failing);
+
+  // Restrict the mask to real entries so repro lines stay readable.
+  if (full.faults_total < 64) {
+    best.fault_mask &= (1ULL << full.faults_total) - 1;
+  }
+
+  // Pass 1: greedy fault removal to a fixpoint.  One bit at a time — each
+  // fault's randomness is private (id-keyed stream), so removals compose.
+  const auto drop_faults = [&] {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t bit = 0; bit < full.faults_total && bit < 64; ++bit) {
+        const std::uint64_t flag = 1ULL << bit;
+        if ((best.fault_mask & flag) == 0) continue;
+        ScenarioSpec trial = best;
+        trial.fault_mask &= ~flag;
+        if (fails(trial)) {
+          best = trial;
+          progress = true;
+        }
+      }
+    }
+  };
+  drop_faults();
+
+  // Pass 2: bisect the per-node workload prefix.  hi always names a failing
+  // limit, so the result fails even where failure is not monotone in the
+  // message count.
+  std::uint32_t max_planned = 0;
+  for (const auto& plan : full.sends) {
+    max_planned = std::max(max_planned,
+                           static_cast<std::uint32_t>(plan.size()));
+  }
+  // Capping at max_planned truncates nothing, so this spec is
+  // scenario-identical to `best` and known to fail.
+  std::uint32_t hi = std::min(best.message_limit, max_planned);
+  best.message_limit = hi;
+  std::uint32_t lo = 0;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    ScenarioSpec trial = best;
+    trial.message_limit = mid;
+    if (fails(trial)) {
+      hi = mid;
+      best.message_limit = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  // Pass 3: the smaller workload may have made more faults redundant.
+  drop_faults();
+  return best;
+}
+
+ScenarioExplorer::Exploration ScenarioExplorer::explore(
+    std::uint64_t seed) const {
+  Exploration exploration;
+  exploration.spec.seed = seed;
+  exploration.spec.hostile = options_.hostile;
+  exploration.outcome = run(exploration.spec);
+  if (!exploration.outcome.violations.empty()) {
+    exploration.shrunk = shrink(exploration.spec);
+    exploration.shrunk_outcome = run(*exploration.shrunk);
+  }
+  return exploration;
+}
+
+}  // namespace svs::sim

@@ -1,0 +1,193 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "sim/random.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::link_jitter: return "link_jitter";
+    case FaultKind::partition: return "partition";
+    case FaultKind::crash: return "crash";
+    case FaultKind::duplicate: return "duplicate";
+    case FaultKind::pause_receiver: return "pause_receiver";
+    case FaultKind::drop_one: return "drop_one";
+  }
+  SVS_UNREACHABLE("unknown fault kind");
+}
+
+std::string FaultSpec::describe() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << "[" << id << "]";
+  switch (kind) {
+    case FaultKind::link_jitter:
+      os << " p" << a << "->p" << b << " +" << magnitude << " @["
+         << start << "," << end << ")";
+      break;
+    case FaultKind::partition: {
+      os << " sides 0x" << std::hex << side_mask << std::dec
+         << (symmetric ? " sym" : " asym") << " @[" << start << "," << end
+         << ")";
+      break;
+    }
+    case FaultKind::crash:
+      os << " p" << a << " @" << start;
+      break;
+    case FaultKind::duplicate:
+      os << " p" << a << "->p" << b << " p=" << probability << " @["
+         << start << "," << end << ")";
+      break;
+    case FaultKind::pause_receiver:
+      os << " p" << a << " @[" << start << "," << end << ")";
+      break;
+    case FaultKind::drop_one:
+      os << " p" << a << "->p" << b << " msg#" << param;
+      break;
+  }
+  return os.str();
+}
+
+bool FaultPlan::in_model() const {
+  return std::none_of(faults.begin(), faults.end(), [](const FaultSpec& f) {
+    return f.kind == FaultKind::drop_one;
+  });
+}
+
+FaultPlan FaultPlan::masked(std::uint64_t keep) const {
+  FaultPlan out;
+  out.seed = seed;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i < 64 && (keep & (1ULL << i)) == 0) continue;
+    out.faults.push_back(faults[i]);
+  }
+  return out;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << faults.size() << " fault(s)";
+  for (const auto& f : faults) os << "; " << f.describe();
+  return os.str();
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const GenerateOptions& options) {
+  SVS_REQUIRE(options.processes >= 2, "fault plans need at least two processes");
+  SVS_REQUIRE(options.processes <= 64,
+              "partition side masks are 64-bit; cap the group at 64");
+  FaultPlan plan;
+  plan.seed = seed;
+  // Stream 0 of the plan seed shapes the plan; streams 1 + id drive each
+  // fault's runtime draws inside the injector.
+  Rng rng = Rng::stream(seed, 0);
+  const std::uint32_t n = options.processes;
+  const std::int64_t horizon_us = options.horizon.as_micros();
+  // Windows must heal well before the horizon so runs quiesce.
+  const std::int64_t settle_us = horizon_us * 9 / 10;
+
+  const auto window = [&](std::int64_t max_len_us) {
+    const std::int64_t start = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(settle_us * 2 / 3)));
+    const std::int64_t len = 1 + static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(std::min(max_len_us, settle_us - start))));
+    return std::pair{TimePoint::at_micros(start),
+                     TimePoint::at_micros(start + len)};
+  };
+  const auto directed_link = [&] {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    auto b = static_cast<std::uint32_t>(rng.below(n - 1));
+    if (b >= a) ++b;
+    return std::pair{a, b};
+  };
+  const auto push = [&](FaultSpec spec) {
+    spec.id = static_cast<std::uint32_t>(plan.faults.size());
+    plan.faults.push_back(spec);
+  };
+
+  // Per-link jitter: 0-3 windows of FIFO-preserving extra delay.
+  const std::uint64_t jitters = rng.below(4);
+  for (std::uint64_t j = 0; j < jitters; ++j) {
+    FaultSpec f;
+    f.kind = FaultKind::link_jitter;
+    std::tie(f.a, f.b) = directed_link();
+    std::tie(f.start, f.end) = window(horizon_us / 2);
+    f.magnitude = Duration::micros(
+        1000 + static_cast<std::int64_t>(rng.below(40'000)));
+    push(f);
+  }
+
+  // At most one partition, always healed.  Side A is a random nonempty
+  // proper subset of the group.
+  if (rng.chance(0.5)) {
+    FaultSpec f;
+    f.kind = FaultKind::partition;
+    const std::uint64_t all = n >= 64 ? ~0ULL : (1ULL << n) - 1;
+    do {
+      f.side_mask = rng.next_u64() & all;
+    } while (f.side_mask == 0 || f.side_mask == all);
+    f.symmetric = rng.chance(0.6);
+    std::tie(f.start, f.end) = window(horizon_us / 3);
+    push(f);
+  }
+
+  // Crash-stops, within the caller's liveness budget.
+  const std::uint64_t crashes =
+      options.max_crashes == 0 ? 0 : rng.below(options.max_crashes + 1);
+  std::vector<std::uint32_t> crashed;
+  for (std::uint64_t c = 0; c < crashes; ++c) {
+    FaultSpec f;
+    f.kind = FaultKind::crash;
+    do {
+      f.a = static_cast<std::uint32_t>(rng.below(n));
+    } while (std::find(crashed.begin(), crashed.end(), f.a) != crashed.end());
+    crashed.push_back(f.a);
+    f.start = TimePoint::at_micros(
+        horizon_us / 10 +
+        static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(horizon_us * 7 / 10))));
+    f.end = f.start;
+    push(f);
+  }
+
+  // Data-lane duplication: 0-2 probabilistic windows.
+  const std::uint64_t dups = rng.below(3);
+  for (std::uint64_t d = 0; d < dups; ++d) {
+    FaultSpec f;
+    f.kind = FaultKind::duplicate;
+    std::tie(f.a, f.b) = directed_link();
+    std::tie(f.start, f.end) = window(horizon_us);
+    f.probability = 0.1 + rng.uniform01() * 0.6;
+    push(f);
+  }
+
+  // At most one receiver pause (slow-consumer stall seen from the network).
+  if (rng.chance(0.4)) {
+    FaultSpec f;
+    f.kind = FaultKind::pause_receiver;
+    f.a = static_cast<std::uint32_t>(rng.below(n));
+    std::tie(f.start, f.end) = window(horizon_us / 4);
+    push(f);
+  }
+
+  if (options.hostile) {
+    // One silent drop on a random link: out-of-model, §3.2 should break.
+    FaultSpec f;
+    f.kind = FaultKind::drop_one;
+    std::tie(f.a, f.b) = directed_link();
+    f.start = TimePoint::origin();
+    f.end = TimePoint::at_micros(horizon_us);
+    f.param = 1 + rng.below(8);
+    push(f);
+  }
+
+  SVS_ASSERT(plan.faults.size() <= 64, "fault masks are 64-bit");
+  return plan;
+}
+
+}  // namespace svs::sim

@@ -1,0 +1,131 @@
+// Declarative, seed-derived fault schedules (DESIGN.md §7).
+//
+// A FaultPlan is pure data: a list of FaultSpec entries, each naming a kind,
+// the processes or link it touches, a virtual-time window and a magnitude.
+// The plan is *applied* by the transport layer (net::PlannedFaultInjector,
+// hooked into net::Network via Transport::set_fault_injector) and by the
+// scenario harness (crash scheduling, consumer throttling); this file knows
+// nothing about the network so the plan stays serializable and maskable.
+//
+// The in-model fault vocabulary — the perturbations §3.2 must survive:
+//
+//   * link_jitter     — FIFO-preserving random extra delay on one directed
+//                       link (arrival times stay monotone per lane; only the
+//                       schedule shifts).
+//   * partition       — an outage with a heal time: messages *sent* while
+//                       the partition is up are held and arrive after heal
+//                       (reliable FIFO channels with retransmission, as TCP
+//                       would behave); messages already in flight still
+//                       arrive.  Symmetric or one-directional.
+//   * crash           — crash-stop at a virtual time (the paper's only
+//                       process fault; the FD + membership machinery must
+//                       exclude the victim).
+//   * duplicate       — probabilistic data-lane duplication on a directed
+//                       link (a conservative retransmitter); receivers
+//                       suppress the copy via the per-sender reception
+//                       watermark.
+//   * pause_receiver  — the receiver stops accepting data-lane traffic for a
+//                       window (the network-visible face of a consumer that
+//                       completely stops, Fig 5(b)); backpressure, not loss.
+//
+// Plus one deliberately OUT-OF-MODEL kind, excluded from tolerated plans and
+// generated only under GenerateOptions::hostile:
+//
+//   * drop_one        — silently drop the k-th data message on a link.  This
+//                       breaks the reliable-channel assumption, so §3.2 is
+//                       expected to fail — it exists to prove the checker,
+//                       the explorer and the shrinker actually fire.
+//
+// Every spec carries a stable `id` (its index in the unmasked plan): the
+// injector derives each fault's private rng stream from (plan.seed, id), so
+// masking entries out — the shrinker's first move — never perturbs the
+// randomness of the entries that remain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace svs::sim {
+
+enum class FaultKind : std::uint8_t {
+  link_jitter,
+  partition,
+  crash,
+  duplicate,
+  pause_receiver,
+  drop_one,  // out-of-model (hostile plans only)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault.  Processes are raw ProcessId values (the group
+/// harness assigns ProcessId(i) to member i, so these double as dense
+/// indices).  Fields are kind-specific; unused ones stay zero.
+struct FaultSpec {
+  FaultKind kind = FaultKind::link_jitter;
+  /// Stable index in the unmasked plan; seeds this fault's rng stream.
+  std::uint32_t id = 0;
+  /// link faults: directed link a -> b.  crash / pause_receiver: process a.
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  /// Active window [start, end).  crash uses only start.
+  TimePoint start;
+  TimePoint end;
+  /// link_jitter: extra delay is uniform in [0, magnitude].
+  Duration magnitude = Duration::zero();
+  /// duplicate: per-message duplication probability.
+  double probability = 0.0;
+  /// partition: bitmask of side-A processes; links crossing side A <-> side B
+  /// are severed (A -> B only unless symmetric).
+  std::uint64_t side_mask = 0;
+  /// partition: sever both directions.
+  bool symmetric = false;
+  /// drop_one: ordinal (1-based) of the doomed data message on the link.
+  std::uint64_t param = 0;
+
+  [[nodiscard]] bool active_at(TimePoint now) const {
+    return now >= start && now < end;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+struct FaultPlan {
+  /// Stream seed for the injector's per-fault rngs (see sim::Rng::stream).
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  /// True when no out-of-model fault is present: a group stack is expected
+  /// to preserve every §3.2 property under an in-model plan.
+  [[nodiscard]] bool in_model() const;
+
+  /// Subset selection for shrinking: keeps fault `i` (position in this
+  /// plan's list) iff bit `i` of `keep` is set.  Ids are preserved, so the
+  /// surviving faults replay with identical randomness.
+  [[nodiscard]] FaultPlan masked(std::uint64_t keep) const;
+
+  [[nodiscard]] std::string describe() const;
+
+  struct GenerateOptions {
+    std::uint32_t processes = 3;
+    /// Faults are scheduled within [0, horizon) and every window heals by
+    /// ~0.9 * horizon, so a run driven past the horizon quiesces.
+    Duration horizon = Duration::seconds(1.5);
+    /// Upper bound on generated crash faults.  Callers budget this so that
+    /// crashes + voluntary leaves stay below half the group (consensus
+    /// liveness needs an alive majority of every view).
+    std::uint32_t max_crashes = 1;
+    /// Include out-of-model faults (drop_one).  Plans stop being tolerated.
+    bool hostile = false;
+  };
+
+  /// Derives a plan from a seed: 0-3 jitter windows, at most one partition
+  /// (always healed), up to max_crashes crashes, 0-2 duplication windows and
+  /// at most one receiver pause.  Deterministic; independent of any other
+  /// stream derived from the same master seed.
+  static FaultPlan generate(std::uint64_t seed, const GenerateOptions& options);
+};
+
+}  // namespace svs::sim

@@ -84,6 +84,17 @@ std::uint64_t Rng::geometric(double p) {
   return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two splitmix64 rounds over the id decorrelate adjacent stream ids, then
+  // the xor with the master seed selects the family.  The Rng constructor
+  // runs its own splitmix expansion on top, so even (seed, id) pairs whose
+  // xor collides yield sequences that diverge immediately.
+  std::uint64_t sm = stream_id;
+  const std::uint64_t a = splitmix64(sm);
+  const std::uint64_t b = splitmix64(sm);
+  return Rng(seed ^ a ^ rotl(b, 31));
+}
+
 Rng Rng::split() {
   // Derive a child seed from two outputs; the parent stream advances, so
   // successive splits yield independent children.

@@ -4,6 +4,26 @@
 // same seed can produce different traces on different standard libraries.
 // The experiments must be bit-reproducible, hence: xoshiro256** generator
 // (seeded via splitmix64) plus hand-rolled distributions.
+//
+// This is the single prng for the whole tree — protocol simulation,
+// workload generation, the fault-plan injector, the scenario explorer,
+// randomized tests and the benches all share it, so a generator fix or a
+// portability audit lands everywhere at once.
+//
+// Stream semantics (how to get independent sequences from one seed):
+//
+//   * Rng::stream(seed, k) — the k-th named substream of a master seed.
+//     Pure function of (seed, k): adding draws to stream 3 never perturbs
+//     stream 7.  This is how one 64-bit scenario seed fans out into
+//     shape / workload / fault-plan / per-fault randomness without the
+//     streams contaminating each other (shrinking relies on it: removing
+//     one fault must not reshuffle the rest of the run).
+//   * rng.split()        — forks a child stream *positionally*: the child
+//     seed is taken from the parent's sequence, so successive splits yield
+//     independent children but the k-th split depends on how many draws
+//     (and splits) preceded it.  Use stream() when identity must be stable
+//     under plan edits; use split() for a dynamic number of components
+//     created in a fixed order.
 #pragma once
 
 #include <cstdint>
@@ -43,8 +63,14 @@ class Rng {
   std::uint64_t geometric(double p);
 
   /// Forks an independent stream (for per-component rngs that must not
-  /// perturb each other's sequences when call order changes).
+  /// perturb each other's sequences when call order changes).  Positional:
+  /// the child's identity depends on the parent's draw count; see the
+  /// stream-semantics note at the top of this header.
   Rng split();
+
+  /// The `stream_id`-th named substream of `seed`: a pure function of its
+  /// arguments, independent of any other (seed, id) pair's sequence.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
 
  private:
   std::uint64_t s_[4];

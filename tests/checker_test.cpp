@@ -80,6 +80,36 @@ TEST(Checker, DetectsFifoOrderViolation) {
   EXPECT_NE(v[0].find("FIFO clause (i)"), std::string::npos);
 }
 
+TEST(Checker, FifoExemptsTaggedFlushRepairsOnly) {
+  // A view-change flush may retro-deliver a sender-purged gap message whose
+  // cover died with an excluded sender (DESIGN.md §7); the node tags it via
+  // on_flush_in and the checker exempts exactly that delivery from FIFO (i).
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  const auto m3 = msg(0, 3);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  c.on_multicast(kP0, m3);
+  c.on_install(kP1, view(0));
+  c.on_deliver(kP1, m2);
+  c.on_flush_in(kP1, m1);
+  c.on_deliver(kP1, m1);  // retro, but tagged: exempt
+  EXPECT_TRUE(c.verify().empty());
+  // The frontier stays at the maximum: an untagged reorder after the
+  // repair is still a violation.
+  c.on_deliver(kP1, m3);
+  SpecChecker d(std::make_shared<obs::EmptyRelation>());
+  d.on_multicast(kP0, m1);
+  d.on_multicast(kP0, m2);
+  d.on_install(kP1, view(0));
+  d.on_deliver(kP1, m2);
+  d.on_deliver(kP1, m1);  // same shape, NOT tagged: flagged
+  const auto v = d.verify();
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("FIFO clause (i)"), std::string::npos);
+}
+
 TEST(Checker, DetectsSvsViolation) {
   SpecChecker c(std::make_shared<obs::EmptyRelation>());
   const auto m = msg(0, 1);
@@ -175,6 +205,130 @@ TEST(Checker, ExclusionEventsAreRecordedHarmlessly) {
   c.on_install(kP0, view(0));
   c.on_excluded(kP0, ViewId(0));
   EXPECT_TRUE(c.verify().empty());
+}
+
+// ---------------------------------------------------------------------------
+// quiescence / liveness (verify_quiescence)
+// ---------------------------------------------------------------------------
+
+TEST(CheckerQuiescence, CleanConvergedHistoryPasses) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  for (const auto p : {kP0, kP1}) {
+    c.on_install(p, view(0));
+    c.on_deliver(p, m);
+  }
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  EXPECT_TRUE(c.verify_quiescence(alive).empty());
+}
+
+TEST(CheckerQuiescence, DetectsDivergentFinalViews) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  c.on_install(kP0, view(0));
+  c.on_install(kP0, view(1));
+  c.on_install(kP1, view(0));  // p1 never reached v1
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  const auto v = c.verify_quiescence(alive);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("diverged"), std::string::npos);
+}
+
+TEST(CheckerQuiescence, DetectsSurvivorWhoNeverInstalled) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  c.on_install(kP0, view(0));
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  const auto v = c.verify_quiescence(alive);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("never installed"), std::string::npos);
+}
+
+TEST(CheckerQuiescence, DetectsUndeliveredMessageFromSurvivingSender) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(0));
+  c.on_deliver(kP0, m);
+  // p1 installed the same final view but never saw m, and nothing covers it.
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  const auto v = c.verify_quiescence(alive);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("neither delivered nor obsoleted"), std::string::npos);
+}
+
+TEST(CheckerQuiescence, AcceptsObsoletedByGroundTruthCover) {
+  auto truth = std::make_shared<obs::ExplicitRelation>();
+  truth->add(net::ProcessId(0), 1, net::ProcessId(0), 2);
+  SpecChecker c(truth);
+  const auto m1 = msg(0, 1);
+  const auto m2 = msg(0, 2);
+  c.on_multicast(kP0, m1);
+  c.on_multicast(kP0, m2);
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(0));
+  c.on_deliver(kP0, m1);
+  c.on_deliver(kP0, m2);
+  c.on_deliver(kP1, m2);  // m1 omitted at p1 but covered by m2
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  EXPECT_TRUE(c.verify_quiescence(alive).empty());
+}
+
+TEST(CheckerQuiescence, IgnoresMessagesFromCrashedSenders) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(2, 1);  // sender p2 will not be in the alive set
+  c.on_multicast(net::ProcessId(2), m);
+  for (const auto p : {kP0, kP1}) c.on_install(p, view(0));
+  // Nobody delivered p2's message; §3.2 does not promise delivery for a
+  // crashed sender, so quiescence must not complain.
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  EXPECT_TRUE(c.verify_quiescence(alive).empty());
+}
+
+TEST(CheckerQuiescence, ExcludedProcessesAreExemptAndShrinkTheView) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  // p1 is excluded at the v0 -> v1 boundary; p0 continues alone in v1.
+  c.on_install(kP0, view(0));
+  c.on_install(kP0, View(ViewId(1), {kP0}));
+  c.on_install(kP1, view(0));
+  c.on_excluded(kP1, ViewId(0));
+  // Both are alive, but only p0 is a survivor; its final view matches the
+  // survivor set exactly, and p1's divergent history is exempt.
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  EXPECT_TRUE(c.verify_quiescence(alive).empty());
+}
+
+TEST(CheckerQuiescence, DetectsDeadMemberLingeringDespiteQuorum) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const net::ProcessId p2(2);
+  const View v0(ViewId(0), {kP0, kP1, p2});
+  // p2 crashed, yet p0 and p1 (an alive quorum of the 3-view) never
+  // excluded it: a liveness failure of the membership machinery.
+  c.on_install(kP0, v0);
+  c.on_install(kP1, v0);
+  const std::vector<net::ProcessId> alive{kP0, kP1};
+  const auto v = c.verify_quiescence(alive);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("does not match the survivor set"), std::string::npos);
+}
+
+TEST(CheckerQuiescence, QuorumLossWaivesConditionalLivenessOnly) {
+  SpecChecker c(std::make_shared<obs::EmptyRelation>());
+  const auto m = msg(0, 1);
+  c.on_multicast(kP0, m);
+  // Final view {p0, p1} but only p0 is alive: below quorum, the rump group
+  // legitimately halts — the lingering dead member and the undelivered
+  // message must NOT be flagged...
+  c.on_install(kP0, view(0));
+  const std::vector<net::ProcessId> alive{kP0};
+  EXPECT_TRUE(c.verify_quiescence(alive).empty());
+  // ...but convergence among survivors stays unconditional.
+  SpecChecker d(std::make_shared<obs::EmptyRelation>());
+  const net::ProcessId p2(2);
+  const View wide(ViewId(0), {kP0, kP1, p2, net::ProcessId(3)});
+  d.on_install(kP0, wide);
+  d.on_install(kP1, wide);
+  d.on_install(kP1, View(ViewId(1), {kP0, kP1, p2, net::ProcessId(3)}));
+  const std::vector<net::ProcessId> both{kP0, kP1};
+  EXPECT_FALSE(d.verify_quiescence(both).empty());
 }
 
 TEST(Checker, DeliveredInAndViewsInstalledHelpers) {

@@ -17,7 +17,7 @@
 #include "util/bytes.hpp"
 #include "util/contracts.hpp"
 #include "workload/item_op.hpp"
-#include "xorshift.hpp"
+#include "sim/random.hpp"
 
 namespace svs::net {
 namespace {
@@ -413,7 +413,8 @@ TEST_F(CodecFixture, ByteMutationFuzzNeverCrashes) {
   // valid frame either decodes to *something* or throws ContractViolation.
   // LogicViolation or UB would mean a decoder bug (the ASan/UBSan CI job
   // runs this same loop under sanitizers).
-  svs::testing::Xorshift64 next_random(0x5eed1235ULL);
+  svs::sim::Rng rng(0x5eed1235ULL);
+  const auto next_random = [&rng] { return rng.next_u64(); };
   const auto frames = corpus();
   int decoded_ok = 0;
   int rejected = 0;

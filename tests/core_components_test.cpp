@@ -37,10 +37,10 @@ class StubDetector final : public fd::FailureDetector {
 
 TEST(StabilityTracker, HighWaterMarksAreMonotone) {
   StabilityTracker t;
-  EXPECT_FALSE(t.seen(pid(1)).has_value());
+  EXPECT_FALSE(t.high_water(pid(1)).has_value());
   t.note_seen(pid(1), 5);
   t.note_seen(pid(1), 3);  // out-of-order report must not regress
-  EXPECT_EQ(t.seen(pid(1)), 5u);
+  EXPECT_EQ(t.high_water(pid(1)), 5u);
   EXPECT_TRUE(t.dirty());
   t.clear_dirty();
   EXPECT_FALSE(t.dirty());
@@ -89,9 +89,10 @@ TEST(StabilityTracker, TakeDeltaShipsOnlyRaisedMarks) {
   EXPECT_EQ(second[0].first, pid(0));
   EXPECT_EQ(second[0].second, 4u);
 
-  // A non-raising note dirties the tracker but adds nothing to the delta.
+  // A non-raising note changes nothing on the wire and owes no gossip
+  // round: only a rising high-water mark dirties the tracker.
   t.note_seen(pid(1), 1);
-  EXPECT_TRUE(t.dirty());
+  EXPECT_FALSE(t.dirty());
   EXPECT_TRUE(t.take_delta().empty());
 }
 
@@ -155,9 +156,45 @@ TEST(StabilityTracker, SnapshotAndReset) {
   EXPECT_EQ(snap[0].first, pid(0));
   EXPECT_EQ(snap[1].second, 2u);
   t.reset();
-  EXPECT_FALSE(t.seen(pid(0)).has_value());
+  EXPECT_FALSE(t.high_water(pid(0)).has_value());
   EXPECT_FALSE(t.dirty());
   EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(StabilityTracker, ExactReceptionTracksGapsBelowTheHighWater) {
+  // Sender-side purging removes seqs from a channel, so reception is not
+  // contiguous: the high-water mark says nothing about the gaps below it,
+  // and received() must answer exactly (the t7 flush relies on it).
+  StabilityTracker t;
+  t.note_seen(pid(1), 1);
+  t.note_seen(pid(1), 2);
+  t.note_seen(pid(1), 5);  // 3 and 4 were purged out of the channel
+  EXPECT_TRUE(t.received(pid(1), 2));
+  EXPECT_FALSE(t.received(pid(1), 3));
+  EXPECT_FALSE(t.received(pid(1), 4));
+  EXPECT_TRUE(t.received(pid(1), 5));
+  EXPECT_FALSE(t.received(pid(1), 6));
+  EXPECT_EQ(t.high_water(pid(1)), 5u);
+  // A view-change flush closes the gap; the frontier does not regress.
+  t.note_seen(pid(1), 3);
+  t.note_seen(pid(1), 4);
+  EXPECT_TRUE(t.received(pid(1), 3));
+  EXPECT_TRUE(t.received(pid(1), 4));
+  EXPECT_EQ(t.high_water(pid(1)), 5u);
+}
+
+TEST(StabilityTracker, ReceptionMayStartAboveTheViewsFirstSeq) {
+  // Even the first messages of a view can be purged away before anything
+  // gets through: the record starts at the first seq actually received and
+  // claims nothing below it.
+  StabilityTracker t;
+  t.note_seen(pid(1), 7);
+  EXPECT_FALSE(t.received(pid(1), 6));
+  EXPECT_TRUE(t.received(pid(1), 7));
+  t.note_seen(pid(1), 6);  // flush-in extends the record downwards
+  EXPECT_TRUE(t.received(pid(1), 6));
+  EXPECT_FALSE(t.received(pid(1), 5));
+  EXPECT_EQ(t.high_water(pid(1)), 7u);
 }
 
 // ---------------------------------------------------------------------------

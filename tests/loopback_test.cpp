@@ -10,14 +10,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/group.hpp"
 #include "core/message.hpp"
+#include "net/fault_injector.hpp"
 #include "net/loopback.hpp"
 #include "obs/relation.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "workload/consumer.hpp"
 #include "workload/item_op.hpp"
@@ -140,7 +143,13 @@ std::string describe(const Delivery& delivery) {
 /// excludes it), node 1 later triggers a pure reconfiguration.  The
 /// producer retries around flow-control blockage, so sender-side purging,
 /// refusals and the view-change flush all fire on both backends.
-ScenarioResult run_scenario(core::Group::Backend backend) {
+///
+/// With `faults`, the crash moves into the plan and the run additionally
+/// carries per-link jitter, a healed partition and data duplication through
+/// the Transport fault hooks — the injector is rebuilt per run, so both
+/// backends see identical fault randomness.
+ScenarioResult run_scenario(core::Group::Backend backend,
+                            const sim::FaultPlan* faults = nullptr) {
   constexpr std::size_t kNodes = 4;
   constexpr std::size_t kMessages = 220;
   sim::Simulator sim;
@@ -153,7 +162,13 @@ ScenarioResult run_scenario(core::Group::Backend backend) {
   cfg.network.jitter = sim::Duration::micros(500);
   cfg.network.seed = 0xfeedface;
   cfg.auto_membership = true;
+  std::optional<PlannedFaultInjector> injector;
+  if (faults != nullptr) injector.emplace(*faults);
   core::Group group(sim, cfg);
+  if (injector.has_value()) {
+    group.network().set_fault_injector(&*injector);
+    schedule_crashes(sim, group.network(), *faults);
+  }
 
   ScenarioResult result;
   result.events.resize(kNodes);
@@ -192,7 +207,10 @@ ScenarioResult run_scenario(core::Group::Backend backend) {
   sim.schedule_after(sim::Duration::millis(1), produce);
 
   // One crash (auto-membership excludes it) and one pure reconfiguration.
-  sim.schedule_after(sim::Duration::millis(150), [&] { group.crash(2); });
+  // Under a fault plan the crash is the plan's (already scheduled above).
+  if (faults == nullptr) {
+    sim.schedule_after(sim::Duration::millis(150), [&] { group.crash(2); });
+  }
   sim.schedule_after(sim::Duration::millis(600),
                      [&] { group.node(1).request_view_change({}); });
 
@@ -252,6 +270,95 @@ TEST(CrossBackendEquivalence, IdenticalDeliverySequencesAndByteCounters) {
 
   // And the wire really moved those bytes: every delivered byte crossed a
   // thread as an encoded frame (refused attempts cross again on retry).
+  EXPECT_GT(wire_run.wire_frames, 0u);
+  EXPECT_GE(wire_run.wire_bytes, wire_run.stats.bytes_delivered);
+}
+
+TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
+  // The same scenario, now perturbed through the Transport fault hooks:
+  // per-link jitter onto the slow consumer, a healed symmetric partition
+  // isolating node 1, the node-2 crash as a plan entry, and probabilistic
+  // duplication on a busy link.  Every fault draws from an id-keyed rng
+  // stream, and the injector is rebuilt per run, so the simulated fabric
+  // and the byte-moving loopback must produce identical histories and
+  // identical measured counters — including the injected-fault counters.
+  sim::FaultPlan plan;
+  plan.seed = 0xfa017;
+  const auto add = [&plan](sim::FaultSpec f) {
+    f.id = static_cast<std::uint32_t>(plan.faults.size());
+    plan.faults.push_back(f);
+  };
+  {
+    sim::FaultSpec jitter;
+    jitter.kind = sim::FaultKind::link_jitter;
+    jitter.a = 0;
+    jitter.b = 3;
+    jitter.start = sim::TimePoint::at_micros(50'000);
+    jitter.end = sim::TimePoint::at_micros(500'000);
+    jitter.magnitude = sim::Duration::millis(8);
+    add(jitter);
+  }
+  {
+    sim::FaultSpec part;
+    part.kind = sim::FaultKind::partition;
+    part.side_mask = 0x2;  // {p1} vs the rest
+    part.symmetric = true;
+    part.start = sim::TimePoint::at_micros(200'000);
+    part.end = sim::TimePoint::at_micros(330'000);
+    add(part);
+  }
+  {
+    sim::FaultSpec crash;
+    crash.kind = sim::FaultKind::crash;
+    crash.a = 2;
+    crash.start = sim::TimePoint::at_micros(150'000);
+    crash.end = crash.start;
+    add(crash);
+  }
+  {
+    sim::FaultSpec dup;
+    dup.kind = sim::FaultKind::duplicate;
+    dup.a = 0;
+    dup.b = 1;
+    dup.probability = 0.4;
+    dup.start = sim::TimePoint::origin();
+    dup.end = sim::TimePoint::at_micros(1'000'000);
+    add(dup);
+  }
+  ASSERT_TRUE(plan.in_model());
+
+  const ScenarioResult sim_run =
+      run_scenario(core::Group::Backend::sim, &plan);
+  const ScenarioResult wire_run =
+      run_scenario(core::Group::Backend::threaded_loopback, &plan);
+
+  ASSERT_EQ(sim_run.produced, 220u) << "sim scenario did not complete";
+  ASSERT_EQ(wire_run.produced, 220u) << "loopback scenario did not complete";
+
+  // The faults actually fired.
+  EXPECT_GT(sim_run.stats.injected_duplicates, 0u);
+  EXPECT_GT(sim_run.stats.purged_outgoing, 0u);
+  std::size_t view_events = 0;
+  for (const auto& e : sim_run.events[0]) {
+    if (e.rfind("V ", 0) == 0) ++view_events;
+  }
+  EXPECT_GE(view_events, 3u);
+
+  for (std::size_t i = 0; i < sim_run.events.size(); ++i) {
+    EXPECT_EQ(sim_run.events[i], wire_run.events[i]) << "process " << i;
+  }
+  EXPECT_EQ(sim_run.stats.sent, wire_run.stats.sent);
+  EXPECT_EQ(sim_run.stats.delivered, wire_run.stats.delivered);
+  EXPECT_EQ(sim_run.stats.bytes_sent, wire_run.stats.bytes_sent);
+  EXPECT_EQ(sim_run.stats.bytes_delivered, wire_run.stats.bytes_delivered);
+  EXPECT_EQ(sim_run.stats.purged_outgoing, wire_run.stats.purged_outgoing);
+  EXPECT_EQ(sim_run.stats.bytes_purged, wire_run.stats.bytes_purged);
+  EXPECT_EQ(sim_run.stats.injected_duplicates,
+            wire_run.stats.injected_duplicates);
+  EXPECT_EQ(sim_run.stats.injected_drops, wire_run.stats.injected_drops);
+  EXPECT_EQ(sim_run.stats.injected_pauses, wire_run.stats.injected_pauses);
+
+  // Duplicated copies crossed the wire thread as separately encoded frames.
   EXPECT_GT(wire_run.wire_frames, 0u);
   EXPECT_GE(wire_run.wire_bytes, wire_run.stats.bytes_delivered);
 }

@@ -7,7 +7,7 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/contracts.hpp"
-#include "xorshift.hpp"
+#include "sim/random.hpp"
 
 namespace svs::net {
 namespace {
@@ -397,7 +397,8 @@ TEST(NetPurgeEquivalence, WindowedMatchesFullScanRandomized) {
   // reference full-deque scan with the equivalent predicate must remove the
   // same victims and deliver the same survivors, for arbitrary windows and
   // victim sets — mirroring the delivery-queue equivalence test.
-  svs::testing::Xorshift64 next_random(0x5eed5eedULL);
+  svs::sim::Rng rng(0x5eed5eedULL);
+  const auto next_random = [&rng] { return rng.next_u64(); };
   for (int round = 0; round < 60; ++round) {
     sim::Simulator sim_a, sim_b;
     Network net_a(sim_a, {});

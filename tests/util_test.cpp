@@ -7,7 +7,7 @@
 #include "util/bytes.hpp"
 #include "util/contracts.hpp"
 #include "util/strong_id.hpp"
-#include "xorshift.hpp"
+#include "sim/random.hpp"
 
 namespace svs::util {
 namespace {
@@ -165,7 +165,8 @@ TEST(Bytes, ReaderFuzzNeverMisbehaves) {
   // no UB, no LogicViolation, and the position never runs past the end.
   // (The message-level mutation fuzz lives in codec_test.cpp; the ASan +
   // UBSan CI job runs both under sanitizers.)
-  svs::testing::Xorshift64 next_random(0x0ddba11ULL);
+  svs::sim::Rng rng(0x0ddba11ULL);
+  const auto next_random = [&rng] { return rng.next_u64(); };
   for (int round = 0; round < 2000; ++round) {
     Bytes buf(next_random() % 24);
     for (auto& b : buf) b = static_cast<std::uint8_t>(next_random());
