@@ -8,6 +8,8 @@
 // (sub-linear vs linear), plus simulator events per second.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "obs/batch.hpp"
 #include "sim/explorer.hpp"
 #include "sim/simulator.hpp"
+#include "workload/consumer.hpp"
 #include "workload/game_generator.hpp"
 
 namespace {
@@ -355,7 +358,9 @@ bench::JsonObject measure_explorer_throughput() {
   std::uint64_t violations = 0;
   const bench::WallClock wall;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-    const auto outcome = explorer.run(sim::ScenarioSpec{.seed = seed});
+    sim::ScenarioSpec spec;
+    spec.seed = seed;
+    const auto outcome = explorer.run(spec);
     events += outcome.sim_events;
     deliveries += outcome.deliveries;
     fault_specs += outcome.faults_active;
@@ -376,6 +381,90 @@ bench::JsonObject measure_explorer_throughput() {
            seconds > 0.0 ? static_cast<double>(kSeeds) / seconds : 0.0)
       .add("events_per_second",
            seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0);
+  return o;
+}
+
+/// Purge-debt ledger cost under the workload it exists for: a k-enumeration
+/// producer cycling three hot items into a group with one slow consumer, so
+/// the outgoing buffer backs up and every fresh multicast purges queued
+/// predecessors.  Reports how many debts the run recorded, shipped and
+/// retired, the exact debt-section wire bytes, and the end-state ledger
+/// size (must be zero: debts are GC'd once their covers are stable).
+bench::JsonObject measure_stability_debt() {
+  constexpr std::size_t kNodes = 4;
+  constexpr std::size_t kMessages = 4000;
+  const bench::WallClock wall;
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = kNodes;
+  cfg.node.relation = std::make_shared<obs::KEnumRelation>();
+  // Two delivery slots against three cycling items: the slow consumer's
+  // queue holds two of them and refuses the third, so the channel backs up
+  // and sender-side purging fires (receiver-side purging alone cannot keep
+  // it flowing, unlike the single-item case).
+  cfg.node.delivery_capacity = 2;
+  cfg.node.out_capacity = 10;
+  cfg.auto_membership = false;
+  core::Group group(sim, cfg);
+  std::vector<std::unique_ptr<workload::InstantConsumer>> instant;
+  for (std::size_t i = 0; i + 1 < kNodes; ++i) {
+    instant.push_back(
+        std::make_unique<workload::InstantConsumer>(sim, group.node(i)));
+    instant.back()->start();
+  }
+  workload::RateConsumer slow(sim, group.node(kNodes - 1), 100.0);
+  slow.start();
+  obs::BatchComposer composer(
+      obs::BatchComposer::Config{obs::AnnotationKind::k_enum, 12, 0});
+  std::size_t produced = 0;
+  std::size_t peak_own = 0;
+  std::function<void()> produce = [&] {
+    if (produced >= kMessages) return;
+    const auto item = static_cast<std::uint64_t>(produced % 3);
+    obs::BatchComposer trial = composer;
+    const auto annotation = trial.single(item, group.node(0).next_seq());
+    if (group.node(0)
+            .multicast(std::make_shared<NullPayload>(), annotation)
+            .has_value()) {
+      composer = std::move(trial);
+      ++produced;
+      peak_own =
+          std::max(peak_own, group.node(0).stability_ledger().own_debts());
+    }
+    sim.schedule_after(sim::Duration::micros(500), produce);
+  };
+  sim.schedule_after(sim::Duration::micros(500), produce);
+  const auto deadline = sim::TimePoint::origin() + sim::Duration::seconds(60.0);
+  while (sim.now() < deadline && produced < kMessages) {
+    sim.run_until(sim.now() + sim::Duration::seconds(1.0));
+  }
+  if (produced >= kMessages) {
+    // Only a finished producer stops rescheduling itself; draining an
+    // unfinished one would spin forever — report the degraded counters
+    // instead.
+    sim.run();  // drain + gossip quiescence
+  }
+  const double seconds = wall.seconds();
+  const auto& stats = group.node(0).stats();
+  bench::JsonObject o;
+  o.add("multicasts", static_cast<double>(produced))
+      .add("purged_outgoing",
+           static_cast<double>(group.network().stats().purged_outgoing))
+      .add("debts_recorded", static_cast<double>(stats.debts_recorded))
+      .add("debts_collected", static_cast<double>(stats.debts_collected))
+      .add("debt_entries_gossiped",
+           static_cast<double>(stats.debt_entries_gossiped))
+      .add("debt_bytes_gossiped",
+           static_cast<double>(stats.debt_bytes_gossiped))
+      .add("peak_own_debts", static_cast<double>(peak_own))
+      .add("end_own_debts",
+           static_cast<double>(group.node(0).stability_ledger().own_debts()))
+      .add("gossip_bytes_saved",
+           static_cast<double>(group.network().stats().gossip_bytes_saved))
+      .add("wall_seconds", seconds)
+      .add("events_per_second",
+           seconds > 0.0 ? static_cast<double>(sim.executed()) / seconds
+                         : 0.0);
   return o;
 }
 
@@ -410,6 +499,7 @@ int main(int argc, char** argv) {
       .raw("net_fanout_scaling", net_fanout.render())
       .raw("multicast_flood", measure_events_per_second().render())
       .raw("explorer_throughput", measure_explorer_throughput().render())
+      .raw("stability_debt", measure_stability_debt().render())
       .add("wall_seconds", wall.seconds());
   svs::bench::write_bench_json("micro", payload);
   return 0;

@@ -218,6 +218,43 @@ svs::bench::JsonObject measured_message_bytes() {
   return o;
 }
 
+/// Wire cost of the stability gossip's purge-debt sections: the same
+/// StabilityMessage encoded through net::Codec with growing debt ledgers,
+/// bytes counted on the actual buffers.  This is the price of making
+/// purges wire facts — what the unified GC costs the control lane.
+svs::bench::JsonObject stability_debt_bytes() {
+  const core::StabilityMessage::Seen seen{{net::ProcessId(0), 900},
+                                          {net::ProcessId(1), 850},
+                                          {net::ProcessId(2), 910},
+                                          {net::ProcessId(3), 899}};
+  svs::bench::JsonArray rows;
+  for (const std::size_t debts : {0u, 2u, 8u, 32u, 128u}) {
+    core::StabilityMessage::Debts ledger;
+    ledger.reserve(debts);
+    // Realistic shape: purged seqs trail the frontier, covers a few ahead.
+    for (std::size_t i = 0; i < debts; ++i) {
+      const std::uint64_t seq = 700 + i * 3;
+      ledger.push_back(core::PurgeDebt{seq, seq + 2 + i % 5});
+    }
+    const core::StabilityMessage m(core::ViewId(3), 640, seen, ledger);
+    const util::Bytes frame = net::Codec::encode(m);
+    rows.push(svs::bench::JsonObject()
+                  .add("debt_entries", static_cast<double>(debts))
+                  .add("message_bytes", static_cast<double>(frame.size()))
+                  .add("bytes_per_debt",
+                       debts == 0 ? 0.0
+                                  : static_cast<double>(
+                                        frame.size() -
+                                        core::StabilityMessage(
+                                            core::ViewId(3), 640, seen, {})
+                                            .wire_size()) /
+                                        static_cast<double>(debts)));
+  }
+  svs::bench::JsonObject o;
+  o.raw("rows", rows.render());
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +268,7 @@ int main(int argc, char** argv) {
   payload.add("bench", "representations")
       .raw("annotation_sizes", annotation_sizes().render())
       .raw("measured_message_bytes", measured_message_bytes().render())
+      .raw("stability_debt", stability_debt_bytes().render())
       .add("wall_seconds", wall.seconds());
   svs::bench::write_bench_json("representations", payload);
   return 0;

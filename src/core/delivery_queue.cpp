@@ -93,49 +93,18 @@ DeliveryQueue::List::iterator DeliveryQueue::erase_entry(
 // ---------------------------------------------------------------------------
 
 std::size_t DeliveryQueue::collect_delivered(
-    const std::function<std::uint64_t(net::ProcessId)>& floor_of,
-    bool require_retained_cover) {
+    const std::function<std::uint64_t(net::ProcessId)>& floor_of) {
   std::map<net::ProcessId, std::uint64_t> floors;
   const auto stable = [&](const DataMessagePtr& m) {
     const auto [it, inserted] = floors.emplace(m->sender(), 0);
     if (inserted) it->second = floor_of(m->sender());
     return m->seq() <= it->second;
   };
-  // Cover witnesses are looked up against the pre-collection accepted set,
-  // so the decision for one entry never depends on the fate of another:
-  // if a witness is itself collected this pass, transitivity guarantees an
-  // uncovered (hence retained) message tops its chain.
-  const auto has_retained_cover = [&](const DataMessage& m) {
-    for (const auto& d : delivered_view_) {
-      ++stats_.cover_scan_steps;
-      if (d->view() == m.view() && relation_->covers(d->ref(), m.ref())) {
-        return true;
-      }
-    }
-    for (const auto& e : entries_) {
-      if (e.data == nullptr) continue;
-      ++stats_.cover_scan_steps;
-      if (e.data->view() == m.view() &&
-          relation_->covers(e.data->ref(), m.ref())) {
-        return true;
-      }
-    }
-    return false;
-  };
-  std::vector<char> drop(delivered_view_.size(), 0);
   std::size_t collected = 0;
-  for (std::size_t i = 0; i < delivered_view_.size(); ++i) {
-    const DataMessagePtr& m = delivered_view_[i];
-    if (!stable(m)) continue;
-    if (require_retained_cover && !has_retained_cover(*m)) continue;
-    drop[i] = 1;
-    ++collected;
-  }
-  if (collected == 0) return 0;
-  std::size_t i = 0;
   std::erase_if(delivered_view_, [&](const DataMessagePtr& m) {
-    if (!drop[i++]) return false;
+    if (!stable(m)) return false;
     accepted_ids_.erase(m->id());
+    ++collected;
     return true;
   });
   return collected;

@@ -94,22 +94,15 @@ class DeliveryQueue {
   /// GC of the stable delivered prefix: removes (and un-accepts) delivered
   /// messages with seq <= floor_of(sender).  Returns the number collected.
   ///
-  /// With `require_retained_cover`, a message is additionally collected
-  /// only if some other accepted (delivered or queued) message covers it.
-  /// Senders that purge their outgoing buffers pass true for transitively
-  /// closed relations: the gossiped marks are channel high-waters, and
-  /// under sender-side purging a high mark does not prove the receiver got
-  /// the gap seqs below it — the only safe drops are those whose coverage
-  /// this node keeps, so its local pred always carries a cover for
-  /// everything it ever delivered (the flush-safety invariant, DESIGN.md
-  /// §3/§7).  The rule needs Relation::transitive_covers(): witnesses may
-  /// be collected in the same pass because every cover chain then tops out
-  /// at an uncovered, retained message; an intransitive representation
-  /// (k-enumeration) could strand a collected witness's dependents, so it
-  /// keeps the mark-based GC instead.
+  /// This single rule is sound for *every* relation because the floors are
+  /// the StabilityLedger's covered frontiers, not raw reception marks: a
+  /// member's frontier passes a seq only when that member received the
+  /// message or a live cover resolved through the sender-announced purge
+  /// debts (DESIGN.md §3/§7).  Collection therefore never strands a §3.2
+  /// obligation, and needs no retained-cover insurance or per-relation GC
+  /// policy.
   std::size_t collect_delivered(
-      const std::function<std::uint64_t(net::ProcessId)>& floor_of,
-      bool require_retained_cover);
+      const std::function<std::uint64_t(net::ProcessId)>& floor_of);
 
   // -- semantic purging ---------------------------------------------------
 

@@ -147,53 +147,100 @@ class PredMessage final : public net::Message {
   std::vector<DataMessagePtr> accepted_;
 };
 
-/// Periodic stability gossip: the per-sender reception high-water marks of
-/// one process in one view.  §2.1: a reliable protocol can only free a
-/// message "after it is known to be stable, i.e. received by all
-/// processes"; nodes exchange these vectors so the stable prefix of the
-/// delivered history can be garbage-collected — which is also what keeps
-/// the PRED messages and the agreed pred-view small.
+/// One per-view purge debt of the gossiping sender's own channel: it
+/// semantically purged `seq` out of at least one outgoing buffer, and the
+/// message that justified the purge (its declared cover) carries
+/// `cover_seq`.  Covers are the just-multicast message, so cover_seq > seq
+/// always — the wire encodes the positive gap.
+struct PurgeDebt {
+  std::uint64_t seq = 0;
+  std::uint64_t cover_seq = 0;
+
+  friend bool operator==(const PurgeDebt&, const PurgeDebt&) = default;
+};
+
+/// Periodic stability gossip (§2.1), extended with the purge-debt ledger
+/// sections that make mark-based GC sound under sender-side purging for
+/// every relation (DESIGN.md §3/§7):
+///
+///   * `seen` — per-sender *covered frontiers*: the largest seq below which
+///     every message of that channel is provably received here or purged
+///     with a received cover (the StabilityLedger reconstructs this from
+///     its exact reception set plus the merged debts).  A message is stable
+///     once every member's frontier passed it;
+///   * `anchor` — the seq just below the gossiping process's first
+///     multicast of this view (its own channel's per-view epoch start;
+///     receivers anchor the frontier there, so a purged *first* message of
+///     the view is still accounted);
+///   * `debts` — delta (or, on full rounds, the complete current set) of
+///     the gossiping process's own purge debts, sorted by seq.
+///
+/// Nodes exchange these so the stable prefix of the delivered history can
+/// be garbage-collected — which is also what keeps the PRED messages and
+/// the agreed pred-view small.
 class StabilityMessage final : public net::Message {
  public:
   using Seen = std::vector<std::pair<net::ProcessId, std::uint64_t>>;
+  using Debts = std::vector<PurgeDebt>;
 
-  StabilityMessage(ViewId view, Seen seen)
+  StabilityMessage(ViewId view, std::uint64_t anchor, Seen seen, Debts debts)
       : net::Message(net::MessageType::stability),
         view_(view),
-        seen_(std::move(seen)) {}
+        anchor_(anchor),
+        seen_(std::move(seen)),
+        debts_(std::move(debts)) {}
 
   [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] std::uint64_t anchor() const { return anchor_; }
   [[nodiscard]] const Seen& seen() const { return seen_; }
+  [[nodiscard]] const Debts& debts() const { return debts_; }
 
-  /// Exact encoded size of a stability message carrying `seen` in view
-  /// `view` — the same arithmetic the codec writes.
+  /// Exact encoded size of one (seq, cover_seq) debt entry — the same
+  /// arithmetic the codec writes (seq, then the positive cover gap).
+  [[nodiscard]] static std::size_t debt_wire_size(const PurgeDebt& debt) {
+    return util::varint_size(debt.seq) +
+           util::varint_size(debt.cover_seq - debt.seq);
+  }
+
+  /// Exact encoded size of a stability message — the same arithmetic the
+  /// codec writes.
   [[nodiscard]] static std::size_t wire_size_for(ViewId view,
-                                                const Seen& seen) {
+                                                 std::uint64_t anchor,
+                                                 const Seen& seen,
+                                                 const Debts& debts) {
     std::size_t entry_bytes = 0;
     for (const auto& [sender, seq] : seen) {
       entry_bytes += util::varint_size(sender.value()) +
                      util::varint_size(seq);
     }
-    return wire_size_for_entries(view, seen.size(), entry_bytes);
+    std::size_t debt_bytes = 0;
+    for (const auto& debt : debts) debt_bytes += debt_wire_size(debt);
+    return wire_size_for_entries(view, anchor, seen.size(), entry_bytes,
+                                 debts.size(), debt_bytes);
   }
 
   /// As wire_size_for, from pre-aggregated entry stats — lets the
   /// delta-gossip savings credit (Node::gossip_stability) price the full
-  /// snapshot it avoided sending without materializing it
-  /// (StabilityTracker::entry_wire_bytes is maintained incrementally).
+  /// snapshot it avoided sending without materializing it (the
+  /// StabilityLedger maintains entry_wire_bytes/debt_wire_bytes
+  /// incrementally).
   [[nodiscard]] static std::size_t wire_size_for_entries(
-      ViewId view, std::size_t entries, std::size_t entry_bytes) {
-    return 1 + util::varint_size(view.value()) + util::varint_size(entries) +
-           entry_bytes;
+      ViewId view, std::uint64_t anchor, std::size_t entries,
+      std::size_t entry_bytes, std::size_t debts, std::size_t debt_bytes) {
+    return 1 + util::varint_size(view.value()) + util::varint_size(anchor) +
+           util::varint_size(entries) + entry_bytes +
+           util::varint_size(debts) + debt_bytes;
   }
 
   [[nodiscard]] std::size_t compute_wire_size() const override {
-    return wire_size_for(view_, seen_);
+    return wire_size_for(view_, anchor_, seen_, debts_);
   }
 
  private:
   ViewId view_;
+  std::uint64_t anchor_;
   Seen seen_;
+  Debts debts_;
 };
 
 /// The value decided by consensus at t7: (next-view, pred-view).

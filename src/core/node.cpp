@@ -20,6 +20,10 @@ Node::Node(sim::Simulator& simulator, net::Transport& network,
       consensus_mux_(self) {
   SVS_REQUIRE(config_.relation != nullptr, "a relation oracle is required");
   SVS_REQUIRE(view_.contains(self_), "initial view must contain this node");
+  // This node's own channel anchor: its covered frontier starts just below
+  // its first multicast of the view (seqs start at 1, so the anchor is 0).
+  stability_.set_anchor(self_, view_first_seq_ - 1);
+  stability_.clear_dirty();  // nothing to gossip until traffic flows
   net_.attach(self_, *this);
   net_.subscribe_backlog_drain(self_, [this] { notify_unblocked(); });
   // t7's guard re-evaluates whenever the suspect set changes.
@@ -130,11 +134,16 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
   // enqueueing a new message evicts the messages it covers from the
   // outgoing buffers, which is what lets a slow receiver's buffer drain
   // without being consumed.  The purge is windowed (DESIGN.md §2): only
-  // queued entries with seq in [coverage_floor(m), seq(m)) are visited.
+  // queued entries with seq in [coverage_floor(m), seq(m)) are visited —
+  // the window is per-message, so it is resolved once before the fan-out
+  // (for a message that can cover nothing, the whole loop vanishes).
   if (config_.purge_outgoing) {
-    for (const auto peer : view_.members()) {
-      if (peer == self_) continue;
-      purge_outgoing_covered(peer, m);
+    const auto [floor_seq, below_seq] = outgoing_purge_window(*m);
+    if (floor_seq < below_seq) {
+      for (const auto peer : view_.members()) {
+        if (peer == self_) continue;
+        purge_outgoing_covered(peer, m, floor_seq, below_seq);
+      }
     }
   }
 
@@ -182,18 +191,25 @@ std::size_t Node::count_outgoing_victims(net::ProcessId peer,
       });
 }
 
-void Node::purge_outgoing_covered(net::ProcessId peer,
-                                  const DataMessagePtr& m) {
-  const auto [floor_seq, below_seq] = outgoing_purge_window(*m);
+void Node::purge_outgoing_covered(net::ProcessId peer, const DataMessagePtr& m,
+                                  std::uint64_t floor_seq,
+                                  std::uint64_t below_seq) {
   const auto mref = m->ref();
   net_.purge_outgoing_window(
       self_, peer, floor_seq, below_seq,
       [&](const net::MessagePtr& queued) {
         if (!covers_outgoing(queued, *m, mref)) return false;
-        if (observer_ != nullptr) {
-          observer_->on_purge(
-              self_, std::static_pointer_cast<const DataMessage>(queued), m);
+        const auto victim =
+            std::static_pointer_cast<const DataMessage>(queued);
+        // The purge becomes a wire fact: the debt (victim -> m) rides the
+        // stability gossip, so receivers can tell "purged with live cover"
+        // from "lost" when the victim's seq is a gap below their mark
+        // (DESIGN.md §3/§7).  One debt per seq, however many buffers this
+        // multicast purges it from.
+        if (stability_.record_own_debt(victim->seq(), m->seq())) {
+          ++stats_.debts_recorded;
         }
+        if (observer_ != nullptr) observer_->on_purge(self_, victim, m);
         return true;
       });
 }
@@ -281,30 +297,38 @@ void Node::arm_stability_gossip() {
 
 void Node::gossip_stability() {
   if (excluded_ || !stability_.dirty()) return;  // quiesce until new traffic
-  // Delta gossip: marks are monotone and merge_report is a per-entry max,
-  // so shipping only the entries that rose since the last round is
-  // equivalent to a full snapshot — O(changed) instead of O(n) bytes per
-  // peer, O(n²) -> O(changes) gossip bytes group-wide.  A receiver drops
-  // rounds sent across a view mismatch (install skew), which would lose
-  // delta entries for good, so the first rounds of a view and every
-  // kFullGossipPeriod-th thereafter ship the full vector — any dropped
-  // delta is repaired by the next full round.
+  // Delta gossip: frontiers are monotone, merge_report is a per-entry max
+  // and debt merging is a union, so shipping only the entries that changed
+  // since the last round is equivalent to a full snapshot — O(changed)
+  // instead of O(n) bytes per peer, O(n²) -> O(changes) gossip bytes
+  // group-wide.  A receiver drops rounds sent across a view mismatch
+  // (install skew), which would lose delta entries for good, so the first
+  // rounds of a view and every kFullGossipPeriod-th thereafter ship the
+  // full vector and the full debt ledger — any dropped delta is repaired
+  // by the next full round (an incomplete debt picture only under-explains
+  // gaps, which is conservative: frontiers lag, collection waits).
   constexpr std::uint64_t kFullGossipPeriod = 8;
   const bool full =
       gossip_round_ < 2 || gossip_round_ % kFullGossipPeriod == 0;
   ++gossip_round_;
+  auto round = full ? stability_.take_snapshot() : stability_.take_delta();
+  const std::uint64_t anchor = view_first_seq_ - 1;
+  stats_.debt_entries_gossiped += round.debts.size();
+  for (const auto& debt : round.debts) {
+    stats_.debt_bytes_gossiped += StabilityMessage::debt_wire_size(debt);
+  }
   const auto m = std::make_shared<StabilityMessage>(
-      view_.id(),
-      full ? stability_.take_snapshot() : stability_.take_delta());
+      view_.id(), anchor, std::move(round.seen), std::move(round.debts));
   // Bytes a full-snapshot gossip would have cost (exact encoded size of the
-  // current reception vector, aggregated incrementally by the tracker — no
-  // snapshot is materialized on the delta path), credited across the
-  // fan-out.
+  // current reception vector and debt ledger, aggregated incrementally by
+  // the ledger — nothing is materialized on the delta path), credited
+  // across the fan-out.
   const std::size_t full_size =
       full ? m->wire_size()
            : StabilityMessage::wire_size_for_entries(
-                 view_.id(), stability_.tracked_senders(),
-                 stability_.entry_wire_bytes());
+                 view_.id(), anchor, stability_.tracked_senders(),
+                 stability_.entry_wire_bytes(), stability_.own_debts(),
+                 stability_.debt_wire_bytes());
   net_.note_gossip_bytes_saved(
       static_cast<std::uint64_t>(full_size - m->wire_size()) *
       (view_.size() - 1));
@@ -315,32 +339,34 @@ void Node::gossip_stability() {
 void Node::handle_stability(net::ProcessId from,
                             const std::shared_ptr<const StabilityMessage>& m) {
   if (excluded_ || m->view() != view_.id()) return;  // stale or early; drop
+  stability_.set_anchor(from, m->anchor());
+  stability_.merge_debts(from, m->debts());
   stability_.merge_report(from, m->seen());
   collect_stable();
+  // Merging can advance this node's own covered frontiers (a debt just
+  // explained a gap) — that is reportable state, so the gossip must run
+  // again even if no data arrives in the meantime.
+  if (stability_.dirty()) arm_stability_gossip();
 }
 
 void Node::collect_stable() {
-  if (queue_.delivered_retained() == 0) return;
-  // A message is stable once every current member has received it.  Any
+  // A message is stable once every current member's covered frontier
+  // passed it: each member then provably received it or received a cover
+  // resolved through the sender-announced purge debts, so no future flush
+  // can need it (DESIGN.md §3/§7).  One rule for every relation.  Any
   // member that has not reported yet (or a crashed one whose reports
   // stopped) holds the floor down — stability then waits for the view
   // change that excludes it, as in a real group stack.
-  //
-  // Under sender-side purging the gossiped marks are not proof of
-  // reception (purged seqs leave gaps below a receiver's high-water), so
-  // collection additionally demands a retained cover — keeping this node's
-  // local pred able to stand in for everything it ever delivered.  The
-  // insurance needs declared coverage to compose (a collected witness's own
-  // witness must still cover the original), so it applies only to
-  // transitively closed relations; k-enumeration keeps the historical
-  // mark-based GC and its residual GC-vs-flush race is a documented open
-  // item (DESIGN.md §7).
-  stats_.stability_gcs += queue_.collect_delivered(
-      [this](net::ProcessId sender) {
-        return stability_.floor_of(sender, view_, self_);
-      },
-      /*require_retained_cover=*/config_.purge_outgoing &&
-          config_.relation->transitive_covers());
+  if (queue_.delivered_retained() != 0) {
+    stats_.stability_gcs += queue_.collect_delivered(
+        [this](net::ProcessId sender) {
+          return stability_.floor_of(sender, view_, self_);
+        });
+  }
+  // Debts whose seq every member's frontier passed retire with the
+  // messages they explained — the ledger stays bounded by the un-stable
+  // window.
+  stats_.debts_collected += stability_.collect_debts(view_, self_);
 }
 
 // ---------------------------------------------------------------------------
@@ -444,16 +470,18 @@ void Node::install(const ProposalValue& decided) {
 
   // Flush: append the agreed messages this process is missing, in
   // (sender, seq) order.  A message is skipped when (a) it is still here,
-  // (b) it was received here earlier — the exact reception record, NOT the
-  // high-water mark: sender-side purging leaves gaps below the mark that
-  // were never received (the scenario explorer caught the resulting SVS
-  // violation, DESIGN.md §7) — or (c) an accepted message covers it (t3's
-  // own test).  Capacity is not enforced here: the flush uses the reserved
-  // view-change space (§5.3).
+  // (b) its §3.2 obligation is already discharged — it was received here
+  // (the exact reception record, NOT the raw high-water mark: sender-side
+  // purging leaves gaps below the mark that were never received), or a
+  // received message covers it through the sender-announced purge-debt
+  // chain (a debt-known gap whose live cover arrived needs no retro
+  // repair) — or (c) an accepted message covers it (t3's own test).
+  // Capacity is not enforced here: the flush uses the reserved view-change
+  // space (§5.3).
   for (const auto& m : decided.pred_view()) {
     if (m->view() != view_.id()) continue;  // defensive; all should be cv
     if (queue_.accepted(m->id())) continue;
-    if (stability_.received(m->sender(), m->seq())) continue;
+    if (stability_.obligation_met(m->sender(), m->seq())) continue;
     if (queue_.covered_by_accepted(*m, view_.id())) continue;
     queue_.push_data_flush(m);
     note_seen(*m);
@@ -479,6 +507,9 @@ void Node::install(const ProposalValue& decided) {
   change_.reset();
   queue_.reset_view();
   stability_.reset();
+  view_first_seq_ = next_seq_;  // this view's seqs start here
+  stability_.set_anchor(self_, view_first_seq_ - 1);
+  stability_.clear_dirty();  // an anchor alone is not worth a gossip round
   gossip_round_ = 0;  // per-view: early rounds ship full vectors again
 
   // Outgoing messages of superseded views would be discarded on arrival;

@@ -24,9 +24,10 @@
 //
 // The Node itself is a thin transition coordinator (DESIGN.md §1): the
 // purgeable buffers live in DeliveryQueue (with the per-sender purge
-// index), the gossip GC state in StabilityTracker, and the t4–t7
-// bookkeeping in ViewChangeEngine.  The Node wires them to the network,
-// the failure detector and the consensus multiplexer.
+// index), the gossip GC state — reception records, covered frontiers and
+// the purge-debt ledger — in StabilityLedger, and the t4–t7 bookkeeping
+// in ViewChangeEngine.  The Node wires them to the network, the failure
+// detector and the consensus multiplexer.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +41,7 @@
 #include "core/delivery_queue.hpp"
 #include "core/message.hpp"
 #include "core/observer.hpp"
-#include "core/stability_tracker.hpp"
+#include "core/stability_ledger.hpp"
 #include "core/types.hpp"
 #include "core/view_change_engine.hpp"
 #include "fd/failure_detector.hpp"
@@ -82,6 +83,10 @@ struct NodeStats {
   std::uint64_t refused_data = 0;        // arrivals stalled (buffer full)
   std::uint64_t flushed_in = 0;          // pred-view messages added at install
   std::uint64_t stability_gcs = 0;       // delivered messages collected
+  std::uint64_t debts_recorded = 0;      // own purge debts entered the ledger
+  std::uint64_t debts_collected = 0;     // own purge debts retired (stable)
+  std::uint64_t debt_entries_gossiped = 0;  // debt entries shipped (pre-fanout)
+  std::uint64_t debt_bytes_gossiped = 0;    // their encoded bytes (pre-fanout)
   std::uint64_t views_installed = 0;
   std::uint64_t view_changes_initiated = 0;
   sim::Duration last_change_latency = sim::Duration::zero();
@@ -165,6 +170,10 @@ class Node final : public net::Endpoint {
   [[nodiscard]] const NodeConfig& config() const { return config_; }
   /// The purgeable buffers (purge-scan telemetry for the benches).
   [[nodiscard]] const DeliveryQueue& delivery_queue() const { return queue_; }
+  /// The stability/GC state (boundedness asserts and debt telemetry).
+  [[nodiscard]] const StabilityLedger& stability_ledger() const {
+    return stability_;
+  }
 
   /// Peers whose outgoing buffer from this node is at capacity (the
   /// processes a blockage watchdog would propose to exclude).
@@ -199,7 +208,9 @@ class Node final : public net::Endpoint {
                                      const obs::MessageRef& mref) const;
   std::size_t count_outgoing_victims(net::ProcessId peer,
                                      const DataMessage& m);
-  void purge_outgoing_covered(net::ProcessId peer, const DataMessagePtr& m);
+  void purge_outgoing_covered(net::ProcessId peer, const DataMessagePtr& m,
+                              std::uint64_t floor_seq,
+                              std::uint64_t below_seq);
 
   void open_consensus();
   void note_seen(const DataMessage& m);
@@ -222,9 +233,10 @@ class Node final : public net::Endpoint {
   View view_;          // cv
   bool excluded_ = false;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t view_first_seq_ = 1;  // first seq multicast in cv (anchor + 1)
 
   DeliveryQueue queue_;
-  StabilityTracker stability_;
+  StabilityLedger stability_;
   ViewChangeEngine change_;
   bool stability_armed_ = false;
   std::uint64_t gossip_round_ = 0;  // rounds sent in the current view

@@ -1,5 +1,6 @@
 #include "net/codec.hpp"
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -286,15 +287,22 @@ MessagePtr decode_pred(util::ByteReader& r) {
 
 void encode_stability(const core::StabilityMessage& m, util::ByteWriter& w) {
   w.u64(m.view().value());
+  w.u64(m.anchor());
   w.u64(m.seen().size());
   for (const auto& [sender, seq] : m.seen()) {
     w.u32(sender.value());
     w.u64(seq);
   }
+  w.u64(m.debts().size());
+  for (const auto& debt : m.debts()) {
+    w.u64(debt.seq);
+    w.u64(debt.cover_seq - debt.seq);  // covers are strictly newer
+  }
 }
 
 MessagePtr decode_stability(util::ByteReader& r) {
   const core::ViewId view(r.u64());
+  const std::uint64_t anchor = r.u64();
   const std::uint64_t count = r.u64();
   // Each entry is at least two bytes (two varints).
   SVS_REQUIRE(count <= r.remaining(), "seen vector longer than the buffer");
@@ -305,7 +313,26 @@ MessagePtr decode_stability(util::ByteReader& r) {
     const std::uint64_t seq = r.u64();
     seen.emplace_back(sender, seq);
   }
-  return std::make_shared<core::StabilityMessage>(view, std::move(seen));
+  const std::uint64_t debt_count = r.u64();
+  SVS_REQUIRE(debt_count <= r.remaining(),
+              "debt ledger longer than the buffer");
+  core::StabilityMessage::Debts debts;
+  debts.reserve(debt_count);
+  std::uint64_t prev_seq = 0;
+  for (std::uint64_t i = 0; i < debt_count; ++i) {
+    const std::uint64_t seq = r.u64();
+    SVS_REQUIRE(i == 0 || seq > prev_seq,
+                "purge debts must be strictly ascending by seq");
+    prev_seq = seq;
+    const std::uint64_t cover_gap = r.u64();
+    SVS_REQUIRE(cover_gap >= 1, "a purge debt's cover must be strictly newer");
+    SVS_REQUIRE(seq <= std::numeric_limits<std::uint64_t>::max() - cover_gap,
+                "purge debt cover overflows");
+    debts.push_back(core::PurgeDebt{seq, seq + cover_gap});
+  }
+  return std::make_shared<core::StabilityMessage>(view, anchor,
+                                                  std::move(seen),
+                                                  std::move(debts));
 }
 
 void encode_consensus(const consensus::ConsensusMessage& m,

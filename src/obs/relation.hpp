@@ -65,17 +65,6 @@ class Relation {
     return 0;
   }
 
-  /// True when covers() as *declared by the annotations* is transitively
-  /// closed: c' ≻ c and c ≻ m imply c' ≻ m.  Item tags (same-item chains)
-  /// and the explicit test relation (closed by construction) qualify.
-  /// k-enumeration does NOT — a bitmap cannot mark a predecessor beyond k
-  /// back — and enumerations do not either: a windowed BatchComposer
-  /// truncates carried closures, and the oracle cannot tell.  The
-  /// stability GC's retained-cover insurance (DESIGN.md §7) relies on
-  /// cover chains topping out at a retained message and is only applied
-  /// when this holds.
-  [[nodiscard]] virtual bool transitive_covers() const { return false; }
-
   /// Human-readable name for reports.
   [[nodiscard]] virtual const char* name() const = 0;
 };
@@ -106,7 +95,6 @@ class ItemTagRelation final : public Relation {
   [[nodiscard]] bool per_sender() const override { return true; }
   [[nodiscard]] bool covers(const MessageRef& newer,
                             const MessageRef& older) const override;
-  [[nodiscard]] bool transitive_covers() const override { return true; }
   [[nodiscard]] const char* name() const override { return "item-tag"; }
 };
 
@@ -119,12 +107,6 @@ class EnumerationRelation final : public Relation {
                             const MessageRef& older) const override;
   [[nodiscard]] std::uint64_t coverage_floor(
       const MessageRef& newer) const override;
-  // Deliberately NOT declared transitive: closure-carrying is a property of
-  // the producer, not the relation — BatchComposer with a nonzero
-  // enumeration_window truncates carried closures exactly like the k-enum
-  // bitmap horizon, and this oracle cannot tell truncated annotations from
-  // full ones.  Enumerations therefore keep the mark-based stability GC
-  // (the conservative side of DESIGN.md §7's retained-cover rule).
   [[nodiscard]] const char* name() const override { return "enumeration"; }
 };
 
@@ -155,8 +137,6 @@ class ExplicitRelation final : public Relation {
 
   [[nodiscard]] bool covers(const MessageRef& newer,
                             const MessageRef& older) const override;
-  // add() maintains the closure, so declared coverage composes.
-  [[nodiscard]] bool transitive_covers() const override { return true; }
   [[nodiscard]] const char* name() const override { return "explicit"; }
 
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }

@@ -8,10 +8,12 @@
 #include "core/checker.hpp"
 #include "core/group.hpp"
 #include "net/fault_injector.hpp"
+#include "obs/batch.hpp"
 #include "obs/relation.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "util/contracts.hpp"
 #include "workload/consumer.hpp"
 #include "workload/item_op.hpp"
 
@@ -28,7 +30,9 @@ struct PlannedSend {
 /// function of the ScenarioSpec.
 struct Scenario {
   std::uint32_t n = 3;
-  bool item_tags = true;
+  RelationKind relation = RelationKind::item_tag;
+  std::size_t kenum_horizon = 8;       // k_enum bitmap horizon
+  std::uint64_t enum_window = 0;       // enumeration truncation (0 = full)
   bool purging = true;
   std::size_t delivery_capacity = 0;
   std::size_t out_capacity = 0;
@@ -61,18 +65,38 @@ Scenario make_scenario(const ScenarioSpec& spec) {
   Rng shape = Rng::stream(spec.seed, kShapeStream);
 
   sc.n = static_cast<std::uint32_t>(3 + shape.below(4));  // 3..6
-  sc.item_tags = shape.chance(0.7);
-  sc.purging = sc.item_tags ? shape.chance(0.85) : true;  // no-op when empty
+  // Relation mix, biased towards the representations whose GC is hardest:
+  // k-enumeration (and windowed enumeration) under-declare the true
+  // obsolescence order, which is where the purge-debt ledger earns its
+  // keep.  The draws always happen (pin or not) so a pinned replay shares
+  // every other derived choice with the unpinned seed.
+  const std::uint64_t relation_draw = shape.below(100);
+  sc.relation = relation_draw < 20   ? RelationKind::empty
+                : relation_draw < 50 ? RelationKind::item_tag
+                : relation_draw < 85 ? RelationKind::k_enum
+                                     : RelationKind::enumeration;
+  sc.kenum_horizon = 2 + shape.below(9);            // 2..10
+  sc.enum_window = shape.chance(0.5) ? 2 + shape.below(6) : 0;
+  const bool purge_draw_tight = shape.chance(0.85);
+  const bool purge_draw_loose = shape.chance(0.95);
+  if (spec.relation_pin.has_value()) sc.relation = *spec.relation_pin;
+  // Purge-biased where it matters: k-enum and enumeration scenarios almost
+  // always run sender-side purging (the regression surface); the empty
+  // relation purges nothing by construction.
+  sc.purging = sc.relation == RelationKind::item_tag ? purge_draw_tight
+                                                     : purge_draw_loose;
   if (shape.chance(0.55)) {
-    sc.delivery_capacity = 5 + shape.below(12);
-    sc.out_capacity = 5 + shape.below(12);
+    // Tight buffers are where sender-side purging (and its GC interplay)
+    // actually fires: go as low as one delivery slot.
+    sc.delivery_capacity = 1 + shape.below(15);
+    sc.out_capacity = 2 + shape.below(15);
   }
   sc.heartbeat_fd = shape.chance(0.25);
   sc.oracle_delay = Duration::millis(5 + static_cast<std::int64_t>(shape.below(30)));
   sc.suspicion_grace =
       Duration::millis(5 + static_cast<std::int64_t>(shape.below(20)));
   sc.slow_consumer = shape.chance(0.5);
-  sc.slow_rate = 25.0 + static_cast<double>(shape.below(60));
+  sc.slow_rate = 8.0 + static_cast<double>(shape.below(75));
 
   // Departure budget: crashes plus voluntary leaves must leave every view
   // with an alive majority (consensus liveness), so cap them below half of
@@ -127,15 +151,37 @@ Scenario make_scenario(const ScenarioSpec& spec) {
   Rng workload = Rng::stream(spec.seed, kWorkloadStream);
   sc.sends.resize(sc.n);
   for (std::uint32_t i = 0; i < sc.n; ++i) {
-    const std::uint64_t count = 8 + workload.below(25);
     auto& plan = sc.sends[i];
-    plan.reserve(count);
-    for (std::uint64_t m = 0; m < count; ++m) {
-      plan.push_back(PlannedSend{
-          TimePoint::origin() +
-              Duration::micros(static_cast<std::int64_t>(workload.below(
-                  static_cast<std::uint64_t>(sc.horizon.as_micros())))),
-          workload.below(6)});
+    // Two workload shapes per node: uniform singles (the old generator),
+    // or game-round-like bursts — a run of quick updates of ONE item, which
+    // is what builds purge chains inside a backed-up channel (§4.1's
+    // composite-update traffic, and the purge-debt regression surface).
+    const bool bursty = workload.chance(0.5);
+    if (!bursty) {
+      const std::uint64_t count = 8 + workload.below(25);
+      plan.reserve(count);
+      for (std::uint64_t m = 0; m < count; ++m) {
+        plan.push_back(PlannedSend{
+            TimePoint::origin() +
+                Duration::micros(static_cast<std::int64_t>(workload.below(
+                    static_cast<std::uint64_t>(sc.horizon.as_micros())))),
+            workload.below(6)});
+      }
+    } else {
+      const std::uint64_t bursts = 3 + workload.below(6);
+      for (std::uint64_t b = 0; b < bursts; ++b) {
+        const std::uint64_t item = workload.below(6);
+        const std::uint64_t length = 2 + workload.below(6);
+        TimePoint at =
+            TimePoint::origin() +
+            Duration::micros(static_cast<std::int64_t>(workload.below(
+                static_cast<std::uint64_t>(sc.horizon.as_micros()))));
+        for (std::uint64_t m = 0; m < length; ++m) {
+          plan.push_back(PlannedSend{at, item});
+          at = at + Duration::micros(
+                        500 + static_cast<std::int64_t>(workload.below(4000)));
+        }
+      }
     }
     // stable_sort: equal-time ties keep generation order, so the plan is
     // identical across standard libraries (repro lines are cross-platform).
@@ -152,10 +198,53 @@ Scenario make_scenario(const ScenarioSpec& spec) {
   return sc;
 }
 
+const char* relation_label(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::empty: return "empty-rel";
+    case RelationKind::item_tag: return "item-tags";
+    case RelationKind::k_enum: return "k-enum";
+    case RelationKind::enumeration: return "enum";
+  }
+  return "?";
+}
+
+/// The *ground truth* obsolescence order of the explorer workload: same
+/// sender, same planned item, higher seq — transitively closed by
+/// construction.  Drivers send their plan prefix in order, so node i's
+/// seq s is plan entry s-1; the compact annotations (k-enum bitmaps,
+/// windowed enumerations) under-declare this truth, never contradict it.
+class PlannedItemTruth final : public obs::Relation {
+ public:
+  explicit PlannedItemTruth(std::vector<std::vector<std::uint64_t>> items)
+      : items_(std::move(items)) {}
+
+  [[nodiscard]] bool per_sender() const override { return true; }
+  [[nodiscard]] bool covers(const obs::MessageRef& newer,
+                            const obs::MessageRef& older) const override {
+    if (newer.sender != older.sender || newer.seq <= older.seq) return false;
+    const auto node = static_cast<std::size_t>(newer.sender.value());
+    if (node >= items_.size()) return false;
+    const auto& plan = items_[node];
+    if (newer.seq > plan.size() || older.seq == 0 ||
+        older.seq > plan.size()) {
+      return false;
+    }
+    return plan[newer.seq - 1] == plan[older.seq - 1];
+  }
+  [[nodiscard]] const char* name() const override { return "planned-truth"; }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> items_;  // node -> (seq-1 -> item)
+};
+
 std::string summarize(const Scenario& sc) {
   std::ostringstream os;
-  os << "n=" << sc.n << (sc.item_tags ? " item-tags" : " empty-rel")
-     << (sc.purging ? " purge" : " reliable") << " cap="
+  os << "n=" << sc.n << ' ' << relation_label(sc.relation);
+  if (sc.relation == RelationKind::k_enum) os << "(k=" << sc.kenum_horizon << ")";
+  if (sc.relation == RelationKind::enumeration && sc.enum_window != 0) {
+    os << "(win=" << sc.enum_window << ")";
+  }
+  os << (sc.purging ? " purge" : " reliable") << " cap="
      << sc.delivery_capacity << "/" << sc.out_capacity
      << (sc.heartbeat_fd ? " hb-fd" : " oracle-fd");
   if (sc.slow_consumer) os << " slow=" << sc.slow_rate << "/s";
@@ -167,16 +256,21 @@ std::string summarize(const Scenario& sc) {
 
 /// Per-node producer: multicasts its planned sends at their times, retrying
 /// around flow control via the unblocked callback; stops when the node
-/// leaves the group or crash-stops.
+/// leaves the group or crash-stops.  For the compact representations it
+/// composes the annotations the way a real producer would
+/// (obs::BatchComposer, singleton batches): k-enum bitmaps fold the
+/// transitive closure up to the horizon, enumerations carry (optionally
+/// windowed) seq lists.
 class Driver {
  public:
   Driver(Simulator& sim, core::Group& group, std::size_t index,
-         std::vector<PlannedSend> planned, bool item_tags)
+         std::vector<PlannedSend> planned, const Scenario& sc)
       : sim_(sim),
         group_(group),
         index_(index),
         planned_(std::move(planned)),
-        item_tags_(item_tags) {}
+        relation_(sc.relation),
+        composer_(composer_config(sc)) {}
 
   void start() {
     group_.node(index_).set_unblocked_callback([this] { pump(); });
@@ -191,6 +285,28 @@ class Driver {
   }
 
  private:
+  static obs::BatchComposer::Config composer_config(const Scenario& sc) {
+    obs::BatchComposer::Config cfg;
+    cfg.representation = sc.relation == RelationKind::enumeration
+                             ? obs::AnnotationKind::enumeration
+                             : obs::AnnotationKind::k_enum;
+    cfg.k = sc.kenum_horizon;
+    cfg.enumeration_window = sc.enum_window;
+    return cfg;
+  }
+
+  [[nodiscard]] obs::Annotation annotate(std::uint64_t item,
+                                         std::uint64_t seq,
+                                         obs::BatchComposer& trial) const {
+    switch (relation_) {
+      case RelationKind::empty: return obs::Annotation::none();
+      case RelationKind::item_tag: return obs::Annotation::item(item);
+      case RelationKind::k_enum:
+      case RelationKind::enumeration: return trial.single(item, seq);
+    }
+    SVS_UNREACHABLE("relation kind exhausted");
+  }
+
   void pump() {
     core::Node& node = group_.node(index_);
     while (next_ < planned_.size()) {
@@ -203,14 +319,19 @@ class Driver {
         sim_.schedule_at(p.at, [this] { pump(); });
         return;
       }
-      const auto annotation = item_tags_ ? obs::Annotation::item(p.item)
-                                         : obs::Annotation::none();
+      // The composer notes the seq it annotates for, but a multicast may
+      // still be refused by flow control — so the annotation is composed
+      // on a scratch copy that only replaces the real composer once the
+      // send committed.
+      obs::BatchComposer trial = composer_;
+      const auto annotation = annotate(p.item, node.next_seq(), trial);
       const auto payload = std::make_shared<workload::ItemOp>(
           workload::OpKind::update, p.item, next_ * 17 + index_,
           next_, true);
       if (!node.multicast(payload, annotation).has_value()) {
         return;  // flow-controlled; the unblocked callback re-enters
       }
+      composer_ = std::move(trial);
       ++next_;
     }
   }
@@ -219,15 +340,38 @@ class Driver {
   core::Group& group_;
   std::size_t index_;
   std::vector<PlannedSend> planned_;
-  bool item_tags_;
+  RelationKind relation_;
+  obs::BatchComposer composer_;
   std::size_t next_ = 0;
 };
 
 }  // namespace
 
+const char* relation_flag(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::empty: return "reliable";
+    case RelationKind::item_tag: return "item";
+    case RelationKind::k_enum: return "kenum";
+    case RelationKind::enumeration: return "enum";
+  }
+  return "?";
+}
+
+std::optional<RelationKind> relation_from_flag(std::string_view flag) {
+  for (const auto kind :
+       {RelationKind::empty, RelationKind::item_tag, RelationKind::k_enum,
+        RelationKind::enumeration}) {
+    if (flag == relation_flag(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::string ScenarioSpec::repro() const {
   std::ostringstream os;
   os << "svs_explore --seed=" << seed;
+  if (relation_pin.has_value()) {
+    os << " --relation=" << relation_flag(*relation_pin);
+  }
   if (hostile) os << " --hostile";
   if (fault_mask != ~0ULL) {
     os << " --faults=0x" << std::hex << fault_mask << std::dec;
@@ -240,13 +384,35 @@ ScenarioOutcome ScenarioExplorer::run(const ScenarioSpec& spec) const {
   const Scenario sc = make_scenario(spec);
 
   Simulator sim;
+  // The protocol runs the scenario's declared representation; the checker
+  // verifies against the ground truth (which the compact representations
+  // only under-approximate — §3.2's guarantee is w.r.t. the application's
+  // true obsolescence semantics).
   obs::RelationPtr relation;
-  if (sc.item_tags) {
-    relation = std::make_shared<obs::ItemTagRelation>();
-  } else {
-    relation = std::make_shared<obs::EmptyRelation>();
+  obs::RelationPtr truth;
+  switch (sc.relation) {
+    case RelationKind::empty:
+      relation = truth = std::make_shared<obs::EmptyRelation>();
+      break;
+    case RelationKind::item_tag:
+      relation = truth = std::make_shared<obs::ItemTagRelation>();
+      break;
+    case RelationKind::k_enum:
+      relation = std::make_shared<obs::KEnumRelation>();
+      break;
+    case RelationKind::enumeration:
+      relation = std::make_shared<obs::EnumerationRelation>();
+      break;
   }
-  core::SpecChecker checker(relation);
+  if (truth == nullptr) {
+    std::vector<std::vector<std::uint64_t>> planned_items(sc.n);
+    for (std::uint32_t i = 0; i < sc.n; ++i) {
+      planned_items[i].reserve(sc.sends[i].size());
+      for (const auto& p : sc.sends[i]) planned_items[i].push_back(p.item);
+    }
+    truth = std::make_shared<PlannedItemTruth>(std::move(planned_items));
+  }
+  core::SpecChecker checker(truth);
 
   core::Group::Config cfg;
   cfg.size = sc.n;
@@ -288,7 +454,7 @@ ScenarioOutcome ScenarioExplorer::run(const ScenarioSpec& spec) const {
   std::vector<std::unique_ptr<Driver>> drivers;
   for (std::size_t i = 0; i < sc.n; ++i) {
     drivers.push_back(std::make_unique<Driver>(sim, group, i, sc.sends[i],
-                                               sc.item_tags));
+                                               sc));
     drivers.back()->start();
   }
 
@@ -383,7 +549,7 @@ ScenarioOutcome ScenarioExplorer::run(const ScenarioSpec& spec) const {
   for (std::size_t i = 0; i < sc.n; ++i) group.drain(i);
 
   outcome.violations = checker.verify();
-  if (!sc.item_tags) {
+  if (sc.relation == RelationKind::empty) {
     const auto strict = checker.verify_strict_vs();
     outcome.violations.insert(outcome.violations.end(), strict.begin(),
                               strict.end());
@@ -482,6 +648,7 @@ ScenarioExplorer::Exploration ScenarioExplorer::explore(
     std::uint64_t seed) const {
   Exploration exploration;
   exploration.spec.seed = seed;
+  exploration.spec.relation_pin = options_.relation_pin;
   exploration.spec.hostile = options_.hostile;
   exploration.outcome = run(exploration.spec);
   if (!exploration.outcome.violations.empty()) {

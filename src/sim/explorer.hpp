@@ -27,18 +27,44 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/transport.hpp"
 
 namespace svs::sim {
 
+/// Which obsolescence representation a scenario's protocol stack runs.
+/// The spec checker always verifies against the *ground truth* relation
+/// (same sender + same item + higher seq, transitively closed by
+/// construction); k_enum and enumeration under-declare it — a bitmap
+/// cannot reach past k, a windowed enumeration truncates — which is
+/// exactly what makes their GC interesting (DESIGN.md §7).
+enum class RelationKind : std::uint8_t {
+  empty = 0,       // reliable baseline (strict VS must also hold)
+  item_tag = 1,
+  k_enum = 2,
+  enumeration = 3,
+};
+
+/// The `--relation=` CLI flag for a kind, and its inverse.  One shared
+/// table: ScenarioSpec::repro() prints these and svs_explore parses them,
+/// so a printed repro line always round-trips.
+[[nodiscard]] const char* relation_flag(RelationKind kind);
+[[nodiscard]] std::optional<RelationKind> relation_from_flag(
+    std::string_view flag);
+
 /// A replayable point in scenario space: the seed plus the shrinker's two
-/// reduction knobs.  Defaults mean "the full seed-derived scenario".
+/// reduction knobs and the optional relation pin.  Defaults mean "the full
+/// seed-derived scenario".
 struct ScenarioSpec {
   static constexpr std::uint32_t kNoLimit = 0xffffffff;
 
   std::uint64_t seed = 0;
+  /// Overrides the seed-derived relation kind (e.g. a purge-biased
+  /// k-enumeration sweep: the GC-vs-pred regression surface).  Part of the
+  /// repro line.
+  std::optional<RelationKind> relation_pin;
   /// Keep fault-plan entry i iff bit i is set (entries are masked out by
   /// the shrinker; randomness of the survivors is unaffected).
   std::uint64_t fault_mask = ~0ULL;
@@ -78,6 +104,9 @@ class ScenarioExplorer {
   struct Options {
     /// Generate hostile (out-of-model) faults in explore()'d scenarios.
     bool hostile = false;
+    /// Pin every explored scenario's relation kind (svs_explore
+    /// --relation=...); nullopt = seed-derived.
+    std::optional<RelationKind> relation_pin;
   };
 
   ScenarioExplorer() = default;

@@ -216,11 +216,75 @@ TEST_F(CodecFixture, PredRoundTripsNestedMessages) {
 
 TEST_F(CodecFixture, StabilityRoundTrips) {
   const core::StabilityMessage m(
-      ViewId(2), {{ProcessId(0), 17}, {ProcessId(3), 0}, {ProcessId(9), 1u << 20}});
+      ViewId(2), 41,
+      {{ProcessId(0), 17}, {ProcessId(3), 0}, {ProcessId(9), 1u << 20}},
+      {core::PurgeDebt{42, 44}, core::PurgeDebt{45, 1u << 21}});
   const auto back = round_trip(m);
   const auto& stability = static_cast<const core::StabilityMessage&>(*back);
   EXPECT_EQ(stability.view(), ViewId(2));
+  EXPECT_EQ(stability.anchor(), 41u);
   EXPECT_EQ(stability.seen(), m.seen());
+  EXPECT_EQ(stability.debts(), m.debts());
+}
+
+TEST_F(CodecFixture, StabilityDebtSectionHasExactWireSize) {
+  // The debt section's arithmetic, spelled out byte by byte: seq varint
+  // plus the positive cover-gap varint per entry (Codec::encode itself
+  // asserts wire_size() parity at every encode, so a drift would already
+  // throw — this pins the *arithmetic*, not just the consistency).
+  const core::StabilityMessage::Debts debts{core::PurgeDebt{1, 2},
+                                            core::PurgeDebt{200, 500},
+                                            core::PurgeDebt{1000, 20000}};
+  const core::StabilityMessage empty_debts(ViewId(7), 3,
+                                           {{ProcessId(1), 9}}, {});
+  const core::StabilityMessage with_debts(ViewId(7), 3, {{ProcessId(1), 9}},
+                                          debts);
+  std::size_t expected = 0;
+  expected += util::varint_size(1) + util::varint_size(2 - 1);
+  expected += util::varint_size(200) + util::varint_size(500 - 200);
+  expected += util::varint_size(1000) + util::varint_size(20000 - 1000);
+  EXPECT_EQ(with_debts.wire_size(), empty_debts.wire_size() + expected);
+  EXPECT_EQ(Codec::encode(with_debts).size(), with_debts.wire_size());
+}
+
+TEST_F(CodecFixture, StabilityDebtHardening) {
+  const auto frame_with_debts = [](auto&& write_debts) {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MessageType::stability));
+    w.u64(1);  // view
+    w.u64(0);  // anchor
+    w.u64(0);  // no seen entries
+    write_debts(w);
+    return w.take();
+  };
+  // Non-ascending debt seqs are malformed.
+  EXPECT_THROW((void)Codec::decode(frame_with_debts([](util::ByteWriter& w) {
+                 w.u64(2);  // two debts
+                 w.u64(5);
+                 w.u64(1);
+                 w.u64(5);  // same seq again
+                 w.u64(1);
+               })),
+               util::ContractViolation);
+  // A zero cover gap would claim a message purged itself.
+  EXPECT_THROW((void)Codec::decode(frame_with_debts([](util::ByteWriter& w) {
+                 w.u64(1);
+                 w.u64(5);
+                 w.u64(0);
+               })),
+               util::ContractViolation);
+  // A debt count beyond the buffer is rejected before allocation.
+  EXPECT_THROW((void)Codec::decode(frame_with_debts([](util::ByteWriter& w) {
+                 w.u64(1ULL << 59);
+               })),
+               util::ContractViolation);
+  // A cover gap overflowing uint64 is rejected.
+  EXPECT_THROW((void)Codec::decode(frame_with_debts([](util::ByteWriter& w) {
+                 w.u64(1);
+                 w.u64(0xFFFFFFFFFFFFFFFFULL);  // seq = 2^64 - 1
+                 w.u64(2);                      // cover wraps
+               })),
+               util::ContractViolation);
 }
 
 TEST_F(CodecFixture, ConsensusWithProposalValueRoundTrips) {
@@ -323,7 +387,8 @@ std::vector<util::Bytes> corpus() {
   out.push_back(Codec::encode(core::InitMessage(ViewId(1), {ProcessId(4)})));
   out.push_back(Codec::encode(core::PredMessage(ViewId(2), {data})));
   out.push_back(Codec::encode(core::StabilityMessage(
-      ViewId(2), {{ProcessId(0), 5}, {ProcessId(1), 7}})));
+      ViewId(2), 4, {{ProcessId(0), 5}, {ProcessId(1), 7}},
+      {core::PurgeDebt{5, 6}, core::PurgeDebt{8, 11}})));
   out.push_back(Codec::encode(consensus::ConsensusMessage(
       consensus::InstanceId(2), 1, consensus::Phase::propose,
       std::make_shared<core::ProposalValue>(
@@ -394,6 +459,7 @@ TEST_F(CodecFixture, HugeCountsAreRejectedNotAllocated) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::stability));
   w.u64(1);
+  w.u64(0);  // anchor
   w.u64(1ULL << 60);
   EXPECT_THROW((void)Codec::decode(w.data()), util::ContractViolation);
 

@@ -101,64 +101,38 @@ TEST(DeliveryQueue, CollectDeliveredRespectsFloors) {
   }
   EXPECT_EQ(q.delivered_retained(), 5u);
   const auto collected = q.collect_delivered(
-      [](net::ProcessId) { return std::uint64_t{3}; },
-      /*require_retained_cover=*/false);
+      [](net::ProcessId) { return std::uint64_t{3}; });
   EXPECT_EQ(collected, 3u);
   EXPECT_EQ(q.delivered_retained(), 2u);
   EXPECT_FALSE(q.accepted(MsgId{net::ProcessId(1), 3}));
   EXPECT_TRUE(q.accepted(MsgId{net::ProcessId(1), 4}));
 }
 
-TEST(DeliveryQueue, CollectWithRetainedCoverKeepsUncoveredMessages) {
-  // Sender-side purging can leave reception gaps below the gossiped marks,
-  // so with require_retained_cover only messages whose coverage this node
-  // keeps may be collected — the local pred must be able to stand in for
-  // everything ever delivered here (flush safety, DESIGN.md §7).
+TEST(DeliveryQueue, CollectTrustsTheLedgerFloorsUnconditionally) {
+  // One GC rule for every relation (DESIGN.md §3/§7): the floors come from
+  // the StabilityLedger's covered frontiers, which never pass a seq whose
+  // §3.2 obligation is not yet discharged everywhere — so the queue
+  // collects everything at or below them, with no retained-cover insurance
+  // and no per-relation policy.  Per-sender floors are respected exactly.
   DeliveryQueue q(std::make_shared<obs::ItemTagRelation>(), net::ProcessId(0),
                   nullptr);
-  // Items: #1 -> item 7 (covered by #3), #2 -> item 9 (uncovered),
-  // #3 -> item 7 (the newest of its item, uncovered).
-  for (const auto& [seq, item] :
-       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
-           {1, 7}, {2, 9}, {3, 7}}) {
-    q.push_data(msg(1, seq, obs::Annotation::item(item)));
+  for (const auto& [sender, seq] :
+       std::vector<std::pair<std::uint32_t, std::uint64_t>>{
+           {1, 1}, {2, 1}, {1, 2}, {2, 2}, {1, 3}}) {
+    q.push_data(msg(sender, seq, obs::Annotation::item(4)));
     auto e = q.pop_front();
     q.record_delivered(e->data);
   }
-  const auto all_stable = [](net::ProcessId) {
-    return std::uint64_t{100};  // gossip floor clears everything
-  };
-  const auto collected = q.collect_delivered(all_stable,
-                                             /*require_retained_cover=*/true);
-  // Only #1 goes: #3 covers it and stays (uncovered), #2 is uncovered.
-  EXPECT_EQ(collected, 1u);
+  const auto collected = q.collect_delivered([](net::ProcessId sender) {
+    return sender == net::ProcessId(1) ? std::uint64_t{2} : std::uint64_t{1};
+  });
+  EXPECT_EQ(collected, 3u);  // 1#1, 1#2, 2#1
   EXPECT_EQ(q.delivered_retained(), 2u);
   EXPECT_FALSE(q.accepted(MsgId{net::ProcessId(1), 1}));
-  EXPECT_TRUE(q.accepted(MsgId{net::ProcessId(1), 2}));
+  EXPECT_FALSE(q.accepted(MsgId{net::ProcessId(1), 2}));
   EXPECT_TRUE(q.accepted(MsgId{net::ProcessId(1), 3}));
-  // Without the insurance (reliable mode: purging off, no gaps) everything
-  // stable is collected.
-  EXPECT_EQ(q.collect_delivered(all_stable, false), 2u);
-  EXPECT_EQ(q.delivered_retained(), 0u);
-}
-
-TEST(DeliveryQueue, CollectCoverChainsMayBeCollectedTogether) {
-  // #1 covered by #2, #2 covered by #3 (same item): transitivity lets the
-  // whole stable chain below the top go in one pass; the uncovered top
-  // stays.
-  DeliveryQueue q(std::make_shared<obs::ItemTagRelation>(), net::ProcessId(0),
-                  nullptr);
-  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
-    q.push_data(msg(1, seq, obs::Annotation::item(4)));
-    auto e = q.pop_front();
-    q.record_delivered(e->data);
-  }
-  const auto collected = q.collect_delivered(
-      [](net::ProcessId) { return std::uint64_t{100}; },
-      /*require_retained_cover=*/true);
-  EXPECT_EQ(collected, 2u);
-  EXPECT_EQ(q.delivered_retained(), 1u);
-  EXPECT_TRUE(q.accepted(MsgId{net::ProcessId(1), 3}));
+  EXPECT_FALSE(q.accepted(MsgId{net::ProcessId(2), 1}));
+  EXPECT_TRUE(q.accepted(MsgId{net::ProcessId(2), 2}));
 }
 
 TEST(DeliveryQueue, PushDataFlushInsertsInPerSenderSeqPosition) {

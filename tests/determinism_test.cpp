@@ -2,9 +2,15 @@
 // byte-identical substrate counters, run after run and PR after PR.
 //
 // The goldens below were captured from the dense-registry/flat-link-table
-// send path and verified identical to the pre-rewrite (PR 1) std::map link
-// representation — the rewrite is semantics-preserving, it only changes
-// what a send costs.  If a future change shifts these numbers it changed
+// send path; they were re-captured (deliberately) for the purge-debt
+// stability ledger, whose gossip cadence differs from the old raw-mark
+// tracker: a receiver's first report for a channel now waits for the
+// sender's anchor announcement, debts ride the rounds, and frontier moves
+// rather than raw high-water rises drive dirtiness — so the control-lane
+// send/event counts shifted while the data-lane protocol behaviour
+// (sends, deliveries, purges, refusals of the *data* stream) is checked
+// unchanged by the rest of the suite.  If a future change shifts these
+// numbers it changed
 // the simulated protocol (event ordering, admission decisions, purge
 // behaviour), not just its speed: either find the unintended divergence or
 // re-capture the goldens deliberately and say so in the PR.
@@ -38,9 +44,9 @@ TEST(DeterminismGolden, UncontendedSlowConsumerRun) {
   const auto r = bench::run_slow_consumer(rc);
 
   EXPECT_TRUE(r.producer_done);
-  EXPECT_EQ(r.messages_sent, 4203u);
-  EXPECT_EQ(r.messages_delivered, 4203u);
-  EXPECT_EQ(r.sim_events, 14240u);
+  EXPECT_EQ(r.messages_sent, 4194u);
+  EXPECT_EQ(r.messages_delivered, 4194u);
+  EXPECT_EQ(r.sim_events, 14231u);
   EXPECT_EQ(r.refused, 0u);
   EXPECT_EQ(r.purged_sender, 0u);
 }
@@ -58,9 +64,9 @@ TEST(DeterminismGolden, ContendedSlowConsumerRun) {
   const auto r = bench::run_slow_consumer(rc);
 
   EXPECT_TRUE(r.producer_done);
-  EXPECT_EQ(r.messages_sent, 17511u);
-  EXPECT_EQ(r.messages_delivered, 16726u);
-  EXPECT_EQ(r.sim_events, 49247u);
+  EXPECT_EQ(r.messages_sent, 15591u);
+  EXPECT_EQ(r.messages_delivered, 14806u);
+  EXPECT_EQ(r.sim_events, 47327u);
   EXPECT_EQ(r.refused, 1024u);
   EXPECT_EQ(r.purged_sender, 785u);
   EXPECT_EQ(r.purged_receiver, 40u);

@@ -347,12 +347,72 @@ TEST(Explorer, InModelSeedSweepIsViolationFree) {
   // via the svs_explore binary (ctest: explorer_smoke).
   ScenarioExplorer explorer;
   for (std::uint64_t seed = 1; seed <= 40; ++seed) {
-    const auto outcome = explorer.run(ScenarioSpec{.seed = seed});
+    ScenarioSpec spec;
+    spec.seed = seed;
+    const auto outcome = explorer.run(spec);
     EXPECT_EQ(outcome.violations, std::vector<std::string>{})
         << "seed " << seed << " [" << outcome.summary << "]";
     EXPECT_TRUE(outcome.quiesced) << "seed " << seed;
     EXPECT_GT(outcome.deliveries, 0u) << "seed " << seed;
   }
+}
+
+TEST(Explorer, KEnumPurgeBiasedPinnedSweepStaysClean) {
+  // The explorer-level regression for the k-enumeration GC-vs-pred race
+  // the purge-debt ledger closed (DESIGN.md §7): every scenario pinned to
+  // k-enumeration, which the generator purge-biases, across a fixed seed
+  // window.  The checker verifies against the item ground truth that the
+  // bitmaps under-declare, so a ledger regression that strands a §3.2
+  // obligation surfaces here; CI sweeps far larger windows with
+  // `svs_explore --relation=kenum`.  (The hand-written
+  // Node.PurgeDebtLedgerClosesKEnumGcVsPredRace test pins the exact
+  // minimal race, which random scenarios reach only in astronomically
+  // rare conjunctions — 50k pre-ledger seeds never hit it.)
+  ScenarioExplorer::Options options;
+  options.relation_pin = RelationKind::k_enum;
+  ScenarioExplorer explorer(options);
+  std::uint64_t purged_total = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto exploration = explorer.explore(seed);
+    EXPECT_EQ(exploration.outcome.violations, std::vector<std::string>{})
+        << "seed " << seed << " [" << exploration.outcome.summary << "]";
+    EXPECT_NE(exploration.outcome.summary.find("k-enum"), std::string::npos);
+    purged_total += exploration.outcome.net_stats.purged_outgoing;
+  }
+  // The bias did its job: sender-side purging actually fired in the window.
+  EXPECT_GT(purged_total, 0u);
+}
+
+TEST(Explorer, RelationPinIsPartOfTheRepro) {
+  // A pinned scenario's one-line repro must replay with the pin, or the
+  // shrunk spec would silently reproduce a different scenario.
+  ScenarioExplorer::Options options;
+  options.relation_pin = RelationKind::k_enum;
+  ScenarioExplorer explorer(options);
+  const auto exploration = explorer.explore(7);
+  EXPECT_NE(exploration.spec.repro().find("--relation=kenum"),
+            std::string::npos);
+  ScenarioSpec enum_spec;
+  enum_spec.seed = 7;
+  enum_spec.relation_pin = RelationKind::enumeration;
+  EXPECT_NE(enum_spec.repro().find("--relation=enum"), std::string::npos);
+  // The printed flag round-trips through the parser's shared table for
+  // every kind — a repro line can never name a kind the tool rejects.
+  for (const auto kind :
+       {RelationKind::empty, RelationKind::item_tag, RelationKind::k_enum,
+        RelationKind::enumeration}) {
+    EXPECT_EQ(relation_from_flag(relation_flag(kind)), kind);
+  }
+  EXPECT_FALSE(relation_from_flag("bogus").has_value());
+  // Pinned and unpinned runs of one seed share every other derived choice;
+  // the pin only swaps the representation under test.
+  const auto pinned = explorer.run(exploration.spec);
+  ScenarioSpec unpinned;
+  unpinned.seed = 7;
+  const auto free_run = explorer.run(unpinned);
+  EXPECT_EQ(pinned.group_size, free_run.group_size);
+  EXPECT_EQ(pinned.faults_total, free_run.faults_total);
+  EXPECT_EQ(pinned.planned_sends, free_run.planned_sends);
 }
 
 TEST(Explorer, MaskAndLimitActuallyReduceTheScenario) {
@@ -375,7 +435,9 @@ TEST(Explorer, MaskAndLimitActuallyReduceTheScenario) {
 TEST(Explorer, HostileSeedFailsShrinksAndReplays) {
   // Find a hostile seed whose out-of-model drop actually bites (many do not
   // — the view-change flush repairs drops that precede a reconfiguration).
-  ScenarioExplorer explorer({.hostile = true});
+  ScenarioExplorer::Options hostile_options;
+  hostile_options.hostile = true;
+  ScenarioExplorer explorer(hostile_options);
   std::optional<ScenarioExplorer::Exploration> failing;
   for (std::uint64_t seed = 1; seed <= 40 && !failing.has_value(); ++seed) {
     auto exploration = explorer.explore(seed);

@@ -594,6 +594,146 @@ TEST(Node, StabilityKeepsPredViewSmall) {
 }
 
 
+TEST(Node, PurgeDebtLedgerClosesKEnumGcVsPredRace) {
+  // Regression for the residual GC-vs-pred race the PR 4 explorer left as
+  // an open item (old DESIGN.md §7): k-enumeration, sender-side purging,
+  // and the gap's only in-channel cover dying with an excluded sender.
+  //
+  // The construction: p0 multicasts f0, m1, f1, m3 (k = 2; m3's bitmap
+  // covers m1 at distance 2).  p2 is a slow consumer at delivery capacity
+  // 1, so m1 stalls in p0's outgoing buffer towards it and is purged there
+  // when m3 is multicast; p2 later frees one slot and accepts the
+  // *unrelated* f1, so its raw reception high-water (3) jumps m1's seq (2)
+  // without p2 ever holding m1 or any cover of it.  p1 stops consuming
+  // after m1, so m3 also never reaches p1.  Then p0 crashes and is
+  // excluded — m3 dies with it (stale-view-dropped at p2 after install).
+  //
+  // Under the old mark-based GC the floor min(4, 3, 3) = 3 >= 2 collected
+  // m1 from p1's delivered history, the agreed pred-view lost every trace
+  // of m1, and p2 installed the next view having delivered neither m1 nor
+  // a cover — the §3.2 violation.  Under the ledger, p2's *covered
+  // frontier* for p0's channel stays at 1 (the debt 2 -> 4 resolves to a
+  // cover p2 never received), m1 survives in p1's history, and the t7
+  // flush repairs p2 in per-sender seq position.
+  sim::Simulator sim;
+  // Ground truth for the checker: the true obsolescence order, closed —
+  // here just m1 ≺ m3 (the k-enum bitmaps under-declare nothing else).
+  auto truth = std::make_shared<obs::ExplicitRelation>();
+  truth->add(net::ProcessId(0), 2, net::ProcessId(0), 4);
+  SpecChecker checker(truth);
+  auto cfg = base_config(std::make_shared<obs::KEnumRelation>(), &checker);
+  cfg.node.delivery_capacity = 1;
+  Group g(sim, cfg);
+  sim.run_until(sim.now() + sim::Duration::millis(1));
+  for (std::size_t i = 0; i < 3; ++i) g.drain(i);  // initial views
+
+  obs::BatchComposer composer({obs::AnnotationKind::k_enum, 2, 0});
+  const auto send = [&](std::uint64_t item, std::uint64_t seq) {
+    ASSERT_EQ(g.node(0).multicast(blob(static_cast<int>(seq)),
+                                  composer.single(item, seq)),
+              seq);
+  };
+
+  send(50, 1);  // f0: fills p2's one delivery slot
+  sim.run_until(sim.now() + sim::Duration::millis(5));
+  g.drain(0);
+  g.drain(1);
+  send(7, 2);   // m1: p1 consumes it; p2 refuses (full) -> stalls in channel
+  sim.run_until(sim.now() + sim::Duration::millis(5));
+  g.drain(0);
+  g.drain(1);
+  send(60, 3);  // f1: p1 accepts but never consumes (full from here on)
+  sim.run_until(sim.now() + sim::Duration::millis(3));
+  g.drain(0);
+  send(7, 4);   // m3: covers m1 (distance 2) -> purges it towards p2
+  sim.run_until(sim.now() + sim::Duration::millis(3));
+  g.drain(0);
+
+  // The purge became a wire fact.
+  EXPECT_EQ(g.node(0).stats().debts_recorded, 1u);
+
+  // Let the stability gossip settle, then free exactly one slot at p2: the
+  // link retries and p2 accepts f1 — the mark-jumper — while m3 stays
+  // stalled behind it.
+  sim.run_until(sim.now() + sim::Duration::millis(150));
+  const auto f0_delivery = g.node(2).try_deliver();
+  ASSERT_TRUE(f0_delivery.has_value());
+  sim.run_until(sim.now() + sim::Duration::millis(150));
+
+  // The exact divergence that made raw marks unsound: p2's high-water
+  // jumped the purged gap, its covered frontier did not.
+  EXPECT_EQ(g.node(2).stability_ledger().high_water(net::ProcessId(0)), 3u);
+  EXPECT_EQ(g.node(2).stability_ledger().frontier(net::ProcessId(0)), 1u);
+
+  // f0 (seq 1) is stable and collected at p1; m1 (seq 2) must NOT be — the
+  // old mark-based GC collected it here, which is the bug.
+  EXPECT_GT(g.node(1).stats().stability_gcs, 0u);
+  ASSERT_EQ(g.node(1).delivered_retained(), 1u);
+
+  // p0 dies; the policy excludes it; m3 dies in its stalled channel.
+  g.crash(0);
+  sim.run_until(sim.now() + sim::Duration::millis(400));
+
+  const auto at_p1 = g.drain(1);
+  const auto at_p2 = g.drain(2);
+  ASSERT_EQ(views_of(at_p2).size(), 1u);  // installed the exclusion view
+  std::vector<std::uint64_t> p2_seqs;
+  for (const auto& m : data_of(at_p2)) p2_seqs.push_back(m->seq());
+  // The flush repaired the purged gap in per-sender seq position: m1
+  // before the queued f1, no retro-delivery needed.
+  EXPECT_EQ(p2_seqs, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(g.node(2).stats().flushed_in, 1u);
+
+  // And the histories agree with §3.2 under the ground truth.
+  EXPECT_TRUE(checker.verify().empty());
+}
+
+TEST(Node, PurgeDebtLedgerStaysBounded) {
+  // Debts retire once every member's frontier passed them: after a
+  // purge-heavy run settles, the ledger must be empty again — on every
+  // node, for both own and merged debts.
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::KEnumRelation>());
+  cfg.node.delivery_capacity = 2;
+  cfg.node.out_capacity = 8;
+  Group g(sim, cfg);
+  g.node(0).set_deliverable_callback([&g] { g.drain(0); });
+  g.node(1).set_deliverable_callback([&g] { g.drain(1); });
+  g.drain(0);
+  g.drain(1);
+  g.drain(2);
+  // Three items cycle, so p2's two delivery slots fill with two of them
+  // and the third's arrival is refused — the channel backs up, and every
+  // fresh multicast purges its same-item predecessors out of the backlog
+  // (k = 16 reaches across it), recording debts.
+  obs::BatchComposer composer({obs::AnnotationKind::k_enum, 16, 0});
+  std::uint64_t seq = 1;
+  for (int step = 0; step < 120; ++step) {
+    if (g.node(0).can_multicast()) {
+      ASSERT_TRUE(g.node(0).multicast(blob(static_cast<int>(seq)),
+                                      composer.single(7 + seq % 3, seq)));
+      ++seq;
+    }
+    sim.run_until(sim.now() + sim::Duration::millis(2));
+    if (step % 20 == 19) g.drain(2);
+  }
+  // From here p2 consumes instantly, so the stalled backlog drains and the
+  // gossip settles to quiescence.
+  g.node(2).set_deliverable_callback([&g] { g.drain(2); });
+  g.drain(2);
+  sim.run();
+
+  EXPECT_GT(g.node(0).stats().debts_recorded, 0u);
+  EXPECT_GT(g.node(0).stats().debt_entries_gossiped, 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(g.node(i).stability_ledger().own_debts(), 0u) << i;
+    EXPECT_EQ(g.node(i).stability_ledger().merged_debts(), 0u) << i;
+    EXPECT_EQ(g.node(i).delivered_retained(), 0u) << i;
+  }
+  EXPECT_EQ(g.node(0).stats().debts_collected,
+            g.node(0).stats().debts_recorded);
+}
+
 TEST(Node, FlushSafeWhenClippedRepresentationBreaksTransitivity) {
   // Regression for DESIGN.md §3(8).  With k = 2, a purge chain
   // m1 (seq1) ≺ m2 (seq3) ≺ m3 (seq5) loses the transitive edge m1 ≺ m3

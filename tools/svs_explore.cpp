@@ -12,6 +12,11 @@
 //   svs_explore --seeds=50 --hostile        # include out-of-model faults
 //                                           # (expected to fail; exercises
 //                                           # the shrinker pipeline)
+//   svs_explore --seeds=500 --relation=kenum  # pin every scenario to
+//                                           # k-enumeration (purge-biased:
+//                                           # the GC-vs-pred regression
+//                                           # surface); also: item, enum,
+//                                           # reliable
 //
 // Exit code 0 iff every run was violation-free.  On failures the repro
 // lines are also appended to EXPLORE_failures.txt (CI uploads it).
@@ -20,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,10 +40,21 @@ struct CliOptions {
   std::uint64_t seed_start = 1;
   std::uint64_t fault_mask = ~0ULL;
   std::uint32_t message_limit = svs::sim::ScenarioSpec::kNoLimit;
+  std::optional<svs::sim::RelationKind> relation_pin;
   bool hostile = false;
   bool quiet = false;
   std::string failures_file = "EXPLORE_failures.txt";
 };
+
+bool parse_relation(const char* value,
+                    std::optional<svs::sim::RelationKind>& out) {
+  // Shared flag table (sim::relation_flag), so repro lines always
+  // round-trip through this parser.
+  const auto kind = svs::sim::relation_from_flag(value);
+  if (!kind.has_value()) return false;
+  out = kind;
+  return true;
+}
 
 bool parse_u64(const char* text, std::uint64_t& out, int base = 10) {
   char* end = nullptr;
@@ -56,7 +73,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seeds=N] [--seed-start=S] | [--seed=N [--faults=0xMASK] "
-      "[--msgs=K]] [--hostile] [--quiet] [--failures-file=PATH]\n",
+      "[--msgs=K]] [--relation=reliable|item|kenum|enum] [--hostile] "
+      "[--quiet] [--failures-file=PATH]\n",
       argv0);
   return 2;
 }
@@ -82,6 +100,8 @@ bool parse(int argc, char** argv, CliOptions& options) {
       std::uint64_t limit = 0;
       if (!parse_u64(value, limit)) return false;
       options.message_limit = static_cast<std::uint32_t>(limit);
+    } else if (parse_flag(arg, "--relation", &value)) {
+      if (!parse_relation(value, options.relation_pin)) return false;
     } else if (parse_flag(arg, "--failures-file", &value)) {
       options.failures_file = value;
     } else if (std::strcmp(arg, "--hostile") == 0) {
@@ -116,9 +136,13 @@ void print_outcome(const svs::sim::ScenarioSpec& spec,
 }
 
 int run_single(const CliOptions& options) {
-  svs::sim::ScenarioExplorer explorer({.hostile = options.hostile});
+  svs::sim::ScenarioExplorer::Options explorer_options;
+  explorer_options.hostile = options.hostile;
+  explorer_options.relation_pin = options.relation_pin;
+  svs::sim::ScenarioExplorer explorer(explorer_options);
   svs::sim::ScenarioSpec spec;
   spec.seed = options.seed;
+  spec.relation_pin = options.relation_pin;
   spec.fault_mask = options.fault_mask;
   spec.message_limit = options.message_limit;
   spec.hostile = options.hostile;
@@ -138,7 +162,10 @@ int run_single(const CliOptions& options) {
 }
 
 int run_sweep(const CliOptions& options) {
-  svs::sim::ScenarioExplorer explorer({.hostile = options.hostile});
+  svs::sim::ScenarioExplorer::Options explorer_options;
+  explorer_options.hostile = options.hostile;
+  explorer_options.relation_pin = options.relation_pin;
+  svs::sim::ScenarioExplorer explorer(explorer_options);
   std::vector<std::string> failures;
   std::uint64_t events = 0;
   for (std::uint64_t i = 0; i < options.seeds; ++i) {
