@@ -18,6 +18,7 @@
 #include "core/delivery_queue.hpp"
 #include "core/group.hpp"
 #include "fd/oracle.hpp"
+#include "metrics/stats.hpp"
 #include "obs/batch.hpp"
 #include "sim/explorer.hpp"
 #include "sim/simulator.hpp"
@@ -312,8 +313,11 @@ bench::JsonObject measure_net_fanout(std::size_t n) {
 }
 
 /// End-to-end event throughput: a 5-node group flooding multicasts,
-/// reported as simulator events per wall second.
+/// reported as simulator events per wall second — plus the pool's view of
+/// the same loop (hits/misses/bytes recycled), the direct measurement of
+/// how much of the hot path escapes the system allocator.
 bench::JsonObject measure_events_per_second() {
+  const metrics::Stats pool_before = metrics::Stats::snapshot();
   const bench::WallClock wall;
   sim::Simulator sim;
   core::Group::Config cfg;
@@ -331,6 +335,7 @@ bench::JsonObject measure_events_per_second() {
     }
   }
   const double seconds = wall.seconds();
+  const metrics::Stats pool = metrics::Stats::snapshot() - pool_before;
   bench::JsonObject o;
   o.add("multicasts", 20'000.0)
       .add("messages_sent",
@@ -339,7 +344,10 @@ bench::JsonObject measure_events_per_second() {
       .add("wall_seconds", seconds)
       .add("events_per_second",
            seconds > 0.0 ? static_cast<double>(sim.executed()) / seconds
-                         : 0.0);
+                         : 0.0)
+      .add("pool_hits", static_cast<double>(pool.pool_hits))
+      .add("pool_misses", static_cast<double>(pool.pool_misses))
+      .add("pool_bytes_recycled", static_cast<double>(pool.bytes_recycled));
   return o;
 }
 

@@ -1,0 +1,165 @@
+// Multi-group shard scaling: many independent SVS groups placed across
+// worker threads by runtime::ShardedRunner (DESIGN.md §8).
+//
+// One group is inherently serial (one event loop, thread-confined state);
+// the scaling axis is running *many* groups, one shard per core.  This
+// bench floods kGroups five-node groups (the bench_micro multicast_flood
+// workload, split across groups) under 1/2/4/8 shards and reports:
+//
+//   * aggregate wall-clock events/s — honest on this machine, i.e. it only
+//     exceeds the 1-shard number when the box actually has spare cores;
+//   * projected-parallel events/s = total events / max per-shard CPU time
+//     — the critical path if every shard had its own core.  CPU time (not
+//     wall) excludes time-slicing, so this is the machine-independent
+//     scaling signal even when shards outnumber cores (shards share no
+//     state, so nothing else serializes them);
+//   * per-shard byte counters, whose sum is placement-invariant (equal
+//     across every shard count — checked here and in tests/shard_test.cpp).
+//
+// Usage: bench_shard_scaling [multicasts_per_group]   (default 150)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json.hpp"
+#include "core/group.hpp"
+#include "obs/relation.hpp"
+#include "runtime/shard.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace svs;
+
+constexpr std::uint32_t kGroups = 128;
+constexpr std::size_t kGroupSize = 5;
+
+class NullPayload final : public core::Payload {
+ public:
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+/// One shard's work: flood each group key placed on it.  Every group owns
+/// its simulator and transport, so the workload per key is identical no
+/// matter which shard (or how many shards) runs it.
+runtime::ShardReport flood_shard(std::span<const std::uint64_t> keys,
+                                 int multicasts_per_group) {
+  runtime::ShardReport report;
+  for ([[maybe_unused]] const std::uint64_t key : keys) {
+    sim::Simulator sim;
+    core::Group::Config cfg;
+    cfg.size = kGroupSize;
+    cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+    cfg.auto_membership = false;
+    core::Group group(sim, cfg);
+    const auto payload = std::make_shared<NullPayload>();
+    for (int i = 0; i < multicasts_per_group; ++i) {
+      group.node(0).multicast(payload, obs::Annotation::none());
+      sim.run();
+      for (std::size_t n = 0; n < kGroupSize; ++n) {
+        while (group.node(n).try_deliver().has_value()) {
+          ++report.deliveries;
+        }
+      }
+    }
+    report.net += group.network().stats();
+    report.sim_events += sim.executed();
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int multicasts_per_group = argc > 1 ? std::atoi(argv[1]) : 150;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t g = 0; g < kGroups; ++g) keys.push_back(g);
+
+  std::printf("shard scaling: %u groups x %zu nodes, %d multicasts/group\n",
+              kGroups, kGroupSize, multicasts_per_group);
+  std::printf("  (hardware_concurrency = %u)\n\n", cores);
+  std::printf("%7s %12s %12s %16s %16s %10s\n", "shards", "wall_s",
+              "max_cpu_s", "agg_events/s", "projected_ev/s", "speedup");
+
+  bench::WallClock clock;
+  bench::JsonArray rows;
+  std::uint64_t reference_bytes_sent = 0;
+  double reference_projected = 0.0;
+  bool bytes_invariant = true;
+
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    runtime::ShardedRunner runner({.shards = shards});
+    const auto report = runner.run(
+        keys, [&](std::uint32_t, std::span<const std::uint64_t> mine) {
+          return flood_shard(mine, multicasts_per_group);
+        });
+
+    const double aggregate =
+        static_cast<double>(report.sim_events) / report.wall_seconds;
+    const double projected = report.max_shard_cpu_seconds > 0
+                                 ? static_cast<double>(report.sim_events) /
+                                       report.max_shard_cpu_seconds
+                                 : 0.0;
+    if (shards == 1) reference_projected = projected;
+    const double speedup =
+        reference_projected > 0 ? projected / reference_projected : 0.0;
+    std::printf("%7u %12.3f %12.3f %16.0f %16.0f %9.2fx\n", shards,
+                report.wall_seconds, report.max_shard_cpu_seconds, aggregate,
+                projected, speedup);
+
+    if (reference_bytes_sent == 0) reference_bytes_sent = report.net.bytes_sent;
+    if (report.net.bytes_sent != reference_bytes_sent) bytes_invariant = false;
+
+    bench::JsonArray per_shard;
+    for (std::size_t s = 0; s < report.shards.size(); ++s) {
+      const auto& shard = report.shards[s];
+      per_shard.push(bench::JsonObject{}
+                         .add("shard", static_cast<double>(s))
+                         .add("sim_events",
+                              static_cast<double>(shard.sim_events))
+                         .add("busy_seconds", shard.busy_seconds)
+                         .add("cpu_seconds", shard.cpu_seconds)
+                         .add("sent", static_cast<double>(shard.net.sent))
+                         .add("delivered",
+                              static_cast<double>(shard.net.delivered))
+                         .add("bytes_sent",
+                              static_cast<double>(shard.net.bytes_sent)));
+    }
+    rows.push(
+        bench::JsonObject{}
+            .add("shards", static_cast<double>(shards))
+            .add("wall_seconds", report.wall_seconds)
+            .add("max_shard_busy_seconds", report.max_shard_busy_seconds)
+            .add("max_shard_cpu_seconds", report.max_shard_cpu_seconds)
+            .add("sim_events", static_cast<double>(report.sim_events))
+            .add("deliveries", static_cast<double>(report.deliveries))
+            .add("aggregate_events_per_second", aggregate)
+            .add("projected_parallel_events_per_second", projected)
+            .add("projected_speedup_vs_one_shard", speedup)
+            .add("bytes_sent", static_cast<double>(report.net.bytes_sent))
+            .add("bytes_delivered",
+                 static_cast<double>(report.net.bytes_delivered))
+            .raw("per_shard", per_shard.render()));
+  }
+
+  std::printf("\nbyte counters placement-invariant across shard counts: %s\n",
+              bytes_invariant ? "yes" : "NO (BUG)");
+
+  bench::JsonObject payload;
+  payload.add("groups", static_cast<double>(kGroups))
+      .add("group_size", static_cast<double>(kGroupSize))
+      .add("multicasts_per_group", static_cast<double>(multicasts_per_group))
+      .add("hardware_concurrency", static_cast<double>(cores))
+      .add("bytes_invariant", bytes_invariant)
+      .raw("scaling", rows.render())
+      .add("wall_time_seconds", clock.seconds());
+  bench::write_bench_json("shard_scaling", payload);
+
+  return bytes_invariant ? 0 : 1;
+}

@@ -128,14 +128,47 @@ class WallClock {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Build provenance for the `meta` key: which commit, compiler and flags
+/// produced a JSON (committed baselines are meaningless without it).  The
+/// macros come from CMake (target_compile_definitions on svs_bench_common);
+/// each degrades to "unknown" when absent so ad-hoc compiles still build.
+inline std::string bench_meta_json() {
+  JsonObject meta;
+#ifdef SVS_BENCH_GIT_SHA
+  meta.add("git_sha", SVS_BENCH_GIT_SHA);
+#else
+  meta.add("git_sha", "unknown");
+#endif
+#ifdef __VERSION__
+  meta.add("compiler", __VERSION__);
+#else
+  meta.add("compiler", "unknown");
+#endif
+#ifdef SVS_BENCH_BUILD_TYPE
+  meta.add("build_type", SVS_BENCH_BUILD_TYPE);
+#else
+  meta.add("build_type", "unknown");
+#endif
+#ifdef SVS_BENCH_CXX_FLAGS
+  meta.add("cxx_flags", SVS_BENCH_CXX_FLAGS);
+#else
+  meta.add("cxx_flags", "unknown");
+#endif
+  return meta.render();
+}
+
 /// Writes BENCH_<name>.json (overwriting) and notes the path on stdout.
+/// Appends the `meta` provenance key; the caller's sections keep their
+/// names and order, so existing JSON diffing stays valid.
 inline void write_bench_json(const std::string& name,
                              const JsonObject& payload) {
+  JsonObject stamped = payload;
+  stamped.raw("meta", bench_meta_json());
   std::string path = "BENCH_";
   path += name;
   path += ".json";
   std::ofstream out(path);
-  out << payload.render() << "\n";
+  out << stamped.render() << "\n";
   std::cout << "\n[json] wrote " << path << "\n";
 }
 

@@ -1,6 +1,7 @@
 #include "core/delivery_queue.hpp"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "util/contracts.hpp"
@@ -14,6 +15,72 @@ DeliveryQueue::DeliveryQueue(obs::RelationPtr relation, net::ProcessId self,
       observer_(observer),
       use_index_(use_index) {
   SVS_REQUIRE(relation_ != nullptr, "a relation oracle is required");
+}
+
+// ---------------------------------------------------------------------------
+// sender columns (SoA index)
+// ---------------------------------------------------------------------------
+
+std::size_t DeliveryQueue::SenderColumn::lower_bound(std::uint64_t seq) const {
+  const auto begin = seqs.begin() + static_cast<std::ptrdiff_t>(head);
+  return static_cast<std::size_t>(
+      std::lower_bound(begin, seqs.end(), seq) - seqs.begin());
+}
+
+std::size_t DeliveryQueue::SenderColumn::upper_bound(std::uint64_t seq) const {
+  const auto begin = seqs.begin() + static_cast<std::ptrdiff_t>(head);
+  return static_cast<std::size_t>(
+      std::upper_bound(begin, seqs.end(), seq) - seqs.begin());
+}
+
+void DeliveryQueue::SenderColumn::insert_at(std::size_t pos,
+                                            const DataMessagePtr& m,
+                                            List::iterator it) {
+  const auto at = static_cast<std::ptrdiff_t>(pos);
+  seqs.insert(seqs.begin() + at, m->seq());
+  views.insert(views.begin() + at, m->view());
+  notes.insert(notes.begin() + at, &m->annotation());
+  slots.insert(slots.begin() + at, it);
+}
+
+void DeliveryQueue::SenderColumn::erase_at(std::size_t pos) {
+  if (pos == head) {
+    // The FIFO pop: advance the head offset; reclaim the dead prefix once
+    // it dominates the column (amortized O(1)).
+    ++head;
+    if (head > 32 && head * 2 > seqs.size()) {
+      const auto at = static_cast<std::ptrdiff_t>(head);
+      seqs.erase(seqs.begin(), seqs.begin() + at);
+      views.erase(views.begin(), views.begin() + at);
+      notes.erase(notes.begin(), notes.begin() + at);
+      slots.erase(slots.begin(), slots.begin() + at);
+      head = 0;
+    }
+    return;
+  }
+  const auto at = static_cast<std::ptrdiff_t>(pos);
+  seqs.erase(seqs.begin() + at);
+  views.erase(views.begin() + at);
+  notes.erase(notes.begin() + at);
+  slots.erase(slots.begin() + at);
+}
+
+void DeliveryQueue::SenderColumn::sweep_punched() {
+  std::size_t w = head;
+  for (std::size_t r = head; r < seqs.size(); ++r) {
+    if (notes[r] == nullptr) continue;
+    if (w != r) {
+      seqs[w] = seqs[r];
+      views[w] = views[r];
+      notes[w] = notes[r];
+      slots[w] = slots[r];
+    }
+    ++w;
+  }
+  seqs.resize(w);
+  views.resize(w);
+  notes.resize(w);
+  slots.resize(w);
 }
 
 // ---------------------------------------------------------------------------
@@ -32,8 +99,8 @@ void DeliveryQueue::push_data_flush(const DataMessagePtr& m) {
   if (fast_path()) {
     const auto sender = by_sender_.find(m->sender());
     if (sender != by_sender_.end()) {
-      const auto above = sender->second.upper_bound(m->seq());
-      if (above != sender->second.end()) pos = above->second;
+      const std::size_t above = sender->second.upper_bound(m->seq());
+      if (above < sender->second.size()) pos = sender->second.slots[above];
     }
   } else {
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -67,16 +134,28 @@ std::optional<DeliveryQueue::Entry> DeliveryQueue::pop_front() {
 }
 
 void DeliveryQueue::index_insert(const DataMessagePtr& m, List::iterator it) {
-  const auto [slot, inserted] = by_sender_[m->sender()].emplace(m->seq(), it);
-  (void)slot;
-  SVS_ASSERT(inserted, "duplicate (sender, seq) in the delivery queue");
+  SenderColumn& column = by_sender_[m->sender()];
+  // FIFO reception makes the common case an append (the freshest seq of
+  // the sender); only the t7 flush repairs a gap mid-column.
+  if (column.empty() || column.seqs.back() < m->seq()) {
+    column.insert_at(column.size(), m, it);
+    return;
+  }
+  const std::size_t pos = column.lower_bound(m->seq());
+  SVS_ASSERT(pos == column.size() || column.seqs[pos] != m->seq(),
+             "duplicate (sender, seq) in the delivery queue");
+  column.insert_at(pos, m, it);
 }
 
 void DeliveryQueue::index_erase(const DataMessage& m) {
   const auto sender = by_sender_.find(m.sender());
   SVS_ASSERT(sender != by_sender_.end(), "index missing sender");
-  sender->second.erase(m.seq());
-  if (sender->second.empty()) by_sender_.erase(sender);
+  SenderColumn& column = sender->second;
+  const std::size_t pos = column.lower_bound(m.seq());
+  SVS_ASSERT(pos < column.size() && column.seqs[pos] == m.seq(),
+             "index missing entry");
+  column.erase_at(pos);
+  if (column.empty()) by_sender_.erase(sender);
 }
 
 DeliveryQueue::List::iterator DeliveryQueue::erase_entry(
@@ -143,12 +222,18 @@ bool DeliveryQueue::covered_by_accepted(const DataMessage& m, ViewId cv) {
     }
     return false;
   }
-  // Indexed: only queued entries of m's sender with a higher seq qualify.
+  // Indexed: only queued entries of m's sender with a higher seq qualify —
+  // a linear walk over the packed columns, no list-node chasing.
   const auto sender = by_sender_.find(m.sender());
   if (sender == by_sender_.end()) return false;
-  for (auto it = sender->second.upper_bound(m.seq());
-       it != sender->second.end(); ++it) {
-    if (covers(it->second->data)) return true;
+  const SenderColumn& column = sender->second;
+  const obs::MessageRef victim = m.ref();
+  for (std::size_t i = column.upper_bound(m.seq()); i < column.size(); ++i) {
+    ++stats_.cover_scan_steps;
+    if (column.views[i] != m.view()) continue;
+    const obs::MessageRef candidate{m.sender(), column.seqs[i],
+                                    column.notes[i]};
+    if (relation_->covers(candidate, victim)) return true;
   }
   return false;
 }
@@ -156,12 +241,12 @@ bool DeliveryQueue::covered_by_accepted(const DataMessage& m, ViewId cv) {
 std::size_t DeliveryQueue::count_victims(const DataMessage& by, ViewId cv) {
   SVS_ASSERT(by.view() == cv, "purging is restricted to the current view");
   std::size_t victims = 0;
-  const auto is_victim = [&](const DataMessagePtr& candidate) {
-    ++stats_.purge_scan_steps;
-    return candidate->view() == by.view() &&
-           relation_->covers(by.ref(), candidate->ref());
-  };
   if (!fast_path()) {
+    const auto is_victim = [&](const DataMessagePtr& candidate) {
+      ++stats_.purge_scan_steps;
+      return candidate->view() == by.view() &&
+             relation_->covers(by.ref(), candidate->ref());
+    };
     for (const auto& e : entries_) {
       if (e.data != nullptr && is_victim(e.data)) ++victims;
     }
@@ -169,10 +254,16 @@ std::size_t DeliveryQueue::count_victims(const DataMessage& by, ViewId cv) {
   }
   const auto sender = by_sender_.find(by.sender());
   if (sender == by_sender_.end()) return 0;
-  const std::uint64_t floor = relation_->coverage_floor(by.ref());
-  for (auto it = sender->second.lower_bound(floor);
-       it != sender->second.end() && it->first < by.seq(); ++it) {
-    if (is_victim(it->second->data)) ++victims;
+  const SenderColumn& column = sender->second;
+  const obs::MessageRef coverer = by.ref();
+  const std::uint64_t floor = relation_->coverage_floor(coverer);
+  for (std::size_t i = column.lower_bound(floor);
+       i < column.size() && column.seqs[i] < by.seq(); ++i) {
+    ++stats_.purge_scan_steps;
+    if (column.views[i] != by.view()) continue;
+    const obs::MessageRef candidate{by.sender(), column.seqs[i],
+                                    column.notes[i]};
+    if (relation_->covers(coverer, candidate)) ++victims;
   }
   return victims;
 }
@@ -180,12 +271,12 @@ std::size_t DeliveryQueue::count_victims(const DataMessage& by, ViewId cv) {
 std::size_t DeliveryQueue::purge_with(const DataMessagePtr& by, ViewId cv) {
   SVS_ASSERT(by->view() == cv, "purging is restricted to the current view");
   std::size_t removed = 0;
-  const auto is_victim = [&](const DataMessagePtr& candidate) {
-    ++stats_.purge_scan_steps;
-    return candidate->view() == by->view() &&
-           relation_->covers(by->ref(), candidate->ref());
-  };
   if (!fast_path()) {
+    const auto is_victim = [&](const DataMessagePtr& candidate) {
+      ++stats_.purge_scan_steps;
+      return candidate->view() == by->view() &&
+             relation_->covers(by->ref(), candidate->ref());
+    };
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->data != nullptr && is_victim(it->data)) {
         it = erase_entry(it, by);
@@ -198,18 +289,24 @@ std::size_t DeliveryQueue::purge_with(const DataMessagePtr& by, ViewId cv) {
   }
   const auto sender = by_sender_.find(by->sender());
   if (sender == by_sender_.end()) return 0;
-  const std::uint64_t floor = relation_->coverage_floor(by->ref());
-  auto it = sender->second.lower_bound(floor);
-  while (it != sender->second.end() && it->first < by->seq()) {
-    if (is_victim(it->second->data)) {
-      erase_entry(it->second, by);
-      it = sender->second.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
+  SenderColumn& column = sender->second;
+  const obs::MessageRef coverer = by->ref();
+  const std::uint64_t floor = relation_->coverage_floor(coverer);
+  for (std::size_t i = column.lower_bound(floor);
+       i < column.size() && column.seqs[i] < by->seq(); ++i) {
+    ++stats_.purge_scan_steps;
+    if (column.views[i] != by->view()) continue;
+    const obs::MessageRef candidate{by->sender(), column.seqs[i],
+                                    column.notes[i]};
+    if (!relation_->covers(coverer, candidate)) continue;
+    erase_entry(column.slots[i], by);
+    column.punch(i);
+    ++removed;
   }
-  if (sender->second.empty()) by_sender_.erase(sender);
+  if (removed > 0) {
+    column.sweep_punched();
+    if (column.empty()) by_sender_.erase(sender);
+  }
   return removed;
 }
 
@@ -247,30 +344,30 @@ std::size_t DeliveryQueue::purge_full(ViewId cv) {
   // sub-quadratic in the queue, quadratic only within one sender's run.
   // Seq-ascending order matches the reference queue order per sender (FIFO
   // reception; flushed entries carry the highest seqs), so the evolving
-  // live set is identical.
+  // live set is identical: victims are only ever removed at or before the
+  // position under scrutiny, and coverers are successors, which the
+  // reference path had not removed yet either.
   for (auto sender = by_sender_.begin(); sender != by_sender_.end();) {
-    auto& index = sender->second;
-    for (auto it = index.begin(); it != index.end();) {
-      const DataMessagePtr& victim = it->second->data;
-      DataMessagePtr coverer;
-      for (auto cand = std::next(it); cand != index.end(); ++cand) {
+    SenderColumn& column = sender->second;
+    std::size_t punched = 0;
+    for (std::size_t i = column.head; i < column.size(); ++i) {
+      const obs::MessageRef victim{sender->first, column.seqs[i],
+                                   column.notes[i]};
+      for (std::size_t j = i + 1; j < column.size(); ++j) {
         ++stats_.purge_scan_steps;
-        const DataMessagePtr& c = cand->second->data;
-        if (c->view() == victim->view() &&
-            relation_->covers(c->ref(), victim->ref())) {
-          coverer = c;
-          break;
-        }
-      }
-      if (coverer != nullptr) {
-        erase_entry(it->second, coverer);
-        it = index.erase(it);
+        if (column.views[j] != column.views[i]) continue;
+        const obs::MessageRef candidate{sender->first, column.seqs[j],
+                                        column.notes[j]};
+        if (!relation_->covers(candidate, victim)) continue;
+        erase_entry(column.slots[i], column.slots[j]->data);
+        column.punch(i);
+        ++punched;
         ++removed;
-      } else {
-        ++it;
+        break;
       }
     }
-    sender = index.empty() ? by_sender_.erase(sender) : std::next(sender);
+    if (punched > 0) column.sweep_punched();
+    sender = column.empty() ? by_sender_.erase(sender) : std::next(sender);
   }
   return removed;
 }

@@ -15,12 +15,20 @@
 // reference full-scan path.  `use_index = false` forces the reference path
 // everywhere; the randomized equivalence test and the before/after bench
 // numbers rely on both paths computing identical victim sets.
+//
+// Index representation (DESIGN.md §8): structure-of-arrays.  Each sender's
+// queued entries live in parallel columns sorted by seq — the seq keys
+// packed in one contiguous array (what a window scan actually compares),
+// with views, annotation pointers and queue-entry handles alongside.  The
+// FIFO discipline makes inserts appends and pops head-advances (amortized
+// O(1) via a head offset); only the rare t7 flush inserts mid-column.  A
+// purge window scan is a linear walk over packed integers instead of a
+// pointer chase through map nodes.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +38,7 @@
 #include "core/observer.hpp"
 #include "core/types.hpp"
 #include "obs/relation.hpp"
+#include "util/pool.hpp"
 
 namespace svs::core {
 
@@ -139,9 +148,42 @@ class DeliveryQueue {
   [[nodiscard]] bool indexed() const { return use_index_; }
 
  private:
-  using List = std::list<Entry>;
-  /// seq -> queue entry, ordered so coverage_floor range scans are cheap.
-  using SenderIndex = std::map<std::uint64_t, List::iterator>;
+  // List nodes and accepted-id nodes recycle through the thread's pool:
+  // every multicast/arrival allocates one of each, every delivery or purge
+  // frees them, so the steady state never touches the system allocator.
+  using List = std::list<Entry, util::PoolAllocator<Entry>>;
+
+  /// One sender's queued entries as parallel columns sorted by seq
+  /// (structure-of-arrays, DESIGN.md §8).  The live range is [head, size):
+  /// popping the sender's lowest seq advances `head` instead of shifting,
+  /// and the dead prefix is compacted once it dominates.  Invariants:
+  /// seqs is strictly ascending over the live range; the four columns are
+  /// index-parallel; slots[i]->data is the message whose seq/view/
+  /// annotation the other columns mirror (annotation pointers are stable:
+  /// they point into shared-ptr-owned immutable messages).
+  struct SenderColumn {
+    std::vector<std::uint64_t> seqs;
+    std::vector<ViewId> views;
+    std::vector<const obs::Annotation*> notes;
+    std::vector<List::iterator> slots;
+    std::size_t head = 0;
+
+    [[nodiscard]] std::size_t size() const { return seqs.size(); }
+    [[nodiscard]] bool empty() const { return head == seqs.size(); }
+    /// First live position with seqs[pos] >= seq.
+    [[nodiscard]] std::size_t lower_bound(std::uint64_t seq) const;
+    /// First live position with seqs[pos] > seq.
+    [[nodiscard]] std::size_t upper_bound(std::uint64_t seq) const;
+    void insert_at(std::size_t pos, const DataMessagePtr& m,
+                   List::iterator it);
+    void erase_at(std::size_t pos);
+    /// Marks `pos` removed without shifting (a purge pass punches out its
+    /// victims mid-scan, then sweeps once).  Punched = null annotation.
+    void punch(std::size_t pos) { notes[pos] = nullptr; }
+    /// Drops every punched position, then compacts the dead prefix if it
+    /// dominates.
+    void sweep_punched();
+  };
 
   void index_insert(const DataMessagePtr& m, List::iterator it);
   void index_erase(const DataMessage& m);
@@ -158,9 +200,11 @@ class DeliveryQueue {
 
   List entries_;
   std::size_t data_count_ = 0;  // data entries in entries_
-  std::unordered_map<net::ProcessId, SenderIndex> by_sender_;
+  std::unordered_map<net::ProcessId, SenderColumn> by_sender_;
   std::vector<DataMessagePtr> delivered_view_;  // delivered with view == cv
-  std::unordered_set<MsgId> accepted_ids_;  // ids queued or delivered
+  std::unordered_set<MsgId, std::hash<MsgId>, std::equal_to<MsgId>,
+                     util::PoolAllocator<MsgId>>
+      accepted_ids_;  // ids queued or delivered
   Stats stats_;
 };
 

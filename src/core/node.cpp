@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/pool.hpp"
+
 namespace svs::core {
 
 Node::Node(sim::Simulator& simulator, net::Transport& network,
@@ -93,7 +95,7 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
     return std::nullopt;
   }
 
-  const auto m = std::make_shared<DataMessage>(
+  const auto m = util::pool_shared<DataMessage>(
       self_, next_seq_, view_.id(), std::move(annotation), std::move(payload));
 
   // Flow control (§5.3) first: a full outgoing buffer towards any member,
@@ -317,7 +319,7 @@ void Node::gossip_stability() {
   for (const auto& debt : round.debts) {
     stats_.debt_bytes_gossiped += StabilityMessage::debt_wire_size(debt);
   }
-  const auto m = std::make_shared<StabilityMessage>(
+  const auto m = util::pool_shared<StabilityMessage>(
       view_.id(), anchor, std::move(round.seen), std::move(round.debts));
   // Bytes a full-snapshot gossip would have cost (exact encoded size of the
   // current reception vector and debt ledger, aggregated incrementally by

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace svs::fd {
 
@@ -37,7 +38,7 @@ void HeartbeatDetector::start() {
 
 void HeartbeatDetector::broadcast() {
   for (const auto p : peers_) {
-    net_.send(owner_, p, std::make_shared<HeartbeatMessage>(),
+    net_.send(owner_, p, util::pool_shared<HeartbeatMessage>(),
               net::Lane::control);
   }
   sim_.schedule_after(config_.interval, [this] { broadcast(); });

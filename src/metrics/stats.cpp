@@ -3,8 +3,14 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace svs::metrics {
+
+Stats Stats::snapshot() {
+  const util::PoolStats pools = util::Pool::aggregate();
+  return Stats{pools.hits, pools.misses, pools.bytes_recycled};
+}
 
 void Summary::add(double x) {
   if (count_ == 0) {

@@ -70,6 +70,24 @@ class PeriodicSampler {
   sim::EventId pending_{};
 };
 
+/// Process-wide runtime counters sampled by harnesses and benches.  Today
+/// this is allocator observability: the pooled hot-path allocator
+/// (util/pool.hpp) counts free-list reuses vs system-allocator trips.
+/// snapshot() aggregates over every thread's pool; diff two snapshots to
+/// attribute work to a measured region (bench_micro's flood section does).
+struct Stats {
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t bytes_recycled = 0;
+
+  [[nodiscard]] static Stats snapshot();
+
+  [[nodiscard]] Stats operator-(const Stats& since) const {
+    return Stats{pool_hits - since.pool_hits, pool_misses - since.pool_misses,
+                 bytes_recycled - since.bytes_recycled};
+  }
+};
+
 /// Integer-keyed histogram with share/percentile helpers.
 class Histogram {
  public:

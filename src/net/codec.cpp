@@ -13,6 +13,7 @@
 #include "fd/heartbeat.hpp"
 #include "obs/annotation.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 #include "workload/item_op.hpp"
 
 namespace svs::net {
@@ -104,7 +105,7 @@ core::PayloadPtr decode_item_op(util::ByteReader& r) {
   const std::uint64_t item = r.u64();
   const std::uint64_t round = r.u64();
   const std::uint64_t value = r.fixed64();
-  return std::make_shared<workload::ItemOp>(
+  return util::pool_shared<workload::ItemOp>(
       static_cast<workload::OpKind>(op_raw), item, value, round, commit);
 }
 
@@ -142,7 +143,7 @@ consensus::ValuePtr decode_proposal(util::ByteReader& r) {
                 "pred-view must contain data messages");
     pred.push_back(std::static_pointer_cast<const core::DataMessage>(m));
   }
-  return std::make_shared<core::ProposalValue>(
+  return util::pool_shared<core::ProposalValue>(
       core::View(view_id, std::move(members)), std::move(pred));
 }
 
@@ -224,7 +225,7 @@ core::PayloadPtr decode_payload(util::ByteReader& r) {
       r, payload_registry(),
       [](std::uint64_t length) -> core::PayloadPtr {
         if (length == 0) return nullptr;
-        return std::make_shared<core::OpaquePayload>(length);
+        return util::pool_shared<core::OpaquePayload>(length);
       },
       [](const core::Payload& p) { return p.payload_kind(); });
 }
@@ -243,7 +244,7 @@ MessagePtr decode_data(util::ByteReader& r) {
   const core::ViewId view(r.u64());
   obs::Annotation annotation = obs::Annotation::decode(r);
   core::PayloadPtr payload = decode_payload(r);
-  return std::make_shared<core::DataMessage>(sender, seq, view,
+  return util::pool_shared<core::DataMessage>(sender, seq, view,
                                              std::move(annotation),
                                              std::move(payload));
 }
@@ -261,7 +262,7 @@ MessagePtr decode_init(util::ByteReader& r) {
   std::vector<ProcessId> leave;
   leave.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) leave.emplace_back(r.u32());
-  return std::make_shared<core::InitMessage>(view, std::move(leave));
+  return util::pool_shared<core::InitMessage>(view, std::move(leave));
 }
 
 void encode_pred(const core::PredMessage& m, util::ByteWriter& w) {
@@ -282,7 +283,7 @@ MessagePtr decode_pred(util::ByteReader& r) {
                 "PRED must contain data messages");
     accepted.push_back(std::static_pointer_cast<const core::DataMessage>(m));
   }
-  return std::make_shared<core::PredMessage>(view, std::move(accepted));
+  return util::pool_shared<core::PredMessage>(view, std::move(accepted));
 }
 
 void encode_stability(const core::StabilityMessage& m, util::ByteWriter& w) {
@@ -330,7 +331,7 @@ MessagePtr decode_stability(util::ByteReader& r) {
                 "purge debt cover overflows");
     debts.push_back(core::PurgeDebt{seq, seq + cover_gap});
   }
-  return std::make_shared<core::StabilityMessage>(view, anchor,
+  return util::pool_shared<core::StabilityMessage>(view, anchor,
                                                   std::move(seen),
                                                   std::move(debts));
 }
@@ -363,11 +364,11 @@ MessagePtr decode_consensus(util::ByteReader& r) {
     value = read_framed<consensus::ValuePtr>(
         r, value_registry(),
         [](std::uint64_t length) {
-          return std::make_shared<consensus::OpaqueValue>(length);
+          return util::pool_shared<consensus::OpaqueValue>(length);
         },
         [](const consensus::ValueBase& v) { return v.value_kind(); });
   }
-  return std::make_shared<consensus::ConsensusMessage>(
+  return util::pool_shared<consensus::ConsensusMessage>(
       instance, round, static_cast<consensus::Phase>(phase_raw),
       std::move(value), timestamp);
 }
@@ -438,6 +439,13 @@ util::Bytes Codec::encode(const Message& m) {
   return w.take();
 }
 
+FramePtr Codec::shared_frame(const Message& m) {
+  if (m.frame_cache_ == nullptr) {
+    m.frame_cache_ = util::pool_shared<util::Bytes>(encode(m));
+  }
+  return m.frame_cache_;
+}
+
 MessagePtr Codec::decode(util::ByteReader& r) {
   const std::uint8_t tag = r.u8();
   SVS_REQUIRE(tag > static_cast<std::uint8_t>(MessageType::other) &&
@@ -455,7 +463,7 @@ MessagePtr Codec::decode(util::ByteReader& r) {
     case MessageType::consensus:
       return decode_consensus(r);
     case MessageType::heartbeat:
-      return std::make_shared<fd::HeartbeatMessage>();
+      return util::pool_shared<fd::HeartbeatMessage>();
     case MessageType::other:
       break;
   }

@@ -73,6 +73,14 @@ class Codec {
   /// Convenience: `m` as a fresh byte buffer (the loopback wire frame).
   [[nodiscard]] static util::Bytes encode(const Message& m);
 
+  /// Encode-once: the message's wire frame as a refcounted immutable
+  /// buffer, encoded on first call and cached on the message — every
+  /// destination, retry and injected duplicate of a multicast ships the
+  /// same frame (DESIGN.md §8).  Byte-identical to encode(m) (the
+  /// randomized equivalence test pins this).  Same thread-confinement
+  /// contract as wire_size(): only the thread owning the message may call.
+  [[nodiscard]] static FramePtr shared_frame(const Message& m);
+
   /// Decodes one message starting at the reader's position (used for
   /// nested messages; does not require the reader to end up exhausted).
   [[nodiscard]] static MessagePtr decode(util::ByteReader& r);

@@ -33,7 +33,7 @@ void ThreadedLoopback::attach(ProcessId id, Endpoint& endpoint) {
 
 void ThreadedLoopback::WireChannel::run() {
   for (;;) {
-    util::Bytes frame;
+    FramePtr frame;
     {
       std::unique_lock<std::mutex> lock(mutex);
       frame_ready.wait(lock, [this] { return stop || !frames.empty(); });
@@ -45,8 +45,10 @@ void ThreadedLoopback::WireChannel::run() {
     std::exception_ptr failure;
     try {
       // Decoded from bytes on this thread: the object handed back shares
-      // nothing with whatever the sender queued.
-      fresh = Codec::decode(frame);
+      // nothing with whatever the sender queued.  The frame itself may be
+      // shared with other destinations, but it is immutable — this thread
+      // only reads it.
+      fresh = Codec::decode(*frame);
     } catch (...) {
       failure = std::current_exception();
     }
@@ -62,7 +64,7 @@ void ThreadedLoopback::WireChannel::run() {
   }
 }
 
-MessagePtr ThreadedLoopback::WireChannel::round_trip(util::Bytes frame) {
+MessagePtr ThreadedLoopback::WireChannel::round_trip(FramePtr frame) {
   std::unique_lock<std::mutex> lock(mutex);
   frames.push_back(std::move(frame));
   frame_ready.notify_one();
@@ -80,13 +82,17 @@ MessagePtr ThreadedLoopback::WireChannel::round_trip(util::Bytes frame) {
 bool ThreadedLoopback::WireAdapter::on_message(ProcessId from,
                                                const MessagePtr& message,
                                                Lane lane) {
-  // Encode on the protocol thread (the sender's NIC), decode on the
-  // receiver's wire thread.  Codec::encode asserts the measured size
-  // against wire_size(), so the byte counters of the link layer are the
-  // sizes of these very buffers.
-  util::Bytes frame = Codec::encode(*message);
+  // Encode on the protocol thread (the sender's NIC) — once per message,
+  // not per destination: shared_frame caches the buffer on the message, so
+  // the other receivers of a multicast (and any retry of this one) reuse
+  // it.  Codec::encode asserts the measured size against wire_size(), so
+  // the byte counters of the link layer are the sizes of these very
+  // buffers.  Decode happens on the receiver's wire thread.
+  const bool cached = message->frame_cached();
+  FramePtr frame = Codec::shared_frame(*message);
+  ++(cached ? owner_.frame_reuses_ : owner_.frame_encodes_);
   ++owner_.wire_frames_;
-  owner_.wire_bytes_ += frame.size();
+  owner_.wire_bytes_ += frame->size();
   const MessagePtr fresh = channel_.round_trip(std::move(frame));
   SVS_ASSERT(fresh != nullptr && fresh.get() != message.get(),
              "the wire must hand back a distinct, freshly decoded object");

@@ -7,13 +7,14 @@
 //
 //   sender side                     "the wire"              receiver side
 //   ───────────────────────────────────────────────────────────────────────
-//   Message object queued    →  Codec::encode → Bytes   →  per-process
-//   in the outgoing buffer      pushed to the receiver's    wire thread
-//   (retransmission copy,       mailbox (mutex+condvar)     decodes a fresh
-//   purgeable, sender-local)                                Message object
-//                                                           ↓
-//                               endpoint->on_message(fresh) back on the
-//                                                           protocol thread
+//   Message object queued    →  shared_frame (encoded   →  per-process
+//   in the outgoing buffer      once per message, the       wire thread
+//   (retransmission copy,       refcounted buffer shared    decodes a fresh
+//   purgeable, sender-local)    by every destination and    Message object
+//                               retry) pushed to the        ↓
+//                               receiver's mailbox          back on the
+//                               (mutex+condvar)             protocol thread
+//                                                           via on_message
 //
 // The receiver never sees the sender's object: every delivered message is a
 // byte buffer that crossed a thread boundary and was decoded from scratch.
@@ -30,8 +31,8 @@
 // backends.
 //
 // Refused deliveries (receiver full) are re-attempted later by the link
-// layer; the retry re-encodes and re-crosses the wire, as a real
-// retransmission would.
+// layer; the retry re-crosses the wire as a real retransmission would,
+// reusing the message's cached frame (encode-once, DESIGN.md §8).
 #pragma once
 
 #include <condition_variable>
@@ -121,8 +122,9 @@ class ThreadedLoopback final : public Transport {
   }
   void set_fault_injector(FaultInjector* injector) override {
     // The inner Network owns the link discipline, so injected faults hit
-    // both backends identically; duplicated copies cross the wire thread as
-    // separately encoded frames, like real retransmissions.
+    // both backends identically; duplicated copies cross the wire thread
+    // as separate crossings of the same cached frame, like real
+    // retransmissions of an already-serialized buffer.
     inner_.set_fault_injector(injector);
   }
   void note_gossip_bytes_saved(std::uint64_t bytes) override {
@@ -141,6 +143,12 @@ class ThreadedLoopback final : public Transport {
   /// Total encoded bytes those frames carried — measured on the actual
   /// buffers, cross-checkable against stats().bytes_delivered.
   [[nodiscard]] std::uint64_t wire_bytes() const { return wire_bytes_; }
+  /// Times Codec actually serialized a message (first crossing only: the
+  /// encode-once frame cache reuses the buffer for every further
+  /// destination, retry and injected duplicate — DESIGN.md §8).
+  [[nodiscard]] std::uint64_t frame_encodes() const { return frame_encodes_; }
+  /// Crossings served from the cached frame (wire_frames - frame_encodes).
+  [[nodiscard]] std::uint64_t frame_reuses() const { return frame_reuses_; }
 
  private:
   /// One process's half of the wire: a mailbox the protocol thread feeds
@@ -151,14 +159,16 @@ class ThreadedLoopback final : public Transport {
     std::mutex mutex;
     std::condition_variable frame_ready;
     std::condition_variable decode_done;
-    std::deque<util::Bytes> frames;
+    std::deque<FramePtr> frames;
     std::deque<MessagePtr> decoded;
     std::exception_ptr error;
     bool stop = false;
     std::thread thread;
 
-    /// Protocol thread: ship `frame` across and wait for the decode.
-    MessagePtr round_trip(util::Bytes frame);
+    /// Protocol thread: ship `frame` across and wait for the decode.  The
+    /// frame is refcounted and immutable — a multicast ships the same
+    /// buffer to every destination without copying it.
+    MessagePtr round_trip(FramePtr frame);
     /// Wire thread body.
     void run();
   };
@@ -184,6 +194,8 @@ class ThreadedLoopback final : public Transport {
   // these), so plain integers suffice.
   std::uint64_t wire_frames_ = 0;
   std::uint64_t wire_bytes_ = 0;
+  std::uint64_t frame_encodes_ = 0;
+  std::uint64_t frame_reuses_ = 0;
 };
 
 }  // namespace svs::net

@@ -18,7 +18,14 @@
 #include <cstdint>
 #include <memory>
 
+#include "util/bytes.hpp"
+
 namespace svs::net {
+
+/// A refcounted, immutable wire frame — the encoded bytes of one message,
+/// shared across every destination, retry and duplicate that ships it
+/// (DESIGN.md §8: the frame is encoded at most once per message).
+using FramePtr = std::shared_ptr<const util::Bytes>;
 
 /// Wire-level dispatch tag.  `other` covers traffic the core protocol does
 /// not recognise (routed to the control sink, e.g. test messages).
@@ -61,6 +68,10 @@ class Message {
   /// queues are non-decreasing in this key, enabling windowed purges.
   [[nodiscard]] std::uint64_t order_key() const { return order_key_; }
 
+  /// True once Codec::shared_frame has encoded (and cached) this message's
+  /// wire frame — telemetry hook for the encode-once counters.
+  [[nodiscard]] bool frame_cached() const { return frame_cache_ != nullptr; }
+
  protected:
   /// The exact encoded size; every concrete message implements this from
   /// the same arithmetic the codec uses.  Called at most once per object
@@ -68,6 +79,8 @@ class Message {
   [[nodiscard]] virtual std::size_t compute_wire_size() const = 0;
 
  private:
+  friend class Codec;  // fills frame_cache_ on the first shared_frame()
+
   MessageType type_ = MessageType::other;
   std::uint64_t order_key_ = 0;
   // 0 = not yet computed (no real message encodes to zero bytes: the type
@@ -75,6 +88,11 @@ class Message {
   // (the loopback wire hands decoded objects across a mutex), so a plain
   // mutable cell is safe.
   mutable std::size_t wire_size_cache_ = 0;
+  // The encode-once frame (null until first needed).  Same confinement
+  // argument as above: only the owning protocol thread fills or reads the
+  // cell; wire threads see the immutable Bytes through their own FramePtr
+  // copy, never this field.
+  mutable FramePtr frame_cache_;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

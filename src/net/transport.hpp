@@ -78,6 +78,26 @@ struct NetworkStats {
   std::uint64_t injected_duplicates = 0;
   std::uint64_t injected_drops = 0;
   std::uint64_t injected_pauses = 0;
+
+  /// Counter-wise sum — how the ShardedRunner merges per-shard transports
+  /// into one report (runtime/shard.hpp).  Every field is a monotone count,
+  /// so addition is the only aggregation that makes sense.
+  NetworkStats& operator+=(const NetworkStats& o) {
+    sent += o.sent;
+    delivered += o.delivered;
+    dropped_to_crashed += o.dropped_to_crashed;
+    purged_outgoing += o.purged_outgoing;
+    refusals += o.refusals;
+    purge_window_scanned += o.purge_window_scanned;
+    gossip_bytes_saved += o.gossip_bytes_saved;
+    bytes_sent += o.bytes_sent;
+    bytes_delivered += o.bytes_delivered;
+    bytes_purged += o.bytes_purged;
+    injected_duplicates += o.injected_duplicates;
+    injected_drops += o.injected_drops;
+    injected_pauses += o.injected_pauses;
+    return *this;
+  }
 };
 
 /// The send/multicast/attach surface of a network backend.
@@ -102,6 +122,12 @@ class Transport {
   /// With `skip_self` (the data fan-out convention) `from` itself is
   /// skipped; without it a loopback copy is enqueued in the destination's
   /// position (the INIT/PRED broadcast convention).
+  ///
+  /// Encode-once contract (DESIGN.md §8): the fan-out shares one message
+  /// object, its cached wire_size(), and — on byte-moving backends — one
+  /// Codec::shared_frame buffer.  No backend serializes a message more
+  /// than once, no matter how many destinations, retries or duplicates
+  /// ship it.
   virtual void multicast(ProcessId from,
                          std::span<const ProcessId> destinations,
                          const MessagePtr& message, Lane lane,

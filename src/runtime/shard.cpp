@@ -1,0 +1,148 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace svs::runtime {
+namespace {
+
+/// CPU time consumed by the calling thread, or 0 when the platform has no
+/// per-thread clock (the metric then degrades gracefully to "unknown").
+[[nodiscard]] double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+/// Domain separator for key hashes.  Keys and vnode ids go through the
+/// same mix64, so without a salt a key equal to a vnode id ((shard << 32)
+/// | vnode) hashes exactly onto that shard's ring point — small sequential
+/// keys (1..vnodes_per_shard) would all collide with shard 0's points and
+/// pile onto it.  The salt's high 32 bits are far beyond any realistic
+/// shard count, so the two id spaces can no longer meet.
+constexpr std::uint64_t kKeyDomain = 0xD6E8FEB86659FD93ULL;
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix, deterministic
+/// everywhere (no std::hash, whose value is implementation-defined).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------------------
+
+HashRing::HashRing(std::uint32_t shards, std::uint32_t vnodes_per_shard)
+    : shards_(shards) {
+  SVS_REQUIRE(shards > 0, "a ring needs at least one shard");
+  SVS_REQUIRE(vnodes_per_shard > 0, "a shard needs at least one ring point");
+  ring_.reserve(static_cast<std::size_t>(shards) * vnodes_per_shard);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::uint32_t v = 0; v < vnodes_per_shard; ++v) {
+      // Mix the (shard, vnode) pair so each shard's points scatter
+      // independently — this is what makes growth minimally disruptive:
+      // shard N+1's points are the same no matter how many shards exist.
+      const std::uint64_t h =
+          mix64((static_cast<std::uint64_t>(s) << 32) | (v + 1));
+      ring_.push_back(Point{h, s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    // Tie-break by shard for determinism (64-bit collisions are
+    // vanishingly rare, but placement must not depend on sort stability).
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::uint32_t HashRing::shard_of(std::uint64_t key) const {
+  const std::uint64_t h = mix64(key ^ kKeyDomain);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t hash) { return p.hash < hash; });
+  return it != ring_.end() ? it->shard : ring_.front().shard;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRunner
+// ---------------------------------------------------------------------------
+
+ShardedRunner::ShardedRunner(Config config)
+    : config_(config), ring_(config.shards, config.vnodes_per_shard) {}
+
+std::vector<std::vector<std::uint64_t>> ShardedRunner::place(
+    std::span<const std::uint64_t> keys) const {
+  std::vector<std::vector<std::uint64_t>> placed(config_.shards);
+  for (const std::uint64_t key : keys) {
+    placed[ring_.shard_of(key)].push_back(key);
+  }
+  return placed;
+}
+
+RunReport ShardedRunner::run(std::span<const std::uint64_t> keys,
+                             const ShardMain& main) {
+  SVS_REQUIRE(main != nullptr, "a shard body is required");
+  const auto placed = place(keys);
+
+  std::vector<ShardReport> reports(config_.shards);
+  std::vector<std::exception_ptr> failures(config_.shards);
+  std::vector<std::thread> workers;
+  workers.reserve(config_.shards);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    workers.emplace_back([&, s] {
+      const auto begin = std::chrono::steady_clock::now();
+      const double cpu_begin = thread_cpu_seconds();
+      try {
+        reports[s] = main(s, placed[s]);
+      } catch (...) {
+        failures[s] = std::current_exception();
+      }
+      reports[s].busy_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count();
+      reports[s].cpu_seconds = thread_cpu_seconds() - cpu_begin;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const auto& failure : failures) {
+    if (failure != nullptr) std::rethrow_exception(failure);
+  }
+
+  RunReport merged;
+  merged.wall_seconds = wall;
+  merged.shards = std::move(reports);
+  for (const ShardReport& shard : merged.shards) {
+    merged.net += shard.net;
+    merged.sim_events += shard.sim_events;
+    merged.deliveries += shard.deliveries;
+    merged.max_shard_busy_seconds =
+        std::max(merged.max_shard_busy_seconds, shard.busy_seconds);
+    merged.max_shard_cpu_seconds =
+        std::max(merged.max_shard_cpu_seconds, shard.cpu_seconds);
+  }
+  return merged;
+}
+
+}  // namespace svs::runtime

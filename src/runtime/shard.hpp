@@ -1,0 +1,122 @@
+// Multi-group shard scaling (DESIGN.md §8).
+//
+// One SVS group is inherently serial: its simulator is a single event loop
+// and its state is thread-confined.  The paper's "millions of users" story
+// is therefore *many groups* — independent rooms/channels/cells — and the
+// scaling axis is placing those groups across cores.  This module is that
+// placement layer:
+//
+//   * HashRing — deterministic consistent hashing with virtual nodes.
+//     Group keys map to shards; growing the ring from N to N+1 shards only
+//     moves keys onto the new shard (≈ 1/(N+1) of them), never between
+//     surviving shards, so a resize does not reshuffle the world.
+//   * ShardedRunner — spawns one worker thread per shard, hands each the
+//     keys the ring placed on it, and runs the caller's ShardMain there.
+//     Each shard builds its own simulator, transport and groups inside its
+//     worker (single ownership, no shared mutable state, per-thread
+//     allocator pools stay local), and returns a ShardReport; the runner
+//     merges them (NetworkStats::operator+=) into one RunReport.
+//
+// Because shards share nothing, per-shard counters sum exactly to what an
+// unsharded run of the same groups produces (tests/shard_test.cpp pins
+// this), and aggregate throughput scales with cores up to the machine's
+// parallelism (bench_shard_scaling measures it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace svs::runtime {
+
+/// Deterministic consistent-hash ring (virtual-node flavour).  Hashing is
+/// seed-free splitmix64 mixing — placement is identical across platforms
+/// and runs, which the deterministic benches and tests rely on.
+class HashRing {
+ public:
+  explicit HashRing(std::uint32_t shards, std::uint32_t vnodes_per_shard = 64);
+
+  /// The shard owning `key` (the first ring point at or after the key's
+  /// hash, wrapping).
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t key) const;
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+  std::vector<Point> ring_;  // sorted by hash
+  std::uint32_t shards_;
+};
+
+/// What one shard's worker hands back after running its groups.
+struct ShardReport {
+  net::NetworkStats net;         // the shard transport's counters
+  std::uint64_t sim_events = 0;  // events its simulator executed
+  std::uint64_t deliveries = 0;  // application-level deliveries (optional)
+  double busy_seconds = 0.0;     // wall time the worker spent in ShardMain
+  /// CPU time the worker thread consumed in ShardMain.  Unlike
+  /// busy_seconds this excludes time-slicing waits, so it stays meaningful
+  /// when the machine has fewer cores than shards.
+  double cpu_seconds = 0.0;
+};
+
+/// The merged result of one ShardedRunner::run.
+struct RunReport {
+  net::NetworkStats net;  // counter-wise sum over all shards
+  std::uint64_t sim_events = 0;
+  std::uint64_t deliveries = 0;
+  /// Start-to-last-join wall time.  On a machine with >= shards cores this
+  /// approaches max_shard_busy_seconds; on fewer cores the workers time-
+  /// slice and it approaches the sum instead.
+  double wall_seconds = 0.0;
+  /// The critical path if every shard had its own core — what the wall
+  /// clock converges to with enough hardware parallelism (shards share no
+  /// state, so nothing else serializes them).
+  double max_shard_busy_seconds = 0.0;
+  /// Same critical path measured in per-thread CPU time: immune to
+  /// time-slicing, so it is the scaling signal to trust when the machine
+  /// has fewer cores than shards.
+  double max_shard_cpu_seconds = 0.0;
+  std::vector<ShardReport> shards;  // per-shard breakdown, indexed by shard
+};
+
+/// Places group keys on shards and runs a worker thread per shard.
+class ShardedRunner {
+ public:
+  struct Config {
+    std::uint32_t shards = 1;
+    std::uint32_t vnodes_per_shard = 64;
+  };
+
+  /// Runs on the shard's worker thread with the keys placed there (possibly
+  /// none).  Builds its own simulator/transport/groups — nothing crosses
+  /// threads except the returned report.
+  using ShardMain = std::function<ShardReport(
+      std::uint32_t shard, std::span<const std::uint64_t> keys)>;
+
+  explicit ShardedRunner(Config config);
+
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+
+  /// keys[i] -> per-shard key lists (index = shard), ring placement order
+  /// preserved within a shard.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> place(
+      std::span<const std::uint64_t> keys) const;
+
+  /// Places `keys`, spawns one thread per shard, runs `main` on each, joins
+  /// and merges.  A ShardMain exception is rethrown here after every worker
+  /// joined.
+  RunReport run(std::span<const std::uint64_t> keys, const ShardMain& main);
+
+ private:
+  Config config_;
+  HashRing ring_;
+};
+
+}  // namespace svs::runtime

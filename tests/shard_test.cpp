@@ -1,0 +1,190 @@
+// runtime/shard.hpp: consistent-hash placement and the sharded runner.
+//
+// The load-bearing property: shards share nothing, so per-shard transport
+// counters sum to exactly what an unsharded run of the same groups
+// produces — byte accounting is placement-invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/group.hpp"
+#include "obs/relation.hpp"
+#include "runtime/shard.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace svs;
+
+TEST(HashRing, DeterministicAndTotal) {
+  const runtime::HashRing a(4);
+  const runtime::HashRing b(4);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const std::uint32_t shard = a.shard_of(key);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, b.shard_of(key)) << "placement must be deterministic";
+  }
+}
+
+TEST(HashRing, SpreadsKeysAcrossShards) {
+  const runtime::HashRing ring(4);
+  std::vector<std::size_t> counts(4, 0);
+  for (std::uint64_t key = 0; key < 4000; ++key) ++counts[ring.shard_of(key)];
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    // 64 vnodes keep the split well away from degenerate; expect every
+    // shard to hold at least a tenth of a fair share.
+    EXPECT_GT(counts[s], 100u) << "shard " << s << " is starved";
+  }
+}
+
+TEST(HashRing, SmallSequentialKeysDoNotPileOntoShardZero) {
+  // Regression: keys and vnode ids share the mix function, so without
+  // domain separation key k == (0 << 32) | vnode hashed exactly onto a
+  // shard-0 ring point — keys 1..vnodes_per_shard all landed on shard 0.
+  const runtime::HashRing ring(4);
+  std::vector<std::size_t> counts(4, 0);
+  for (std::uint64_t key = 0; key <= 64; ++key) ++counts[ring.shard_of(key)];
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_GT(counts[s], 0u) << "shard " << s << " got no small keys";
+    EXPECT_LT(counts[s], 40u) << "small keys piled onto shard " << s;
+  }
+}
+
+TEST(HashRing, GrowthOnlyMovesKeysToTheNewShard) {
+  // The consistent-hashing contract: adding shard N+1 steals ranges for
+  // itself; no key moves between surviving shards.
+  for (std::uint32_t n = 1; n < 8; ++n) {
+    const runtime::HashRing before(n);
+    const runtime::HashRing after(n + 1);
+    std::size_t moved = 0;
+    for (std::uint64_t key = 0; key < 2000; ++key) {
+      const std::uint32_t was = before.shard_of(key);
+      const std::uint32_t is = after.shard_of(key);
+      if (was != is) {
+        EXPECT_EQ(is, n) << "key " << key
+                         << " moved between surviving shards";
+        ++moved;
+      }
+    }
+    EXPECT_GT(moved, 0u) << "the new shard took nothing";
+    // ~1/(n+1) of keys should move; allow a generous factor for hash noise.
+    EXPECT_LT(moved, 2000u * 3 / (n + 1)) << "growth reshuffled too much";
+  }
+}
+
+TEST(ShardedRunner, PlacePartitionsEveryKey) {
+  runtime::ShardedRunner runner({.shards = 4});
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 100; k < 200; ++k) keys.push_back(k);
+  const auto placed = runner.place(keys);
+  ASSERT_EQ(placed.size(), 4u);
+  std::multiset<std::uint64_t> seen;
+  for (const auto& shard_keys : placed) {
+    seen.insert(shard_keys.begin(), shard_keys.end());
+  }
+  EXPECT_EQ(seen, std::multiset<std::uint64_t>(keys.begin(), keys.end()));
+}
+
+TEST(ShardedRunner, RunsEveryShardOnItsOwnThread) {
+  runtime::ShardedRunner runner({.shards = 3});
+  const std::vector<std::uint64_t> keys{1, 2, 3, 4, 5, 6};
+  std::vector<std::thread::id> thread_ids(3);
+  const auto report = runner.run(
+      keys, [&](std::uint32_t shard, std::span<const std::uint64_t> mine) {
+        thread_ids[shard] = std::this_thread::get_id();
+        runtime::ShardReport r;
+        r.sim_events = mine.size();
+        return r;
+      });
+  EXPECT_EQ(report.sim_events, keys.size());
+  ASSERT_EQ(report.shards.size(), 3u);
+  const std::set<std::thread::id> distinct(thread_ids.begin(),
+                                           thread_ids.end());
+  EXPECT_EQ(distinct.size(), 3u) << "workers must not share threads";
+  EXPECT_EQ(distinct.count(std::this_thread::get_id()), 0u);
+  for (const auto& shard : report.shards) {
+    EXPECT_GE(shard.busy_seconds, 0.0);
+  }
+}
+
+TEST(ShardedRunner, RethrowsShardFailures) {
+  runtime::ShardedRunner runner({.shards = 2});
+  const std::vector<std::uint64_t> keys{1, 2, 3};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      runner.run(keys,
+                 [&](std::uint32_t shard, std::span<const std::uint64_t>) {
+                   ++ran;
+                   if (shard == 1) throw std::runtime_error("shard 1 died");
+                   return runtime::ShardReport{};
+                 }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 2) << "every worker still joined";
+}
+
+class NullPayload final : public core::Payload {
+ public:
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+/// Runs the flood for every group key handed to a shard: each group is its
+/// own simulator + transport, so the workload is a pure function of the
+/// key, independent of which shard (or how many shards) runs it.
+runtime::ShardReport flood_groups(std::span<const std::uint64_t> keys) {
+  runtime::ShardReport report;
+  for (const std::uint64_t key : keys) {
+    sim::Simulator sim;
+    core::Group::Config cfg;
+    cfg.size = 3;
+    cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+    cfg.auto_membership = false;
+    core::Group group(sim, cfg);
+    const auto payload = std::make_shared<NullPayload>();
+    const int multicasts = 20 + static_cast<int>(key % 7);
+    for (int i = 0; i < multicasts; ++i) {
+      group.node(0).multicast(payload, obs::Annotation::none());
+      sim.run();
+      for (std::size_t n = 0; n < cfg.size; ++n) {
+        while (group.node(n).try_deliver().has_value()) {
+          ++report.deliveries;
+        }
+      }
+    }
+    report.net += group.network().stats();
+    report.sim_events += sim.executed();
+  }
+  return report;
+}
+
+TEST(ShardedRunner, PerShardCountersSumToUnshardedTotals) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 12; ++k) keys.push_back(k * 37 + 5);
+
+  runtime::ShardedRunner single({.shards = 1});
+  runtime::ShardedRunner four({.shards = 4});
+  const auto main = [](std::uint32_t, std::span<const std::uint64_t> mine) {
+    return flood_groups(mine);
+  };
+  const auto unsharded = single.run(keys, main);
+  const auto sharded = four.run(keys, main);
+
+  EXPECT_EQ(sharded.net.sent, unsharded.net.sent);
+  EXPECT_EQ(sharded.net.delivered, unsharded.net.delivered);
+  EXPECT_EQ(sharded.net.bytes_sent, unsharded.net.bytes_sent);
+  EXPECT_EQ(sharded.net.bytes_delivered, unsharded.net.bytes_delivered);
+  EXPECT_EQ(sharded.net.bytes_purged, unsharded.net.bytes_purged);
+  EXPECT_EQ(sharded.sim_events, unsharded.sim_events);
+  EXPECT_EQ(sharded.deliveries, unsharded.deliveries);
+
+  // And the per-shard rows really are a partition of the total.
+  net::NetworkStats resummed;
+  for (const auto& shard : sharded.shards) resummed += shard.net;
+  EXPECT_EQ(resummed.bytes_sent, unsharded.net.bytes_sent);
+  EXPECT_EQ(resummed.delivered, unsharded.net.delivered);
+}
+
+}  // namespace

@@ -1,0 +1,333 @@
+// Regression gate over two BENCH_*.json files.
+//
+// Compares one numeric metric (dotted key path into nested objects) between
+// a committed baseline and a fresh run, and fails when the candidate fell
+// more than the tolerance below the baseline (higher-is-better).  CI runs
+// it after the Release bench job against bench/baseline/, so a multicast
+// hot-path regression breaks the build instead of silently eroding the
+// flood headroom the perf PRs bought.
+//
+// Usage:
+//   bench_compare <baseline.json> <candidate.json>
+//                 [--key=multicast_flood.events_per_second]
+//                 [--tolerance=0.05]
+//
+// Exit codes: 0 = within tolerance (or improved), 1 = regression,
+//             2 = usage / file / parse / missing-key error.
+//
+// The parser below handles exactly what bench/json.hpp emits (objects,
+// arrays, strings with simple escapes, numbers, bools, null) — it is a
+// reader for our own writer, not a general JSON library.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// minimal JSON
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { object, array, string, number, boolean, null };
+  Kind kind = Kind::null;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+  std::vector<std::shared_ptr<JsonValue>> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  /// Throws std::runtime_error with position context on malformed input.
+  JsonPtr parse() {
+    const JsonPtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "JSON error at offset " << pos_ << ": " << what;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonPtr object() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v->object[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonPtr array() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v->array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: fail(std::string("unsupported escape \\") + e);
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonPtr string_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::string;
+    v->string = raw_string();
+    return v;
+  }
+
+  JsonPtr boolean() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::boolean;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonPtr null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::null;
+    return v;
+  }
+
+  JsonPtr number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::number;
+    try {
+      v->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// comparison
+// ---------------------------------------------------------------------------
+
+/// Walks a dotted path ("multicast_flood.events_per_second") into nested
+/// objects; returns nullptr when any hop is missing.
+JsonPtr lookup(const JsonPtr& root, const std::string& path) {
+  JsonPtr node = root;
+  std::size_t begin = 0;
+  while (node != nullptr && begin <= path.size()) {
+    const std::size_t dot = path.find('.', begin);
+    const std::string key = path.substr(
+        begin, dot == std::string::npos ? std::string::npos : dot - begin);
+    if (node->kind != JsonValue::Kind::object) return nullptr;
+    const auto it = node->object.find(key);
+    if (it == node->object.end()) return nullptr;
+    node = it->second;
+    if (dot == std::string::npos) return node;
+    begin = dot + 1;
+  }
+  return nullptr;
+}
+
+JsonPtr load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return Parser(buffer.str()).parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), e.what());
+    return nullptr;
+  }
+}
+
+std::string meta_sha(const JsonPtr& root) {
+  const JsonPtr sha = lookup(root, "meta.git_sha");
+  return sha != nullptr && sha->kind == JsonValue::Kind::string ? sha->string
+                                                                : "unknown";
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare <baseline.json> <candidate.json>\n"
+      "                     [--key=multicast_flood.events_per_second]\n"
+      "                     [--tolerance=0.05]\n"
+      "Fails (exit 1) when candidate < baseline * (1 - tolerance);\n"
+      "the metric is higher-is-better.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string key = "multicast_flood.events_per_second";
+  double tolerance = 0.05;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--key=", 0) == 0) {
+      key = arg.substr(6);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      char* end = nullptr;
+      tolerance = std::strtod(arg.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || tolerance < 0.0 ||
+          tolerance >= 1.0) {
+        std::fprintf(stderr, "bench_compare: bad tolerance '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2 || key.empty()) return usage();
+
+  const JsonPtr baseline = load(files[0]);
+  const JsonPtr candidate = load(files[1]);
+  if (baseline == nullptr || candidate == nullptr) return 2;
+
+  const JsonPtr base_value = lookup(baseline, key);
+  const JsonPtr cand_value = lookup(candidate, key);
+  for (const auto& [name, value] :
+       {std::pair{files[0], base_value}, std::pair{files[1], cand_value}}) {
+    if (value == nullptr || value->kind != JsonValue::Kind::number) {
+      std::fprintf(stderr, "bench_compare: %s: no numeric key '%s'\n",
+                   name.c_str(), key.c_str());
+      return 2;
+    }
+  }
+  if (base_value->number <= 0.0) {
+    std::fprintf(stderr, "bench_compare: baseline %s is not positive\n",
+                 key.c_str());
+    return 2;
+  }
+
+  const double ratio = cand_value->number / base_value->number;
+  const double floor = 1.0 - tolerance;
+  const bool ok = ratio >= floor;
+  std::printf(
+      "bench_compare: %s\n  baseline  %.6g  (%s, git %s)\n"
+      "  candidate %.6g  (%s, git %s)\n  ratio %.4f (floor %.4f)  -> %s\n",
+      key.c_str(), base_value->number, files[0].c_str(),
+      meta_sha(baseline).c_str(), cand_value->number, files[1].c_str(),
+      meta_sha(candidate).c_str(), ratio, floor,
+      ok ? "OK" : "REGRESSION");
+  return ok ? 0 : 1;
+}
