@@ -351,6 +351,56 @@ bench::JsonObject measure_events_per_second() {
   return o;
 }
 
+/// Real-socket flood: the multicast_flood loop, but every delivery crosses
+/// the kernel as a UDP datagram and comes back through the reliable lane
+/// (all-local sync crossing, so the protocol history is bit-identical to
+/// the sim backend).  Reports the end-to-end event rate over real sockets
+/// plus the lane's own economy: datagrams and ack bytes per multicast, and
+/// the encode-once reuse counters.  Loopback loses nothing, so
+/// retransmissions stay near zero — the odd one is a scheduling stall
+/// outliving the RTO, repaired and counted as a duplicate drop.
+bench::JsonObject measure_udp_loopback_flood() {
+  constexpr int kMulticasts = 4'000;
+  constexpr std::size_t kNodes = 5;
+  const bench::WallClock wall;
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = kNodes;
+  cfg.backend = core::Group::Backend::udp;
+  cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+  cfg.auto_membership = false;
+  core::Group group(sim, cfg);
+  const auto payload = std::make_shared<NullPayload>();
+  for (int i = 0; i < kMulticasts; ++i) {
+    group.node(0).multicast(payload, obs::Annotation::none());
+    sim.run();
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      while (group.node(n).try_deliver().has_value()) {
+      }
+    }
+  }
+  const double seconds = wall.seconds();
+  const auto lane = group.udp()->lane_stats();
+  bench::JsonObject o;
+  o.add("multicasts", static_cast<double>(kMulticasts))
+      .add("sim_events", static_cast<double>(sim.executed()))
+      .add("wall_seconds", seconds)
+      .add("events_per_second",
+           seconds > 0.0 ? static_cast<double>(sim.executed()) / seconds
+                         : 0.0)
+      .add("datagrams_per_multicast",
+           static_cast<double>(lane.datagrams_sent) / kMulticasts)
+      .add("datagram_bytes_sent",
+           static_cast<double>(lane.datagram_bytes_sent))
+      .add("ack_bytes", static_cast<double>(lane.ack_bytes))
+      .add("frames_delivered", static_cast<double>(lane.frames_delivered))
+      .add("frame_encodes", static_cast<double>(lane.frame_encodes))
+      .add("frame_reuses", static_cast<double>(lane.frame_reuses))
+      .add("retransmissions", static_cast<double>(lane.retransmissions))
+      .add("duplicate_drops", static_cast<double>(lane.duplicate_drops));
+  return o;
+}
+
 /// Scenario-explorer throughput: full seed-derived fault-injected scenarios
 /// (group + consumers + fault plan + SpecChecker + quiescence drive) per
 /// wall second, and the simulator event rate achieved inside them.  This is
@@ -506,6 +556,7 @@ int main(int argc, char** argv) {
       .raw("fanout_scaling", fanout.render())
       .raw("net_fanout_scaling", net_fanout.render())
       .raw("multicast_flood", measure_events_per_second().render())
+      .raw("udp_loopback_flood", measure_udp_loopback_flood().render())
       .raw("explorer_throughput", measure_explorer_throughput().render())
       .raw("stability_debt", measure_stability_debt().render())
       .add("wall_seconds", wall.seconds());

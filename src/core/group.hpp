@@ -13,6 +13,7 @@
 #include "fd/oracle.hpp"
 #include "net/loopback.hpp"
 #include "net/network.hpp"
+#include "net/udp_transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace svs::core {
@@ -26,6 +27,9 @@ class Group {
     sim,                // in-memory simulated fabric (the default)
     threaded_loopback,  // every delivery encoded, moved across a wire
                         // thread as bytes, and decoded fresh
+    udp,                // every delivery shipped through the kernel as a
+                        // real UDP datagram, recovered by the reliable
+                        // lane (net/udp_transport.hpp, all-local mode)
   };
 
   struct Config {
@@ -33,6 +37,13 @@ class Group {
     NodeConfig node;  // template applied to every node
     net::Network::Config network;
     Backend backend = Backend::sim;
+    /// Backend::udp: reliable-lane tuning and socket-boundary loss.
+    net::ReliableLink::Config udp_link;
+    double udp_loss_rate = 0.0;
+    std::uint64_t udp_lane_seed = 0x0DD5'0CE7;
+    /// Backend::udp: if > 0, shrink every socket's SO_RCVBUF (kernel-drop
+    /// stress mode).
+    int udp_rcvbuf_bytes = 0;
     FdKind fd_kind = FdKind::oracle;
     /// Oracle detection delay (crash -> suspicion).
     sim::Duration oracle_delay = sim::Duration::millis(30);
@@ -59,9 +70,13 @@ class Group {
     return policies_.empty() ? nullptr : policies_.at(i).get();
   }
   [[nodiscard]] net::Transport& network() { return *network_; }
-  /// The loopback backend's wire telemetry; null on the sim backend.
+  /// The loopback backend's wire telemetry; null on the other backends.
   [[nodiscard]] net::ThreadedLoopback* loopback() {
     return dynamic_cast<net::ThreadedLoopback*>(network_.get());
+  }
+  /// The UDP backend's lane telemetry and sockets; null on the others.
+  [[nodiscard]] net::UdpTransport* udp() {
+    return dynamic_cast<net::UdpTransport*>(network_.get());
   }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 

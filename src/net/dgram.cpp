@@ -1,0 +1,186 @@
+#include "net/dgram.hpp"
+
+#include "util/contracts.hpp"
+
+namespace svs::net {
+namespace {
+
+constexpr std::uint8_t kFlagVerdictValid = 0x01;
+constexpr std::uint8_t kFlagVerdictAccept = 0x02;
+constexpr std::uint8_t kFlagWindowProbe = 0x04;
+constexpr std::uint8_t kKnownFlags =
+    kFlagVerdictValid | kFlagVerdictAccept | kFlagWindowProbe;
+
+void write_ack(util::ByteWriter& w, const AckBlock& ack) {
+  w.u64(ack.cum);
+  SVS_REQUIRE(ack.sacks.size() <= Datagram::kMaxSackRanges,
+              "too many sack ranges for one datagram");
+  w.u64(ack.sacks.size());
+  // Delta-coded: each range starts at previous_end + gap + 1, so canonical
+  // (ascending, non-adjacent) sequences are the only encodable ones.
+  std::uint64_t prev_end = ack.cum;
+  for (const auto& r : ack.sacks) {
+    SVS_REQUIRE(r.first > prev_end + 1 && r.last >= r.first,
+                "sack ranges must be ascending and non-adjacent to cum");
+    w.u64(r.first - prev_end - 1);  // gap, >= 1
+    w.u64(r.last - r.first + 1);    // len, >= 1
+    prev_end = r.last;
+  }
+  w.u32(ack.window);
+  std::uint8_t flags = 0;
+  if (ack.verdict_valid) flags |= kFlagVerdictValid;
+  if (ack.verdict_accept) flags |= kFlagVerdictAccept;
+  if (ack.window_probe) flags |= kFlagWindowProbe;
+  w.u8(flags);
+  w.u64(ack.verdict_seq);
+}
+
+AckBlock read_ack(util::ByteReader& r) {
+  AckBlock ack;
+  ack.cum = r.u64();
+  const std::uint64_t count = r.u64();
+  SVS_REQUIRE(count <= Datagram::kMaxSackRanges,
+              "datagram sack range count out of bounds");
+  ack.sacks.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_end = ack.cum;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t gap = r.u64();
+    const std::uint64_t len = r.u64();
+    SVS_REQUIRE(gap >= 1 && len >= 1, "sack range gap and length must be >= 1");
+    AckBlock::Range range;
+    range.first = prev_end + gap + 1;
+    SVS_REQUIRE(range.first > prev_end, "sack range overflow");
+    range.last = range.first + len - 1;
+    SVS_REQUIRE(range.last >= range.first, "sack range overflow");
+    prev_end = range.last;
+    ack.sacks.push_back(range);
+  }
+  ack.window = r.u32();
+  const std::uint8_t flags = r.u8();
+  SVS_REQUIRE((flags & ~kKnownFlags) == 0, "unknown datagram flag bits");
+  ack.verdict_valid = (flags & kFlagVerdictValid) != 0;
+  ack.verdict_accept = (flags & kFlagVerdictAccept) != 0;
+  ack.window_probe = (flags & kFlagWindowProbe) != 0;
+  SVS_REQUIRE(ack.verdict_valid || !ack.verdict_accept,
+              "verdict_accept without verdict_valid");
+  ack.verdict_seq = r.u64();
+  SVS_REQUIRE(ack.verdict_valid || ack.verdict_seq == 0,
+              "verdict_seq without verdict_valid");
+  return ack;
+}
+
+void write_header(util::ByteWriter& w, Datagram::Kind kind) {
+  w.u8(Datagram::kMagic);
+  w.u8(static_cast<std::uint8_t>(kind));
+}
+
+}  // namespace
+
+util::Bytes Datagram::encode_data(std::uint32_t from, std::uint32_t to,
+                                  std::uint8_t lane, std::uint64_t seq,
+                                  const AckBlock& ack,
+                                  const util::Bytes& frame) {
+  SVS_REQUIRE(seq >= 1, "link sequence numbers start at 1");
+  SVS_REQUIRE(lane <= 1, "lane byte out of range");
+  util::ByteWriter w;
+  write_header(w, Kind::data);
+  w.u32(from);
+  w.u32(to);
+  w.u8(lane);
+  w.u64(seq);
+  write_ack(w, ack);
+  w.u64(frame.size());
+  w.bytes(frame.data(), frame.size());
+  return w.take();
+}
+
+util::Bytes Datagram::encode_ack(std::uint32_t from, std::uint32_t to,
+                                 std::uint8_t lane, const AckBlock& ack) {
+  SVS_REQUIRE(lane <= 1, "lane byte out of range");
+  util::ByteWriter w;
+  write_header(w, Kind::ack);
+  w.u32(from);
+  w.u32(to);
+  w.u8(lane);
+  write_ack(w, ack);
+  return w.take();
+}
+
+util::Bytes Datagram::encode_join(std::uint32_t id, std::uint16_t port) {
+  util::ByteWriter w;
+  write_header(w, Kind::join);
+  w.u32(id);
+  w.u32(port);
+  return w.take();
+}
+
+util::Bytes Datagram::encode_roster(
+    const std::vector<std::pair<std::uint32_t, std::uint16_t>>& members) {
+  SVS_REQUIRE(members.size() <= kMaxRoster, "roster too large for a datagram");
+  util::ByteWriter w;
+  write_header(w, Kind::roster);
+  w.u64(members.size());
+  for (const auto& [id, port] : members) {
+    w.u32(id);
+    w.u32(port);
+  }
+  return w.take();
+}
+
+Datagram Datagram::decode(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  SVS_REQUIRE(r.u8() == kMagic, "bad datagram magic");
+  const std::uint8_t kind_byte = r.u8();
+  SVS_REQUIRE(kind_byte >= 1 && kind_byte <= 4, "unknown datagram kind");
+  Datagram d;
+  d.kind = static_cast<Kind>(kind_byte);
+  switch (d.kind) {
+    case Kind::data: {
+      d.from = r.u32();
+      d.to = r.u32();
+      d.lane = r.u8();
+      SVS_REQUIRE(d.lane <= 1, "datagram lane byte out of range");
+      d.seq = r.u64();
+      SVS_REQUIRE(d.seq >= 1, "data datagram with zero link seq");
+      d.ack = read_ack(r);
+      const std::uint64_t len = r.u64();
+      SVS_REQUIRE(len == r.remaining(),
+                  "data datagram payload length mismatch");
+      d.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                       bytes.end());
+      r.skip(static_cast<std::size_t>(len));
+      break;
+    }
+    case Kind::ack: {
+      d.from = r.u32();
+      d.to = r.u32();
+      d.lane = r.u8();
+      SVS_REQUIRE(d.lane <= 1, "datagram lane byte out of range");
+      d.ack = read_ack(r);
+      break;
+    }
+    case Kind::join: {
+      d.join_id = r.u32();
+      const std::uint32_t port = r.u32();
+      SVS_REQUIRE(port >= 1 && port <= 65535, "join port out of range");
+      d.join_port = static_cast<std::uint16_t>(port);
+      break;
+    }
+    case Kind::roster: {
+      const std::uint64_t count = r.u64();
+      SVS_REQUIRE(count <= kMaxRoster, "roster count out of bounds");
+      d.roster.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint32_t id = r.u32();
+        const std::uint32_t port = r.u32();
+        SVS_REQUIRE(port >= 1 && port <= 65535, "roster port out of range");
+        d.roster.emplace_back(id, static_cast<std::uint16_t>(port));
+      }
+      break;
+    }
+  }
+  SVS_REQUIRE(r.exhausted(), "trailing bytes after datagram");
+  return d;
+}
+
+}  // namespace svs::net

@@ -1,0 +1,114 @@
+// Datagram framing for the UDP transport's reliable-delivery lane
+// (DESIGN.md §9).
+//
+// One UDP datagram carries exactly one Datagram.  The format sits *below*
+// net::Codec: a data datagram's payload is an opaque codec frame (the same
+// refcounted buffer the loopback wire ships), wrapped in the link-lane
+// header that makes the datagram channel reliable — a per-(link, lane)
+// sequence number plus a piggybacked acknowledgement block.
+//
+//   byte 0   magic 0xD6
+//   byte 1   kind            data=1  ack=2  join=3  roster=4
+//   data:    from, to (varint raw ProcessIds), lane u8, seq (varint, >= 1),
+//            AckBlock, payload_len (varint, == remaining), payload bytes
+//   ack:     from, to, lane u8, AckBlock
+//   join:    id (varint), port (varint, <= 65535)
+//   roster:  count (varint, <= kMaxRoster), then per member id + port
+//
+// The AckBlock always describes the link flowing in the OPPOSITE direction
+// of the datagram that carries it (the receiver's view of sender->receiver
+// traffic): cumulative frontier, up to kMaxSackRanges delta-coded selective
+// ranges strictly above it, the advertised receive window, and an optional
+// delivery verdict (the all-local backend's synchronous accept/refuse
+// round-trip — udp_transport.hpp).
+//
+//   cum (varint), sack_count (varint), per range gap + len (varints, both
+//   >= 1; range starts at previous_end + gap + 1), window (varint),
+//   flags u8, verdict_seq (varint)
+//
+// Decoding is hardened for untrusted bytes exactly like net::Codec
+// (tests/codec_test.cpp fuzzes it): bad magic, unknown kinds or flag bits,
+// zero seqs, out-of-bound ports and counts, non-canonical sack ranges,
+// payload length mismatches and trailing garbage all throw
+// util::ContractViolation — a hostile datagram can be dropped, never
+// corrupt link state.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+#include "util/bytes.hpp"
+
+namespace svs::net {
+
+/// Acknowledgement state piggybacked on (or sent as) a datagram.
+struct AckBlock {
+  struct Range {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;  // inclusive
+  };
+
+  /// Every seq <= cum has been received.
+  std::uint64_t cum = 0;
+  /// Received runs strictly above cum + 1, ascending and non-adjacent.
+  std::vector<Range> sacks;
+  /// Receive window the peer may keep in flight (0 = stalled; the sender
+  /// probes until it reopens).
+  std::uint32_t window = 0;
+  /// Synchronous-crossing verdict: whether the frame with link seq
+  /// `verdict_seq` was accepted by the endpoint (all-local backend only).
+  bool verdict_valid = false;
+  bool verdict_accept = false;
+  /// Zero-window probe: "reply with your current ack state".
+  bool window_probe = false;
+  std::uint64_t verdict_seq = 0;
+};
+
+/// One decoded UDP datagram.  Kind-specific fields are zero/empty for the
+/// other kinds.
+struct Datagram {
+  enum class Kind : std::uint8_t {
+    data = 1,    // reliable-lane frame + piggybacked ack
+    ack = 2,     // pure acknowledgement / window update / probe
+    join = 3,    // pre-protocol: "process `id` listens on `port`"
+    roster = 4,  // pre-protocol: the introducer's full membership list
+  };
+
+  static constexpr std::uint8_t kMagic = 0xD6;
+  static constexpr std::size_t kMaxSackRanges = 64;
+  static constexpr std::size_t kMaxRoster = 1024;
+
+  Kind kind = Kind::data;
+  std::uint32_t from = 0;  // raw ProcessId values (data / ack)
+  std::uint32_t to = 0;
+  std::uint8_t lane = 0;  // net::Lane as a byte (data / ack)
+  std::uint64_t seq = 0;  // link sequence number (data; >= 1)
+  AckBlock ack;           // data / ack
+  util::Bytes payload;    // data: one net::Codec frame
+  std::uint32_t join_id = 0;    // join
+  std::uint16_t join_port = 0;  // join
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> roster;  // roster
+
+  [[nodiscard]] static util::Bytes encode_data(std::uint32_t from,
+                                               std::uint32_t to,
+                                               std::uint8_t lane,
+                                               std::uint64_t seq,
+                                               const AckBlock& ack,
+                                               const util::Bytes& frame);
+  [[nodiscard]] static util::Bytes encode_ack(std::uint32_t from,
+                                              std::uint32_t to,
+                                              std::uint8_t lane,
+                                              const AckBlock& ack);
+  [[nodiscard]] static util::Bytes encode_join(std::uint32_t id,
+                                               std::uint16_t port);
+  [[nodiscard]] static util::Bytes encode_roster(
+      const std::vector<std::pair<std::uint32_t, std::uint16_t>>& members);
+
+  /// Decodes one datagram; requires full consumption of `bytes`.  Throws
+  /// util::ContractViolation on any malformation.
+  [[nodiscard]] static Datagram decode(const util::Bytes& bytes);
+};
+
+}  // namespace svs::net

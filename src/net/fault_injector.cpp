@@ -80,6 +80,20 @@ FaultInjector::SendFault PlannedFaultInjector::on_send(ProcessId from,
           if (++armed.data_seen == f.param) dropped = true;
         }
         break;
+      case sim::FaultKind::loss:
+        // Reliable-channel loss: the message still arrives, but every lost
+        // transmission costs one retransmission timeout.  The number of
+        // losses before the first success is geometric in the loss
+        // probability.  Self-links are exempt — loopback traffic never
+        // crosses the wire.
+        if (from != to && f.active_at(now) &&
+            (f.a == sim::FaultSpec::kAllLinks || on_link(f, from, to))) {
+          const auto lost = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+              armed.rng.geometric(1.0 - f.probability), 64));
+          fault.losses += lost;
+          fault.extra_delay += f.magnitude * static_cast<std::int64_t>(lost);
+        }
+        break;
       case sim::FaultKind::crash:
       case sim::FaultKind::pause_receiver:
         break;  // not enqueue-time faults

@@ -52,6 +52,10 @@ class FaultInjector {
     /// Copies to enqueue: 1 = deliver normally, 2+ = duplicate, 0 = drop
     /// (out-of-model: breaks the reliable-channel assumption).
     std::uint32_t copies = 1;
+    /// Lost transmissions recovered by retransmission (FaultKind::loss):
+    /// their recovery latency is already folded into extra_delay; this count
+    /// only feeds NetworkStats::injected_losses.
+    std::uint32_t losses = 0;
   };
 
   /// Consulted once per (message, destination) at enqueue time.

@@ -60,6 +60,7 @@ void Network::enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
     }
     copies = fault.copies;
     stats_.injected_duplicates += copies - 1;
+    stats_.injected_losses += fault.losses;
     injected = fault.extra_delay;
   }
 

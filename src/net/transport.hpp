@@ -78,6 +78,9 @@ struct NetworkStats {
   std::uint64_t injected_duplicates = 0;
   std::uint64_t injected_drops = 0;
   std::uint64_t injected_pauses = 0;
+  /// Lost transmissions modeled by in-model loss faults (each one costs a
+  /// retransmission delay; the message still arrives — reliable channels).
+  std::uint64_t injected_losses = 0;
 
   /// Counter-wise sum — how the ShardedRunner merges per-shard transports
   /// into one report (runtime/shard.hpp).  Every field is a monotone count,
@@ -96,6 +99,7 @@ struct NetworkStats {
     injected_duplicates += o.injected_duplicates;
     injected_drops += o.injected_drops;
     injected_pauses += o.injected_pauses;
+    injected_losses += o.injected_losses;
     return *this;
   }
 };

@@ -1,0 +1,151 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace svs::net {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw util::ContractViolation(std::string(what) + ": " +
+                                std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) fail("socket(AF_INET, SOCK_DGRAM)");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    close_fd();
+    fail("fcntl(O_NONBLOCK)");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    close_fd();
+    fail("bind(127.0.0.1)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    close_fd();
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpSocket::~UdpSocket() { close_fd(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void UdpSocket::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void UdpSocket::set_rcvbuf(int bytes) {
+  SVS_REQUIRE(fd_ >= 0, "socket closed");
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes) < 0) {
+    fail("setsockopt(SO_RCVBUF)");
+  }
+}
+
+int UdpSocket::rcvbuf() const {
+  SVS_REQUIRE(fd_ >= 0, "socket closed");
+  int bytes = 0;
+  socklen_t len = sizeof bytes;
+  if (::getsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, &len) < 0) {
+    fail("getsockopt(SO_RCVBUF)");
+  }
+  return bytes;
+}
+
+bool UdpSocket::send_to(std::uint16_t port, const std::uint8_t* data,
+                        std::size_t size) {
+  SVS_REQUIRE(fd_ >= 0, "socket closed");
+  const sockaddr_in addr = loopback_addr(port);
+  const ssize_t n =
+      ::sendto(fd_, data, size, 0, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr);
+  if (n < 0) {
+    // A full send buffer (or a transient kernel refusal) is just datagram
+    // loss as far as the reliability lane is concerned.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+        errno == ECONNREFUSED || errno == EPERM) {
+      return false;
+    }
+    fail("sendto(127.0.0.1)");
+  }
+  return static_cast<std::size_t>(n) == size;
+}
+
+bool UdpSocket::recv(util::Bytes& buffer) {
+  SVS_REQUIRE(fd_ >= 0, "socket closed");
+  // 64 KiB covers any UDP payload; resize down to the actual datagram.
+  buffer.resize(65536);
+  const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+  if (n < 0) {
+    buffer.clear();
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNREFUSED) {
+      return false;
+    }
+    fail("recv");
+  }
+  buffer.resize(static_cast<std::size_t>(n));
+  return true;
+}
+
+bool UdpSocket::wait_readable(std::span<const int> fds,
+                              std::int64_t timeout_us) {
+  std::vector<pollfd> polls;
+  polls.reserve(fds.size());
+  for (const int fd : fds) polls.push_back(pollfd{fd, POLLIN, 0});
+  const int timeout_ms =
+      timeout_us <= 0 ? 0 : static_cast<int>((timeout_us + 999) / 1000);
+  const int n = ::poll(polls.data(), polls.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return false;
+    fail("poll");
+  }
+  return n > 0;
+}
+
+}  // namespace svs::net

@@ -1,0 +1,64 @@
+// Thin RAII wrapper over a non-blocking IPv4 UDP socket bound to localhost.
+//
+// The UDP transport (udp_transport.hpp) only ever talks 127.0.0.1: the
+// multi-process harness deploys every group member on one host and
+// addresses peers by port, so the socket surface is deliberately narrow —
+// bind loopback, sendto a port, non-blocking recv, poll for readability.
+// Everything that can fail throws util::ContractViolation with errno text;
+// there is no partial-failure state to handle at call sites.
+//
+// SO_RCVBUF is exposed as a knob because shrinking it is the honest way to
+// force *kernel-level* datagram loss on loopback (the SO_RCVBUF-starved
+// stress mode of tests/udp_test.cpp): the reliability lane must recover
+// losses it cannot even observe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace svs::net {
+
+class UdpSocket {
+ public:
+  /// Creates a non-blocking socket bound to 127.0.0.1:`port` (0 = kernel
+  /// picks an ephemeral port).  Throws util::ContractViolation on failure.
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Shrinks (or grows) the kernel receive buffer.  The kernel clamps to
+  /// its own minimum; rcvbuf() reports what actually took effect.
+  void set_rcvbuf(int bytes);
+  [[nodiscard]] int rcvbuf() const;
+
+  /// Sends one datagram to 127.0.0.1:`port`.  Returns false if the kernel
+  /// transiently refused it (full send buffer — the caller's retransmission
+  /// lane covers it, like any other lost datagram).
+  bool send_to(std::uint16_t port, const std::uint8_t* data, std::size_t size);
+
+  /// Non-blocking receive of one datagram into `buffer` (resized to the
+  /// datagram's length).  Returns false when nothing is queued.
+  bool recv(util::Bytes& buffer);
+
+  /// Blocks until any of `fds` is readable or `timeout_us` elapses.
+  /// Returns true when at least one is readable.
+  static bool wait_readable(std::span<const int> fds, std::int64_t timeout_us);
+
+ private:
+  void close_fd() noexcept;
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace svs::net

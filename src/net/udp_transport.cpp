@@ -1,0 +1,627 @@
+#include "net/udp_transport.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "net/codec.hpp"
+#include "net/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/contracts.hpp"
+
+namespace svs::net {
+namespace {
+
+constexpr std::uint8_t lane_byte_of(Lane lane) {
+  return lane == Lane::data ? 0 : 1;
+}
+
+constexpr Lane lane_of(std::uint8_t lane_byte) {
+  return lane_byte == 0 ? Lane::data : Lane::control;
+}
+
+/// Pacing of zero-window probes (real time): fast enough that a reopened
+/// receiver resumes promptly, slow enough not to flood a stalled one.
+constexpr std::int64_t kProbeIntervalUs = 100'000;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DatagramLossModel
+
+void DatagramLossModel::set_link_rate(std::uint32_t from, std::uint32_t to,
+                                      double rate) {
+  SVS_REQUIRE(rate >= 0.0 && rate < 1.0, "loss rate out of [0, 1)");
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  links_[key].rate = rate;
+}
+
+bool DatagramLossModel::drop(std::uint32_t from, std::uint32_t to) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  const auto it = links_.find(key);
+  const double rate =
+      (it != links_.end() && it->second.rate) ? *it->second.rate : default_rate_;
+  if (rate <= 0.0) return false;
+  LinkState& state = links_[key];
+  if (!state.rng) state.rng = sim::Rng::stream(seed_, key);
+  return state.rng->chance(rate);
+}
+
+// ---------------------------------------------------------------------------
+// ReliableLink
+
+namespace {
+
+/// RTO with +/- 25% jitter, so synchronized links desynchronize their
+/// retransmission bursts.
+std::int64_t jittered(sim::Rng& rng, std::int64_t rto_us) {
+  const std::int64_t quarter = rto_us / 4;
+  return rto_us - quarter +
+         static_cast<std::int64_t>(
+             rng.below(static_cast<std::uint64_t>(2 * quarter + 1)));
+}
+
+}  // namespace
+
+std::uint64_t ReliableLink::stage(FramePtr frame, std::int64_t now_us) {
+  SVS_REQUIRE(!dead_, "staging a frame on a dead link");
+  InFlight f;
+  f.seq = next_seq_++;
+  f.frame = std::move(frame);
+  f.rto_us = config_.rto_base_us;
+  f.deadline_us = now_us + jittered(rng_, f.rto_us);
+  in_flight_.push_back(std::move(f));
+  return in_flight_.back().seq;
+}
+
+const FramePtr* ReliableLink::frame_of(std::uint64_t seq) const {
+  for (const InFlight& f : in_flight_) {
+    if (f.seq == seq) return &f.frame;
+  }
+  return nullptr;
+}
+
+std::int64_t ReliableLink::next_deadline() const {
+  std::int64_t earliest = std::numeric_limits<std::int64_t>::max();
+  for (const InFlight& f : in_flight_) {
+    earliest = std::min(earliest, f.deadline_us);
+  }
+  return earliest;
+}
+
+void ReliableLink::collect_due(std::int64_t now_us,
+                               std::vector<std::uint64_t>& due) {
+  for (InFlight& f : in_flight_) {
+    if (f.deadline_us > now_us) continue;
+    if (f.retries >= config_.max_retries) {
+      // Retry budget exhausted: presume the peer crashed.  Drop the window —
+      // these frames can only reach a process the membership layer is about
+      // to exclude.
+      dead_ = true;
+      ++stats_.link_resets;
+      in_flight_.clear();
+      due.clear();
+      return;
+    }
+    ++f.retries;
+    f.rto_us = std::min(f.rto_us * 2, config_.rto_max_us);
+    f.deadline_us = now_us + jittered(rng_, f.rto_us);
+    ++stats_.retransmissions;
+    due.push_back(f.seq);
+  }
+}
+
+void ReliableLink::on_ack(const AckBlock& ack) {
+  peer_window_ = ack.window;
+  while (!in_flight_.empty() && in_flight_.front().seq <= ack.cum) {
+    in_flight_.pop_front();
+  }
+  if (ack.sacks.empty() || in_flight_.empty()) return;
+  std::erase_if(in_flight_, [&ack](const InFlight& f) {
+    for (const AckBlock::Range& r : ack.sacks) {
+      if (f.seq >= r.first && f.seq <= r.last) return true;
+    }
+    return false;
+  });
+}
+
+bool ReliableLink::accept(std::uint64_t seq, util::Bytes payload) {
+  SVS_REQUIRE(seq >= 1, "link sequence numbers start at 1");
+  if (seq <= cum_ || out_of_order_.contains(seq)) {
+    ++stats_.duplicate_drops;
+    return false;
+  }
+  out_of_order_.emplace(seq, std::move(payload));
+  // Drain the run now contiguous with the frontier.
+  for (auto it = out_of_order_.begin();
+       it != out_of_order_.end() && it->first == cum_ + 1;
+       it = out_of_order_.erase(it)) {
+    ready_.emplace_back(it->first, std::move(it->second));
+    ++cum_;
+  }
+  return true;
+}
+
+bool ReliableLink::next_ready(std::uint64_t& seq, util::Bytes& payload) {
+  if (ready_.empty()) return false;
+  seq = ready_.front().first;
+  payload = std::move(ready_.front().second);
+  ready_.pop_front();
+  return true;
+}
+
+AckBlock ReliableLink::ack_state(std::uint32_t window) const {
+  AckBlock ack;
+  ack.cum = cum_;
+  ack.window = window;
+  // Contiguous out-of-order keys merge into ranges; std::map iteration is
+  // ascending, and every key is >= cum_ + 2 (cum_ + 1 would have drained),
+  // so the encoder's canonical-form requirement holds by construction.
+  for (const auto& [seq, bytes] : out_of_order_) {
+    if (!ack.sacks.empty() && ack.sacks.back().last + 1 == seq) {
+      ack.sacks.back().last = seq;
+    } else {
+      if (ack.sacks.size() == Datagram::kMaxSackRanges) break;
+      ack.sacks.push_back(AckBlock::Range{seq, seq});
+    }
+  }
+  return ack;
+}
+
+// ---------------------------------------------------------------------------
+// UdpTransport
+
+UdpTransport::UdpTransport(sim::Simulator& simulator, Config config)
+    : inner_(simulator, config.network), config_(config),
+      loss_(config.lane_seed) {
+  loss_.set_default_rate(config.loss_rate);
+  if (config_.bind_local) {
+    distributed_ = true;
+    procs_.push_back(std::make_unique<Proc>(config_.bind_port));
+    if (config_.rcvbuf_bytes > 0) {
+      procs_.front()->socket.set_rcvbuf(config_.rcvbuf_bytes);
+    }
+  }
+}
+
+void UdpTransport::attach(ProcessId id, Endpoint& endpoint) {
+  if (distributed_) {
+    Proc& p = *procs_.front();
+    SVS_REQUIRE(p.real == nullptr,
+                "distributed mode hosts exactly one local process");
+    p.id = id;
+    p.real = &endpoint;
+    proc_index_[id.value()] = 0;
+    // The real endpoint is registered with the inner network directly:
+    // self-sends stay entirely in-memory (virtual loopback link), exactly
+    // like the other backends.
+    inner_.attach(id, endpoint);
+    return;
+  }
+  SVS_REQUIRE(!proc_index_.contains(id.value()), "process already attached");
+  auto proc = std::make_unique<Proc>(std::uint16_t{0});
+  if (config_.rcvbuf_bytes > 0) proc->socket.set_rcvbuf(config_.rcvbuf_bytes);
+  proc->id = id;
+  proc->real = &endpoint;
+  proc_index_[id.value()] = procs_.size();
+  procs_.push_back(std::move(proc));
+  adapters_.push_back(std::make_unique<LocalAdapter>(*this, procs_.size() - 1));
+  inner_.attach(id, *adapters_.back());
+}
+
+void UdpTransport::add_peer(ProcessId id, std::uint16_t port) {
+  SVS_REQUIRE(distributed_, "add_peer requires bind_local mode");
+  SVS_REQUIRE(port != 0, "peer port must be non-zero");
+  SVS_REQUIRE(!peer_ports_.contains(id.value()), "peer already added");
+  peer_ports_[id.value()] = port;
+  proxies_.push_back(std::make_unique<RemoteProxy>(*this, id));
+  inner_.attach(id, *proxies_.back());
+}
+
+std::uint16_t UdpTransport::local_port(ProcessId id) const {
+  if (distributed_) return procs_.front()->socket.port();
+  const Proc* p = find_proc(id.value());
+  SVS_REQUIRE(p != nullptr, "process not hosted by this transport");
+  return p->socket.port();
+}
+
+UdpSocket& UdpTransport::socket_of(ProcessId id) {
+  if (distributed_) return procs_.front()->socket;
+  return proc_of(id).socket;
+}
+
+bool UdpTransport::links_idle() const {
+  for (const auto& p : procs_) {
+    for (const auto& [key, link] : p->links) {
+      if (!link->all_acked()) return false;
+    }
+  }
+  return true;
+}
+
+void UdpTransport::resume(ProcessId to) {
+  if (distributed_ && !procs_.empty() && procs_.front()->real != nullptr &&
+      procs_.front()->id == to) {
+    // The local node freed buffer space: drain frames parked by inbound
+    // backpressure, then re-advertise the reopened window to each sender.
+    Proc& p = *procs_.front();
+    for (auto& [peer, parked] : p.stalled) {
+      if (parked.empty()) continue;
+      while (!parked.empty() &&
+             p.real->on_message(ProcessId(peer), parked.front(), Lane::data)) {
+        parked.pop_front();
+      }
+      send_ack(p, peer, lane_byte_of(Lane::data));
+    }
+  }
+  inner_.resume(to);
+}
+
+void UdpTransport::set_fault_injector(FaultInjector* injector) {
+  inner_.set_fault_injector(injector);
+  // The planned injector models loss recovery in virtual time identically
+  // on every backend; this backend additionally realizes the loss as real
+  // datagram drops recovered by real retransmissions.
+  if (const auto* planned = dynamic_cast<PlannedFaultInjector*>(injector)) {
+    for (const sim::FaultSpec& f : planned->plan().faults) {
+      if (f.kind != sim::FaultKind::loss) continue;
+      if (f.a == sim::FaultSpec::kAllLinks) {
+        loss_.set_default_rate(f.probability);
+      } else {
+        loss_.set_link_rate(f.a, f.b, f.probability);
+      }
+    }
+  }
+}
+
+std::int64_t UdpTransport::mono_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+UdpTransport::Proc& UdpTransport::proc_of(ProcessId id) {
+  const auto it = proc_index_.find(id.value());
+  SVS_REQUIRE(it != proc_index_.end(), "process not hosted by this transport");
+  return *procs_[it->second];
+}
+
+const UdpTransport::Proc* UdpTransport::find_proc(std::uint32_t raw_id) const {
+  const auto it = proc_index_.find(raw_id);
+  return it == proc_index_.end() ? nullptr : procs_[it->second].get();
+}
+
+std::uint16_t UdpTransport::port_of(std::uint32_t raw_id) const {
+  if (const Proc* p = find_proc(raw_id)) return p->socket.port();
+  const auto it = peer_ports_.find(raw_id);
+  SVS_REQUIRE(it != peer_ports_.end(), "unknown datagram peer");
+  return it->second;
+}
+
+ReliableLink& UdpTransport::link_for(Proc& p, std::uint32_t peer,
+                                     std::uint8_t lane) {
+  const LinkKey key{peer, lane};
+  auto it = p.links.find(key);
+  if (it == p.links.end()) {
+    // Stable per-(endpoint, peer, lane) jitter stream: link creation order
+    // never reshuffles another link's RTO jitter.
+    const std::uint64_t stream =
+        (static_cast<std::uint64_t>(p.id.value()) << 33) ^
+        (static_cast<std::uint64_t>(peer) << 1) ^ lane;
+    it = p.links
+             .emplace(key, std::make_unique<ReliableLink>(
+                               config_.link,
+                               sim::Rng::stream(config_.lane_seed, stream),
+                               lane_stats_))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint32_t UdpTransport::advertised_window(const Proc& p,
+                                              std::uint32_t peer) const {
+  // All-local crossings are strictly serialized; the node's verdict, not
+  // the window, is the backpressure there.
+  if (!distributed_) return config_.link.window;
+  std::size_t parked = 0;
+  if (const auto it = p.stalled.find(peer); it != p.stalled.end()) {
+    parked = it->second.size();
+  }
+  const std::uint32_t window = config_.link.window;
+  return parked >= window ? 0
+                          : window - static_cast<std::uint32_t>(parked);
+}
+
+bool UdpTransport::sync_cross(ProcessId from, std::size_t to_index,
+                              const MessagePtr& message, Lane lane) {
+  Proc& receiver = *procs_[to_index];
+  Proc& sender = proc_of(from);
+  const std::uint8_t lane_byte = lane_byte_of(lane);
+  const LinkKey key{receiver.id.value(), lane_byte};
+  ReliableLink& link = link_for(sender, receiver.id.value(), lane_byte);
+
+  const bool cached = message->frame_cached();
+  FramePtr frame = Codec::shared_frame(*message);
+  ++(cached ? lane_stats_.frame_reuses : lane_stats_.frame_encodes);
+
+  const std::int64_t start = mono_us();
+  const std::uint64_t seq = link.stage(std::move(frame), start);
+  transmit(sender, receiver.id.value(), lane_byte, link, seq);
+
+  // Pump both sockets (one, for a self-send) until the ack carrying this
+  // crossing's verdict arrives, retransmitting on the way.  Nested
+  // crossings (a delivery that triggers resume()) recurse through here and
+  // complete independently; the per-link verdict mailbox is single-slot
+  // because the inner network never re-enters a link mid-attempt.
+  const bool self = sender.socket.fd() == receiver.socket.fd();
+  const int fds[2] = {sender.socket.fd(), receiver.socket.fd()};
+  const std::span<const int> fd_span(fds, self ? 1u : 2u);
+  std::vector<std::uint64_t> due;
+  for (;;) {
+    if (const auto it = sender.crossing_verdicts.find(key);
+        it != sender.crossing_verdicts.end() && it->second.seq == seq) {
+      const bool accepted = it->second.accept;
+      sender.crossing_verdicts.erase(it);
+      return accepted;
+    }
+    std::int64_t now = mono_us();
+    SVS_ASSERT(now - start < config_.crossing_budget_us,
+               "synchronous delivery crossing exceeded its real-time budget");
+    SVS_ASSERT(!link.dead(),
+               "all-local reliable link exhausted its retries");
+    due.clear();
+    link.collect_due(now, due);
+    for (const std::uint64_t s : due) {
+      transmit(sender, receiver.id.value(), lane_byte, link, s);
+    }
+    std::size_t handled = pump_proc(sender);
+    if (!self) handled += pump_proc(receiver);
+    if (handled == 0) {
+      now = mono_us();
+      const std::int64_t until = link.next_deadline();
+      const std::int64_t wait =
+          std::clamp<std::int64_t>(until == std::numeric_limits<std::int64_t>::max()
+                                       ? 1'000
+                                       : until - now,
+                                   100, 20'000);
+      UdpSocket::wait_readable(fd_span, wait);
+    }
+  }
+}
+
+bool UdpTransport::async_send(ProcessId from, ProcessId peer,
+                              const MessagePtr& message, Lane lane) {
+  Proc& p = proc_of(from);
+  const std::uint8_t lane_byte = lane_byte_of(lane);
+  ReliableLink& link = link_for(p, peer.value(), lane_byte);
+  if (link.dead()) {
+    // The peer was declared crashed (and crash-stopped in the inner
+    // network); stragglers racing that declaration are swallowed exactly
+    // like sends to a crashed sim process.
+    return true;
+  }
+  if (lane == Lane::data && !link.can_send()) {
+    // Window full: refuse, which stalls the inner link head — the standard
+    // data-lane backpressure.  Arm probe pacing in case the peer's window
+    // stays closed with nothing in flight to elicit an ack.
+    p.last_probe_us.try_emplace(peer.value(), std::int64_t{0});
+    return false;
+  }
+  const bool cached = message->frame_cached();
+  FramePtr frame = Codec::shared_frame(*message);
+  ++(cached ? lane_stats_.frame_reuses : lane_stats_.frame_encodes);
+  const std::uint64_t seq = link.stage(std::move(frame), mono_us());
+  transmit(p, peer.value(), lane_byte, link, seq);
+  return true;
+}
+
+void UdpTransport::transmit(Proc& p, std::uint32_t peer, std::uint8_t lane,
+                            ReliableLink& link, std::uint64_t seq) {
+  const FramePtr* frame = link.frame_of(seq);
+  SVS_ASSERT(frame != nullptr && *frame != nullptr,
+             "transmitting a retired frame");
+  // Piggyback the reverse direction's ack state (and, all-local, the last
+  // issued verdict) on every data datagram.
+  ReliableLink& reverse = link_for(p, peer, lane);
+  AckBlock ack = reverse.ack_state(advertised_window(p, peer));
+  if (!distributed_) {
+    if (const auto it = p.issued_verdicts.find(LinkKey{peer, lane});
+        it != p.issued_verdicts.end()) {
+      ack.verdict_valid = true;
+      ack.verdict_accept = it->second.accept;
+      ack.verdict_seq = it->second.seq;
+    }
+  }
+  const util::Bytes bytes =
+      Datagram::encode_data(p.id.value(), peer, lane, seq, ack, **frame);
+  send_datagram(p, peer, bytes, /*is_ack=*/false);
+}
+
+void UdpTransport::send_ack(Proc& p, std::uint32_t peer, std::uint8_t lane,
+                            bool probe) {
+  ReliableLink& link = link_for(p, peer, lane);
+  AckBlock ack = link.ack_state(advertised_window(p, peer));
+  if (!distributed_) {
+    if (const auto it = p.issued_verdicts.find(LinkKey{peer, lane});
+        it != p.issued_verdicts.end()) {
+      ack.verdict_valid = true;
+      ack.verdict_accept = it->second.accept;
+      ack.verdict_seq = it->second.seq;
+    }
+  }
+  ack.window_probe = probe;
+  if (probe) ++lane_stats_.zero_window_probes;
+  const util::Bytes bytes = Datagram::encode_ack(p.id.value(), peer, lane, ack);
+  send_datagram(p, peer, bytes, /*is_ack=*/true);
+}
+
+void UdpTransport::send_datagram(Proc& p, std::uint32_t peer,
+                                 const util::Bytes& bytes, bool is_ack) {
+  if (loss_.drop(p.id.value(), peer)) {
+    ++lane_stats_.injected_losses;
+    return;
+  }
+  // A kernel refusal (full buffer) is indistinguishable from wire loss; the
+  // retransmission lane recovers it either way.
+  if (!p.socket.send_to(port_of(peer), bytes.data(), bytes.size())) return;
+  ++lane_stats_.datagrams_sent;
+  lane_stats_.datagram_bytes_sent += bytes.size();
+  if (is_ack) {
+    ++lane_stats_.ack_datagrams;
+    lane_stats_.ack_bytes += bytes.size();
+  }
+}
+
+std::size_t UdpTransport::pump_proc(Proc& p) {
+  std::size_t handled = 0;
+  util::Bytes buffer;
+  while (p.socket.recv(buffer)) {
+    ++lane_stats_.datagrams_received;
+    ++handled;
+    try {
+      handle_datagram(p, Datagram::decode(buffer));
+    } catch (const util::ContractViolation&) {
+      ++lane_stats_.malformed_datagrams;
+    }
+  }
+  return handled;
+}
+
+void UdpTransport::handle_datagram(Proc& p, const Datagram& d) {
+  if (d.kind == Datagram::Kind::join || d.kind == Datagram::Kind::roster) {
+    // Pre-protocol traffic belongs to the deployment harness, not the lane.
+    if (stray_handler_) {
+      stray_handler_(d);
+    } else {
+      ++lane_stats_.stray_datagrams;
+    }
+    return;
+  }
+  const bool known_sender = find_proc(d.from) != nullptr ||
+                            peer_ports_.contains(d.from);
+  if (d.to != p.id.value() || !known_sender) {
+    ++lane_stats_.stray_datagrams;
+    return;
+  }
+  ReliableLink& link = link_for(p, d.from, d.lane);
+  const bool was_blocked = !link.all_acked() || !link.can_send();
+  link.on_ack(d.ack);
+  if (d.ack.verdict_valid) {
+    p.crossing_verdicts[LinkKey{d.from, d.lane}] =
+        Verdict{d.ack.verdict_seq, d.ack.verdict_accept};
+  }
+  if (d.ack.window_probe) send_ack(p, d.from, d.lane);
+  if (distributed_ && was_blocked && link.can_send()) {
+    // The ack opened window (or retired the blocking frames): retry inner
+    // links stalled towards this peer.
+    p.last_probe_us.erase(d.from);
+    inner_.resume(ProcessId(d.from));
+  }
+  if (d.kind == Datagram::Kind::ack) return;
+
+  // Data datagram: feed the receiver half and deliver whatever the frontier
+  // released; ack unconditionally (duplicates too — the sender is
+  // retransmitting precisely because it missed our ack).
+  if (link.accept(d.seq, d.payload)) {
+    deliver_ready(p, d.from, d.lane, link);
+  }
+  send_ack(p, d.from, d.lane);
+}
+
+void UdpTransport::deliver_ready(Proc& p, std::uint32_t peer,
+                                 std::uint8_t lane_byte, ReliableLink& link) {
+  const Lane lane = lane_of(lane_byte);
+  std::uint64_t seq = 0;
+  util::Bytes payload;
+  while (link.next_ready(seq, payload)) {
+    MessagePtr fresh;
+    try {
+      fresh = Codec::decode(payload);
+    } catch (const util::ContractViolation&) {
+      // The lane already consumed the seq; an undecodable frame is dropped
+      // like any other hostile datagram.
+      ++lane_stats_.malformed_datagrams;
+      continue;
+    }
+    ++lane_stats_.frames_delivered;
+    if (!distributed_) {
+      const bool accepted =
+          p.real->on_message(ProcessId(peer), fresh, lane);
+      p.issued_verdicts[LinkKey{peer, lane_byte}] = Verdict{seq, accepted};
+      continue;
+    }
+    if (lane == Lane::control) {
+      // Control is never refused (§3.1).
+      p.real->on_message(ProcessId(peer), fresh, lane);
+      continue;
+    }
+    auto& parked = p.stalled[peer];
+    if (!parked.empty() ||
+        !p.real->on_message(ProcessId(peer), fresh, lane)) {
+      // Inbound backpressure: park in link order and shrink the advertised
+      // window; resume() drains and re-advertises.
+      parked.push_back(std::move(fresh));
+      ++lane_stats_.inbound_stalls;
+    }
+  }
+}
+
+void UdpTransport::sweep_retransmits(Proc& p, std::int64_t now_us) {
+  std::vector<std::uint64_t> due;
+  for (auto& [key, link] : p.links) {
+    if (link->dead()) continue;
+    due.clear();
+    link->collect_due(now_us, due);
+    if (link->dead()) {
+      // Retry budget exhausted: the peer is unreachable for good — declare
+      // it crashed in the inner network so the failure-detection and
+      // membership machinery take over (kill -9 becomes a crash fault).
+      const ProcessId peer(key.first);
+      if (!inner_.is_crashed(peer)) inner_.crash(peer);
+      continue;
+    }
+    for (const std::uint64_t s : due) {
+      transmit(p, key.first, key.second, *link, s);
+    }
+  }
+  // Zero-window probing for peers with stalled outbound data.
+  for (auto it = p.last_probe_us.begin(); it != p.last_probe_us.end();) {
+    ReliableLink& link = link_for(p, it->first, lane_byte_of(Lane::data));
+    if (link.dead()) {
+      it = p.last_probe_us.erase(it);
+      continue;
+    }
+    if (link.can_send()) {
+      const ProcessId peer(it->first);
+      it = p.last_probe_us.erase(it);
+      inner_.resume(peer);
+      continue;
+    }
+    if (link.all_acked() && link.peer_window() == 0 &&
+        now_us - it->second >= kProbeIntervalUs) {
+      send_ack(p, it->first, lane_byte_of(Lane::data), /*probe=*/true);
+      it->second = now_us;
+    }
+    ++it;
+  }
+}
+
+std::size_t UdpTransport::pump(std::int64_t timeout_us) {
+  SVS_REQUIRE(distributed_, "pump() drives the distributed mode");
+  Proc& p = *procs_.front();
+  std::size_t handled = pump_proc(p);
+  sweep_retransmits(p, mono_us());
+  if (handled == 0 && timeout_us > 0) {
+    const int fd = p.socket.fd();
+    if (UdpSocket::wait_readable(std::span<const int>(&fd, 1), timeout_us)) {
+      handled += pump_proc(p);
+      sweep_retransmits(p, mono_us());
+    }
+  }
+  return handled;
+}
+
+}  // namespace svs::net

@@ -1,0 +1,25 @@
+#include "runtime/real_time.hpp"
+
+#include <algorithm>
+
+namespace svs::runtime {
+
+std::size_t RealTimeDriver::run(sim::Duration duration,
+                                const std::function<bool()>& stop) {
+  const std::int64_t start_wall = net::UdpTransport::mono_us();
+  const sim::TimePoint start_virtual = sim_.now();
+  const std::int64_t budget_us = duration.as_micros();
+  std::size_t pumped = 0;
+  for (;;) {
+    const std::int64_t elapsed = net::UdpTransport::mono_us() - start_wall;
+    if (elapsed >= budget_us) break;
+    if (stop && stop()) break;
+    // Virtual time chases wall time from below; every due timer fires here.
+    sim_.run_until(start_virtual + sim::Duration::micros(elapsed));
+    const std::int64_t remaining = budget_us - elapsed;
+    pumped += transport_.pump(std::min(config_.tick_us, remaining));
+  }
+  return pumped;
+}
+
+}  // namespace svs::runtime

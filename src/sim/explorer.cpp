@@ -118,6 +118,23 @@ Scenario make_scenario(const ScenarioSpec& spec) {
   sc.faults_total = full.faults.size();
   sc.faults = full.masked(spec.fault_mask);
 
+  // The spec's explicit loss knob rides along after masking: its id sits
+  // past every generated entry (stable rng stream regardless of the mask),
+  // and the shrinker's mask bits never cover it — a requested loss rate is
+  // part of the scenario, not a removable fault.
+  if (spec.loss_permille > 0) {
+    FaultSpec f;
+    f.kind = FaultKind::loss;
+    f.id = static_cast<std::uint32_t>(full.faults.size());
+    f.a = FaultSpec::kAllLinks;
+    f.start = TimePoint::origin();
+    f.end = TimePoint::origin() + sc.horizon;
+    f.probability = std::min(static_cast<double>(spec.loss_permille), 999.0) /
+                    1000.0;
+    f.magnitude = Duration::millis(3);  // per-lost-transmission RTO
+    sc.faults.faults.push_back(f);
+  }
+
   // The voluntary leaver must not be one of the (unmasked) plan's crash
   // victims — a crashed node cannot request its own departure.  Note the
   // choice depends on the full plan, not the mask, so shrinking the mask
@@ -373,6 +390,7 @@ std::string ScenarioSpec::repro() const {
     os << " --relation=" << relation_flag(*relation_pin);
   }
   if (hostile) os << " --hostile";
+  if (loss_permille != 0) os << " --loss=" << loss_permille;
   if (fault_mask != ~0ULL) {
     os << " --faults=0x" << std::hex << fault_mask << std::dec;
   }
@@ -650,6 +668,7 @@ ScenarioExplorer::Exploration ScenarioExplorer::explore(
   exploration.spec.seed = seed;
   exploration.spec.relation_pin = options_.relation_pin;
   exploration.spec.hostile = options_.hostile;
+  exploration.spec.loss_permille = options_.loss_permille;
   exploration.outcome = run(exploration.spec);
   if (!exploration.outcome.violations.empty()) {
     exploration.shrunk = shrink(exploration.spec);

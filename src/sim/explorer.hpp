@@ -75,6 +75,12 @@ struct ScenarioSpec {
   /// is expected to break under hostile plans; the flag exists to exercise
   /// the checker/shrinker pipeline and must be part of the repro.
   bool hostile = false;
+  /// Extra all-links datagram-loss fault, in permille (0 = none): appended
+  /// to the plan *after* masking with a stable id, so it is never shrunk
+  /// away and never perturbs the seed-derived faults.  In-model (loss is
+  /// repaired by retransmission); on the UDP backend the same spec also
+  /// drops real datagrams.  Part of the repro line (`--loss=`).
+  std::uint32_t loss_permille = 0;
 
   /// The one-line replay command for this spec.
   [[nodiscard]] std::string repro() const;
@@ -107,6 +113,9 @@ class ScenarioExplorer {
     /// Pin every explored scenario's relation kind (svs_explore
     /// --relation=...); nullopt = seed-derived.
     std::optional<RelationKind> relation_pin;
+    /// Add an all-links datagram-loss fault to every explored scenario
+    /// (svs_explore --loss=permille).
+    std::uint32_t loss_permille = 0;
   };
 
   ScenarioExplorer() = default;

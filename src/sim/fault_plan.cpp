@@ -17,6 +17,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::crash: return "crash";
     case FaultKind::duplicate: return "duplicate";
     case FaultKind::pause_receiver: return "pause_receiver";
+    case FaultKind::loss: return "loss";
     case FaultKind::drop_one: return "drop_one";
   }
   SVS_UNREACHABLE("unknown fault kind");
@@ -45,6 +46,15 @@ std::string FaultSpec::describe() const {
       break;
     case FaultKind::pause_receiver:
       os << " p" << a << " @[" << start << "," << end << ")";
+      break;
+    case FaultKind::loss:
+      if (a == kAllLinks) {
+        os << " all-links";
+      } else {
+        os << " p" << a << "->p" << b;
+      }
+      os << " p=" << probability << " rtx=" << magnitude << " @[" << start
+         << "," << end << ")";
       break;
     case FaultKind::drop_one:
       os << " p" << a << "->p" << b << " msg#" << param;
@@ -163,6 +173,26 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
     std::tie(f.a, f.b) = directed_link();
     std::tie(f.start, f.end) = window(horizon_us);
     f.probability = 0.1 + rng.uniform01() * 0.6;
+    push(f);
+  }
+
+  // Datagram loss repaired by retransmission: 0-2 windows, each either one
+  // directed link or (1 in 4) every link at once.
+  const std::uint64_t losses = rng.below(3);
+  for (std::uint64_t l = 0; l < losses; ++l) {
+    FaultSpec f;
+    f.kind = FaultKind::loss;
+    if (rng.chance(0.25)) {
+      f.a = FaultSpec::kAllLinks;
+      f.b = 0;
+    } else {
+      std::tie(f.a, f.b) = directed_link();
+    }
+    std::tie(f.start, f.end) = window(horizon_us / 2);
+    f.probability = 0.05 + rng.uniform01() * 0.30;
+    // Per-lost-transmission recovery delay: a retransmission timeout.
+    f.magnitude = Duration::micros(
+        2'000 + static_cast<std::int64_t>(rng.below(8'000)));
     push(f);
   }
 

@@ -27,6 +27,15 @@
 //   * pause_receiver  — the receiver stops accepting data-lane traffic for a
 //                       window (the network-visible face of a consumer that
 //                       completely stops, Fig 5(b)); backpressure, not loss.
+//   * loss            — probabilistic datagram loss on a directed link (or
+//                       every link, a = kAllLinks), *recovered by the
+//                       reliable channel*: each lost transmission costs one
+//                       retransmission round-trip, modeled as extra delay
+//                       drawn geometrically from the loss probability.  The
+//                       message still arrives (in-model — §3.1 channels stay
+//                       reliable); the UDP backend additionally realizes the
+//                       drops as real discarded datagrams at the socket
+//                       boundary, recovered by real retransmissions.
 //
 // Plus one deliberately OUT-OF-MODEL kind, excluded from tolerated plans and
 // generated only under GenerateOptions::hostile:
@@ -56,6 +65,7 @@ enum class FaultKind : std::uint8_t {
   crash,
   duplicate,
   pause_receiver,
+  loss,      // datagram loss repaired by retransmission (in-model)
   drop_one,  // out-of-model (hostile plans only)
 };
 
@@ -65,18 +75,26 @@ enum class FaultKind : std::uint8_t {
 /// harness assigns ProcessId(i) to member i, so these double as dense
 /// indices).  Fields are kind-specific; unused ones stay zero.
 struct FaultSpec {
+  /// loss: `a` value meaning "every link" (a real id can't collide: groups
+  /// are capped at 64 processes).  A self-link (from == to) is never lossy —
+  /// loopback traffic doesn't cross the wire.
+  static constexpr std::uint32_t kAllLinks = 0xffff'ffff;
+
   FaultKind kind = FaultKind::link_jitter;
   /// Stable index in the unmasked plan; seeds this fault's rng stream.
   std::uint32_t id = 0;
   /// link faults: directed link a -> b.  crash / pause_receiver: process a.
+  /// loss: a = kAllLinks makes the window apply to every link.
   std::uint32_t a = 0;
   std::uint32_t b = 0;
   /// Active window [start, end).  crash uses only start.
   TimePoint start;
   TimePoint end;
   /// link_jitter: extra delay is uniform in [0, magnitude].
+  /// loss: the per-lost-transmission retransmission delay.
   Duration magnitude = Duration::zero();
   /// duplicate: per-message duplication probability.
+  /// loss: per-transmission loss probability (in [0, 1)).
   double probability = 0.0;
   /// partition: bitmask of side-A processes; links crossing side A <-> side B
   /// are severed (A -> B only unless symmetric).
@@ -122,9 +140,10 @@ struct FaultPlan {
   };
 
   /// Derives a plan from a seed: 0-3 jitter windows, at most one partition
-  /// (always healed), up to max_crashes crashes, 0-2 duplication windows and
-  /// at most one receiver pause.  Deterministic; independent of any other
-  /// stream derived from the same master seed.
+  /// (always healed), up to max_crashes crashes, 0-2 duplication windows,
+  /// 0-2 datagram-loss windows and at most one receiver pause.
+  /// Deterministic; independent of any other stream derived from the same
+  /// master seed.
   static FaultPlan generate(std::uint64_t seed, const GenerateOptions& options);
 };
 

@@ -13,6 +13,7 @@
 #include "core/message.hpp"
 #include "fd/heartbeat.hpp"
 #include "net/codec.hpp"
+#include "net/dgram.hpp"
 #include "obs/kbitmap.hpp"
 #include "util/bytes.hpp"
 #include "util/contracts.hpp"
@@ -500,6 +501,139 @@ TEST_F(CodecFixture, ByteMutationFuzzNeverCrashes) {
     }
   }
   // Both outcomes must actually occur, or the fuzz is vacuous.
+  EXPECT_GT(decoded_ok, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+// ---------------------------------------------------------------------------
+// datagram-header hardening (the UDP lane's framing, net/dgram.hpp)
+// ---------------------------------------------------------------------------
+
+/// One valid datagram per kind, with every optional feature exercised:
+/// delta-coded sack ranges, verdict piggyback, window probe, roster list.
+std::vector<util::Bytes> dgram_corpus() {
+  AckBlock rich;
+  rich.cum = 9;
+  rich.sacks = {{11, 13}, {17, 17}, {20, 24}};
+  rich.window = 32;
+  rich.verdict_valid = true;
+  rich.verdict_accept = true;
+  rich.verdict_seq = 9;
+
+  AckBlock probe;
+  probe.cum = 3;
+  probe.window = 0;
+  probe.window_probe = true;
+
+  const auto inner = std::make_shared<DataMessage>(
+      ProcessId(1), 5, ViewId(1), obs::Annotation::item(2),
+      std::make_shared<workload::ItemOp>(workload::OpKind::update, 2, 3, 4,
+                                         false));
+  std::vector<util::Bytes> out;
+  out.push_back(
+      Datagram::encode_data(1, 2, 0, 42, rich, Codec::encode(*inner)));
+  out.push_back(Datagram::encode_ack(2, 1, 1, probe));
+  out.push_back(Datagram::encode_join(7, 40'123));
+  out.push_back(Datagram::encode_roster({{0, 9'000}, {1, 9'001}, {2, 9'002}}));
+  return out;
+}
+
+TEST_F(CodecFixture, DatagramCorpusRoundTrips) {
+  const auto frames = dgram_corpus();
+  {
+    const Datagram d = Datagram::decode(frames[0]);
+    EXPECT_EQ(d.kind, Datagram::Kind::data);
+    EXPECT_EQ(d.from, 1u);
+    EXPECT_EQ(d.to, 2u);
+    EXPECT_EQ(d.lane, 0);
+    EXPECT_EQ(d.seq, 42u);
+    EXPECT_EQ(d.ack.cum, 9u);
+    ASSERT_EQ(d.ack.sacks.size(), 3u);
+    EXPECT_EQ(d.ack.sacks[2].first, 20u);
+    EXPECT_EQ(d.ack.sacks[2].last, 24u);
+    EXPECT_TRUE(d.ack.verdict_valid);
+    EXPECT_TRUE(d.ack.verdict_accept);
+    EXPECT_EQ(d.ack.verdict_seq, 9u);
+    // The payload is a complete codec frame: it must decode in turn.
+    const MessagePtr m = Codec::decode(d.payload);
+    ASSERT_EQ(m->type(), MessageType::data);
+    EXPECT_EQ(static_cast<const DataMessage&>(*m).seq(), 5u);
+  }
+  {
+    const Datagram d = Datagram::decode(frames[1]);
+    EXPECT_EQ(d.kind, Datagram::Kind::ack);
+    EXPECT_TRUE(d.ack.window_probe);
+    EXPECT_EQ(d.ack.window, 0u);
+    EXPECT_FALSE(d.ack.verdict_valid);
+  }
+  {
+    const Datagram d = Datagram::decode(frames[2]);
+    EXPECT_EQ(d.kind, Datagram::Kind::join);
+    EXPECT_EQ(d.join_id, 7u);
+    EXPECT_EQ(d.join_port, 40'123);
+  }
+  {
+    const Datagram d = Datagram::decode(frames[3]);
+    EXPECT_EQ(d.kind, Datagram::Kind::roster);
+    ASSERT_EQ(d.roster.size(), 3u);
+    EXPECT_EQ(d.roster[2].first, 2u);
+    EXPECT_EQ(d.roster[2].second, 9'002);
+  }
+}
+
+TEST_F(CodecFixture, DatagramEveryStrictPrefixThrows) {
+  for (const auto& frame : dgram_corpus()) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const util::Bytes prefix(frame.begin(),
+                               frame.begin() + static_cast<long>(cut));
+      EXPECT_THROW((void)Datagram::decode(prefix), util::ContractViolation)
+          << "prefix of length " << cut << " of a " << frame.size()
+          << "-byte datagram";
+    }
+  }
+}
+
+TEST_F(CodecFixture, DatagramGarbageSuffixAndBadHeaderThrow) {
+  for (const auto& frame : dgram_corpus()) {
+    util::Bytes extended = frame;
+    extended.push_back(0x00);
+    EXPECT_THROW((void)Datagram::decode(extended), util::ContractViolation);
+
+    util::Bytes bad_magic = frame;
+    bad_magic[0] = 0xD7;
+    EXPECT_THROW((void)Datagram::decode(bad_magic), util::ContractViolation);
+
+    util::Bytes bad_kind = frame;
+    bad_kind[1] = 0x09;
+    EXPECT_THROW((void)Datagram::decode(bad_kind), util::ContractViolation);
+  }
+  EXPECT_THROW((void)Datagram::decode({}), util::ContractViolation);
+}
+
+TEST_F(CodecFixture, DatagramByteMutationFuzzNeverCrashes) {
+  // Same discipline as the codec fuzz: arbitrary byte corruption of a lane
+  // datagram either decodes or throws ContractViolation — never undefined
+  // behaviour, never a LogicViolation.  This is the surface a hostile
+  // localhost process can actually reach.
+  svs::sim::Rng rng(0xD6D6'F011ULL);
+  const auto frames = dgram_corpus();
+  int decoded_ok = 0;
+  int rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    util::Bytes frame = frames[rng.next_u64() % frames.size()];
+    const int flips = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int f = 0; f < flips; ++f) {
+      frame[rng.next_u64() % frame.size()] ^=
+          static_cast<std::uint8_t>(1U << (rng.next_u64() % 8));
+    }
+    try {
+      const Datagram d = Datagram::decode(frame);
+      (void)d;
+      ++decoded_ok;
+    } catch (const util::ContractViolation&) {
+      ++rejected;
+    }
+  }
   EXPECT_GT(decoded_ok, 0);
   EXPECT_GT(rejected, 0);
 }

@@ -17,6 +17,10 @@
 //                                           # the GC-vs-pred regression
 //                                           # surface); also: item, enum,
 //                                           # reliable
+//   svs_explore --seeds=200 --loss=200      # add 20% all-links datagram
+//                                           # loss (in-model: repaired by
+//                                           # retransmission) to every
+//                                           # scenario
 //
 // Exit code 0 iff every run was violation-free.  On failures the repro
 // lines are also appended to EXPLORE_failures.txt (CI uploads it).
@@ -41,6 +45,7 @@ struct CliOptions {
   std::uint64_t fault_mask = ~0ULL;
   std::uint32_t message_limit = svs::sim::ScenarioSpec::kNoLimit;
   std::optional<svs::sim::RelationKind> relation_pin;
+  std::uint32_t loss_permille = 0;
   bool hostile = false;
   bool quiet = false;
   std::string failures_file = "EXPLORE_failures.txt";
@@ -73,8 +78,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seeds=N] [--seed-start=S] | [--seed=N [--faults=0xMASK] "
-      "[--msgs=K]] [--relation=reliable|item|kenum|enum] [--hostile] "
-      "[--quiet] [--failures-file=PATH]\n",
+      "[--msgs=K]] [--relation=reliable|item|kenum|enum] [--loss=PERMILLE] "
+      "[--hostile] [--quiet] [--failures-file=PATH]\n",
       argv0);
   return 2;
 }
@@ -102,6 +107,10 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.message_limit = static_cast<std::uint32_t>(limit);
     } else if (parse_flag(arg, "--relation", &value)) {
       if (!parse_relation(value, options.relation_pin)) return false;
+    } else if (parse_flag(arg, "--loss", &value)) {
+      std::uint64_t permille = 0;
+      if (!parse_u64(value, permille) || permille > 999) return false;
+      options.loss_permille = static_cast<std::uint32_t>(permille);
     } else if (parse_flag(arg, "--failures-file", &value)) {
       options.failures_file = value;
     } else if (std::strcmp(arg, "--hostile") == 0) {
@@ -120,10 +129,10 @@ void print_outcome(const svs::sim::ScenarioSpec& spec,
   std::printf("scenario: %s\n", outcome.summary.c_str());
   std::printf(
       "  multicasts=%" PRIu64 " deliveries=%" PRIu64 " events=%" PRIu64
-      " purged=%" PRIu64 " dup=%" PRIu64 " quiesced=%s\n",
+      " purged=%" PRIu64 " dup=%" PRIu64 " lost=%" PRIu64 " quiesced=%s\n",
       outcome.multicasts, outcome.deliveries, outcome.sim_events,
       outcome.net_stats.purged_outgoing, outcome.net_stats.injected_duplicates,
-      outcome.quiesced ? "yes" : "no");
+      outcome.net_stats.injected_losses, outcome.quiesced ? "yes" : "no");
   if (outcome.violations.empty()) {
     std::printf("  OK: every checked property held\n");
     return;
@@ -139,6 +148,7 @@ int run_single(const CliOptions& options) {
   svs::sim::ScenarioExplorer::Options explorer_options;
   explorer_options.hostile = options.hostile;
   explorer_options.relation_pin = options.relation_pin;
+  explorer_options.loss_permille = options.loss_permille;
   svs::sim::ScenarioExplorer explorer(explorer_options);
   svs::sim::ScenarioSpec spec;
   spec.seed = options.seed;
@@ -146,6 +156,7 @@ int run_single(const CliOptions& options) {
   spec.fault_mask = options.fault_mask;
   spec.message_limit = options.message_limit;
   spec.hostile = options.hostile;
+  spec.loss_permille = options.loss_permille;
   const auto outcome = explorer.run(spec);
   print_outcome(spec, outcome);
 
@@ -165,6 +176,7 @@ int run_sweep(const CliOptions& options) {
   svs::sim::ScenarioExplorer::Options explorer_options;
   explorer_options.hostile = options.hostile;
   explorer_options.relation_pin = options.relation_pin;
+  explorer_options.loss_permille = options.loss_permille;
   svs::sim::ScenarioExplorer explorer(explorer_options);
   std::vector<std::string> failures;
   std::uint64_t events = 0;
