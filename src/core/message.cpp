@@ -6,14 +6,16 @@ namespace svs::core {
 
 std::size_t DataMessage::compute_wire_size() const {
   // Exactly what the codec writes: type tag + sender + seq + view (varints)
-  // + annotation + payload framing (kind + length varints) + payload body.
+  // + annotation + payload framing (kind + length varints) + payload body
+  // + piggyback presence byte (and section body when present).
   const std::size_t payload_bytes =
       payload_ != nullptr ? payload_->wire_size() : 0;
   const std::uint32_t kind = payload_ != nullptr ? payload_->payload_kind() : 0;
   return 1 + util::varint_size(sender_.value()) + util::varint_size(seq_) +
          util::varint_size(view_.value()) + annotation_.wire_size() +
          util::varint_size(kind) + util::varint_size(payload_bytes) +
-         payload_bytes;
+         payload_bytes + 1 +
+         (piggyback_.has_value() ? piggyback_->wire_size() : 0);
 }
 
 }  // namespace svs::core

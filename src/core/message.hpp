@@ -53,6 +53,56 @@ class OpaquePayload final : public Payload {
   std::size_t size_;
 };
 
+/// One per-view purge debt of the gossiping sender's own channel: it
+/// semantically purged `seq` out of at least one outgoing buffer, and the
+/// message that justified the purge (its declared cover) carries
+/// `cover_seq`.  Covers are the just-multicast message, so cover_seq > seq
+/// always — the wire encodes the positive gap.
+struct PurgeDebt {
+  std::uint64_t seq = 0;
+  std::uint64_t cover_seq = 0;
+
+  friend bool operator==(const PurgeDebt&, const PurgeDebt&) = default;
+};
+
+/// Exact encoded size of one (seq, cover_seq) debt entry — the same
+/// arithmetic the codec writes (seq, then the positive cover gap).
+[[nodiscard]] inline std::size_t purge_debt_wire_size(const PurgeDebt& debt) {
+  return util::varint_size(debt.seq) +
+         util::varint_size(debt.cover_seq - debt.seq);
+}
+
+/// Optional stability section piggybacked on an outgoing DATA message: the
+/// sender's covered frontiers (delta since its last gossip/piggyback), its
+/// per-view anchor, and any small own-debt deltas.  A group under traffic
+/// spreads stability knowledge through these sections, so the standalone
+/// gossip lane can stay quiescent (DESIGN.md §10).  Same merge semantics as
+/// a StabilityMessage for the same view — merging is idempotent and
+/// commutative, so piggyback-vs-gossip arrival order never matters.
+struct StabilityPiggyback {
+  using Seen = std::vector<std::pair<net::ProcessId, std::uint64_t>>;
+  using Debts = std::vector<PurgeDebt>;
+
+  std::uint64_t anchor = 0;
+  Seen seen;
+  Debts debts;
+
+  /// Exact encoded size of the section body (excludes the presence byte),
+  /// the same arithmetic the codec writes.
+  [[nodiscard]] std::size_t wire_size() const {
+    std::size_t n = util::varint_size(anchor) + util::varint_size(seen.size());
+    for (const auto& [sender, seq] : seen) {
+      n += util::varint_size(sender.value()) + util::varint_size(seq);
+    }
+    n += util::varint_size(debts.size());
+    for (const auto& debt : debts) n += purge_debt_wire_size(debt);
+    return n;
+  }
+
+  friend bool operator==(const StabilityPiggyback&,
+                         const StabilityPiggyback&) = default;
+};
+
 /// [DATA, v, d] — an application message tagged with the view it was sent
 /// in, carrying its obsolescence annotation.
 class DataMessage final : public net::Message {
@@ -80,6 +130,19 @@ class DataMessage final : public net::Message {
     return obs::MessageRef{sender_, seq_, &annotation_};
   }
 
+  /// Optional piggybacked stability section (nullopt when absent).
+  [[nodiscard]] const std::optional<StabilityPiggyback>& piggyback() const {
+    return piggyback_;
+  }
+
+  /// Attaches a stability section.  Must happen before the message is first
+  /// encoded or sized (net::Message caches wire_size and the encoded frame
+  /// lazily); Node::multicast attaches post-commit, pre-send, which is
+  /// before either cache exists.
+  void set_piggyback(StabilityPiggyback piggyback) {
+    piggyback_ = std::move(piggyback);
+  }
+
   [[nodiscard]] std::size_t compute_wire_size() const override;
 
  private:
@@ -88,6 +151,7 @@ class DataMessage final : public net::Message {
   ViewId view_;
   obs::Annotation annotation_;
   PayloadPtr payload_;
+  std::optional<StabilityPiggyback> piggyback_;
 };
 
 using DataMessagePtr = std::shared_ptr<const DataMessage>;
@@ -147,18 +211,6 @@ class PredMessage final : public net::Message {
   std::vector<DataMessagePtr> accepted_;
 };
 
-/// One per-view purge debt of the gossiping sender's own channel: it
-/// semantically purged `seq` out of at least one outgoing buffer, and the
-/// message that justified the purge (its declared cover) carries
-/// `cover_seq`.  Covers are the just-multicast message, so cover_seq > seq
-/// always — the wire encodes the positive gap.
-struct PurgeDebt {
-  std::uint64_t seq = 0;
-  std::uint64_t cover_seq = 0;
-
-  friend bool operator==(const PurgeDebt&, const PurgeDebt&) = default;
-};
-
 /// Periodic stability gossip (§2.1), extended with the purge-debt ledger
 /// sections that make mark-based GC sound under sender-side purging for
 /// every relation (DESIGN.md §3/§7):
@@ -180,8 +232,8 @@ struct PurgeDebt {
 /// the agreed pred-view small.
 class StabilityMessage final : public net::Message {
  public:
-  using Seen = std::vector<std::pair<net::ProcessId, std::uint64_t>>;
-  using Debts = std::vector<PurgeDebt>;
+  using Seen = StabilityPiggyback::Seen;
+  using Debts = StabilityPiggyback::Debts;
 
   StabilityMessage(ViewId view, std::uint64_t anchor, Seen seen, Debts debts)
       : net::Message(net::MessageType::stability),
@@ -198,8 +250,7 @@ class StabilityMessage final : public net::Message {
   /// Exact encoded size of one (seq, cover_seq) debt entry — the same
   /// arithmetic the codec writes (seq, then the positive cover gap).
   [[nodiscard]] static std::size_t debt_wire_size(const PurgeDebt& debt) {
-    return util::varint_size(debt.seq) +
-           util::varint_size(debt.cover_seq - debt.seq);
+    return purge_debt_wire_size(debt);
   }
 
   /// Exact encoded size of a stability message — the same arithmetic the

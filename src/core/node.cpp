@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "metrics/stats.hpp"
 #include "util/pool.hpp"
 
 namespace svs::core {
@@ -33,6 +34,10 @@ Node::Node(sim::Simulator& simulator, net::Transport& network,
   // The first view notification, so applications always learn membership
   // from the delivery stream.
   queue_.push_view(view_);
+  // Classic fixed-cadence mode sends a round every interval from the start
+  // and never parks; quiescent mode arms only when there is something to
+  // report.
+  if (!config_.quiescent) arm_stability_gossip();
 }
 
 // ---------------------------------------------------------------------------
@@ -149,13 +154,16 @@ std::optional<std::uint64_t> Node::multicast(PayloadPtr payload,
     }
   }
 
-  net_.multicast(self_, view_.members(), m, net::Lane::data);
   // addToTail(to-deliver, m); purge(to-deliver) — the sender delivers its
   // own messages, so they are flushed to others if it survives into the
-  // next view.
+  // next view.  note_seen runs before the piggyback attach so the delta
+  // section captures this very message's frontier advance, and the attach
+  // runs before the send so the section is part of the encoded frame.
   if (config_.purge_delivery_queue) queue_.purge_with(m, view_.id());
   queue_.push_data(m);
   note_seen(*m);
+  maybe_attach_piggyback(*m);
+  net_.multicast(self_, view_.members(), m, net::Lane::data);
   notify_deliverable();
   return m->seq();
 }
@@ -229,6 +237,13 @@ bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
     ++stats_.stale_view_drops;
     return true;
   }
+  // A piggybacked stability section of the current view is usable as soon
+  // as the view matches — even when the data itself is refused or dropped
+  // as duplicate below (merging is idempotent, so a flow-control redelivery
+  // merging twice is harmless).  Future-view piggybacks wait with their
+  // message; past-view ones died with the early return above.
+  if (m->view() == view_.id()) merge_piggyback(from, *m);
+
   if (change_.blocked() || m->view().value() > view_.id().value()) {
     // Blocked (t3's ¬blocked guard) or sent in a view this node has not
     // installed yet: leave it in the channel until the view change settles.
@@ -278,7 +293,14 @@ bool Node::handle_data(net::ProcessId from, const DataMessagePtr& m) {
 
 void Node::note_seen(const DataMessage& m) {
   stability_.note_seen(m.sender(), m.seq());
+  note_gossip_progress();
   arm_stability_gossip();
+}
+
+void Node::note_gossip_progress() {
+  clean_rounds_ = 0;
+  fruitless_heartbeats_ = 0;
+  refresh_spent_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -298,7 +320,65 @@ void Node::arm_stability_gossip() {
 }
 
 void Node::gossip_stability() {
-  if (excluded_ || !stability_.dirty()) return;  // quiesce until new traffic
+  if (excluded_) return;
+
+  // Quiescent mode (DESIGN.md §10): a clean timer firing is *suppressed* —
+  // silence tells the peers "nothing changed", which is sound because
+  // frontiers are monotone and merging is idempotent (a peer that misses
+  // nothing can learn nothing from an empty round).  Silence is bounded:
+  // while convergence is outstanding (retained history, live debts) every
+  // silent_round_period-th clean round escalates to a full-vector
+  // heartbeat, which repairs any lost round; heartbeats that observe no
+  // progress are budgeted so a floor held down by a crashed member (which
+  // only a view change can lift) parks the timer instead of ticking
+  // forever.  Classic mode ships the (possibly empty) round every interval
+  // — the pre-quiescence fixed-cadence baseline.
+  bool force_full = false;
+  if (!stability_.dirty() && config_.quiescent) {
+    if (refresh_pending_) {
+      refresh_pending_ = false;
+      force_full = true;  // anti-entropy response to a still-gossiping peer
+      ++stats_.gossip_heartbeats;
+    } else {
+      // Floors may already cover messages the application consumed after
+      // the last merge (nothing re-runs collection on local delivery) —
+      // sweep before judging convergence, or a fully-stable node would
+      // tick suppressed rounds against its own stale retained count.
+      collect_stable();
+      const bool converged = queue_.delivered_retained() == 0 &&
+                             stability_.own_debts() == 0 &&
+                             stability_.merged_debts() == 0;
+      if (converged) {
+        // Nothing to report and nothing outstanding: true silence.  The
+        // timer parks; the next delivery, merge or install re-arms it.
+        clean_rounds_ = 0;
+        fruitless_heartbeats_ = 0;
+        return;
+      }
+      ++clean_rounds_;
+      if (clean_rounds_ % config_.silent_round_period != 0) {
+        ++stats_.gossip_rounds_suppressed;
+        metrics::counters::note_gossip_round_suppressed();
+        arm_stability_gossip();
+        return;
+      }
+      const bool progressed = queue_.delivered_retained() != hb_retained_ ||
+                              stability_.own_debts() != hb_own_debts_ ||
+                              stability_.merged_debts() != hb_merged_debts_;
+      if (!progressed && fruitless_heartbeats_ >= config_.heartbeat_budget) {
+        ++stats_.gossip_rounds_suppressed;
+        metrics::counters::note_gossip_round_suppressed();
+        return;  // park: only a progress event re-arms and resets the budget
+      }
+      fruitless_heartbeats_ = progressed ? 0 : fruitless_heartbeats_ + 1;
+      hb_retained_ = queue_.delivered_retained();
+      hb_own_debts_ = stability_.own_debts();
+      hb_merged_debts_ = stability_.merged_debts();
+      ++stats_.gossip_heartbeats;
+      force_full = true;
+    }
+  }
+
   // Delta gossip: frontiers are monotone, merge_report is a per-entry max
   // and debt merging is a union, so shipping only the entries that changed
   // since the last round is equivalent to a full snapshot — O(changed)
@@ -310,8 +390,8 @@ void Node::gossip_stability() {
   // by the next full round (an incomplete debt picture only under-explains
   // gaps, which is conservative: frontiers lag, collection waits).
   constexpr std::uint64_t kFullGossipPeriod = 8;
-  const bool full =
-      gossip_round_ < 2 || gossip_round_ % kFullGossipPeriod == 0;
+  const bool full = force_full || gossip_round_ < 2 ||
+                    gossip_round_ % kFullGossipPeriod == 0;
   ++gossip_round_;
   auto round = full ? stability_.take_snapshot() : stability_.take_delta();
   const std::uint64_t anchor = view_first_seq_ - 1;
@@ -341,14 +421,38 @@ void Node::gossip_stability() {
 void Node::handle_stability(net::ProcessId from,
                             const std::shared_ptr<const StabilityMessage>& m) {
   if (excluded_ || m->view() != view_.id()) return;  // stale or early; drop
-  stability_.set_anchor(from, m->anchor());
-  stability_.merge_debts(from, m->debts());
-  stability_.merge_report(from, m->seen());
+  bool news = stability_.set_anchor(from, m->anchor());
+  news |= stability_.merge_debts(from, m->debts());
+  news |= stability_.merge_report(from, m->seen());
   collect_stable();
   // Merging can advance this node's own covered frontiers (a debt just
   // explained a gap) — that is reportable state, so the gossip must run
   // again even if no data arrives in the meantime.
-  if (stability_.dirty()) arm_stability_gossip();
+  if (stability_.dirty()) {
+    note_gossip_progress();
+    arm_stability_gossip();
+    return;
+  }
+  // Anti-entropy refresh (quiescent mode): a round that taught this node
+  // *nothing* is a peer re-sending state we already merged — a stuck peer,
+  // most likely missing this node's report (lost ahead of a silent
+  // stretch) and heartbeating against a floor that cannot move without
+  // it.  Answer with one forced full round, at most once per progress
+  // epoch (refresh_spent_) and once per heartbeat window (last_refresh_),
+  // so mutual refreshes between two stuck nodes terminate instead of
+  // ping-ponging forever.  A round carrying news never triggers a refresh:
+  // mid-traffic rounds always advance something here, and the sender will
+  // get this node's state from its ordinary dirty rounds.
+  if (config_.quiescent && !news && !refresh_spent_ &&
+      config_.stability_interval > sim::Duration::zero() &&
+      sim_.now() - last_refresh_ >=
+          config_.stability_interval *
+              static_cast<std::int64_t>(config_.silent_round_period)) {
+    refresh_spent_ = true;
+    refresh_pending_ = true;
+    last_refresh_ = sim_.now();
+    arm_stability_gossip();
+  }
 }
 
 void Node::collect_stable() {
@@ -369,6 +473,54 @@ void Node::collect_stable() {
   // messages they explained — the ledger stays bounded by the un-stable
   // window.
   stats_.debts_collected += stability_.collect_debts(view_, self_);
+}
+
+void Node::maybe_attach_piggyback(DataMessage& m) {
+  // Quiescent mode rides the stability delta on outgoing DATA: under
+  // traffic the group's stability knowledge spreads at data latency with a
+  // few extra bytes per message, so the standalone gossip lane stays
+  // suppressed.  Rate-limited to one section per stability_interval — the
+  // cadence a standalone round would have had — so a flood does not pay
+  // section bytes on every message.  Runs post-commit, pre-encode: the
+  // message has its final seq but no cached wire size or frame yet.
+  if (!config_.quiescent ||
+      config_.stability_interval <= sim::Duration::zero() ||
+      !stability_.dirty()) {
+    return;
+  }
+  const auto now = sim_.now();
+  if (piggyback_sent_ && now - last_piggyback_ < config_.stability_interval) {
+    return;
+  }
+  piggyback_sent_ = true;
+  last_piggyback_ = now;
+  auto round = stability_.take_delta();
+  StabilityPiggyback pb;
+  pb.anchor = view_first_seq_ - 1;
+  pb.seen = std::move(round.seen);
+  pb.debts = std::move(round.debts);
+  stats_.debt_entries_gossiped += pb.debts.size();
+  for (const auto& debt : pb.debts) {
+    stats_.debt_bytes_gossiped += purge_debt_wire_size(debt);
+  }
+  ++stats_.frontier_piggybacks;
+  metrics::counters::note_frontier_piggyback();
+  m.set_piggyback(std::move(pb));
+}
+
+void Node::merge_piggyback(net::ProcessId from, const DataMessage& m) {
+  const auto& pb = m.piggyback();
+  if (!pb.has_value()) return;
+  // Same merge as a standalone round of the same view — idempotent and
+  // commutative, so piggyback-vs-gossip arrival order never matters.
+  stability_.set_anchor(from, pb->anchor);
+  stability_.merge_debts(from, pb->debts);
+  stability_.merge_report(from, pb->seen);
+  collect_stable();
+  if (stability_.dirty()) {
+    note_gossip_progress();
+    arm_stability_gossip();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -513,6 +665,10 @@ void Node::install(const ProposalValue& decided) {
   stability_.set_anchor(self_, view_first_seq_ - 1);
   stability_.clear_dirty();  // an anchor alone is not worth a gossip round
   gossip_round_ = 0;  // per-view: early rounds ship full vectors again
+  note_gossip_progress();  // a view change is churn: silence starts over
+  refresh_pending_ = false;
+  piggyback_sent_ = false;  // the new view re-anchors the piggyback cadence
+  if (!config_.quiescent) arm_stability_gossip();
 
   // Outgoing messages of superseded views would be discarded on arrival;
   // reclaim their buffer space now (this is what frees the buffers that

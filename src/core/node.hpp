@@ -70,6 +70,22 @@ struct NodeConfig {
   /// history then grows until the next view change).  The gossip quiesces
   /// when nothing new was received, so idle groups go silent.
   sim::Duration stability_interval = sim::Duration::millis(50);
+  /// Adaptive quiescent gossip (DESIGN.md §10).  true (default): a round is
+  /// suppressed entirely when the ledger has no delta to report; while
+  /// convergence is still outstanding every silent_round_period-th clean
+  /// round escalates to a full-vector heartbeat, and after heartbeat_budget
+  /// consecutive no-progress heartbeats the timer parks until new traffic,
+  /// a merge, or an install re-arms it.  Stability sections also piggyback
+  /// on outgoing DATA (at most one per stability_interval), so a group
+  /// under traffic needs almost no standalone gossip.  false: classic fixed
+  /// cadence — a round is sent every interval even when nothing changed and
+  /// nothing piggybacks (the pre-quiescence baseline the steady-state bench
+  /// measures against; it never goes silent, so drive it with run_until).
+  bool quiescent = true;
+  /// Clean rounds between heartbeats while unconverged (quiescent mode).
+  std::uint64_t silent_round_period = 4;
+  /// Consecutive no-progress heartbeats before the gossip timer parks.
+  std::uint64_t heartbeat_budget = 8;
 };
 
 struct NodeStats {
@@ -87,6 +103,9 @@ struct NodeStats {
   std::uint64_t debts_collected = 0;     // own purge debts retired (stable)
   std::uint64_t debt_entries_gossiped = 0;  // debt entries shipped (pre-fanout)
   std::uint64_t debt_bytes_gossiped = 0;    // their encoded bytes (pre-fanout)
+  std::uint64_t gossip_rounds_suppressed = 0;  // clean rounds not sent
+  std::uint64_t gossip_heartbeats = 0;      // forced full rounds at silence
+  std::uint64_t frontier_piggybacks = 0;    // stability sections on DATA
   std::uint64_t views_installed = 0;
   std::uint64_t view_changes_initiated = 0;
   sim::Duration last_change_latency = sim::Duration::zero();
@@ -219,6 +238,13 @@ class Node final : public net::Endpoint {
   void handle_stability(net::ProcessId from,
                         const std::shared_ptr<const StabilityMessage>& m);
   void collect_stable();
+  /// Quiescent-mode helpers (DESIGN.md §10): attach a delta stability
+  /// section to an outgoing DATA (rate-limited), merge an incoming one
+  /// (same semantics as a standalone round of the same view), and record
+  /// that reportable state advanced (resets the silence bookkeeping).
+  void maybe_attach_piggyback(DataMessage& m);
+  void merge_piggyback(net::ProcessId from, const DataMessage& m);
+  void note_gossip_progress();
   void notify_unblocked();
   void notify_deliverable();
   void replay_pending_control();
@@ -240,6 +266,23 @@ class Node final : public net::Endpoint {
   ViewChangeEngine change_;
   bool stability_armed_ = false;
   std::uint64_t gossip_round_ = 0;  // rounds sent in the current view
+  // Quiescence bookkeeping (quiescent mode only).  clean_rounds_ counts
+  // consecutive timer firings with nothing to report; every
+  // silent_round_period-th one escalates to a heartbeat, and
+  // fruitless_heartbeats_ bounds heartbeats that observe no progress in
+  // (retained, own debts, merged debts).  refresh_spent_ limits the
+  // anti-entropy response to a still-gossiping peer to once per progress
+  // epoch, last_refresh_ rate-limits it under traffic.
+  std::uint64_t clean_rounds_ = 0;
+  std::uint64_t fruitless_heartbeats_ = 0;
+  std::size_t hb_retained_ = 0;
+  std::size_t hb_own_debts_ = 0;
+  std::size_t hb_merged_debts_ = 0;
+  bool refresh_pending_ = false;
+  bool refresh_spent_ = false;
+  sim::TimePoint last_refresh_;
+  bool piggyback_sent_ = false;
+  sim::TimePoint last_piggyback_;
 
   consensus::Mux consensus_mux_;
   std::function<void()> unblocked_callback_;

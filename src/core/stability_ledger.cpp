@@ -62,12 +62,12 @@ std::optional<std::uint64_t> StabilityLedger::high_water(
 // purge-debt ledger
 // ---------------------------------------------------------------------------
 
-void StabilityLedger::set_anchor(net::ProcessId sender, std::uint64_t anchor) {
+bool StabilityLedger::set_anchor(net::ProcessId sender, std::uint64_t anchor) {
   Channel& channel = channels_[sender];
   if (channel.anchor.has_value()) {
     SVS_ASSERT(*channel.anchor == anchor,
                "a channel's per-view anchor never moves");
-    return;
+    return false;
   }
   channel.anchor = anchor;
   channel.explained = anchor;
@@ -79,6 +79,7 @@ void StabilityLedger::set_anchor(net::ProcessId sender, std::uint64_t anchor) {
       util::varint_size(sender.value()) + util::varint_size(channel.explained);
   dirty_ = true;
   advance_frontier(sender, channel);
+  return true;
 }
 
 bool StabilityLedger::record_own_debt(std::uint64_t seq,
@@ -98,10 +99,11 @@ bool StabilityLedger::record_own_debt(std::uint64_t seq,
   return true;
 }
 
-void StabilityLedger::merge_debts(net::ProcessId sender,
+bool StabilityLedger::merge_debts(net::ProcessId sender,
                                   const StabilityMessage::Debts& debts) {
-  if (debts.empty()) return;
+  if (debts.empty()) return false;
   Channel& channel = channels_[sender];
+  bool news = false;
   for (const auto& debt : debts) {
     if (debt.seq <= channel.explained && channel.anchor.has_value()) {
       continue;  // already explained (and its ledger entry pruned)
@@ -110,12 +112,14 @@ void StabilityLedger::merge_debts(net::ProcessId sender,
         channel.debts.try_emplace(debt.seq, debt.cover_seq);
     if (inserted) {
       ++merged_debt_count_;
+      news = true;
     } else {
       SVS_ASSERT(it->second == debt.cover_seq,
                  "conflicting covers announced for one purged seq");
     }
   }
   advance_frontier(sender, channel);
+  return news;
 }
 
 bool StabilityLedger::obligation_met(net::ProcessId sender,
@@ -222,13 +226,18 @@ StabilityLedger::Round StabilityLedger::take_delta() {
   return round;
 }
 
-void StabilityLedger::merge_report(net::ProcessId from,
+bool StabilityLedger::merge_report(net::ProcessId from,
                                    const StabilityMessage::Seen& seen) {
   auto& vector = peer_seen_[from];
+  bool news = false;
   for (const auto& [sender, seq] : seen) {
     auto& high = vector[sender];
-    high = std::max(high, seq);
+    if (seq > high) {
+      high = seq;
+      news = true;
+    }
   }
+  return news;
 }
 
 std::uint64_t StabilityLedger::floor_of(net::ProcessId sender,

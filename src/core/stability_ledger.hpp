@@ -99,7 +99,8 @@ class StabilityLedger {
   /// Installs `sender`'s per-view channel anchor (the seq just below its
   /// first multicast of the view, from its gossip — or from the local node
   /// for its own channel).  Constant per view; repeated calls must agree.
-  void set_anchor(net::ProcessId sender, std::uint64_t anchor);
+  /// Returns true when the anchor was news (first call for the channel).
+  bool set_anchor(net::ProcessId sender, std::uint64_t anchor);
 
   /// Sender side: this node purged `seq` out of an outgoing buffer,
   /// justified by its own fresh message `cover_seq` (> seq).  Recorded
@@ -110,7 +111,8 @@ class StabilityLedger {
 
   /// Receiver side: merges debts announced by `sender` (union; debts are
   /// immutable facts) and re-advances the covered frontier they explain.
-  void merge_debts(net::ProcessId sender,
+  /// Returns true when at least one debt was news.
+  bool merge_debts(net::ProcessId sender,
                    const StabilityMessage::Debts& debts);
 
   /// True when the §3.2 obligation for (sender, seq) is already discharged
@@ -168,7 +170,8 @@ class StabilityLedger {
   }
 
   /// Merges a peer's gossiped reception vector (frontiers are monotone).
-  void merge_report(net::ProcessId from, const StabilityMessage::Seen& seen);
+  /// Returns true when at least one of the peer's frontiers advanced.
+  bool merge_report(net::ProcessId from, const StabilityMessage::Seen& seen);
 
   /// Highest seq of `sender` known to be received-or-covered by every
   /// member of `view` (self included).  Any member that has not reported

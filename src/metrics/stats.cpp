@@ -1,15 +1,44 @@
 #include "metrics/stats.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/contracts.hpp"
 #include "util/pool.hpp"
 
 namespace svs::metrics {
 
+namespace {
+std::atomic<std::uint64_t> g_gossip_rounds_suppressed{0};
+std::atomic<std::uint64_t> g_frontier_piggybacks{0};
+std::atomic<std::uint64_t> g_frames_batched{0};
+std::atomic<std::uint64_t> g_batch_flushes{0};
+}  // namespace
+
+namespace counters {
+void note_gossip_round_suppressed() {
+  g_gossip_rounds_suppressed.fetch_add(1, std::memory_order_relaxed);
+}
+void note_frontier_piggyback() {
+  g_frontier_piggybacks.fetch_add(1, std::memory_order_relaxed);
+}
+void note_frames_batched(std::uint64_t n) {
+  g_frames_batched.fetch_add(n, std::memory_order_relaxed);
+}
+void note_batch_flush() {
+  g_batch_flushes.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace counters
+
 Stats Stats::snapshot() {
   const util::PoolStats pools = util::Pool::aggregate();
-  return Stats{pools.hits, pools.misses, pools.bytes_recycled};
+  return Stats{pools.hits,
+               pools.misses,
+               pools.bytes_recycled,
+               g_gossip_rounds_suppressed.load(std::memory_order_relaxed),
+               g_frontier_piggybacks.load(std::memory_order_relaxed),
+               g_frames_batched.load(std::memory_order_relaxed),
+               g_batch_flushes.load(std::memory_order_relaxed)};
 }
 
 void Summary::add(double x) {

@@ -71,22 +71,44 @@ class PeriodicSampler {
 };
 
 /// Process-wide runtime counters sampled by harnesses and benches.  Today
-/// this is allocator observability: the pooled hot-path allocator
-/// (util/pool.hpp) counts free-list reuses vs system-allocator trips.
-/// snapshot() aggregates over every thread's pool; diff two snapshots to
-/// attribute work to a measured region (bench_micro's flood section does).
+/// this covers allocator observability (the pooled hot-path allocator in
+/// util/pool.hpp counts free-list reuses vs system-allocator trips) plus
+/// quiescence/batching observability: suppressed gossip rounds and frontier
+/// piggybacks from core::Node, and frame-batching activity from the
+/// transports.  snapshot() aggregates over every thread's pool plus the
+/// process-wide counters; diff two snapshots to attribute work to a measured
+/// region (bench_micro's flood and steady-state sections do).
 struct Stats {
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
   std::uint64_t bytes_recycled = 0;
+  std::uint64_t gossip_rounds_suppressed = 0;
+  std::uint64_t frontier_piggybacks = 0;
+  std::uint64_t frames_batched = 0;
+  std::uint64_t batch_flushes = 0;
 
   [[nodiscard]] static Stats snapshot();
 
   [[nodiscard]] Stats operator-(const Stats& since) const {
-    return Stats{pool_hits - since.pool_hits, pool_misses - since.pool_misses,
-                 bytes_recycled - since.bytes_recycled};
+    return Stats{pool_hits - since.pool_hits,
+                 pool_misses - since.pool_misses,
+                 bytes_recycled - since.bytes_recycled,
+                 gossip_rounds_suppressed - since.gossip_rounds_suppressed,
+                 frontier_piggybacks - since.frontier_piggybacks,
+                 frames_batched - since.frames_batched,
+                 batch_flushes - since.batch_flushes};
   }
 };
+
+/// Cheap process-wide counters noted from protocol/transport hot paths and
+/// folded into Stats::snapshot().  Relaxed atomics: these are telemetry, not
+/// synchronization.
+namespace counters {
+void note_gossip_round_suppressed();
+void note_frontier_piggyback();
+void note_frames_batched(std::uint64_t n);
+void note_batch_flush();
+}  // namespace counters
 
 /// Integer-keyed histogram with share/percentile helpers.
 class Histogram {

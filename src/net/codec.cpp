@@ -236,6 +236,52 @@ void encode_data(const core::DataMessage& m, util::ByteWriter& w) {
   w.u64(m.view().value());
   m.annotation().encode(w);
   encode_payload(m.payload(), w);
+  const auto& pb = m.piggyback();
+  w.u8(pb.has_value() ? 1 : 0);
+  if (!pb.has_value()) return;
+  w.u64(pb->anchor);
+  w.u64(pb->seen.size());
+  for (const auto& [sender, seq] : pb->seen) {
+    w.u32(sender.value());
+    w.u64(seq);
+  }
+  w.u64(pb->debts.size());
+  for (const auto& debt : pb->debts) {
+    w.u64(debt.seq);
+    w.u64(debt.cover_seq - debt.seq);  // covers are strictly newer
+  }
+}
+
+core::StabilityPiggyback decode_piggyback(util::ByteReader& r) {
+  core::StabilityPiggyback pb;
+  pb.anchor = r.u64();
+  const std::uint64_t count = r.u64();
+  // Each entry is at least two bytes (two varints).
+  SVS_REQUIRE(count <= r.remaining(),
+              "piggybacked seen vector longer than the buffer");
+  pb.seen.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ProcessId sender(r.u32());
+    const std::uint64_t seq = r.u64();
+    pb.seen.emplace_back(sender, seq);
+  }
+  const std::uint64_t debt_count = r.u64();
+  SVS_REQUIRE(debt_count <= r.remaining(),
+              "piggybacked debt ledger longer than the buffer");
+  pb.debts.reserve(debt_count);
+  std::uint64_t prev_seq = 0;
+  for (std::uint64_t i = 0; i < debt_count; ++i) {
+    const std::uint64_t seq = r.u64();
+    SVS_REQUIRE(i == 0 || seq > prev_seq,
+                "piggybacked purge debts must be strictly ascending by seq");
+    prev_seq = seq;
+    const std::uint64_t cover_gap = r.u64();
+    SVS_REQUIRE(cover_gap >= 1, "a purge debt's cover must be strictly newer");
+    SVS_REQUIRE(seq <= std::numeric_limits<std::uint64_t>::max() - cover_gap,
+                "purge debt cover overflows");
+    pb.debts.push_back(core::PurgeDebt{seq, seq + cover_gap});
+  }
+  return pb;
 }
 
 MessagePtr decode_data(util::ByteReader& r) {
@@ -244,9 +290,14 @@ MessagePtr decode_data(util::ByteReader& r) {
   const core::ViewId view(r.u64());
   obs::Annotation annotation = obs::Annotation::decode(r);
   core::PayloadPtr payload = decode_payload(r);
-  return util::pool_shared<core::DataMessage>(sender, seq, view,
-                                             std::move(annotation),
-                                             std::move(payload));
+  auto m = util::pool_shared<core::DataMessage>(sender, seq, view,
+                                               std::move(annotation),
+                                               std::move(payload));
+  const std::uint8_t has_piggyback = r.u8();
+  SVS_REQUIRE(has_piggyback <= 1,
+              "bad piggyback-presence flag on the wire");
+  if (has_piggyback == 1) m->set_piggyback(decode_piggyback(r));
+  return m;
 }
 
 void encode_init(const core::InitMessage& m, util::ByteWriter& w) {

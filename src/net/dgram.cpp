@@ -76,21 +76,51 @@ void write_header(util::ByteWriter& w, Datagram::Kind kind) {
 
 }  // namespace
 
-util::Bytes Datagram::encode_data(std::uint32_t from, std::uint32_t to,
-                                  std::uint8_t lane, std::uint64_t seq,
-                                  const AckBlock& ack,
-                                  const util::Bytes& frame) {
+namespace {
+
+void write_data_head(util::ByteWriter& w, std::uint32_t from, std::uint32_t to,
+                     std::uint8_t lane, std::uint64_t seq,
+                     const AckBlock& ack) {
   SVS_REQUIRE(seq >= 1, "link sequence numbers start at 1");
   SVS_REQUIRE(lane <= 1, "lane byte out of range");
-  util::ByteWriter w;
-  write_header(w, Kind::data);
+  write_header(w, Datagram::Kind::data);
   w.u32(from);
   w.u32(to);
   w.u8(lane);
   w.u64(seq);
   write_ack(w, ack);
+}
+
+}  // namespace
+
+util::Bytes Datagram::encode_data(std::uint32_t from, std::uint32_t to,
+                                  std::uint8_t lane, std::uint64_t seq,
+                                  const AckBlock& ack,
+                                  const util::Bytes& frame) {
+  SVS_REQUIRE(!frame.empty(), "codec frames are never empty");
+  util::ByteWriter w;
+  write_data_head(w, from, to, lane, seq, ack);
+  w.u64(1);
   w.u64(frame.size());
   w.bytes(frame.data(), frame.size());
+  return w.take();
+}
+
+util::Bytes Datagram::encode_data(std::uint32_t from, std::uint32_t to,
+                                  std::uint8_t lane, std::uint64_t seq,
+                                  const AckBlock& ack,
+                                  std::span<const FramePtr> frames) {
+  SVS_REQUIRE(frames.size() >= 1 && frames.size() <= kMaxBatchFrames,
+              "batch size out of bounds");
+  util::ByteWriter w;
+  write_data_head(w, from, to, lane, seq, ack);
+  w.u64(frames.size());
+  for (const FramePtr& frame : frames) {
+    SVS_REQUIRE(frame != nullptr && !frame->empty(),
+                "codec frames are never empty");
+    w.u64(frame->size());
+    w.bytes(frame->data(), frame->size());
+  }
   return w.take();
 }
 
@@ -143,12 +173,22 @@ Datagram Datagram::decode(const util::Bytes& bytes) {
       d.seq = r.u64();
       SVS_REQUIRE(d.seq >= 1, "data datagram with zero link seq");
       d.ack = read_ack(r);
-      const std::uint64_t len = r.u64();
-      SVS_REQUIRE(len == r.remaining(),
-                  "data datagram payload length mismatch");
-      d.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(r.position()),
-                       bytes.end());
-      r.skip(static_cast<std::size_t>(len));
+      const std::uint64_t count = r.u64();
+      SVS_REQUIRE(count >= 1 && count <= kMaxBatchFrames,
+                  "data datagram batch count out of bounds");
+      d.payloads.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t len = r.u64();
+        SVS_REQUIRE(len >= 1 && len <= r.remaining(),
+                    "data datagram frame length mismatch");
+        const auto start = bytes.begin() +
+                           static_cast<std::ptrdiff_t>(r.position());
+        d.payloads.emplace_back(start,
+                                start + static_cast<std::ptrdiff_t>(len));
+        r.skip(static_cast<std::size_t>(len));
+      }
+      // The frames must fill the datagram exactly — the trailing-bytes
+      // check below enforces it.
       break;
     }
     case Kind::ack: {

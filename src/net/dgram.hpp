@@ -10,10 +10,20 @@
 //   byte 0   magic 0xD6
 //   byte 1   kind            data=1  ack=2  join=3  roster=4
 //   data:    from, to (varint raw ProcessIds), lane u8, seq (varint, >= 1),
-//            AckBlock, payload_len (varint, == remaining), payload bytes
+//            AckBlock, frame_count (varint, 1..kMaxBatchFrames), then per
+//            frame len (varint, >= 1) + frame bytes; the frames must fill
+//            the datagram exactly
 //   ack:     from, to, lane u8, AckBlock
 //   join:    id (varint), port (varint, <= 65535)
 //   roster:  count (varint, <= kMaxRoster), then per member id + port
+//
+// A data datagram carries a *batch* of codec frames under ONE link
+// sequence number: the per-destination batcher (udp_transport.hpp)
+// coalesces small frames bound for the same (peer, lane) into one datagram
+// under the MTU, and the reliable lane stages, retransmits and acks the
+// batch as a unit — so header and syscall cost amortize across the batch
+// while the link-order delivery contract is untouched (frames inside a
+// batch are in send order; batches are in link-seq order).
 //
 // The AckBlock always describes the link flowing in the OPPOSITE direction
 // of the datagram that carries it (the receiver's view of sender->receiver
@@ -35,9 +45,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "net/message.hpp"
 #include "net/types.hpp"
 #include "util/bytes.hpp"
 
@@ -79,6 +91,8 @@ struct Datagram {
   static constexpr std::uint8_t kMagic = 0xD6;
   static constexpr std::size_t kMaxSackRanges = 64;
   static constexpr std::size_t kMaxRoster = 1024;
+  /// Max codec frames one data datagram may batch.
+  static constexpr std::size_t kMaxBatchFrames = 64;
 
   Kind kind = Kind::data;
   std::uint32_t from = 0;  // raw ProcessId values (data / ack)
@@ -86,17 +100,23 @@ struct Datagram {
   std::uint8_t lane = 0;  // net::Lane as a byte (data / ack)
   std::uint64_t seq = 0;  // link sequence number (data; >= 1)
   AckBlock ack;           // data / ack
-  util::Bytes payload;    // data: one net::Codec frame
+  std::vector<util::Bytes> payloads;  // data: >= 1 net::Codec frames
   std::uint32_t join_id = 0;    // join
   std::uint16_t join_port = 0;  // join
   std::vector<std::pair<std::uint32_t, std::uint16_t>> roster;  // roster
 
+  /// Single-frame convenience (a batch of one).
   [[nodiscard]] static util::Bytes encode_data(std::uint32_t from,
                                                std::uint32_t to,
                                                std::uint8_t lane,
                                                std::uint64_t seq,
                                                const AckBlock& ack,
                                                const util::Bytes& frame);
+  /// Batch form: all frames ride under the one link seq.
+  [[nodiscard]] static util::Bytes encode_data(
+      std::uint32_t from, std::uint32_t to, std::uint8_t lane,
+      std::uint64_t seq, const AckBlock& ack,
+      std::span<const FramePtr> frames);
   [[nodiscard]] static util::Bytes encode_ack(std::uint32_t from,
                                               std::uint32_t to,
                                               std::uint8_t lane,

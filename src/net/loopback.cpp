@@ -32,36 +32,50 @@ void ThreadedLoopback::attach(ProcessId id, Endpoint& endpoint) {
 }
 
 void ThreadedLoopback::WireChannel::run() {
+  std::deque<FramePtr> burst;
+  std::vector<MessagePtr> fresh;
   for (;;) {
-    FramePtr frame;
+    burst.clear();
     {
+      // Coalesced drain: swap the whole mailbox out under one lock
+      // acquisition, so a burst of crossings costs one wakeup + two
+      // critical sections instead of one pair per frame.
       std::unique_lock<std::mutex> lock(mutex);
       frame_ready.wait(lock, [this] { return stop || !frames.empty(); });
       if (stop && frames.empty()) return;
-      frame = std::move(frames.front());
-      frames.pop_front();
+      burst.swap(frames);
     }
-    MessagePtr fresh;
+    fresh.clear();
     std::exception_ptr failure;
-    try {
-      // Decoded from bytes on this thread: the object handed back shares
-      // nothing with whatever the sender queued.  The frame itself may be
-      // shared with other destinations, but it is immutable — this thread
-      // only reads it.
-      fresh = Codec::decode(*frame);
-    } catch (...) {
-      failure = std::current_exception();
+    for (const FramePtr& frame : burst) {
+      try {
+        // Decoded from bytes on this thread: the object handed back shares
+        // nothing with whatever the sender queued.  The frame itself may be
+        // shared with other destinations, but it is immutable — this thread
+        // only reads it.
+        fresh.push_back(Codec::decode(*frame));
+      } catch (...) {
+        failure = std::current_exception();
+        break;
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(mutex);
-      if (failure != nullptr) {
-        error = failure;
-      } else {
-        decoded.push_back(std::move(fresh));
-      }
+      ++drains;
+      for (MessagePtr& m : fresh) decoded.push_back(std::move(m));
+      if (failure != nullptr) error = failure;
     }
     decode_done.notify_one();
   }
+}
+
+std::uint64_t ThreadedLoopback::wire_drains() const {
+  std::uint64_t total = 0;
+  for (const auto& channel : channels_) {
+    const std::lock_guard<std::mutex> lock(channel->mutex);
+    total += channel->drains;
+  }
+  return total;
 }
 
 MessagePtr ThreadedLoopback::WireChannel::round_trip(FramePtr frame) {

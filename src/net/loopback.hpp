@@ -149,6 +149,11 @@ class ThreadedLoopback final : public Transport {
   [[nodiscard]] std::uint64_t frame_encodes() const { return frame_encodes_; }
   /// Crossings served from the cached frame (wire_frames - frame_encodes).
   [[nodiscard]] std::uint64_t frame_reuses() const { return frame_reuses_; }
+  /// Wire-thread drain cycles: each one swaps the whole mailbox out under
+  /// a single lock acquisition and decodes the burst outside it, so
+  /// wire_frames() / wire_drains() is the coalescing factor (1.0 when every
+  /// frame crossed alone).
+  [[nodiscard]] std::uint64_t wire_drains() const;
 
  private:
   /// One process's half of the wire: a mailbox the protocol thread feeds
@@ -162,6 +167,7 @@ class ThreadedLoopback final : public Transport {
     std::deque<FramePtr> frames;
     std::deque<MessagePtr> decoded;
     std::exception_ptr error;
+    std::uint64_t drains = 0;  // guarded by mutex
     bool stop = false;
     std::thread thread;
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "metrics/stats.hpp"
 #include "net/codec.hpp"
 #include "net/fault_injector.hpp"
 #include "sim/fault_plan.hpp"
@@ -25,6 +26,13 @@ constexpr Lane lane_of(std::uint8_t lane_byte) {
 /// Pacing of zero-window probes (real time): fast enough that a reopened
 /// receiver resumes promptly, slow enough not to flood a stalled one.
 constexpr std::int64_t kProbeIntervalUs = 100'000;
+
+/// Encoded cost of one batched frame: its bytes plus its length varint.
+constexpr std::size_t frame_cost(std::size_t frame_bytes) {
+  std::size_t varint = 1;
+  for (std::uint64_t v = frame_bytes; v >= 0x80; v >>= 7) ++varint;
+  return frame_bytes + varint;
+}
 
 }  // namespace
 
@@ -66,19 +74,30 @@ std::int64_t jittered(sim::Rng& rng, std::int64_t rto_us) {
 }  // namespace
 
 std::uint64_t ReliableLink::stage(FramePtr frame, std::int64_t now_us) {
-  SVS_REQUIRE(!dead_, "staging a frame on a dead link");
+  std::vector<FramePtr> batch;
+  batch.push_back(std::move(frame));
+  return stage(std::move(batch), now_us);
+}
+
+std::uint64_t ReliableLink::stage(std::vector<FramePtr> frames,
+                                  std::int64_t now_us) {
+  SVS_REQUIRE(!dead_, "staging a batch on a dead link");
+  SVS_REQUIRE(!frames.empty() &&
+                  frames.size() <= Datagram::kMaxBatchFrames,
+              "batch size out of bounds");
   InFlight f;
   f.seq = next_seq_++;
-  f.frame = std::move(frame);
+  f.frames = std::move(frames);
   f.rto_us = config_.rto_base_us;
   f.deadline_us = now_us + jittered(rng_, f.rto_us);
+  in_flight_frames_ += f.frames.size();
   in_flight_.push_back(std::move(f));
   return in_flight_.back().seq;
 }
 
-const FramePtr* ReliableLink::frame_of(std::uint64_t seq) const {
+const std::vector<FramePtr>* ReliableLink::frames_of(std::uint64_t seq) const {
   for (const InFlight& f : in_flight_) {
-    if (f.seq == seq) return &f.frame;
+    if (f.seq == seq) return &f.frames;
   }
   return nullptr;
 }
@@ -102,6 +121,7 @@ void ReliableLink::collect_due(std::int64_t now_us,
       dead_ = true;
       ++stats_.link_resets;
       in_flight_.clear();
+      in_flight_frames_ = 0;
       due.clear();
       return;
     }
@@ -116,29 +136,37 @@ void ReliableLink::collect_due(std::int64_t now_us,
 void ReliableLink::on_ack(const AckBlock& ack) {
   peer_window_ = ack.window;
   while (!in_flight_.empty() && in_flight_.front().seq <= ack.cum) {
+    in_flight_frames_ -= in_flight_.front().frames.size();
     in_flight_.pop_front();
   }
   if (ack.sacks.empty() || in_flight_.empty()) return;
-  std::erase_if(in_flight_, [&ack](const InFlight& f) {
+  std::erase_if(in_flight_, [this, &ack](const InFlight& f) {
     for (const AckBlock::Range& r : ack.sacks) {
-      if (f.seq >= r.first && f.seq <= r.last) return true;
+      if (f.seq >= r.first && f.seq <= r.last) {
+        in_flight_frames_ -= f.frames.size();
+        return true;
+      }
     }
     return false;
   });
 }
 
-bool ReliableLink::accept(std::uint64_t seq, util::Bytes payload) {
+bool ReliableLink::accept(std::uint64_t seq,
+                          std::vector<util::Bytes> payloads) {
   SVS_REQUIRE(seq >= 1, "link sequence numbers start at 1");
   if (seq <= cum_ || out_of_order_.contains(seq)) {
     ++stats_.duplicate_drops;
     return false;
   }
-  out_of_order_.emplace(seq, std::move(payload));
-  // Drain the run now contiguous with the frontier.
+  out_of_order_.emplace(seq, std::move(payloads));
+  // Drain the run now contiguous with the frontier; batches flatten into
+  // the ready queue in (batch seq, in-batch) order.
   for (auto it = out_of_order_.begin();
        it != out_of_order_.end() && it->first == cum_ + 1;
        it = out_of_order_.erase(it)) {
-    ready_.emplace_back(it->first, std::move(it->second));
+    for (util::Bytes& payload : it->second) {
+      ready_.emplace_back(it->first, std::move(payload));
+    }
     ++cum_;
   }
   return true;
@@ -236,6 +264,9 @@ bool UdpTransport::links_idle() const {
   for (const auto& p : procs_) {
     for (const auto& [key, link] : p->links) {
       if (!link->all_acked()) return false;
+    }
+    for (const auto& [key, batch] : p->pending) {
+      if (!batch.frames.empty()) return false;
     }
   }
   return true;
@@ -396,33 +427,107 @@ bool UdpTransport::async_send(ProcessId from, ProcessId peer,
                               const MessagePtr& message, Lane lane) {
   Proc& p = proc_of(from);
   const std::uint8_t lane_byte = lane_byte_of(lane);
+  const LinkKey key{peer.value(), lane_byte};
   ReliableLink& link = link_for(p, peer.value(), lane_byte);
   if (link.dead()) {
     // The peer was declared crashed (and crash-stopped in the inner
     // network); stragglers racing that declaration are swallowed exactly
     // like sends to a crashed sim process.
+    p.pending.erase(key);
     return true;
   }
-  if (lane == Lane::data && !link.can_send()) {
-    // Window full: refuse, which stalls the inner link head — the standard
-    // data-lane backpressure.  Arm probe pacing in case the peer's window
-    // stays closed with nothing in flight to elicit an ack.
-    p.last_probe_us.try_emplace(peer.value(), std::int64_t{0});
+  std::size_t pending_frames = 0;
+  if (const auto it = p.pending.find(key); it != p.pending.end()) {
+    pending_frames = it->second.frames.size();
+  }
+  if (lane == Lane::data && link.send_room() <= pending_frames) {
+    // Window full (counting frames already batched but not yet staged):
+    // refuse, which stalls the inner link head — the standard data-lane
+    // backpressure.  Probe pacing is only needed when the *link* window is
+    // closed; a batch-occupancy stall resolves at the flush deadline.
+    if (!link.can_send()) {
+      p.last_probe_us.try_emplace(peer.value(), std::int64_t{0});
+    }
     return false;
   }
   const bool cached = message->frame_cached();
   FramePtr frame = Codec::shared_frame(*message);
   ++(cached ? lane_stats_.frame_reuses : lane_stats_.frame_encodes);
-  const std::uint64_t seq = link.stage(std::move(frame), mono_us());
-  transmit(p, peer.value(), lane_byte, link, seq);
+  if (config_.batch_bytes == 0) {
+    const std::uint64_t seq = link.stage(std::move(frame), mono_us());
+    transmit(p, peer.value(), lane_byte, link, seq);
+    return true;
+  }
+  // Per-destination batching: coalesce into the (peer, lane) batch; flush
+  // first if this frame would overflow the byte budget or the frame cap.
+  const std::size_t cost = frame_cost(frame->size());
+  if (const auto it = p.pending.find(key);
+      it != p.pending.end() && !it->second.frames.empty() &&
+      (it->second.bytes + cost > config_.batch_bytes ||
+       it->second.frames.size() >= Datagram::kMaxBatchFrames)) {
+    flush_batch(p, key);
+  }
+  Proc::PendingBatch& batch = p.pending[key];
+  if (batch.frames.empty()) {
+    batch.deadline_us = mono_us() + config_.batch_delay_us;
+  }
+  batch.frames.push_back(std::move(frame));
+  batch.bytes += cost;
+  if (batch.bytes >= config_.batch_bytes ||
+      batch.frames.size() >= Datagram::kMaxBatchFrames) {
+    flush_batch(p, key);
+  }
   return true;
+}
+
+void UdpTransport::flush_batch(Proc& p, const LinkKey& key) {
+  const auto it = p.pending.find(key);
+  if (it == p.pending.end()) return;
+  std::vector<FramePtr> frames = std::move(it->second.frames);
+  p.pending.erase(it);
+  if (frames.empty()) return;
+  ReliableLink& link = link_for(p, key.first, key.second);
+  if (link.dead()) return;  // peer died while the batch was open: swallow
+  ++lane_stats_.batch_flushes;
+  metrics::counters::note_batch_flush();
+  if (frames.size() >= 2) {
+    lane_stats_.frames_batched += frames.size();
+    metrics::counters::note_frames_batched(frames.size());
+  }
+  const std::uint64_t seq = link.stage(std::move(frames), mono_us());
+  transmit(p, key.first, key.second, link, seq);
+}
+
+void UdpTransport::flush_due_batches(Proc& p, std::int64_t now_us) {
+  for (auto it = p.pending.begin(); it != p.pending.end();) {
+    if (it->second.frames.empty()) {
+      it = p.pending.erase(it);
+      continue;
+    }
+    if (it->second.deadline_us > now_us) {
+      ++it;
+      continue;
+    }
+    const LinkKey key = it->first;
+    ++it;  // flush_batch erases `key`; step past it first
+    flush_batch(p, key);
+  }
+}
+
+std::int64_t UdpTransport::next_batch_deadline(const Proc& p) {
+  std::int64_t earliest = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [key, batch] : p.pending) {
+    if (batch.frames.empty()) continue;
+    earliest = std::min(earliest, batch.deadline_us);
+  }
+  return earliest;
 }
 
 void UdpTransport::transmit(Proc& p, std::uint32_t peer, std::uint8_t lane,
                             ReliableLink& link, std::uint64_t seq) {
-  const FramePtr* frame = link.frame_of(seq);
-  SVS_ASSERT(frame != nullptr && *frame != nullptr,
-             "transmitting a retired frame");
+  const std::vector<FramePtr>* frames = link.frames_of(seq);
+  SVS_ASSERT(frames != nullptr && !frames->empty(),
+             "transmitting a retired batch");
   // Piggyback the reverse direction's ack state (and, all-local, the last
   // issued verdict) on every data datagram.
   ReliableLink& reverse = link_for(p, peer, lane);
@@ -435,8 +540,9 @@ void UdpTransport::transmit(Proc& p, std::uint32_t peer, std::uint8_t lane,
       ack.verdict_seq = it->second.seq;
     }
   }
-  const util::Bytes bytes =
-      Datagram::encode_data(p.id.value(), peer, lane, seq, ack, **frame);
+  const util::Bytes bytes = Datagram::encode_data(
+      p.id.value(), peer, lane, seq, ack,
+      std::span<const FramePtr>(frames->data(), frames->size()));
   send_datagram(p, peer, bytes, /*is_ack=*/false);
 }
 
@@ -490,7 +596,7 @@ std::size_t UdpTransport::pump_proc(Proc& p) {
   return handled;
 }
 
-void UdpTransport::handle_datagram(Proc& p, const Datagram& d) {
+void UdpTransport::handle_datagram(Proc& p, Datagram d) {
   if (d.kind == Datagram::Kind::join || d.kind == Datagram::Kind::roster) {
     // Pre-protocol traffic belongs to the deployment harness, not the lane.
     if (stray_handler_) {
@@ -519,13 +625,21 @@ void UdpTransport::handle_datagram(Proc& p, const Datagram& d) {
     // links stalled towards this peer.
     p.last_probe_us.erase(d.from);
     inner_.resume(ProcessId(d.from));
+  } else if (distributed_ && was_blocked && !link.can_send() &&
+             d.lane == lane_byte_of(Lane::data)) {
+    // The ack retired frames yet the window stays closed (typically a
+    // zero-window advertisement from a parked receiver).  With batching,
+    // the send that would have armed probe pacing may never recur — the
+    // refusal happened on batch occupancy while the link was still open —
+    // so arm it here; the pump sweep probes until the window reopens.
+    p.last_probe_us.try_emplace(d.from, std::int64_t{0});
   }
   if (d.kind == Datagram::Kind::ack) return;
 
   // Data datagram: feed the receiver half and deliver whatever the frontier
   // released; ack unconditionally (duplicates too — the sender is
   // retransmitting precisely because it missed our ack).
-  if (link.accept(d.seq, d.payload)) {
+  if (link.accept(d.seq, std::move(d.payloads))) {
     deliver_ready(p, d.from, d.lane, link);
   }
   send_ack(p, d.from, d.lane);
@@ -579,6 +693,8 @@ void UdpTransport::sweep_retransmits(Proc& p, std::int64_t now_us) {
       // Retry budget exhausted: the peer is unreachable for good — declare
       // it crashed in the inner network so the failure-detection and
       // membership machinery take over (kill -9 becomes a crash fault).
+      // Any batch still open towards it can only miss.
+      p.pending.erase(key);
       const ProcessId peer(key.first);
       if (!inner_.is_crashed(peer)) inner_.crash(peer);
       continue;
@@ -613,13 +729,24 @@ std::size_t UdpTransport::pump(std::int64_t timeout_us) {
   SVS_REQUIRE(distributed_, "pump() drives the distributed mode");
   Proc& p = *procs_.front();
   std::size_t handled = pump_proc(p);
-  sweep_retransmits(p, mono_us());
+  std::int64_t now = mono_us();
+  flush_due_batches(p, now);
+  sweep_retransmits(p, now);
   if (handled == 0 && timeout_us > 0) {
-    const int fd = p.socket.fd();
-    if (UdpSocket::wait_readable(std::span<const int>(&fd, 1), timeout_us)) {
-      handled += pump_proc(p);
-      sweep_retransmits(p, mono_us());
+    // Cap the wait at the earliest pending-batch flush deadline so a batch
+    // never outlives its delay budget just because the socket went quiet.
+    const std::int64_t deadline = next_batch_deadline(p);
+    std::int64_t wait = timeout_us;
+    if (deadline != std::numeric_limits<std::int64_t>::max()) {
+      wait = std::clamp<std::int64_t>(deadline - now, 1, timeout_us);
     }
+    const int fd = p.socket.fd();
+    if (UdpSocket::wait_readable(std::span<const int>(&fd, 1), wait)) {
+      handled += pump_proc(p);
+    }
+    now = mono_us();
+    flush_due_batches(p, now);
+    sweep_retransmits(p, now);
   }
   return handled;
 }

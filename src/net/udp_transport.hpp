@@ -94,6 +94,8 @@ struct UdpLaneStats {
   std::uint64_t zero_window_probes = 0;
   std::uint64_t frame_encodes = 0;       // encode-once telemetry, as loopback
   std::uint64_t frame_reuses = 0;
+  std::uint64_t frames_batched = 0;      // frames shipped in multi-frame batches
+  std::uint64_t batch_flushes = 0;       // pending-batch flushes (datagrams)
 
   UdpLaneStats& operator+=(const UdpLaneStats& o) {
     datagrams_sent += o.datagrams_sent;
@@ -112,6 +114,8 @@ struct UdpLaneStats {
     zero_window_probes += o.zero_window_probes;
     frame_encodes += o.frame_encodes;
     frame_reuses += o.frame_reuses;
+    frames_batched += o.frames_batched;
+    batch_flushes += o.batch_flushes;
     return *this;
   }
 };
@@ -167,12 +171,24 @@ class ReliableLink {
 
   // --- sender half ------------------------------------------------------
 
-  /// Room in both the local window and the peer's advertised one.
+  /// Room in both the local window and the peer's advertised one.  The
+  /// window is counted in FRAMES, not batches: a staged batch of k frames
+  /// consumes k slots, so batching never widens the "at most `window`
+  /// unacked frames" backpressure contract.
   [[nodiscard]] bool can_send() const {
-    return !dead_ && in_flight_.size() <
+    return !dead_ && in_flight_frames_ <
                          std::min<std::size_t>(config_.window, peer_window_);
   }
-  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
+  /// Window slots still open (0 when dead or full).
+  [[nodiscard]] std::size_t send_room() const {
+    const std::size_t limit =
+        std::min<std::size_t>(config_.window, peer_window_);
+    return dead_ || in_flight_frames_ >= limit
+               ? 0
+               : limit - in_flight_frames_;
+  }
+  /// Unacked frames across all staged batches.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_frames_; }
   [[nodiscard]] bool all_acked() const { return in_flight_.empty(); }
   /// Retry budget exhausted on some frame: the peer is presumed crashed.
   [[nodiscard]] bool dead() const { return dead_; }
@@ -180,8 +196,12 @@ class ReliableLink {
 
   /// Assigns the next link seq to `frame` and arms its first deadline.
   std::uint64_t stage(FramePtr frame, std::int64_t now_us);
-  /// The staged frame for `seq`; null if already retired.
-  [[nodiscard]] const FramePtr* frame_of(std::uint64_t seq) const;
+  /// Batch form: all frames ride (and are retransmitted/acked) under the
+  /// one returned link seq.
+  std::uint64_t stage(std::vector<FramePtr> frames, std::int64_t now_us);
+  /// The staged frames for `seq`; null if already retired.
+  [[nodiscard]] const std::vector<FramePtr>* frames_of(
+      std::uint64_t seq) const;
   /// Earliest retransmission deadline (INT64_MAX when nothing in flight).
   [[nodiscard]] std::int64_t next_deadline() const;
   /// Seqs due for retransmission at `now_us`: applies backoff + jitter and
@@ -194,9 +214,11 @@ class ReliableLink {
 
   // --- receiver half ----------------------------------------------------
 
-  /// Accepts an arriving frame.  False = duplicate (counted, discarded).
-  bool accept(std::uint64_t seq, util::Bytes payload);
-  /// Pops the next in-link-order payload, if the frontier reaches it.
+  /// Accepts an arriving batch.  False = duplicate (counted, discarded).
+  bool accept(std::uint64_t seq, std::vector<util::Bytes> payloads);
+  /// Pops the next in-link-order payload, if the frontier reaches it
+  /// (batches are flattened in batch order; frames of one batch share its
+  /// link seq).
   bool next_ready(std::uint64_t& seq, util::Bytes& payload);
   /// Current ack state (cum + sacks) with the given advertised window.
   [[nodiscard]] AckBlock ack_state(std::uint32_t window) const;
@@ -205,7 +227,7 @@ class ReliableLink {
  private:
   struct InFlight {
     std::uint64_t seq = 0;
-    FramePtr frame;
+    std::vector<FramePtr> frames;  // one batch, >= 1 frames
     std::uint32_t retries = 0;
     std::int64_t deadline_us = 0;
     std::int64_t rto_us = 0;
@@ -215,12 +237,13 @@ class ReliableLink {
   sim::Rng rng_;
   UdpLaneStats& stats_;
   std::deque<InFlight> in_flight_;  // ascending seq
+  std::size_t in_flight_frames_ = 0;  // sum of batch sizes (window unit)
   std::uint64_t next_seq_ = 1;
   std::uint32_t peer_window_;
   bool dead_ = false;
   // Receiver half: everything <= cum_ received; runs above it stashed.
   std::uint64_t cum_ = 0;
-  std::map<std::uint64_t, util::Bytes> out_of_order_;
+  std::map<std::uint64_t, std::vector<util::Bytes>> out_of_order_;
   std::deque<std::pair<std::uint64_t, util::Bytes>> ready_;
 };
 
@@ -244,6 +267,14 @@ class UdpTransport final : public Transport {
     std::uint16_t bind_port = 0;
     /// If > 0, shrink SO_RCVBUF on every socket (kernel-drop stress mode).
     int rcvbuf_bytes = 0;
+    /// Per-destination frame batching (distributed mode): frames bound for
+    /// the same (peer, lane) coalesce into one datagram until the batch
+    /// reaches this many payload bytes (soft MTU budget) or
+    /// Datagram::kMaxBatchFrames, or until batch_delay_us of real time
+    /// passes since the batch opened.  0 disables batching (every frame is
+    /// its own datagram, the pre-batching wire behavior).
+    std::size_t batch_bytes = 1400;
+    std::int64_t batch_delay_us = 200;
     /// All-local crossings give up after this much real time without a
     /// verdict — a wedged crossing is a harness bug, not a protocol state.
     std::int64_t crossing_budget_us = 10'000'000;
@@ -381,6 +412,16 @@ class UdpTransport final : public Transport {
     std::map<std::uint32_t, std::deque<MessagePtr>> stalled;
     /// Zero-window probe pacing, per stalled-outbound peer.
     std::map<std::uint32_t, std::int64_t> last_probe_us;
+    /// Per-destination batcher (distributed mode): frames accumulating
+    /// towards one datagram.  `bytes` counts encoded payload cost (frame
+    /// bytes + per-frame length varints); the deadline is armed when the
+    /// batch opens.
+    struct PendingBatch {
+      std::vector<FramePtr> frames;
+      std::size_t bytes = 0;
+      std::int64_t deadline_us = 0;
+    };
+    std::map<LinkKey, PendingBatch> pending;
 
     explicit Proc(std::uint16_t port) : socket(port) {}
   };
@@ -432,7 +473,14 @@ class UdpTransport final : public Transport {
                   const MessagePtr& message, Lane lane);
   bool async_send(ProcessId from, ProcessId peer, const MessagePtr& message,
                   Lane lane);
-  /// Encodes + sends the staged frame `seq` (data datagram with piggyback
+  /// Stages + transmits the (peer, lane) pending batch, if any.
+  void flush_batch(Proc& p, const LinkKey& key);
+  /// Flushes every pending batch whose deadline passed (all of them when
+  /// now_us is INT64_MAX).
+  void flush_due_batches(Proc& p, std::int64_t now_us);
+  /// Earliest pending-batch deadline (INT64_MAX when none pending).
+  [[nodiscard]] static std::int64_t next_batch_deadline(const Proc& p);
+  /// Encodes + sends the staged batch `seq` (data datagram with piggyback
   /// ack), through the loss model.
   void transmit(Proc& p, std::uint32_t peer, std::uint8_t lane,
                 ReliableLink& link, std::uint64_t seq);
@@ -442,7 +490,7 @@ class UdpTransport final : public Transport {
                      bool is_ack);
   /// Drains every datagram queued on p's socket.  Returns datagrams seen.
   std::size_t pump_proc(Proc& p);
-  void handle_datagram(Proc& p, const Datagram& d);
+  void handle_datagram(Proc& p, Datagram d);
   /// Retransmission sweep over p's links; declares dead peers crashed.
   void sweep_retransmits(Proc& p, std::int64_t now_us);
   void deliver_ready(Proc& p, std::uint32_t peer, std::uint8_t lane,

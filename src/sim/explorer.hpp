@@ -75,6 +75,10 @@ struct ScenarioSpec {
   /// is expected to break under hostile plans; the flag exists to exercise
   /// the checker/shrinker pipeline and must be part of the repro.
   bool hostile = false;
+  /// Overrides the seed-derived quiescent-gossip draw (~50% of scenarios
+  /// run adaptive quiescent gossip, the rest the classic fixed cadence).
+  /// Part of the repro line (`--quiescent=0|1`).
+  std::optional<bool> quiescent_pin;
   /// Extra all-links datagram-loss fault, in permille (0 = none): appended
   /// to the plan *after* masking with a stable id, so it is never shrunk
   /// away and never perturbs the seed-derived faults.  In-model (loss is
@@ -113,6 +117,9 @@ class ScenarioExplorer {
     /// Pin every explored scenario's relation kind (svs_explore
     /// --relation=...); nullopt = seed-derived.
     std::optional<RelationKind> relation_pin;
+    /// Pin every explored scenario's gossip mode (svs_explore
+    /// --quiescent=0|1); nullopt = seed-derived (~50/50).
+    std::optional<bool> quiescent_pin;
     /// Add an all-links datagram-loss fault to every explored scenario
     /// (svs_explore --loss=permille).
     std::uint32_t loss_permille = 0;

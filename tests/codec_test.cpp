@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -288,6 +289,118 @@ TEST_F(CodecFixture, StabilityDebtHardening) {
                util::ContractViolation);
 }
 
+TEST_F(CodecFixture, DataPiggybackRoundTrips) {
+  // The optional stability-piggyback section on DATA messages: a rich one
+  // (seen entries + debts) and the minimal anchor-only one, both preserving
+  // the measured-bytes contract (round_trip checks wire_size parity).
+  core::StabilityPiggyback pb;
+  pb.anchor = 40;
+  pb.seen = {{ProcessId(0), 17}, {ProcessId(3), 0}, {ProcessId(9), 1u << 20}};
+  pb.debts = {core::PurgeDebt{42, 44}, core::PurgeDebt{45, 1u << 21}};
+  const auto m = std::make_shared<DataMessage>(
+      ProcessId(5), 41, ViewId(3), obs::Annotation::item(7),
+      std::make_shared<workload::ItemOp>(workload::OpKind::update, 7, 8, 9,
+                                         true));
+  m->set_piggyback(pb);
+  const auto back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*m));
+  ASSERT_TRUE(back->piggyback().has_value());
+  EXPECT_EQ(*back->piggyback(), pb);
+
+  const auto bare = std::make_shared<DataMessage>(
+      ProcessId(5), 42, ViewId(3), obs::Annotation::none(), nullptr);
+  bare->set_piggyback(core::StabilityPiggyback{});
+  const auto bare_back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*bare));
+  ASSERT_TRUE(bare_back->piggyback().has_value());
+  EXPECT_EQ(*bare_back->piggyback(), core::StabilityPiggyback{});
+
+  const auto plain = make_data(5, 43, obs::Annotation::none(), nullptr);
+  const auto plain_back =
+      std::static_pointer_cast<const DataMessage>(round_trip(*plain));
+  EXPECT_FALSE(plain_back->piggyback().has_value());
+}
+
+TEST_F(CodecFixture, DataPiggybackHardening) {
+  // Hand-built DATA frames with a hostile piggyback section: same decode
+  // contract as the standalone stability section (§6 — malformation always
+  // throws ContractViolation, never corrupts).
+  const auto frame_with_pb = [](auto&& write_pb) {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MessageType::data));
+    w.u32(1);  // sender
+    w.u64(1);  // seq
+    w.u64(1);  // view
+    w.u8(0);   // AnnotationKind::none
+    w.u32(0);  // opaque payload kind
+    w.u64(0);  // zero payload bytes
+    write_pb(w);
+    return w.take();
+  };
+  // The minimal well-formed section decodes.
+  EXPECT_NO_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+    w.u8(1);   // piggyback present
+    w.u64(0);  // anchor
+    w.u64(0);  // no seen entries
+    w.u64(0);  // no debts
+  })));
+  // Presence byte must be 0 or 1.
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(2);
+               })),
+               util::ContractViolation);
+  // Absent-but-trailing and present-but-truncated both throw.
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(0);
+                 w.u64(0);  // trailing garbage after "absent"
+               })),
+               util::ContractViolation);
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(1);
+                 w.u64(0);  // anchor, then nothing
+               })),
+               util::ContractViolation);
+  // Non-ascending piggybacked debt seqs are malformed.
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(1);
+                 w.u64(0);
+                 w.u64(0);
+                 w.u64(2);  // two debts
+                 w.u64(5);
+                 w.u64(1);
+                 w.u64(5);  // same seq again
+                 w.u64(1);
+               })),
+               util::ContractViolation);
+  // A zero cover gap would claim a message purged itself.
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(1);
+                 w.u64(0);
+                 w.u64(0);
+                 w.u64(1);
+                 w.u64(5);
+                 w.u64(0);
+               })),
+               util::ContractViolation);
+  // Counts beyond the buffer are rejected before allocation.
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(1);
+                 w.u64(0);
+                 w.u64(1ULL << 59);  // seen count
+               })),
+               util::ContractViolation);
+  // A cover gap overflowing uint64 is rejected.
+  EXPECT_THROW((void)Codec::decode(frame_with_pb([](util::ByteWriter& w) {
+                 w.u8(1);
+                 w.u64(0);
+                 w.u64(0);
+                 w.u64(1);
+                 w.u64(0xFFFFFFFFFFFFFFFFULL);  // seq = 2^64 - 1
+                 w.u64(2);                      // cover wraps
+               })),
+               util::ContractViolation);
+}
+
 TEST_F(CodecFixture, ConsensusWithProposalValueRoundTrips) {
   std::vector<DataMessagePtr> pred{
       make_data(1, 5, obs::Annotation::item(2),
@@ -385,6 +498,16 @@ std::vector<util::Bytes> corpus() {
       std::make_shared<workload::ItemOp>(workload::OpKind::update, 11, 12, 13,
                                          true));
   out.push_back(Codec::encode(*data));
+  const auto pb_data = std::make_shared<DataMessage>(
+      ProcessId(4), 43, ViewId(2), obs::Annotation::none(),
+      std::make_shared<workload::ItemOp>(workload::OpKind::update, 1, 2, 3,
+                                         false));
+  core::StabilityPiggyback pb;
+  pb.anchor = 4;
+  pb.seen = {{ProcessId(0), 5}, {ProcessId(1), 7}};
+  pb.debts = {core::PurgeDebt{5, 6}, core::PurgeDebt{8, 11}};
+  pb_data->set_piggyback(std::move(pb));
+  out.push_back(Codec::encode(*pb_data));
   out.push_back(Codec::encode(core::InitMessage(ViewId(1), {ProcessId(4)})));
   out.push_back(Codec::encode(core::PredMessage(ViewId(2), {data})));
   out.push_back(Codec::encode(core::StabilityMessage(
@@ -535,6 +658,15 @@ std::vector<util::Bytes> dgram_corpus() {
   out.push_back(Datagram::encode_ack(2, 1, 1, probe));
   out.push_back(Datagram::encode_join(7, 40'123));
   out.push_back(Datagram::encode_roster({{0, 9'000}, {1, 9'001}, {2, 9'002}}));
+  // A batched data datagram (three frames under one link seq), so the
+  // prefix/suffix/mutation sweeps below also hammer the batch framing.
+  std::vector<FramePtr> batch;
+  for (std::uint64_t seq = 6; seq <= 8; ++seq) {
+    batch.push_back(Codec::shared_frame(DataMessage(
+        ProcessId(1), seq, ViewId(1), obs::Annotation::none(), nullptr)));
+  }
+  out.push_back(Datagram::encode_data(
+      1, 2, 0, 43, rich, std::span<const FramePtr>(batch.data(), batch.size())));
   return out;
 }
 
@@ -555,9 +687,22 @@ TEST_F(CodecFixture, DatagramCorpusRoundTrips) {
     EXPECT_TRUE(d.ack.verdict_accept);
     EXPECT_EQ(d.ack.verdict_seq, 9u);
     // The payload is a complete codec frame: it must decode in turn.
-    const MessagePtr m = Codec::decode(d.payload);
+    ASSERT_EQ(d.payloads.size(), 1u);
+    const MessagePtr m = Codec::decode(d.payloads[0]);
     ASSERT_EQ(m->type(), MessageType::data);
     EXPECT_EQ(static_cast<const DataMessage&>(*m).seq(), 5u);
+  }
+  {
+    // The batched datagram: frame order is preserved, every frame decodes.
+    const Datagram d = Datagram::decode(frames[4]);
+    EXPECT_EQ(d.kind, Datagram::Kind::data);
+    EXPECT_EQ(d.seq, 43u);
+    ASSERT_EQ(d.payloads.size(), 3u);
+    for (std::size_t i = 0; i < d.payloads.size(); ++i) {
+      const MessagePtr m = Codec::decode(d.payloads[i]);
+      ASSERT_EQ(m->type(), MessageType::data);
+      EXPECT_EQ(static_cast<const DataMessage&>(*m).seq(), 6u + i);
+    }
   }
   {
     const Datagram d = Datagram::decode(frames[1]);
@@ -579,6 +724,88 @@ TEST_F(CodecFixture, DatagramCorpusRoundTrips) {
     EXPECT_EQ(d.roster[2].first, 2u);
     EXPECT_EQ(d.roster[2].second, 9'002);
   }
+}
+
+TEST_F(CodecFixture, DatagramBatchBoundsThrow) {
+  // Hand-built data datagrams probing the batch framing limits: the frame
+  // count must be 1..kMaxBatchFrames, every length must land inside the
+  // datagram, and the frames must fill it exactly.
+  const auto data_dgram = [](auto&& write_body) {
+    util::ByteWriter w;
+    w.u8(Datagram::kMagic);
+    w.u8(1);   // Kind::data
+    w.u32(1);  // from
+    w.u32(2);  // to
+    w.u8(0);   // lane
+    w.u64(7);  // link seq
+    w.u64(0);  // ack.cum
+    w.u64(0);  // no sack ranges
+    w.u32(8);  // window
+    w.u8(0);   // flags
+    w.u64(0);  // verdict_seq
+    write_body(w);
+    return w.take();
+  };
+  // A batch of two one-byte frames is well-formed at this layer.
+  EXPECT_NO_THROW((void)Datagram::decode(data_dgram([](util::ByteWriter& w) {
+    w.u64(2);
+    w.u64(1);
+    w.u8(0xAA);
+    w.u64(1);
+    w.u8(0xBB);
+  })));
+  // Zero frames: a data datagram must carry at least one.
+  EXPECT_THROW((void)Datagram::decode(data_dgram([](util::ByteWriter& w) {
+                 w.u64(0);
+               })),
+               util::ContractViolation);
+  // Count above kMaxBatchFrames is rejected before any allocation.
+  EXPECT_THROW((void)Datagram::decode(data_dgram([](util::ByteWriter& w) {
+                 w.u64(Datagram::kMaxBatchFrames + 1);
+               })),
+               util::ContractViolation);
+  // A frame length reaching past the end of the datagram.
+  EXPECT_THROW((void)Datagram::decode(data_dgram([](util::ByteWriter& w) {
+                 w.u64(1);
+                 w.u64(9);
+                 w.u8(0xAA);  // only one byte actually present
+               })),
+               util::ContractViolation);
+  // Zero-length frames cannot occur (codec frames are never empty).
+  EXPECT_THROW((void)Datagram::decode(data_dgram([](util::ByteWriter& w) {
+                 w.u64(1);
+                 w.u64(0);
+               })),
+               util::ContractViolation);
+  // Under-fill: bytes left over after the declared frames.
+  EXPECT_THROW((void)Datagram::decode(data_dgram([](util::ByteWriter& w) {
+                 w.u64(1);
+                 w.u64(1);
+                 w.u8(0xAA);
+                 w.u8(0xFF);  // trailing byte no frame claims
+               })),
+               util::ContractViolation);
+
+  // Encode-side split bounds: empty, oversize, and null-frame batches are
+  // programming errors, caught as contract violations.
+  AckBlock ack;
+  ack.window = 8;
+  const auto frame = std::make_shared<const util::Bytes>(util::Bytes{0x01});
+  EXPECT_THROW((void)Datagram::encode_data(1, 2, 0, 7, ack,
+                                           std::span<const FramePtr>{}),
+               util::ContractViolation);
+  const std::vector<FramePtr> oversize(Datagram::kMaxBatchFrames + 1, frame);
+  EXPECT_THROW(
+      (void)Datagram::encode_data(
+          1, 2, 0, 7, ack,
+          std::span<const FramePtr>(oversize.data(), oversize.size())),
+      util::ContractViolation);
+  const std::vector<FramePtr> with_null{frame, nullptr};
+  EXPECT_THROW(
+      (void)Datagram::encode_data(
+          1, 2, 0, 7, ack,
+          std::span<const FramePtr>(with_null.data(), with_null.size())),
+      util::ContractViolation);
 }
 
 TEST_F(CodecFixture, DatagramEveryStrictPrefixThrows) {

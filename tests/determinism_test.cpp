@@ -15,6 +15,15 @@
 // behaviour), not just its speed: either find the unintended divergence or
 // re-capture the goldens deliberately and say so in the PR.
 //
+// Re-captured for quiescent adaptive gossip: suppressed clean rounds,
+// silent-interval heartbeats, the no-news-gated anti-entropy refresh and
+// collection running before the convergence check all reduce the
+// control-lane send/event totals (every gossip round that no longer
+// fires is a send and a handful of events gone).  The data-lane protocol
+// counters — refusals, sender- and receiver-side purges — are
+// bit-identical to the pre-quiescence goldens, which is the check that
+// the gossip change did not leak into admission or GC decisions.
+//
 // Regenerate by printing the RunResult fields of these two configs (e.g.
 // temporarily EXPECT_EQ against 0 and read the failure output).
 #include <gtest/gtest.h>
@@ -44,9 +53,9 @@ TEST(DeterminismGolden, UncontendedSlowConsumerRun) {
   const auto r = bench::run_slow_consumer(rc);
 
   EXPECT_TRUE(r.producer_done);
-  EXPECT_EQ(r.messages_sent, 4194u);
-  EXPECT_EQ(r.messages_delivered, 4194u);
-  EXPECT_EQ(r.sim_events, 14231u);
+  EXPECT_EQ(r.messages_sent, 4119u);
+  EXPECT_EQ(r.messages_delivered, 4119u);
+  EXPECT_EQ(r.sim_events, 14156u);
   EXPECT_EQ(r.refused, 0u);
   EXPECT_EQ(r.purged_sender, 0u);
 }
@@ -64,9 +73,9 @@ TEST(DeterminismGolden, ContendedSlowConsumerRun) {
   const auto r = bench::run_slow_consumer(rc);
 
   EXPECT_TRUE(r.producer_done);
-  EXPECT_EQ(r.messages_sent, 15591u);
-  EXPECT_EQ(r.messages_delivered, 14806u);
-  EXPECT_EQ(r.sim_events, 47327u);
+  EXPECT_EQ(r.messages_sent, 13779u);
+  EXPECT_EQ(r.messages_delivered, 12994u);
+  EXPECT_EQ(r.sim_events, 45546u);
   EXPECT_EQ(r.refused, 1024u);
   EXPECT_EQ(r.purged_sender, 785u);
   EXPECT_EQ(r.purged_receiver, 40u);

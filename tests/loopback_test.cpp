@@ -123,6 +123,12 @@ struct ScenarioResult {
   std::uint64_t wire_bytes = 0;
   UdpLaneStats lane;  // udp backend only
   std::size_t produced = 0;
+  // Quiescent-gossip telemetry summed over the surviving nodes: the
+  // suppression decisions are part of the protocol schedule, so they must
+  // be backend-identical just like the delivery histories.
+  std::uint64_t rounds_suppressed = 0;
+  std::uint64_t gossip_heartbeats = 0;
+  std::uint64_t frontier_piggybacks = 0;
 };
 
 std::string describe(const Delivery& delivery) {
@@ -166,6 +172,7 @@ ScenarioResult run_scenario(core::Group::Backend backend,
   cfg.network.jitter = sim::Duration::micros(500);
   cfg.network.seed = 0xfeedface;
   cfg.auto_membership = true;
+  cfg.node.quiescent = true;  // adaptive gossip on, on every backend
   std::optional<PlannedFaultInjector> injector;
   if (faults != nullptr) injector.emplace(*faults);
   core::Group group(sim, cfg);
@@ -233,6 +240,13 @@ ScenarioResult run_scenario(core::Group::Backend backend,
   }
 
   result.stats = group.network().stats();
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (i == 2) continue;  // crashed mid-run on every variant
+    const auto& node_stats = group.node(i).stats();
+    result.rounds_suppressed += node_stats.gossip_rounds_suppressed;
+    result.gossip_heartbeats += node_stats.gossip_heartbeats;
+    result.frontier_piggybacks += node_stats.frontier_piggybacks;
+  }
   if (auto* loopback = group.loopback()) {
     result.wire_frames = loopback->wire_frames();
     result.wire_bytes = loopback->wire_bytes();
@@ -405,6 +419,15 @@ TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
   EXPECT_EQ(sim_run.stats.injected_pauses, wire_run.stats.injected_pauses);
   EXPECT_EQ(sim_run.stats.injected_losses, wire_run.stats.injected_losses);
 
+  // Quiescent gossip engaged under this churn+loss plan — rounds really
+  // were suppressed and frontiers really rode on data traffic — and every
+  // suppression decision replayed identically on the byte-moving backend.
+  EXPECT_GT(sim_run.rounds_suppressed, 0u) << "quiescence never engaged";
+  EXPECT_GT(sim_run.frontier_piggybacks, 0u) << "no frontier piggybacked";
+  EXPECT_EQ(sim_run.rounds_suppressed, wire_run.rounds_suppressed);
+  EXPECT_EQ(sim_run.gossip_heartbeats, wire_run.gossip_heartbeats);
+  EXPECT_EQ(sim_run.frontier_piggybacks, wire_run.frontier_piggybacks);
+
   // Duplicated copies crossed the wire thread as separately encoded frames.
   EXPECT_GT(wire_run.wire_frames, 0u);
   EXPECT_GE(wire_run.wire_bytes, wire_run.stats.bytes_delivered);
@@ -422,6 +445,9 @@ TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
   EXPECT_EQ(sim_run.stats.injected_duplicates,
             udp_run.stats.injected_duplicates);
   EXPECT_EQ(sim_run.stats.injected_losses, udp_run.stats.injected_losses);
+  EXPECT_EQ(sim_run.rounds_suppressed, udp_run.rounds_suppressed);
+  EXPECT_EQ(sim_run.gossip_heartbeats, udp_run.gossip_heartbeats);
+  EXPECT_EQ(sim_run.frontier_piggybacks, udp_run.frontier_piggybacks);
   // The losses were real and so was the repair: datagrams dropped before
   // sendto, recovered by timeout-driven retransmission, zero protocol loss
   // (the identical histories above are the proof).

@@ -778,5 +778,126 @@ TEST(Node, FlushSafeWhenClippedRepresentationBreaksTransitivity) {
   EXPECT_EQ(seqs, (std::vector<std::uint64_t>{2, 4, 5}));
 }
 
+TEST(Node, QuiescentGossipGoesSilentAfterConvergenceAtEqualLatency) {
+  // The same burst, quiescent and classic.  Both modes must collect the
+  // retained history within the same convergence window; afterwards the
+  // quiescent group falls fully silent while the classic cadence keeps
+  // paying one report per member per interval forever.
+  struct ModeResult {
+    sim::Duration convergence = sim::Duration::zero();
+    std::uint64_t idle_sends = 0;
+    std::uint64_t suppressed = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t piggybacks = 0;
+    bool converged = false;
+  };
+  const auto run_mode = [](bool quiescent) {
+    ModeResult out;
+    sim::Simulator sim;
+    auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+    cfg.node.quiescent = quiescent;
+    Group g(sim, cfg);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(
+          g.node(0).multicast(blob(i), obs::Annotation::none()).has_value());
+    }
+    const auto all_collected = [&g] {
+      for (std::size_t n = 0; n < 3; ++n) {
+        const auto& ledger = g.node(n).stability_ledger();
+        if (g.node(n).delivered_retained() != 0 || ledger.own_debts() != 0 ||
+            ledger.merged_debts() != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+    const auto start = sim.now();
+    const auto deadline = start + sim::Duration::seconds(10.0);
+    while (!all_collected() && sim.now() < deadline) {
+      sim.run_until(sim.now() + sim::Duration::millis(10));
+      for (std::size_t n = 0; n < 3; ++n) g.drain(n);
+    }
+    out.converged = all_collected();
+    out.convergence = sim.now() - start;
+    // Let the residual rounds settle (the trackers exchange their last
+    // frontier moves for a few intervals after the group-level predicate
+    // turns true), then measure ten virtual seconds of pure idleness.
+    sim.run_until(sim.now() + sim::Duration::seconds(2.0));
+    const std::uint64_t sends_before = g.network().stats().sent;
+    sim.run_until(sim.now() + sim::Duration::seconds(10.0));
+    out.idle_sends = g.network().stats().sent - sends_before;
+    for (std::size_t n = 0; n < 3; ++n) {
+      const auto& stats = g.node(n).stats();
+      out.suppressed += stats.gossip_rounds_suppressed;
+      out.heartbeats += stats.gossip_heartbeats;
+      out.piggybacks += stats.frontier_piggybacks;
+    }
+    return out;
+  };
+
+  const ModeResult quiet = run_mode(true);
+  const ModeResult classic = run_mode(false);
+  ASSERT_TRUE(quiet.converged) << "quiescent mode failed to collect";
+  ASSERT_TRUE(classic.converged) << "classic mode failed to collect";
+
+  // Convergence latency unchanged: quiescence may only skip rounds that
+  // carry no information, so it must not lag the fixed cadence by more
+  // than one stability interval of measurement grain.
+  EXPECT_LE(quiet.convergence.as_micros(),
+            classic.convergence.as_micros() + 50'000);
+
+  // Converged quiescent group: total silence (no gossip, no heartbeats —
+  // the timer itself parks).  Classic: three members ticking every 50ms
+  // for 10s, forever.
+  EXPECT_EQ(quiet.idle_sends, 0u) << "a converged group must stop gossiping";
+  EXPECT_GT(classic.idle_sends, 100u);
+  EXPECT_GT(quiet.piggybacks, 0u) << "no frontier rode the data burst";
+  EXPECT_EQ(classic.suppressed, 0u) << "classic mode must never suppress";
+  EXPECT_EQ(classic.heartbeats, 0u);
+}
+
+TEST(Node, QuiescentHeartbeatsAreBudgetedWhenCollectionIsStuck) {
+  // A dead member that auto-membership is NOT allowed to exclude freezes
+  // the stable floor: the survivors' rounds go clean while collection
+  // stays outstanding.  Quiescence must suppress most of those rounds,
+  // escalate every silent_round_period-th to a full heartbeat, and — once
+  // heartbeat_budget heartbeats in a row observe no progress — park the
+  // timer entirely rather than tick against the dead floor forever.
+  sim::Simulator sim;
+  auto cfg = base_config(std::make_shared<obs::EmptyRelation>());
+  cfg.node.stability_interval = sim::Duration::millis(20);
+  cfg.node.quiescent = true;
+  cfg.auto_membership = false;  // keep the dead member in the view
+  Group g(sim, cfg);
+  g.node(1).set_deliverable_callback([&g] { g.drain(1); });
+  g.drain(1);
+  g.crash(2);
+  sim.run_until(sim.now() + sim::Duration::millis(100));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.node(0).multicast(blob(i), obs::Annotation::none()));
+    sim.run_until(sim.now() + sim::Duration::millis(5));
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(5.0));
+
+  std::uint64_t suppressed = 0;
+  std::uint64_t heartbeats = 0;
+  for (std::size_t n = 0; n < 2; ++n) {
+    suppressed += g.node(n).stats().gossip_rounds_suppressed;
+    heartbeats += g.node(n).stats().gossip_heartbeats;
+  }
+  EXPECT_GT(suppressed, 0u) << "clean unconverged rounds were all sent";
+  EXPECT_GT(heartbeats, 0u) << "silence was never escalated to a heartbeat";
+
+  // Budget exhausted: the timers are parked, so a long further stretch of
+  // wall-to-wall idleness adds zero traffic — and the history really is
+  // still uncollectable (this is the §2.1 frozen-floor scenario, which
+  // only a membership change can clear).
+  const std::uint64_t sends_before = g.network().stats().sent;
+  sim.run_until(sim.now() + sim::Duration::seconds(10.0));
+  EXPECT_EQ(g.network().stats().sent, sends_before)
+      << "a parked group kept gossiping at the dead floor";
+  EXPECT_EQ(g.node(1).delivered_retained(), 20u);
+}
+
 }  // namespace
 }  // namespace svs::core

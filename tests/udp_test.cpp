@@ -35,6 +35,12 @@ FramePtr frame_bytes(std::initializer_list<std::uint8_t> bytes) {
   return std::make_shared<const util::Bytes>(bytes);
 }
 
+/// A single-frame receive batch (ReliableLink::accept takes the whole
+/// batch that rode under one link seq).
+std::vector<util::Bytes> one(std::initializer_list<std::uint8_t> bytes) {
+  return {util::Bytes(bytes)};
+}
+
 ReliableLink::Config small_link(std::uint32_t window, std::int64_t rto_base,
                                 std::int64_t rto_max,
                                 std::uint32_t max_retries) {
@@ -70,8 +76,8 @@ TEST(ReliableLink, WindowGatingAndCumulativePlusSelectiveAcks) {
   link.on_ack(cum);
   EXPECT_EQ(link.in_flight(), 2u);
   EXPECT_TRUE(link.can_send());
-  EXPECT_EQ(link.frame_of(2), nullptr);
-  ASSERT_NE(link.frame_of(3), nullptr);
+  EXPECT_EQ(link.frames_of(2), nullptr);
+  ASSERT_NE(link.frames_of(3), nullptr);
 
   // Selective ack retires a hole-straddling frame, leaving the hole.
   AckBlock sack;
@@ -80,8 +86,8 @@ TEST(ReliableLink, WindowGatingAndCumulativePlusSelectiveAcks) {
   sack.sacks.push_back(AckBlock::Range{4, 4});
   link.on_ack(sack);
   EXPECT_EQ(link.in_flight(), 1u);
-  ASSERT_NE(link.frame_of(3), nullptr);
-  EXPECT_EQ(link.frame_of(4), nullptr);
+  ASSERT_NE(link.frames_of(3), nullptr);
+  EXPECT_EQ(link.frames_of(4), nullptr);
 
   // The peer's advertised window co-gates the sender.
   AckBlock closed;
@@ -138,14 +144,14 @@ TEST(ReliableLink, FrontierReorderingAndDuplicateSuppression) {
                     sim::Rng::stream(3, 3), stats);
 
   // Out-of-order arrival stashes; nothing is ready until the frontier moves.
-  EXPECT_TRUE(link.accept(2, {2}));
+  EXPECT_TRUE(link.accept(2, one({2})));
   std::uint64_t seq = 0;
   util::Bytes payload;
   EXPECT_FALSE(link.next_ready(seq, payload));
   EXPECT_EQ(link.frontier(), 0u);
 
   // The gap fill releases the contiguous run, in link order.
-  EXPECT_TRUE(link.accept(1, {1}));
+  EXPECT_TRUE(link.accept(1, one({1})));
   EXPECT_EQ(link.frontier(), 2u);
   ASSERT_TRUE(link.next_ready(seq, payload));
   EXPECT_EQ(seq, 1u);
@@ -154,15 +160,15 @@ TEST(ReliableLink, FrontierReorderingAndDuplicateSuppression) {
   EXPECT_EQ(seq, 2u);
 
   // Below-frontier and already-stashed seqs are counted duplicates.
-  EXPECT_FALSE(link.accept(1, {1}));
-  EXPECT_FALSE(link.accept(2, {2}));
-  EXPECT_TRUE(link.accept(5, {5}));
-  EXPECT_FALSE(link.accept(5, {5}));
+  EXPECT_FALSE(link.accept(1, one({1})));
+  EXPECT_FALSE(link.accept(2, one({2})));
+  EXPECT_TRUE(link.accept(5, one({5})));
+  EXPECT_FALSE(link.accept(5, one({5})));
   EXPECT_EQ(stats.duplicate_drops, 3u);
 
   // Ack state: cumulative frontier plus canonical merged sack ranges.
-  EXPECT_TRUE(link.accept(7, {7}));
-  EXPECT_TRUE(link.accept(8, {8}));
+  EXPECT_TRUE(link.accept(7, one({7})));
+  EXPECT_TRUE(link.accept(8, one({8})));
   const AckBlock ack = link.ack_state(16);
   EXPECT_EQ(ack.cum, 2u);
   EXPECT_EQ(ack.window, 16u);
@@ -173,8 +179,8 @@ TEST(ReliableLink, FrontierReorderingAndDuplicateSuppression) {
   EXPECT_EQ(ack.sacks[1].last, 8u);
 
   // Filling 3 and 4 drains through the stashed 5 in one contiguous run.
-  EXPECT_TRUE(link.accept(4, {4}));
-  EXPECT_TRUE(link.accept(3, {3}));
+  EXPECT_TRUE(link.accept(4, one({4})));
+  EXPECT_TRUE(link.accept(3, one({3})));
   EXPECT_EQ(link.frontier(), 5u);
   for (std::uint64_t want = 3; want <= 5; ++want) {
     ASSERT_TRUE(link.next_ready(seq, payload));
@@ -397,6 +403,7 @@ TEST(UdpDistributed, RcvbufStarvedControlFloodRecoversInOrder) {
   ca.bind_local = true;
   ca.link.rto_base_us = 2'000;
   ca.link.rto_max_us = 20'000;
+  ca.batch_bytes = 0;  // one datagram per frame: the burst must overflow
   UdpTransport a(sim_a, ca);
   Sink sink_a;
   a.attach(ProcessId(0), sink_a);
@@ -504,6 +511,110 @@ TEST(UdpDistributed, InboundBackpressureParksProbesAndResumes) {
   for (std::uint64_t i = 0; i < kCount; ++i) {
     EXPECT_EQ(seq_of(sink_b.received[i]), i + 1) << "out of link order";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Frame batching: link-level batch staging + distributed coalescing
+// ---------------------------------------------------------------------------
+
+TEST(ReliableLink, BatchStagingCountsFramesAndDrainsInOrder) {
+  UdpLaneStats stats;
+  ReliableLink link(small_link(8, 1'000, 8'000, 10),
+                    sim::Rng::stream(9, 9), stats);
+
+  // One link seq carries the whole batch; the window is counted in FRAMES,
+  // so three batched frames consume three slots.
+  std::vector<FramePtr> batch{frame_bytes({1}), frame_bytes({2}),
+                              frame_bytes({3})};
+  EXPECT_EQ(link.stage(std::move(batch), 0), 1u);
+  EXPECT_EQ(link.in_flight(), 3u);
+  EXPECT_EQ(link.send_room(), 5u);
+  const auto* frames = link.frames_of(1);
+  ASSERT_NE(frames, nullptr);
+  EXPECT_EQ(frames->size(), 3u);
+
+  // Acking the batch seq retires all of its frames at once.
+  AckBlock ack;
+  ack.cum = 1;
+  ack.window = 8;
+  link.on_ack(ack);
+  EXPECT_EQ(link.in_flight(), 0u);
+  EXPECT_TRUE(link.all_acked());
+
+  // Receiver half: a batch under one seq flattens into per-frame ready
+  // entries, in batch order, and the frontier advances once.
+  EXPECT_TRUE(link.accept(
+      1, std::vector<util::Bytes>{util::Bytes{0xA}, util::Bytes{0xB}}));
+  EXPECT_EQ(link.frontier(), 1u);
+  std::uint64_t seq = 0;
+  util::Bytes payload;
+  ASSERT_TRUE(link.next_ready(seq, payload));
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(payload, util::Bytes{0xA});
+  ASSERT_TRUE(link.next_ready(seq, payload));
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(payload, util::Bytes{0xB});
+  EXPECT_FALSE(link.next_ready(seq, payload));
+
+  // A re-delivered batch seq is one duplicate, not one per frame.
+  EXPECT_FALSE(link.accept(1, one({0xA})));
+  EXPECT_EQ(stats.duplicate_drops, 1u);
+}
+
+TEST(UdpDistributed, DataLaneBatchesSmallFramesAndDeliversInOrder) {
+  constexpr std::uint64_t kCount = 24;
+  sim::Simulator sim_a, sim_b;
+
+  UdpTransport::Config ca;
+  ca.bind_local = true;
+  ca.link.window = 64;
+  ca.link.rto_base_us = 2'000;
+  ca.link.rto_max_us = 20'000;
+  ca.batch_bytes = 1'400;
+  ca.batch_delay_us = 200;
+  UdpTransport a(sim_a, ca);
+  Sink sink_a;
+  a.attach(ProcessId(0), sink_a);
+
+  UdpTransport::Config cb;
+  cb.bind_local = true;
+  UdpTransport b(sim_b, cb);
+  Sink sink_b;
+  b.attach(ProcessId(1), sink_b);
+
+  a.add_peer(ProcessId(1), b.local_port(ProcessId(1)));
+  b.add_peer(ProcessId(0), a.local_port(ProcessId(0)));
+
+  for (std::uint64_t seq = 1; seq <= kCount; ++seq) {
+    a.send(ProcessId(0), ProcessId(1), numbered_message(seq), Lane::data);
+  }
+  sim_a.run();
+
+  const std::int64_t deadline = UdpTransport::mono_us() + 20'000'000;
+  while (sink_b.received.size() < kCount &&
+         UdpTransport::mono_us() < deadline) {
+    a.pump(1'000);
+    b.pump(1'000);
+  }
+  ASSERT_EQ(sink_b.received.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(seq_of(sink_b.received[i]), i + 1) << "out of link order";
+  }
+  // The flood really coalesced: multi-frame batches went out, in strictly
+  // fewer flushes than frames, and the trailing partial batch left nothing
+  // behind (the deadline flush shipped it).
+  const UdpLaneStats lane = a.lane_stats();
+  EXPECT_GT(lane.frames_batched, 0u) << "no multi-frame datagram was built";
+  EXPECT_GT(lane.batch_flushes, 0u);
+  EXPECT_LT(lane.batch_flushes, kCount)
+      << "every frame went out alone; batching never engaged";
+
+  const std::int64_t drain = UdpTransport::mono_us() + 2'000'000;
+  while (!a.links_idle() && UdpTransport::mono_us() < drain) {
+    a.pump(2'000);
+    b.pump(2'000);
+  }
+  EXPECT_TRUE(a.links_idle()) << "a pending batch or unacked frame remains";
 }
 
 // ---------------------------------------------------------------------------

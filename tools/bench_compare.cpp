@@ -2,15 +2,17 @@
 //
 // Compares one numeric metric (dotted key path into nested objects) between
 // a committed baseline and a fresh run, and fails when the candidate fell
-// more than the tolerance below the baseline (higher-is-better).  CI runs
-// it after the Release bench job against bench/baseline/, so a multicast
-// hot-path regression breaks the build instead of silently eroding the
-// flood headroom the perf PRs bought.
+// more than the tolerance below the baseline (higher-is-better, the
+// default) or rose more than the tolerance above it (--lower-is-better:
+// cost metrics such as idle steady-state bytes).  CI runs it after the
+// Release bench job against bench/baseline/, so a multicast hot-path or
+// steady-state-cost regression breaks the build instead of silently
+// eroding what the perf PRs bought.
 //
 // Usage:
 //   bench_compare <baseline.json> <candidate.json>
 //                 [--key=multicast_flood.events_per_second]
-//                 [--tolerance=0.05]
+//                 [--tolerance=0.05] [--lower-is-better]
 //
 // Exit codes: 0 = within tolerance (or improved), 1 = regression,
 //             2 = usage / file / parse / missing-key error.
@@ -266,9 +268,11 @@ int usage() {
       stderr,
       "usage: bench_compare <baseline.json> <candidate.json>\n"
       "                     [--key=multicast_flood.events_per_second]\n"
-      "                     [--tolerance=0.05]\n"
-      "Fails (exit 1) when candidate < baseline * (1 - tolerance);\n"
-      "the metric is higher-is-better.\n");
+      "                     [--tolerance=0.05] [--lower-is-better]\n"
+      "Fails (exit 1) when candidate < baseline * (1 - tolerance)\n"
+      "(higher-is-better, the default), or — with --lower-is-better —\n"
+      "when candidate > baseline * (1 + tolerance).  A lower-is-better\n"
+      "baseline of 0 requires the candidate to be 0 as well.\n");
   return 2;
 }
 
@@ -277,11 +281,14 @@ int usage() {
 int main(int argc, char** argv) {
   std::string key = "multicast_flood.events_per_second";
   double tolerance = 0.05;
+  bool lower_is_better = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--key=", 0) == 0) {
       key = arg.substr(6);
+    } else if (arg == "--lower-is-better") {
+      lower_is_better = true;
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       char* end = nullptr;
       tolerance = std::strtod(arg.c_str() + 12, &end);
@@ -313,21 +320,44 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (base_value->number <= 0.0) {
+  if (base_value->number < 0.0 || cand_value->number < 0.0) {
+    std::fprintf(stderr, "bench_compare: %s must be non-negative\n",
+                 key.c_str());
+    return 2;
+  }
+  if (base_value->number == 0.0 && !lower_is_better) {
     std::fprintf(stderr, "bench_compare: baseline %s is not positive\n",
                  key.c_str());
     return 2;
   }
 
-  const double ratio = cand_value->number / base_value->number;
-  const double floor = 1.0 - tolerance;
-  const bool ok = ratio >= floor;
+  bool ok = false;
+  double ratio = 0.0;
+  double bound = 0.0;
+  if (lower_is_better) {
+    // Cost metric.  A zero baseline is a legitimate floor (a fully
+    // quiescent group idles at zero bytes): holding it means staying at
+    // zero, and any positive candidate is a regression.
+    bound = 1.0 + tolerance;
+    if (base_value->number == 0.0) {
+      ratio = cand_value->number == 0.0 ? 1.0 : bound + 1.0;
+      ok = cand_value->number == 0.0;
+    } else {
+      ratio = cand_value->number / base_value->number;
+      ok = ratio <= bound;
+    }
+  } else {
+    bound = 1.0 - tolerance;
+    ratio = cand_value->number / base_value->number;
+    ok = ratio >= bound;
+  }
   std::printf(
-      "bench_compare: %s\n  baseline  %.6g  (%s, git %s)\n"
-      "  candidate %.6g  (%s, git %s)\n  ratio %.4f (floor %.4f)  -> %s\n",
-      key.c_str(), base_value->number, files[0].c_str(),
-      meta_sha(baseline).c_str(), cand_value->number, files[1].c_str(),
-      meta_sha(candidate).c_str(), ratio, floor,
+      "bench_compare: %s (%s)\n  baseline  %.6g  (%s, git %s)\n"
+      "  candidate %.6g  (%s, git %s)\n  ratio %.4f (%s %.4f)  -> %s\n",
+      key.c_str(), lower_is_better ? "lower-is-better" : "higher-is-better",
+      base_value->number, files[0].c_str(), meta_sha(baseline).c_str(),
+      cand_value->number, files[1].c_str(), meta_sha(candidate).c_str(),
+      ratio, lower_is_better ? "ceiling" : "floor", bound,
       ok ? "OK" : "REGRESSION");
   return ok ? 0 : 1;
 }

@@ -21,6 +21,11 @@
 //                                           # loss (in-model: repaired by
 //                                           # retransmission) to every
 //                                           # scenario
+//   svs_explore --seeds=500 --quiescent=1   # pin every scenario to
+//                                           # quiescent adaptive gossip
+//                                           # (0 = classic fixed cadence;
+//                                           # unpinned scenarios draw
+//                                           # ~50/50)
 //
 // Exit code 0 iff every run was violation-free.  On failures the repro
 // lines are also appended to EXPLORE_failures.txt (CI uploads it).
@@ -45,6 +50,7 @@ struct CliOptions {
   std::uint64_t fault_mask = ~0ULL;
   std::uint32_t message_limit = svs::sim::ScenarioSpec::kNoLimit;
   std::optional<svs::sim::RelationKind> relation_pin;
+  std::optional<bool> quiescent_pin;
   std::uint32_t loss_permille = 0;
   bool hostile = false;
   bool quiet = false;
@@ -78,8 +84,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seeds=N] [--seed-start=S] | [--seed=N [--faults=0xMASK] "
-      "[--msgs=K]] [--relation=reliable|item|kenum|enum] [--loss=PERMILLE] "
-      "[--hostile] [--quiet] [--failures-file=PATH]\n",
+      "[--msgs=K]] [--relation=reliable|item|kenum|enum] [--quiescent=0|1] "
+      "[--loss=PERMILLE] [--hostile] [--quiet] [--failures-file=PATH]\n",
       argv0);
   return 2;
 }
@@ -107,6 +113,14 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.message_limit = static_cast<std::uint32_t>(limit);
     } else if (parse_flag(arg, "--relation", &value)) {
       if (!parse_relation(value, options.relation_pin)) return false;
+    } else if (parse_flag(arg, "--quiescent", &value)) {
+      if (std::strcmp(value, "0") == 0) {
+        options.quiescent_pin = false;
+      } else if (std::strcmp(value, "1") == 0) {
+        options.quiescent_pin = true;
+      } else {
+        return false;
+      }
     } else if (parse_flag(arg, "--loss", &value)) {
       std::uint64_t permille = 0;
       if (!parse_u64(value, permille) || permille > 999) return false;
@@ -148,11 +162,13 @@ int run_single(const CliOptions& options) {
   svs::sim::ScenarioExplorer::Options explorer_options;
   explorer_options.hostile = options.hostile;
   explorer_options.relation_pin = options.relation_pin;
+  explorer_options.quiescent_pin = options.quiescent_pin;
   explorer_options.loss_permille = options.loss_permille;
   svs::sim::ScenarioExplorer explorer(explorer_options);
   svs::sim::ScenarioSpec spec;
   spec.seed = options.seed;
   spec.relation_pin = options.relation_pin;
+  spec.quiescent_pin = options.quiescent_pin;
   spec.fault_mask = options.fault_mask;
   spec.message_limit = options.message_limit;
   spec.hostile = options.hostile;
@@ -176,6 +192,7 @@ int run_sweep(const CliOptions& options) {
   svs::sim::ScenarioExplorer::Options explorer_options;
   explorer_options.hostile = options.hostile;
   explorer_options.relation_pin = options.relation_pin;
+  explorer_options.quiescent_pin = options.quiescent_pin;
   explorer_options.loss_permille = options.loss_permille;
   svs::sim::ScenarioExplorer explorer(explorer_options);
   std::vector<std::string> failures;
