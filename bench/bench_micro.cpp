@@ -617,6 +617,129 @@ bench::JsonObject measure_steady_state_bytes() {
   return o;
 }
 
+/// Large-group scaling (n = 256..1024): SWIM failure detection plus
+/// ring-aggregated stability digests, measured as (a) a paced flood fully
+/// delivered at every member, (b) one complete view change, and (c) a
+/// 10-virtual-second idle window in which every byte on the wire is
+/// failure-detector probing or stability gossip.  The headline metric is
+/// idle_control_bytes_per_member_s: the per-member control cost must stay
+/// flat as n quadruples — SWIM probes one peer per period regardless of
+/// group size, and the digest ring addresses O(1) successors per round
+/// (DESIGN.md §11).  All counters are virtual-time metrics, so they are
+/// bit-stable across machines; only the wall fields vary.
+bench::JsonObject measure_large_group(std::size_t n) {
+  const bench::WallClock wall;
+  sim::Simulator sim;
+  core::Group::Config cfg;
+  cfg.size = n;
+  cfg.node.relation = std::make_shared<obs::EmptyRelation>();
+  cfg.node.quiescent = true;
+  cfg.fd_kind = core::Group::FdKind::swim;
+  cfg.swim.seed = 0x516;
+  cfg.auto_membership = false;
+  core::Group group(sim, cfg);
+  const auto payload = std::make_shared<NullPayload>();
+  const auto drain = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      while (group.node(i).try_deliver().has_value()) {
+      }
+    }
+  };
+  // (a) Paced flood, total deliveries held roughly constant across sizes.
+  // The SWIM probe timers never stop, so the whole measurement runs in
+  // bounded run_until slices — never sim.run().
+  const int multicasts = static_cast<int>(32'768 / n);
+  int produced = 0;
+  const bench::WallClock flood_wall;
+  while (produced < multicasts) {
+    if (group.node(0)
+            .multicast(payload, obs::Annotation::none())
+            .has_value()) {
+      ++produced;
+    }
+    sim.run_until(sim.now() + sim::Duration::millis(1));
+    drain();
+  }
+  sim.run_until(sim.now() + sim::Duration::millis(50));  // flood tail
+  drain();
+  const double flood_seconds = flood_wall.seconds();
+
+  // (b) One full view change: INIT -> n PREDs -> consensus -> install at
+  // every member.
+  const auto target = group.node(0).current_view().id().next();
+  const auto vc_start = sim.now();
+  group.node(0).request_view_change({});
+  const auto installed_everywhere = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (group.node(i).current_view().id().value() < target.value()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto vc_deadline = sim.now() + sim::Duration::seconds(30.0);
+  while (!installed_everywhere() && sim.now() < vc_deadline) {
+    sim.run_until(sim.now() + sim::Duration::millis(5));
+    drain();
+  }
+  const bool vc_done = installed_everywhere();
+  const double vc_ms =
+      static_cast<double>((sim.now() - vc_start).as_micros()) / 1000.0;
+
+  // Let stability settle so the idle window measures the steady state, not
+  // the tail of the view change.
+  sim.run_until(sim.now() + sim::Duration::seconds(2.0));
+  drain();
+
+  // (c) Idle window: the application is silent, so every byte is control
+  // traffic (SWIM pings/acks + stability digests/gossip).
+  const std::uint64_t bytes_before = group.network().stats().bytes_sent;
+  const std::uint64_t sent_before = group.network().stats().sent;
+  sim.run_until(sim.now() + sim::Duration::seconds(10.0));
+  const std::uint64_t idle_bytes =
+      group.network().stats().bytes_sent - bytes_before;
+  const std::uint64_t idle_msgs = group.network().stats().sent - sent_before;
+
+  std::uint64_t probes = 0;
+  std::uint64_t suspicions = 0;
+  std::uint64_t digest_rounds = 0;
+  std::uint64_t digest_rows = 0;
+  std::uint64_t suppressed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (const auto* detector = group.swim_detector(i)) {
+      probes += detector->counters().probes_sent;
+      suspicions += detector->counters().suspicions;
+    }
+    const auto& stats = group.node(i).stats();
+    digest_rounds += stats.digest_rounds;
+    digest_rows += stats.digest_rows_sent;
+    suppressed += stats.gossip_rounds_suppressed;
+  }
+
+  const double seconds = wall.seconds();
+  bench::JsonObject o;
+  o.add("group_size", static_cast<double>(n))
+      .add("multicasts", static_cast<double>(produced))
+      .add("flood_wall_seconds", flood_seconds)
+      .add("view_change_completed", vc_done ? 1.0 : 0.0)
+      .add("view_change_ms", vc_ms)
+      .add("idle_control_bytes_per_member_s",
+           static_cast<double>(idle_bytes) / (10.0 * static_cast<double>(n)))
+      .add("idle_control_msgs_per_member_s",
+           static_cast<double>(idle_msgs) / (10.0 * static_cast<double>(n)))
+      .add("swim_probes_sent", static_cast<double>(probes))
+      .add("swim_suspicions", static_cast<double>(suspicions))  // 0: no faults
+      .add("digest_rounds", static_cast<double>(digest_rounds))
+      .add("digest_rows_sent", static_cast<double>(digest_rows))
+      .add("gossip_rounds_suppressed", static_cast<double>(suppressed))
+      .add("sim_events", static_cast<double>(sim.executed()))
+      .add("wall_seconds", seconds)
+      .add("events_per_second",
+           seconds > 0.0 ? static_cast<double>(sim.executed()) / seconds
+                         : 0.0);
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -650,7 +773,15 @@ int main(int argc, char** argv) {
       .raw("udp_loopback_flood", measure_udp_loopback_flood().render())
       .raw("explorer_throughput", measure_explorer_throughput().render())
       .raw("stability_debt", measure_stability_debt().render())
-      .raw("steady_state_bytes", measure_steady_state_bytes().render())
+      .raw("steady_state_bytes", measure_steady_state_bytes().render());
+  // Keyed sub-objects (not an array) so bench_compare's dotted paths can
+  // gate individual sizes, e.g. large_group.n256.idle_control_bytes_per_member_s.
+  svs::bench::JsonObject large_group;
+  for (const std::size_t n : {256u, 512u, 1024u}) {
+    large_group.raw("n" + std::to_string(n),
+                    measure_large_group(n).render());
+  }
+  payload.raw("large_group", large_group.render())
       .add("wall_seconds", wall.seconds());
   // Process-wide suppression/batching telemetry across everything above.
   const svs::metrics::Stats counters = svs::metrics::Stats::snapshot();

@@ -29,19 +29,25 @@ Group::Group(sim::Simulator& simulator, Config config) : sim_(simulator) {
   // Detectors first (they must exist before nodes subscribe to them), but
   // heartbeat emission starts only after every endpoint is attached.
   std::vector<fd::HeartbeatDetector*> heartbeats;
+  std::vector<fd::SwimDetector*> swims;
   for (std::size_t i = 0; i < config.size; ++i) {
+    std::vector<net::ProcessId> peers;
+    for (const auto p : members) {
+      if (p != pid(i)) peers.push_back(p);
+    }
     if (config.fd_kind == FdKind::oracle) {
       detectors_.push_back(std::make_unique<fd::OracleDetector>(
           simulator, *network_, pid(i), config.oracle_delay));
-    } else {
-      std::vector<net::ProcessId> peers;
-      for (const auto p : members) {
-        if (p != pid(i)) peers.push_back(p);
-      }
+    } else if (config.fd_kind == FdKind::heartbeat) {
       auto hb = std::make_unique<fd::HeartbeatDetector>(
           simulator, *network_, pid(i), std::move(peers), config.heartbeat);
       heartbeats.push_back(hb.get());
       detectors_.push_back(std::move(hb));
+    } else {
+      auto swim = std::make_unique<fd::SwimDetector>(
+          simulator, *network_, pid(i), std::move(peers), config.swim);
+      swims.push_back(swim.get());
+      detectors_.push_back(std::move(swim));
     }
   }
 
@@ -51,7 +57,7 @@ Group::Group(sim::Simulator& simulator, Config config) : sim_(simulator) {
                                             config.node, config.observer));
   }
 
-  // Route heartbeat traffic to the detectors and start them.
+  // Route detector traffic to the detectors and start them.
   if (config.fd_kind == FdKind::heartbeat) {
     for (std::size_t i = 0; i < config.size; ++i) {
       auto* hb = heartbeats[i];
@@ -62,6 +68,23 @@ Group::Group(sim::Simulator& simulator, Config config) : sim_(simulator) {
             }
           });
       hb->start();
+    }
+  } else if (config.fd_kind == FdKind::swim) {
+    for (std::size_t i = 0; i < config.size; ++i) {
+      auto* swim = swims[i];
+      nodes_[i]->set_control_sink(
+          [swim](net::ProcessId from, const net::MessagePtr& message) {
+            switch (message->type()) {
+              case net::MessageType::swim_ping:
+              case net::MessageType::swim_ping_req:
+              case net::MessageType::swim_ack:
+                swim->on_message(from, message);
+                break;
+              default:
+                break;  // e.g. stale heartbeats after a backend swap
+            }
+          });
+      swim->start();
     }
   }
 

@@ -11,6 +11,7 @@
 #include "core/observer.hpp"
 #include "fd/heartbeat.hpp"
 #include "fd/oracle.hpp"
+#include "fd/swim.hpp"
 #include "net/loopback.hpp"
 #include "net/network.hpp"
 #include "net/udp_transport.hpp"
@@ -20,7 +21,7 @@ namespace svs::core {
 
 class Group {
  public:
-  enum class FdKind { oracle, heartbeat };
+  enum class FdKind { oracle, heartbeat, swim };
 
   /// Which net::Transport implementation carries the group's traffic.
   enum class Backend {
@@ -48,6 +49,9 @@ class Group {
     /// Oracle detection delay (crash -> suspicion).
     sim::Duration oracle_delay = sim::Duration::millis(30);
     fd::HeartbeatDetector::Config heartbeat;
+    /// FdKind::swim: shared template; each detector derives its private
+    /// rng stream from (swim.seed, owner), so one config serves them all.
+    fd::SwimDetector::Config swim;
     /// Attach a MembershipPolicy to every node (suspicion-driven
     /// exclusions).  Disable for experiments that must not reconfigure.
     bool auto_membership = true;
@@ -65,6 +69,10 @@ class Group {
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] fd::FailureDetector& detector(std::size_t i) {
     return *detectors_.at(i);
+  }
+  /// The SWIM backend's counters/incarnations; null on the other kinds.
+  [[nodiscard]] fd::SwimDetector* swim_detector(std::size_t i) {
+    return dynamic_cast<fd::SwimDetector*>(detectors_.at(i).get());
   }
   [[nodiscard]] MembershipPolicy* policy(std::size_t i) {
     return policies_.empty() ? nullptr : policies_.at(i).get();

@@ -294,6 +294,67 @@ class StabilityMessage final : public net::Message {
   Debts debts_;
 };
 
+/// Ring-aggregated stability digest (DESIGN.md §11).  At scale the
+/// all-to-all stability gossip is replaced by round-robin aggregation: each
+/// round a member ships its best-known per-origin stability rows to O(1)
+/// successors on a deterministic ring.  A row is exactly the content of the
+/// origin's own stability round — its per-view anchor (when known here),
+/// its covered-frontier report and its own purge debts — so a receiver
+/// merges each row as if the origin's gossip had arrived directly.  All row
+/// merges are idempotent, commutative max/union operations, which is what
+/// makes multi-hop relaying sound regardless of arrival order.
+class StabilityDigestMessage final : public net::Message {
+ public:
+  /// One origin's stability round as best known by the relayer.  The
+  /// anchor is optional: a relayer can usefully forward an origin's
+  /// frontier report before it has learned that origin's channel anchor.
+  struct Row {
+    net::ProcessId origin;
+    std::optional<std::uint64_t> anchor;
+    StabilityMessage::Seen seen;
+    StabilityMessage::Debts debts;
+
+    [[nodiscard]] std::size_t wire_size() const {
+      // origin + presence byte [+ anchor] + seen section + debt section,
+      // the same arithmetic the codec writes.
+      std::size_t n = util::varint_size(origin.value()) + 1;
+      if (anchor.has_value()) n += util::varint_size(*anchor);
+      n += util::varint_size(seen.size());
+      for (const auto& [sender, seq] : seen) {
+        n += util::varint_size(sender.value()) + util::varint_size(seq);
+      }
+      n += util::varint_size(debts.size());
+      for (const auto& debt : debts) n += purge_debt_wire_size(debt);
+      return n;
+    }
+
+    friend bool operator==(const Row&, const Row&) = default;
+  };
+  using Rows = std::vector<Row>;
+
+  StabilityDigestMessage(ViewId view, Rows rows)
+      : net::Message(net::MessageType::stability_digest),
+        view_(view),
+        rows_(std::move(rows)) {}
+
+  [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] const Rows& rows() const { return rows_; }
+
+  [[nodiscard]] std::size_t compute_wire_size() const override {
+    std::size_t n = 1 + util::varint_size(view_.value()) +
+                    util::varint_size(rows_.size());
+    for (const auto& row : rows_) n += row.wire_size();
+    return n;
+  }
+
+ private:
+  ViewId view_;
+  Rows rows_;
+};
+
+using StabilityDigestMessagePtr =
+    std::shared_ptr<const StabilityDigestMessage>;
+
 /// The value decided by consensus at t7: (next-view, pred-view).
 class ProposalValue final : public consensus::ValueBase {
  public:

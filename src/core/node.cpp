@@ -7,6 +7,19 @@
 #include "util/pool.hpp"
 
 namespace svs::core {
+namespace {
+
+/// splitmix64 finalizer — the same seed-free mixing the runtime::HashRing
+/// placement uses, so the digest ring's member order is deterministic
+/// across platforms and runs.
+std::uint64_t ring_mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Node::Node(sim::Simulator& simulator, net::Transport& network,
            fd::FailureDetector& detector, net::ProcessId self, View initial,
@@ -34,10 +47,111 @@ Node::Node(sim::Simulator& simulator, net::Transport& network,
   // The first view notification, so applications always learn membership
   // from the delivery stream.
   queue_.push_view(view_);
+  compute_ring_successors();
   // Classic fixed-cadence mode sends a round every interval from the start
   // and never parks; quiescent mode arms only when there is something to
   // report.
   if (!config_.quiescent) arm_stability_gossip();
+}
+
+// ---------------------------------------------------------------------------
+// digest ring (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+bool Node::ring_mode() const {
+  return config_.digest_ring_threshold != 0 &&
+         config_.digest_ring_fanout != 0 &&
+         view_.size() >= config_.digest_ring_threshold;
+}
+
+void Node::compute_ring_successors() {
+  ring_successors_.clear();
+  if (!ring_mode()) return;
+  // Deterministic ring: members ordered by their splitmix64 hash (id as
+  // tie-break), successors are the next fanout members after self.  Every
+  // member computes the same ring from the agreed view, no coordination.
+  std::vector<net::ProcessId> ring(view_.members().begin(),
+                                   view_.members().end());
+  std::sort(ring.begin(), ring.end(),
+            [](net::ProcessId a, net::ProcessId b) {
+              const auto ha = ring_mix(a.value());
+              const auto hb = ring_mix(b.value());
+              if (ha != hb) return ha < hb;
+              return a < b;
+            });
+  const auto self_pos = std::find(ring.begin(), ring.end(), self_);
+  SVS_ASSERT(self_pos != ring.end(), "this node is in its own view");
+  const std::size_t start =
+      static_cast<std::size_t>(self_pos - ring.begin());
+  const std::size_t fanout =
+      std::min(config_.digest_ring_fanout, ring.size() - 1);
+  ring_successors_.reserve(fanout);
+  for (std::size_t i = 1; i <= fanout; ++i) {
+    ring_successors_.push_back(ring[(start + i) % ring.size()]);
+  }
+}
+
+StabilityDigestMessage::Row Node::make_relay_row(net::ProcessId origin) const {
+  StabilityDigestMessage::Row row;
+  row.origin = origin;
+  row.anchor = stability_.channel_anchor(origin);
+  const auto& reports = stability_.peer_reports();
+  const auto report = reports.find(origin);
+  if (report != reports.end()) {
+    row.seen.reserve(report->second.size());
+    for (const auto& [sender, seq] : report->second) {
+      row.seen.emplace_back(sender, seq);
+    }
+  }
+  const auto debts = relay_debts_.find(origin);
+  if (debts != relay_debts_.end()) {
+    row.debts.reserve(debts->second.size());
+    for (const auto& [seq, cover] : debts->second) {
+      row.debts.push_back(PurgeDebt{seq, cover});
+    }
+  }
+  return row;
+}
+
+void Node::retain_relay_debts(net::ProcessId origin,
+                              const StabilityMessage::Debts& debts) {
+  if (debts.empty()) return;
+  auto& retained = relay_debts_[origin];
+  for (const auto& debt : debts) {
+    retained.try_emplace(debt.seq, debt.cover_seq);
+  }
+}
+
+void Node::handle_stability_digest(
+    net::ProcessId from,
+    const std::shared_ptr<const StabilityDigestMessage>& m) {
+  (void)from;
+  if (excluded_ || m->view() != view_.id()) return;  // stale or early; drop
+  bool any_news = false;
+  for (const auto& row : m->rows()) {
+    if (row.origin == self_) continue;  // nobody relays our state to us
+    // Each row merges exactly like the origin's own gossip round would —
+    // idempotent, commutative max/union merges, so multi-hop relay order
+    // never matters.
+    bool news = false;
+    if (row.anchor.has_value()) {
+      news |= stability_.set_anchor(row.origin, *row.anchor);
+    }
+    news |= stability_.merge_debts(row.origin, row.debts);
+    news |= stability_.merge_report(row.origin, row.seen);
+    retain_relay_debts(row.origin, row.debts);
+    if (news) {
+      dirty_rows_.insert(row.origin);
+      any_news = true;
+    }
+  }
+  collect_stable();
+  if (stability_.dirty() || !dirty_rows_.empty()) {
+    note_gossip_progress();
+    arm_stability_gossip();
+    return;
+  }
+  consider_refresh(any_news);
 }
 
 // ---------------------------------------------------------------------------
@@ -334,7 +448,8 @@ void Node::gossip_stability() {
   // forever.  Classic mode ships the (possibly empty) round every interval
   // — the pre-quiescence fixed-cadence baseline.
   bool force_full = false;
-  if (!stability_.dirty() && config_.quiescent) {
+  const bool relay_news = ring_mode() && !dirty_rows_.empty();
+  if (!stability_.dirty() && !relay_news && config_.quiescent) {
     if (refresh_pending_) {
       refresh_pending_ = false;
       force_full = true;  // anti-entropy response to a still-gossiping peer
@@ -399,6 +514,39 @@ void Node::gossip_stability() {
   for (const auto& debt : round.debts) {
     stats_.debt_bytes_gossiped += StabilityMessage::debt_wire_size(debt);
   }
+  if (ring_mode()) {
+    // Ring digest (DESIGN.md §11): the self row is exactly the all-to-all
+    // round's content, followed by the relayed rows that changed since the
+    // last digest (every known row on full rounds, the self-healing
+    // analogue of the full-vector gossip).  Shipped to O(fanout) ring
+    // successors instead of the whole view.
+    StabilityDigestMessage::Rows rows;
+    rows.push_back(StabilityDigestMessage::Row{
+        self_, anchor, std::move(round.seen), std::move(round.debts)});
+    if (full) {
+      for (const auto& [origin, report] : stability_.peer_reports()) {
+        if (origin == self_) continue;
+        (void)report;
+        rows.push_back(make_relay_row(origin));
+      }
+    } else {
+      for (const auto origin : dirty_rows_) {
+        if (origin == self_) continue;
+        rows.push_back(make_relay_row(origin));
+      }
+    }
+    dirty_rows_.clear();
+    ++stats_.digest_rounds;
+    stats_.digest_rows_sent += rows.size();
+    const auto digest = util::pool_shared<StabilityDigestMessage>(
+        view_.id(), std::move(rows));
+    for (const auto successor : ring_successors_) {
+      net_.send(self_, successor, digest, net::Lane::control);
+    }
+    arm_stability_gossip();  // keep gossiping while traffic flows
+    return;
+  }
+
   const auto m = util::pool_shared<StabilityMessage>(
       view_.id(), anchor, std::move(round.seen), std::move(round.debts));
   // Bytes a full-snapshot gossip would have cost (exact encoded size of the
@@ -424,6 +572,11 @@ void Node::handle_stability(net::ProcessId from,
   bool news = stability_.set_anchor(from, m->anchor());
   news |= stability_.merge_debts(from, m->debts());
   news |= stability_.merge_report(from, m->seen());
+  if (ring_mode() && news) {
+    // The sender's round is relayable knowledge: its row changed here.
+    dirty_rows_.insert(from);
+    retain_relay_debts(from, m->debts());
+  }
   collect_stable();
   // Merging can advance this node's own covered frontiers (a debt just
   // explained a gap) — that is reportable state, so the gossip must run
@@ -433,6 +586,10 @@ void Node::handle_stability(net::ProcessId from,
     arm_stability_gossip();
     return;
   }
+  consider_refresh(news);
+}
+
+void Node::consider_refresh(bool news) {
   // Anti-entropy refresh (quiescent mode): a round that taught this node
   // *nothing* is a peer re-sending state we already merged — a stuck peer,
   // most likely missing this node's report (lost ahead of a silent
@@ -513,9 +670,13 @@ void Node::merge_piggyback(net::ProcessId from, const DataMessage& m) {
   if (!pb.has_value()) return;
   // Same merge as a standalone round of the same view — idempotent and
   // commutative, so piggyback-vs-gossip arrival order never matters.
-  stability_.set_anchor(from, pb->anchor);
-  stability_.merge_debts(from, pb->debts);
-  stability_.merge_report(from, pb->seen);
+  bool news = stability_.set_anchor(from, pb->anchor);
+  news |= stability_.merge_debts(from, pb->debts);
+  news |= stability_.merge_report(from, pb->seen);
+  if (ring_mode() && news) {
+    dirty_rows_.insert(from);
+    retain_relay_debts(from, pb->debts);
+  }
   collect_stable();
   if (stability_.dirty()) {
     note_gossip_progress();
@@ -551,6 +712,15 @@ void Node::handle_init(net::ProcessId from,
   if (change_.blocked()) return;  // only the first INIT is acted upon
 
   change_.begin(*m, view_, sim_.now());
+
+  // Re-check the proposal guard when the suspected-member pred grace runs
+  // out: every PRED arrival re-checks it too, but if the last awaited PRED
+  // never comes (the member really is dead) nothing else would.  A stale
+  // timer is harmless — ready_to_propose re-validates everything,
+  // including the *current* change's own start time.
+  if (config_.pred_grace > sim::Duration::zero()) {
+    sim_.schedule_after(config_.pred_grace, [this] { try_propose(); });
+  }
 
   // Forward so every correct process initiates (t5).
   if (from != self_) {
@@ -597,7 +767,10 @@ void Node::handle_pred(net::ProcessId from,
 // ---------------------------------------------------------------------------
 
 void Node::try_propose() {
-  if (excluded_ || !change_.ready_to_propose(view_, fd_)) return;
+  if (excluded_ ||
+      !change_.ready_to_propose(view_, fd_, sim_.now(), config_.pred_grace)) {
+    return;
+  }
 
   auto* instance =
       consensus_mux_.find(consensus::InstanceId(view_.id().value()));
@@ -661,6 +834,9 @@ void Node::install(const ProposalValue& decided) {
   change_.reset();
   queue_.reset_view();
   stability_.reset();
+  dirty_rows_.clear();   // relayed rows are per-view, like the ledger
+  relay_debts_.clear();
+  compute_ring_successors();
   view_first_seq_ = next_seq_;  // this view's seqs start here
   stability_.set_anchor(self_, view_first_seq_ - 1);
   stability_.clear_dirty();  // an anchor alone is not worth a gossip round
@@ -729,6 +905,11 @@ bool Node::on_message(net::ProcessId from, const net::MessagePtr& message,
     case net::MessageType::stability:
       handle_stability(
           from, std::static_pointer_cast<const StabilityMessage>(message));
+      return true;
+    case net::MessageType::stability_digest:
+      handle_stability_digest(
+          from,
+          std::static_pointer_cast<const StabilityDigestMessage>(message));
       return true;
     case net::MessageType::consensus: {
       const bool consumed = consensus_mux_.on_message(from, message);

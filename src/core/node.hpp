@@ -33,7 +33,9 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -86,6 +88,29 @@ struct NodeConfig {
   std::uint64_t silent_round_period = 4;
   /// Consecutive no-progress heartbeats before the gossip timer parks.
   std::uint64_t heartbeat_budget = 8;
+  /// Ring-aggregated stability digests (DESIGN.md §11).  When the view has
+  /// at least this many members, each gossip round ships a digest of
+  /// best-known per-origin stability rows to digest_ring_fanout
+  /// deterministic ring successors instead of multicasting an all-to-all
+  /// StabilityMessage — O(fanout) control messages per member per round
+  /// instead of O(n).  The quiescent ladder, piggybacking and no-news
+  /// refresh compose unchanged on top.  0 disables ring mode entirely;
+  /// small views (every existing test and golden) stay on the all-to-all
+  /// path bit-identically.
+  std::size_t digest_ring_threshold = 16;
+  /// Ring successors each digest round addresses (>= 1 when ring mode is
+  /// enabled; news travels `fanout` ring positions per round).
+  std::size_t digest_ring_fanout = 2;
+  /// How long a view change waits for the PREDs of *suspected* members
+  /// before proposing without them.  A live member that was falsely
+  /// suspected (a healed partition ahead of the detector's refutation)
+  /// answers within one round trip; folding its PRED in keeps it in the
+  /// next view and, critically, brings the covers of its sender-side
+  /// purges into the agreed pred-view — without them a receiver that
+  /// delivered past a purged gap closes the view with the gap uncovered
+  /// (FIFO-SR clause (ii), DESIGN.md §3).  A crashed member stays silent
+  /// and costs the change at most this long.
+  sim::Duration pred_grace = sim::Duration::millis(30);
 };
 
 struct NodeStats {
@@ -106,6 +131,8 @@ struct NodeStats {
   std::uint64_t gossip_rounds_suppressed = 0;  // clean rounds not sent
   std::uint64_t gossip_heartbeats = 0;      // forced full rounds at silence
   std::uint64_t frontier_piggybacks = 0;    // stability sections on DATA
+  std::uint64_t digest_rounds = 0;          // ring digests sent (pre-fanout)
+  std::uint64_t digest_rows_sent = 0;       // rows shipped across digests
   std::uint64_t views_installed = 0;
   std::uint64_t view_changes_initiated = 0;
   sim::Duration last_change_latency = sim::Duration::zero();
@@ -238,6 +265,20 @@ class Node final : public net::Endpoint {
   void handle_stability(net::ProcessId from,
                         const std::shared_ptr<const StabilityMessage>& m);
   void collect_stable();
+  /// Ring-aggregated stability digests (DESIGN.md §11): whether this view
+  /// gossips on the ring, the deterministic successor list, building a
+  /// relayed row for an origin, merging an incoming digest, and retaining
+  /// relayed debts past the ledger's local-frontier pruning.
+  [[nodiscard]] bool ring_mode() const;
+  void compute_ring_successors();
+  [[nodiscard]] StabilityDigestMessage::Row make_relay_row(
+      net::ProcessId origin) const;
+  void handle_stability_digest(
+      net::ProcessId from,
+      const std::shared_ptr<const StabilityDigestMessage>& m);
+  void retain_relay_debts(net::ProcessId origin,
+                          const StabilityMessage::Debts& debts);
+  void consider_refresh(bool news);
   /// Quiescent-mode helpers (DESIGN.md §10): attach a delta stability
   /// section to an outgoing DATA (rate-limited), merge an incoming one
   /// (same semantics as a standalone round of the same view), and record
@@ -283,6 +324,16 @@ class Node final : public net::Endpoint {
   sim::TimePoint last_refresh_;
   bool piggyback_sent_ = false;
   sim::TimePoint last_piggyback_;
+  // Ring-digest state (ring mode only, reset per view): the deterministic
+  // successor list, origins whose relayed row changed since the last
+  // digest, and the per-origin debts retained for onward relay (the ledger
+  // prunes merged debts once the *local* frontier passes them, but a ring
+  // successor may still need them; these retire at install or once
+  // globally stable).
+  std::vector<net::ProcessId> ring_successors_;
+  std::set<net::ProcessId> dirty_rows_;
+  std::map<net::ProcessId, std::map<std::uint64_t, std::uint64_t>>
+      relay_debts_;
 
   consensus::Mux consensus_mux_;
   std::function<void()> unblocked_callback_;

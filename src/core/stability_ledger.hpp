@@ -173,6 +173,25 @@ class StabilityLedger {
   /// Returns true when at least one of the peer's frontiers advanced.
   bool merge_report(net::ProcessId from, const StabilityMessage::Seen& seen);
 
+  /// The latest reception vectors reported by (or relayed for) each peer —
+  /// the relay source for ring-aggregated stability digests (DESIGN.md
+  /// §11): a digest row for origin `o` re-ships exactly peer_reports()[o].
+  [[nodiscard]] const std::map<net::ProcessId,
+                               std::map<net::ProcessId, std::uint64_t>>&
+  peer_reports() const {
+    return peer_seen_;
+  }
+
+  /// The per-view channel anchor learned for `sender`, if any — relayed in
+  /// digest rows so members that never heard the origin directly can still
+  /// anchor its channel.
+  [[nodiscard]] std::optional<std::uint64_t> channel_anchor(
+      net::ProcessId sender) const {
+    const auto it = channels_.find(sender);
+    if (it == channels_.end()) return std::nullopt;
+    return it->second.anchor;
+  }
+
   /// Highest seq of `sender` known to be received-or-covered by every
   /// member of `view` (self included).  Any member that has not reported
   /// yet (or a crashed one whose reports stopped) holds the floor at zero

@@ -25,11 +25,21 @@ void ViewChangeEngine::add_pred(net::ProcessId from, const PredMessage& m) {
 }
 
 bool ViewChangeEngine::ready_to_propose(const View& view,
-                                        const fd::FailureDetector& fd) const {
+                                        const fd::FailureDetector& fd,
+                                        sim::TimePoint now,
+                                        sim::Duration pred_grace) const {
   if (!blocked_ || proposed_) return false;
   // ∀p ∈ memb(v) : ¬suspects(p) ⇒ p ∈ pred-received, and a majority answered.
+  // A suspected member is awaited for pred_grace past the change's start:
+  // membership is decided by who answers the flush, so giving a falsely
+  // suspected member one round trip to answer both keeps it in the group
+  // and brings its accepted set (the covers of its purges) into the
+  // pred-view.  Past the grace its silence reads as the crash it probably
+  // is and the change proceeds without it.
+  const bool grace_over = now >= change_started_ + pred_grace;
   for (const auto p : view.members()) {
-    if (!fd.suspects(p) && !pred_received_.contains(p)) return false;
+    if (pred_received_.contains(p)) continue;
+    if (!fd.suspects(p) || !grace_over) return false;
   }
   return pred_received_.size() > view.size() / 2;
 }

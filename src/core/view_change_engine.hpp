@@ -41,8 +41,17 @@ class ViewChangeEngine {
   void add_pred(net::ProcessId from, const PredMessage& m);
 
   /// t7 guard: every unsuspected member answered and a majority answered.
+  /// Suspected members are granted `pred_grace` from the change's start
+  /// before the proposal gives up on their PRED: a falsely suspected but
+  /// live member answers within one round trip, and its PRED carries the
+  /// accepted messages (among them the covers of its sender-side purges)
+  /// that the flush needs to keep FIFO-SR clause (ii) whole when the next
+  /// view would drop it — see DESIGN.md §3.  A crashed member stays
+  /// silent and costs the change at most the grace.
   [[nodiscard]] bool ready_to_propose(const View& view,
-                                      const fd::FailureDetector& fd) const;
+                                      const fd::FailureDetector& fd,
+                                      sim::TimePoint now,
+                                      sim::Duration pred_grace) const;
 
   /// Builds the (next-view, pred-view) consensus proposal and marks this
   /// engine as having proposed.  Only valid when ready_to_propose().

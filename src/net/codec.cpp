@@ -11,6 +11,7 @@
 #include "consensus/message.hpp"
 #include "core/types.hpp"
 #include "fd/heartbeat.hpp"
+#include "fd/swim.hpp"
 #include "obs/annotation.hpp"
 #include "util/contracts.hpp"
 #include "util/pool.hpp"
@@ -387,6 +388,148 @@ MessagePtr decode_stability(util::ByteReader& r) {
                                                   std::move(debts));
 }
 
+// -- SWIM probe traffic (DESIGN.md §11) -------------------------------------
+
+void encode_swim_updates(const fd::SwimUpdates& updates, util::ByteWriter& w) {
+  w.u64(updates.size());
+  for (const auto& update : updates) {
+    w.u32(update.member.value());
+    w.u8(static_cast<std::uint8_t>(update.status));
+    w.u64(update.incarnation);
+  }
+}
+
+fd::SwimUpdates decode_swim_updates(util::ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  // Each update is at least three bytes (two varints plus the status byte).
+  SVS_REQUIRE(count <= r.remaining(),
+              "membership update section longer than the buffer");
+  fd::SwimUpdates updates;
+  updates.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ProcessId member(r.u32());
+    const std::uint8_t status = r.u8();
+    SVS_REQUIRE(
+        status <= static_cast<std::uint8_t>(fd::SwimUpdate::Status::confirm),
+        "bad membership status on the wire");
+    const std::uint64_t incarnation = r.u64();
+    updates.push_back(fd::SwimUpdate{
+        member, static_cast<fd::SwimUpdate::Status>(status), incarnation});
+  }
+  return updates;
+}
+
+void encode_swim_ping(const fd::SwimPingMessage& m, util::ByteWriter& w) {
+  w.u64(m.nonce());
+  encode_swim_updates(m.updates(), w);
+}
+
+MessagePtr decode_swim_ping(util::ByteReader& r) {
+  const std::uint64_t nonce = r.u64();
+  return util::pool_shared<fd::SwimPingMessage>(nonce,
+                                                decode_swim_updates(r));
+}
+
+void encode_swim_ping_req(const fd::SwimPingReqMessage& m,
+                          util::ByteWriter& w) {
+  w.u64(m.nonce());
+  w.u32(m.target().value());
+  encode_swim_updates(m.updates(), w);
+}
+
+MessagePtr decode_swim_ping_req(util::ByteReader& r) {
+  const std::uint64_t nonce = r.u64();
+  const ProcessId target(r.u32());
+  return util::pool_shared<fd::SwimPingReqMessage>(nonce, target,
+                                                   decode_swim_updates(r));
+}
+
+void encode_swim_ack(const fd::SwimAckMessage& m, util::ByteWriter& w) {
+  w.u64(m.nonce());
+  w.u32(m.subject().value());
+  w.u64(m.incarnation());
+  encode_swim_updates(m.updates(), w);
+}
+
+MessagePtr decode_swim_ack(util::ByteReader& r) {
+  const std::uint64_t nonce = r.u64();
+  const ProcessId subject(r.u32());
+  const std::uint64_t incarnation = r.u64();
+  return util::pool_shared<fd::SwimAckMessage>(nonce, subject, incarnation,
+                                               decode_swim_updates(r));
+}
+
+// -- ring-aggregated stability digest (DESIGN.md §11) -----------------------
+
+void encode_stability_digest(const core::StabilityDigestMessage& m,
+                             util::ByteWriter& w) {
+  w.u64(m.view().value());
+  w.u64(m.rows().size());
+  for (const auto& row : m.rows()) {
+    w.u32(row.origin.value());
+    w.u8(row.anchor.has_value() ? 1 : 0);
+    if (row.anchor.has_value()) w.u64(*row.anchor);
+    w.u64(row.seen.size());
+    for (const auto& [sender, seq] : row.seen) {
+      w.u32(sender.value());
+      w.u64(seq);
+    }
+    w.u64(row.debts.size());
+    for (const auto& debt : row.debts) {
+      w.u64(debt.seq);
+      w.u64(debt.cover_seq - debt.seq);  // covers are strictly newer
+    }
+  }
+}
+
+MessagePtr decode_stability_digest(util::ByteReader& r) {
+  const core::ViewId view(r.u64());
+  const std::uint64_t row_count = r.u64();
+  // Each row is at least three bytes (origin, presence flag, two counts).
+  SVS_REQUIRE(row_count <= r.remaining(),
+              "digest row section longer than the buffer");
+  core::StabilityDigestMessage::Rows rows;
+  rows.reserve(row_count);
+  for (std::uint64_t i = 0; i < row_count; ++i) {
+    core::StabilityDigestMessage::Row row;
+    row.origin = ProcessId(r.u32());
+    const std::uint8_t has_anchor = r.u8();
+    SVS_REQUIRE(has_anchor <= 1,
+                "bad anchor-presence flag on the wire");
+    if (has_anchor == 1) row.anchor = r.u64();
+    const std::uint64_t seen_count = r.u64();
+    SVS_REQUIRE(seen_count <= r.remaining(),
+                "digest seen vector longer than the buffer");
+    row.seen.reserve(seen_count);
+    for (std::uint64_t j = 0; j < seen_count; ++j) {
+      const ProcessId sender(r.u32());
+      const std::uint64_t seq = r.u64();
+      row.seen.emplace_back(sender, seq);
+    }
+    const std::uint64_t debt_count = r.u64();
+    SVS_REQUIRE(debt_count <= r.remaining(),
+                "digest debt ledger longer than the buffer");
+    row.debts.reserve(debt_count);
+    std::uint64_t prev_seq = 0;
+    for (std::uint64_t j = 0; j < debt_count; ++j) {
+      const std::uint64_t seq = r.u64();
+      SVS_REQUIRE(j == 0 || seq > prev_seq,
+                  "digest purge debts must be strictly ascending by seq");
+      prev_seq = seq;
+      const std::uint64_t cover_gap = r.u64();
+      SVS_REQUIRE(cover_gap >= 1,
+                  "a purge debt's cover must be strictly newer");
+      SVS_REQUIRE(
+          seq <= std::numeric_limits<std::uint64_t>::max() - cover_gap,
+          "purge debt cover overflows");
+      row.debts.push_back(core::PurgeDebt{seq, seq + cover_gap});
+    }
+    rows.push_back(std::move(row));
+  }
+  return util::pool_shared<core::StabilityDigestMessage>(view,
+                                                         std::move(rows));
+}
+
 void encode_consensus(const consensus::ConsensusMessage& m,
                       util::ByteWriter& w) {
   w.u64(m.instance().value());
@@ -473,6 +616,19 @@ void Codec::encode(const Message& m, util::ByteWriter& w) {
       break;
     case MessageType::heartbeat:
       break;  // the tag is the whole message
+    case MessageType::swim_ping:
+      encode_swim_ping(static_cast<const fd::SwimPingMessage&>(m), w);
+      break;
+    case MessageType::swim_ping_req:
+      encode_swim_ping_req(static_cast<const fd::SwimPingReqMessage&>(m), w);
+      break;
+    case MessageType::swim_ack:
+      encode_swim_ack(static_cast<const fd::SwimAckMessage&>(m), w);
+      break;
+    case MessageType::stability_digest:
+      encode_stability_digest(
+          static_cast<const core::StabilityDigestMessage&>(m), w);
+      break;
     case MessageType::other:
       SVS_REQUIRE(false,
                   "MessageType::other has no wire encoding; byte-moving "
@@ -499,9 +655,10 @@ FramePtr Codec::shared_frame(const Message& m) {
 
 MessagePtr Codec::decode(util::ByteReader& r) {
   const std::uint8_t tag = r.u8();
-  SVS_REQUIRE(tag > static_cast<std::uint8_t>(MessageType::other) &&
-                  tag <= static_cast<std::uint8_t>(MessageType::heartbeat),
-              "bad message type tag on the wire");
+  SVS_REQUIRE(
+      tag > static_cast<std::uint8_t>(MessageType::other) &&
+          tag <= static_cast<std::uint8_t>(MessageType::stability_digest),
+      "bad message type tag on the wire");
   switch (static_cast<MessageType>(tag)) {
     case MessageType::data:
       return decode_data(r);
@@ -515,6 +672,14 @@ MessagePtr Codec::decode(util::ByteReader& r) {
       return decode_consensus(r);
     case MessageType::heartbeat:
       return util::pool_shared<fd::HeartbeatMessage>();
+    case MessageType::swim_ping:
+      return decode_swim_ping(r);
+    case MessageType::swim_ping_req:
+      return decode_swim_ping_req(r);
+    case MessageType::swim_ack:
+      return decode_swim_ack(r);
+    case MessageType::stability_digest:
+      return decode_stability_digest(r);
     case MessageType::other:
       break;
   }

@@ -31,12 +31,16 @@ using FramePtr = std::shared_ptr<const util::Bytes>;
 /// not recognise (routed to the control sink, e.g. test messages).
 enum class MessageType : std::uint8_t {
   other = 0,
-  data,       // core::DataMessage
-  init,       // core::InitMessage
-  pred,       // core::PredMessage
-  stability,  // core::StabilityMessage
-  consensus,  // consensus::ConsensusMessage
-  heartbeat,  // fd::HeartbeatMessage
+  data,              // core::DataMessage
+  init,              // core::InitMessage
+  pred,              // core::PredMessage
+  stability,         // core::StabilityMessage
+  consensus,         // consensus::ConsensusMessage
+  heartbeat,         // fd::HeartbeatMessage
+  swim_ping,         // fd::SwimPingMessage
+  swim_ping_req,     // fd::SwimPingReqMessage
+  swim_ack,          // fd::SwimAckMessage
+  stability_digest,  // core::StabilityDigestMessage
 };
 
 /// Base class for everything that travels through the network.

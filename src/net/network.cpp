@@ -21,25 +21,15 @@ void Network::attach(ProcessId id, Endpoint& endpoint) {
   SVS_REQUIRE(dense_[raw] < 0, "endpoint already attached for this process");
 
   const std::uint32_t n_old = size();
-  const std::uint32_t n = n_old + 1;
   dense_[raw] = static_cast<std::int32_t>(n_old);
   endpoints_.push_back(&endpoint);
   pid_of_.push_back(id);
   crash_.emplace_back();
   pause_wakeup_.emplace_back();
   drain_observers_.emplace_back();
-
-  // Re-stride the flat link table from n_old x n_old to n x n.  Links move
-  // wholesale (queues, timers, slowdowns); scheduled attempts address links
-  // by dense indices, which are stable across the re-stride.
-  std::vector<Link> fresh(static_cast<std::size_t>(n) * n);
-  for (std::uint32_t i = 0; i < n_old; ++i) {
-    for (std::uint32_t j = 0; j < n_old; ++j) {
-      fresh[static_cast<std::size_t>(i) * n + j] =
-          std::move(links_[static_cast<std::size_t>(i) * n_old + j]);
-    }
-  }
-  links_ = std::move(fresh);
+  // One empty row; its slots (and the short rows of earlier senders)
+  // materialize on first use, so attach is O(1) at any group size.
+  links_.emplace_back();
 }
 
 void Network::enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
@@ -94,8 +84,7 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr message,
   const std::uint32_t ti = index_of(to);
   if (crash_[fi].crashed) return;  // crash-stop: no sends after crash
   const std::size_t wire_bytes = message->wire_size();
-  enqueue(fi, ti, links_[static_cast<std::size_t>(fi) * size() + ti],
-          std::move(message), lane, wire_bytes);
+  enqueue(fi, ti, link_at(fi, ti), std::move(message), lane, wire_bytes);
 }
 
 void Network::multicast(ProcessId from,
@@ -107,11 +96,10 @@ void Network::multicast(ProcessId from,
   // One encode-size computation for the whole fan-out: every destination
   // receives the same bytes.
   const std::size_t wire_bytes = message->wire_size();
-  const std::size_t row = static_cast<std::size_t>(fi) * size();
   for (const ProcessId to : destinations) {
     if (skip_self && to == from) continue;
     const std::uint32_t ti = index_of(to);
-    enqueue(fi, ti, links_[row + ti], MessagePtr(message), lane, wire_bytes);
+    enqueue(fi, ti, link_at(fi, ti), MessagePtr(message), lane, wire_bytes);
   }
 }
 
@@ -130,7 +118,7 @@ void Network::schedule_attempt(std::uint32_t fi, std::uint32_t ti, Link& l,
 
 void Network::attempt(std::uint32_t fi, std::uint32_t ti, Lane lane) {
   const LinkRefScope scope(*this);
-  Link& l = links_[static_cast<std::size_t>(fi) * size() + ti];
+  Link& l = link_at(fi, ti);  // an attempt implies the link exists
   const int li = lane_index(lane);
   l.pending[li] = sim::EventId{};
   auto& q = l.queue[li];
@@ -261,10 +249,10 @@ void Network::resume(ProcessId to) {
   const std::uint32_t ti = index_of(to);
   const std::uint32_t n = size();
   for (std::uint32_t fi = 0; fi < n; ++fi) {
-    Link& l = links_[static_cast<std::size_t>(fi) * n + ti];
-    if (!l.stalled) continue;
-    l.stalled = false;
-    schedule_attempt(fi, ti, l, Lane::data);
+    Link* const l = peek_link(fi, ti);
+    if (l == nullptr || !l->stalled) continue;
+    l->stalled = false;
+    schedule_attempt(fi, ti, *l, Lane::data);
   }
 }
 
@@ -272,9 +260,8 @@ std::size_t Network::data_backlog(ProcessId from, ProcessId to) const {
   const auto fi = find_index(from);
   const auto ti = find_index(to);
   if (!fi.has_value() || !ti.has_value()) return 0;
-  return links_[static_cast<std::size_t>(*fi) * size() + *ti]
-      .queue[lane_index(Lane::data)]
-      .size();
+  const Link* const l = peek_link(*fi, *ti);
+  return l == nullptr ? 0 : l->queue[lane_index(Lane::data)].size();
 }
 
 void Network::reaim_if_head_removed(Link& l, std::uint32_t fi,
@@ -294,8 +281,7 @@ void Network::reaim_if_head_removed(Link& l, std::uint32_t fi,
 void Network::set_link_slowdown(ProcessId from, ProcessId to,
                                 sim::Duration extra) {
   SVS_REQUIRE(extra >= sim::Duration::zero(), "slowdown must be >= 0");
-  links_[static_cast<std::size_t>(index_of(from)) * size() + index_of(to)]
-      .slowdown = extra;
+  link_at(index_of(from), index_of(to)).slowdown = extra;
 }
 
 }  // namespace svs::net

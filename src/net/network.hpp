@@ -18,11 +18,15 @@
 // bandwidth in order not to be a limiting factor").
 //
 // Representation (DESIGN.md §2): attach() assigns each ProcessId a dense
-// index; links live in one flat vector indexed by from_idx * n + to_idx, and
-// the endpoint / crash / drain-observer tables are dense vectors too.  Link
-// access on the send/receive/purge path is one multiply-add — no ordered-map
-// walk — and a whole sender row is contiguous, so multicast() resolves the
-// sender once and fans out cache-friendly.
+// index; links live in per-sender rows of lazily allocated slots
+// (links_[from_idx][to_idx]), and the endpoint / crash / drain-observer
+// tables are dense vectors too.  Link access on the send/receive/purge path
+// is two dense indexations — no ordered-map walk — and a whole sender row
+// is contiguous, so multicast() resolves the sender once and fans out
+// cache-friendly.  A link is materialized on first use: an n-member group
+// costs O(n x active peers) links, not an eager n² (each Link holds two
+// deques, which at n=1024 would otherwise allocate gigabytes before the
+// first message), and attach() is O(1) instead of an O(n²) re-stride.
 //
 // Semantic purging of outgoing buffers (the sender-side half of the paper's
 // buffer purging, detailed in the companion work [22] referenced from §3.3)
@@ -41,6 +45,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <type_traits>
@@ -70,9 +75,9 @@ class Network final : public Transport {
   Network(sim::Simulator& simulator, Config config);
 
   /// Registers the endpoint for a process and assigns it the next dense
-  /// index.  Must be called before any send involving `id`.  Attaching
-  /// re-strides the flat link table; queued traffic survives (links are
-  /// addressed by stable dense indices, not positions).
+  /// index.  Must be called before any send involving `id`.  O(1): links
+  /// are materialized lazily on first use, so attaching never moves
+  /// queued traffic.
   void attach(ProcessId id, Endpoint& endpoint) override;
 
   /// Enqueues a message from -> to.  No-op if the sender has crashed.
@@ -134,10 +139,10 @@ class Network final : public Transport {
   std::size_t purge_outgoing(ProcessId from, Victim&& victim) {
     const std::uint32_t fi = index_of(from);
     std::size_t total = 0;
-    const std::uint32_t n = size();
-    const std::size_t row = static_cast<std::size_t>(fi) * n;
-    for (std::uint32_t ti = 0; ti < n; ++ti) {
-      total += erase_from_link(links_[row + ti], fi, ti, victim,
+    auto& row = links_[fi];  // never-used links hold nothing to purge
+    for (std::uint32_t ti = 0; ti < row.size(); ++ti) {
+      if (row[ti] == nullptr) continue;
+      total += erase_from_link(*row[ti], fi, ti, victim,
                                /*count_as_purged=*/true);
     }
     return total;
@@ -153,9 +158,9 @@ class Network final : public Transport {
                                 Victim&& victim) {
     const std::uint32_t fi = index_of(from);
     const std::uint32_t ti = index_of(to);
-    return erase_from_link(links_[static_cast<std::size_t>(fi) * size() + ti],
-                           fi, ti, victim,
-                           /*count_as_purged=*/true);
+    Link* const l = peek_link(fi, ti);
+    if (l == nullptr) return 0;
+    return erase_from_link(*l, fi, ti, victim, /*count_as_purged=*/true);
   }
 
   /// Windowed sender-side purge (DESIGN.md §2): visits only the queued
@@ -173,8 +178,10 @@ class Network final : public Transport {
     if (floor_key >= below_key) return 0;
     const std::uint32_t fi = index_of(from);
     const std::uint32_t ti = index_of(to);
+    Link* const lp = peek_link(fi, ti);
+    if (lp == nullptr) return 0;
     const LinkRefScope scope(*this);
-    Link& l = links_[static_cast<std::size_t>(fi) * size() + ti];
+    Link& l = *lp;
     auto& q = l.queue[lane_index(Lane::data)];
     const auto [lo, hi] = window_of(q, floor_key, below_key);
     if (lo == hi) return 0;
@@ -222,9 +229,10 @@ class Network final : public Transport {
     if (floor_key >= below_key) return 0;
     const std::uint32_t fi = index_of(from);
     const std::uint32_t ti = index_of(to);
+    Link* const lp = peek_link(fi, ti);
+    if (lp == nullptr) return 0;
     const LinkRefScope scope(*this);
-    auto& q = links_[static_cast<std::size_t>(fi) * size() + ti]
-                  .queue[lane_index(Lane::data)];
+    auto& q = lp->queue[lane_index(Lane::data)];
     const auto [lo, hi] = window_of(q, floor_key, below_key);
     stats_.purge_window_scanned += static_cast<std::uint64_t>(hi - lo);
     std::size_t count = 0;
@@ -250,10 +258,10 @@ class Network final : public Transport {
   std::size_t drop_outgoing(ProcessId from, Victim&& victim) {
     const std::uint32_t fi = index_of(from);
     std::size_t total = 0;
-    const std::uint32_t n = size();
-    const std::size_t row = static_cast<std::size_t>(fi) * n;
-    for (std::uint32_t ti = 0; ti < n; ++ti) {
-      total += erase_from_link(links_[row + ti], fi, ti, victim,
+    auto& row = links_[fi];
+    for (std::uint32_t ti = 0; ti < row.size(); ++ti) {
+      if (row[ti] == nullptr) continue;
+      total += erase_from_link(*row[ti], fi, ti, victim,
                                /*count_as_purged=*/false);
     }
     return total;
@@ -349,11 +357,11 @@ class Network final : public Transport {
   void reaim_if_head_removed(Link& l, std::uint32_t fi, std::uint32_t ti,
                              bool head_scheduled, const Message* old_head);
 
-  /// Marks a region that holds references into links_.  attach() re-strides
-  /// the table (invalidating every Link reference), so it refuses to run
-  /// while any such region is active — delivery handlers, purge victims and
-  /// drain observers must not attach synchronously (defer to a simulator
-  /// event instead).
+  /// Marks a region that holds references into the link table.  Links are
+  /// heap-stable, but attach() still refuses to run while any such region
+  /// is active — delivery handlers, purge victims and drain observers must
+  /// not attach synchronously (defer to a simulator event instead), which
+  /// keeps mid-delivery membership mutations out of the model.
   class LinkRefScope {
    public:
     explicit LinkRefScope(const Network& network) : network_(network) {
@@ -396,6 +404,21 @@ class Network final : public Transport {
     return removed;
   }
 
+  /// The link from -> to, materialized on first use.
+  [[nodiscard]] Link& link_at(std::uint32_t fi, std::uint32_t ti) {
+    auto& row = links_[fi];
+    if (row.size() < size()) row.resize(size());
+    auto& slot = row[ti];
+    if (slot == nullptr) slot = std::make_unique<Link>();
+    return *slot;
+  }
+  /// The link from -> to if it was ever used, else null (query paths: a
+  /// never-used link is indistinguishable from an empty one).
+  [[nodiscard]] Link* peek_link(std::uint32_t fi, std::uint32_t ti) const {
+    const auto& row = links_[fi];
+    return ti < row.size() ? row[ti].get() : nullptr;
+  }
+
   void enqueue(std::uint32_t fi, std::uint32_t ti, Link& l,
                MessagePtr message, Lane lane, std::size_t wire_bytes);
   void schedule_attempt(std::uint32_t fi, std::uint32_t ti, Link& l,
@@ -414,7 +437,9 @@ class Network final : public Transport {
   std::vector<Endpoint*> endpoints_;   // dense idx -> endpoint
   std::vector<ProcessId> pid_of_;      // dense idx -> id
   std::vector<std::int32_t> dense_;    // raw id -> dense idx (-1 unattached)
-  std::vector<Link> links_;            // from_idx * n + to_idx
+  // links_[from_idx][to_idx]; slots materialize on first use (null =
+  // never-used link, treated as empty by every query path).
+  std::vector<std::vector<std::unique_ptr<Link>>> links_;
   struct CrashRecord {
     bool crashed = false;
     sim::TimePoint at = {};

@@ -36,7 +36,7 @@ struct Scenario {
   bool purging = true;
   std::size_t delivery_capacity = 0;
   std::size_t out_capacity = 0;
-  bool heartbeat_fd = false;
+  FdBackend fd = FdBackend::oracle;
   sim::Duration oracle_delay = sim::Duration::millis(30);
   sim::Duration suspicion_grace = sim::Duration::millis(20);
   bool slow_consumer = false;
@@ -92,7 +92,14 @@ Scenario make_scenario(const ScenarioSpec& spec) {
     sc.delivery_capacity = 1 + shape.below(15);
     sc.out_capacity = 2 + shape.below(15);
   }
-  sc.heartbeat_fd = shape.chance(0.25);
+  // One uniform01 draw (exactly the old heartbeat-chance draw, so every
+  // later stream position is unchanged): [0, .25) heartbeat as before,
+  // [.25, .5) SWIM carved out of the old oracle share, the rest oracle.
+  const double fd_draw = shape.uniform01();
+  sc.fd = fd_draw < 0.25   ? FdBackend::heartbeat
+          : fd_draw < 0.50 ? FdBackend::swim
+                           : FdBackend::oracle;
+  if (spec.fd_pin.has_value()) sc.fd = *spec.fd_pin;
   sc.oracle_delay = Duration::millis(5 + static_cast<std::int64_t>(shape.below(30)));
   sc.suspicion_grace =
       Duration::millis(5 + static_cast<std::int64_t>(shape.below(20)));
@@ -270,8 +277,8 @@ std::string summarize(const Scenario& sc) {
   }
   os << (sc.quiescent ? " quiescent" : " classic")
      << (sc.purging ? " purge" : " reliable") << " cap="
-     << sc.delivery_capacity << "/" << sc.out_capacity
-     << (sc.heartbeat_fd ? " hb-fd" : " oracle-fd");
+     << sc.delivery_capacity << "/" << sc.out_capacity << ' '
+     << fd_flag(sc.fd) << "-fd";
   if (sc.slow_consumer) os << " slow=" << sc.slow_rate << "/s";
   if (sc.reconfigure) os << " reconf@p" << sc.reconfigurer;
   if (sc.leave) os << " leave@p" << sc.leaver;
@@ -391,6 +398,23 @@ std::optional<RelationKind> relation_from_flag(std::string_view flag) {
   return std::nullopt;
 }
 
+const char* fd_flag(FdBackend backend) {
+  switch (backend) {
+    case FdBackend::oracle: return "oracle";
+    case FdBackend::heartbeat: return "heartbeat";
+    case FdBackend::swim: return "swim";
+  }
+  return "?";
+}
+
+std::optional<FdBackend> fd_from_flag(std::string_view flag) {
+  for (const auto backend :
+       {FdBackend::oracle, FdBackend::heartbeat, FdBackend::swim}) {
+    if (flag == fd_flag(backend)) return backend;
+  }
+  return std::nullopt;
+}
+
 std::string ScenarioSpec::repro() const {
   std::ostringstream os;
   os << "svs_explore --seed=" << seed;
@@ -400,6 +424,7 @@ std::string ScenarioSpec::repro() const {
   if (quiescent_pin.has_value()) {
     os << " --quiescent=" << (*quiescent_pin ? 1 : 0);
   }
+  if (fd_pin.has_value()) os << " --fd=" << fd_flag(*fd_pin);
   if (hostile) os << " --hostile";
   if (loss_permille != 0) os << " --loss=" << loss_permille;
   if (fault_mask != ~0ULL) {
@@ -451,8 +476,25 @@ ScenarioOutcome ScenarioExplorer::run(const ScenarioSpec& spec) const {
   cfg.node.quiescent = sc.quiescent;
   cfg.node.delivery_capacity = sc.delivery_capacity;
   cfg.node.out_capacity = sc.out_capacity;
-  cfg.fd_kind = sc.heartbeat_fd ? core::Group::FdKind::heartbeat
-                                : core::Group::FdKind::oracle;
+  switch (sc.fd) {
+    case FdBackend::oracle:
+      cfg.fd_kind = core::Group::FdKind::oracle;
+      break;
+    case FdBackend::heartbeat:
+      cfg.fd_kind = core::Group::FdKind::heartbeat;
+      break;
+    case FdBackend::swim:
+      cfg.fd_kind = core::Group::FdKind::swim;
+      // Scale the protocol to the scenario horizon so a real crash is
+      // probed, suspected and confirmed well inside the settle window
+      // even in a 6-member group.  Same rng-stream discipline as every
+      // other backend: the seed pins all draws.
+      cfg.swim.period = Duration::millis(40);
+      cfg.swim.direct_timeout = Duration::millis(12);
+      cfg.swim.suspicion_periods = 2;
+      cfg.swim.seed = spec.seed;
+      break;
+  }
   cfg.oracle_delay = sc.oracle_delay;
   cfg.membership.suspicion_grace = sc.suspicion_grace;
   cfg.auto_membership = true;
@@ -680,6 +722,7 @@ ScenarioExplorer::Exploration ScenarioExplorer::explore(
   exploration.spec.seed = seed;
   exploration.spec.relation_pin = options_.relation_pin;
   exploration.spec.quiescent_pin = options_.quiescent_pin;
+  exploration.spec.fd_pin = options_.fd_pin;
   exploration.spec.hostile = options_.hostile;
   exploration.spec.loss_permille = options_.loss_permille;
   exploration.outcome = run(exploration.spec);

@@ -54,6 +54,20 @@ enum class RelationKind : std::uint8_t {
 [[nodiscard]] std::optional<RelationKind> relation_from_flag(
     std::string_view flag);
 
+/// Which failure-detector backend a scenario's group runs.  All three are
+/// drawn by the seed (oracle half the time; heartbeat and SWIM a quarter
+/// each) and pinnable via `--fd=` for targeted sweeps.
+enum class FdBackend : std::uint8_t {
+  oracle = 0,
+  heartbeat = 1,
+  swim = 2,
+};
+
+/// The `--fd=` CLI flag for a backend, and its inverse (same round-trip
+/// discipline as relation_flag).
+[[nodiscard]] const char* fd_flag(FdBackend backend);
+[[nodiscard]] std::optional<FdBackend> fd_from_flag(std::string_view flag);
+
 /// A replayable point in scenario space: the seed plus the shrinker's two
 /// reduction knobs and the optional relation pin.  Defaults mean "the full
 /// seed-derived scenario".
@@ -79,6 +93,9 @@ struct ScenarioSpec {
   /// run adaptive quiescent gossip, the rest the classic fixed cadence).
   /// Part of the repro line (`--quiescent=0|1`).
   std::optional<bool> quiescent_pin;
+  /// Overrides the seed-derived failure-detector backend (e.g. a
+  /// SWIM-pinned sweep).  Part of the repro line (`--fd=`).
+  std::optional<FdBackend> fd_pin;
   /// Extra all-links datagram-loss fault, in permille (0 = none): appended
   /// to the plan *after* masking with a stable id, so it is never shrunk
   /// away and never perturbs the seed-derived faults.  In-model (loss is
@@ -120,6 +137,9 @@ class ScenarioExplorer {
     /// Pin every explored scenario's gossip mode (svs_explore
     /// --quiescent=0|1); nullopt = seed-derived (~50/50).
     std::optional<bool> quiescent_pin;
+    /// Pin every explored scenario's failure-detector backend
+    /// (svs_explore --fd=oracle|heartbeat|swim); nullopt = seed-derived.
+    std::optional<FdBackend> fd_pin;
     /// Add an all-links datagram-loss fault to every explored scenario
     /// (svs_explore --loss=permille).
     std::uint32_t loss_permille = 0;

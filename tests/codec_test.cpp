@@ -13,6 +13,7 @@
 #include "consensus/message.hpp"
 #include "core/message.hpp"
 #include "fd/heartbeat.hpp"
+#include "fd/swim.hpp"
 #include "net/codec.hpp"
 #include "net/dgram.hpp"
 #include "obs/kbitmap.hpp"
@@ -458,6 +459,147 @@ TEST_F(CodecFixture, HeartbeatRoundTrips) {
   EXPECT_EQ(m.wire_size(), 1u);
 }
 
+/// One update per status, with incarnations probing the varint widths.
+fd::SwimUpdates swim_updates_corpus() {
+  return {{ProcessId(1), fd::SwimUpdate::Status::alive, 0},
+          {ProcessId(200), fd::SwimUpdate::Status::suspect, 1u << 20},
+          {ProcessId(3), fd::SwimUpdate::Status::confirm, 7}};
+}
+
+TEST_F(CodecFixture, SwimPingRoundTrips) {
+  const fd::SwimPingMessage m(0xABCDEF0102ULL, swim_updates_corpus());
+  const auto back = round_trip(m);
+  const auto& ping = static_cast<const fd::SwimPingMessage&>(*back);
+  EXPECT_EQ(ping.nonce(), 0xABCDEF0102ULL);
+  EXPECT_EQ(ping.updates(), swim_updates_corpus());
+
+  // The empty piggyback section is the common case on the wire.
+  const fd::SwimPingMessage bare(1, {});
+  const auto bare_back = round_trip(bare);
+  EXPECT_TRUE(
+      static_cast<const fd::SwimPingMessage&>(*bare_back).updates().empty());
+}
+
+TEST_F(CodecFixture, SwimPingReqRoundTrips) {
+  const fd::SwimPingReqMessage m(42, ProcessId(900), swim_updates_corpus());
+  const auto back = round_trip(m);
+  const auto& req = static_cast<const fd::SwimPingReqMessage&>(*back);
+  EXPECT_EQ(req.nonce(), 42u);
+  EXPECT_EQ(req.target(), ProcessId(900));
+  EXPECT_EQ(req.updates(), swim_updates_corpus());
+}
+
+TEST_F(CodecFixture, SwimAckRoundTrips) {
+  const fd::SwimAckMessage m(42, ProcessId(5), 1u << 30,
+                             swim_updates_corpus());
+  const auto back = round_trip(m);
+  const auto& ack = static_cast<const fd::SwimAckMessage&>(*back);
+  EXPECT_EQ(ack.nonce(), 42u);
+  EXPECT_EQ(ack.subject(), ProcessId(5));
+  EXPECT_EQ(ack.incarnation(), 1u << 30);
+  EXPECT_EQ(ack.updates(), swim_updates_corpus());
+}
+
+TEST_F(CodecFixture, SwimUpdateHardening) {
+  const auto ping_with_updates = [](auto&& write_updates) {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MessageType::swim_ping));
+    w.u64(9);  // nonce
+    write_updates(w);
+    return w.take();
+  };
+  // A status byte past confirm is malformed.
+  EXPECT_THROW(
+      (void)Codec::decode(ping_with_updates([](util::ByteWriter& w) {
+        w.u64(1);
+        w.u32(1);  // member
+        w.u8(3);   // no such status
+        w.u64(0);
+      })),
+      util::ContractViolation);
+  // An update count beyond the buffer is rejected before allocation.
+  EXPECT_THROW(
+      (void)Codec::decode(ping_with_updates([](util::ByteWriter& w) {
+        w.u64(1ULL << 59);
+      })),
+      util::ContractViolation);
+}
+
+TEST_F(CodecFixture, StabilityDigestRoundTrips) {
+  core::StabilityDigestMessage::Rows rows;
+  rows.push_back({ProcessId(0), 41,
+                  {{ProcessId(0), 17}, {ProcessId(3), 0}},
+                  {core::PurgeDebt{42, 44}, core::PurgeDebt{45, 1u << 21}}});
+  // A relayed row may usefully carry a frontier before its anchor is known.
+  rows.push_back({ProcessId(9), std::nullopt, {{ProcessId(1), 5}}, {}});
+  const core::StabilityDigestMessage m(ViewId(3), rows);
+  const auto back = round_trip(m);
+  const auto& digest = static_cast<const core::StabilityDigestMessage&>(*back);
+  EXPECT_EQ(digest.view(), ViewId(3));
+  EXPECT_EQ(digest.rows(), rows);
+}
+
+TEST_F(CodecFixture, StabilityDigestHardening) {
+  const auto digest_with_row = [](auto&& write_row) {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MessageType::stability_digest));
+    w.u64(1);  // view
+    w.u64(1);  // one row
+    write_row(w);
+    return w.take();
+  };
+  // The anchor-presence flag must be 0 or 1.
+  EXPECT_THROW((void)Codec::decode(digest_with_row([](util::ByteWriter& w) {
+                 w.u32(0);  // origin
+                 w.u8(2);   // bad presence flag
+               })),
+               util::ContractViolation);
+  // Non-ascending per-row debt seqs are malformed.
+  EXPECT_THROW((void)Codec::decode(digest_with_row([](util::ByteWriter& w) {
+                 w.u32(0);
+                 w.u8(0);   // no anchor
+                 w.u64(0);  // no seen entries
+                 w.u64(2);  // two debts
+                 w.u64(5);
+                 w.u64(1);
+                 w.u64(5);  // same seq again
+                 w.u64(1);
+               })),
+               util::ContractViolation);
+  // A zero cover gap would claim a message purged itself.
+  EXPECT_THROW((void)Codec::decode(digest_with_row([](util::ByteWriter& w) {
+                 w.u32(0);
+                 w.u8(0);
+                 w.u64(0);
+                 w.u64(1);
+                 w.u64(5);
+                 w.u64(0);
+               })),
+               util::ContractViolation);
+  // Row / seen / debt counts beyond the buffer are rejected before
+  // allocation.
+  {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MessageType::stability_digest));
+    w.u64(1);
+    w.u64(1ULL << 60);  // row count
+    EXPECT_THROW((void)Codec::decode(w.data()), util::ContractViolation);
+  }
+  EXPECT_THROW((void)Codec::decode(digest_with_row([](util::ByteWriter& w) {
+                 w.u32(0);
+                 w.u8(0);
+                 w.u64(1ULL << 59);  // seen count
+               })),
+               util::ContractViolation);
+  EXPECT_THROW((void)Codec::decode(digest_with_row([](util::ByteWriter& w) {
+                 w.u32(0);
+                 w.u8(0);
+                 w.u64(0);
+                 w.u64(1ULL << 59);  // debt count
+               })),
+               util::ContractViolation);
+}
+
 // ---------------------------------------------------------------------------
 // the measured-bytes contract
 // ---------------------------------------------------------------------------
@@ -520,6 +662,15 @@ std::vector<util::Bytes> corpus() {
           std::vector<DataMessagePtr>{data}),
       1)));
   out.push_back(Codec::encode(fd::HeartbeatMessage()));
+  out.push_back(Codec::encode(fd::SwimPingMessage(9, swim_updates_corpus())));
+  out.push_back(Codec::encode(
+      fd::SwimPingReqMessage(10, ProcessId(2), swim_updates_corpus())));
+  out.push_back(Codec::encode(
+      fd::SwimAckMessage(9, ProcessId(3), 4, swim_updates_corpus())));
+  out.push_back(Codec::encode(core::StabilityDigestMessage(
+      ViewId(2),
+      {{ProcessId(0), 41, {{ProcessId(0), 17}}, {core::PurgeDebt{42, 44}}},
+       {ProcessId(1), std::nullopt, {{ProcessId(1), 5}}, {}}})));
   return out;
 }
 
@@ -544,7 +695,8 @@ TEST_F(CodecFixture, GarbageSuffixThrows) {
 }
 
 TEST_F(CodecFixture, BadTypeTagThrows) {
-  for (const std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{7},
+  // 11 is the first tag past stability_digest, the highest valid type.
+  for (const std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{11},
                                  std::uint8_t{0x80}, std::uint8_t{0xFF}}) {
     util::Bytes frame = corpus().front();
     frame[0] = tag;

@@ -32,6 +32,15 @@ class StubDetector final : public fd::FailureDetector {
   std::set<net::ProcessId> suspected;
 };
 
+constexpr sim::Duration kPredGrace = sim::Duration::millis(30);
+
+/// ready_to_propose at a time when any suspected member's pred grace has
+/// already run out (the pre-grace behaviour most tests want).
+bool ready_after_grace(const ViewChangeEngine& e, const View& v,
+                       const fd::FailureDetector& fd) {
+  return e.ready_to_propose(v, fd, e.started_at() + kPredGrace, kPredGrace);
+}
+
 // ---------------------------------------------------------------------------
 // StabilityLedger
 // ---------------------------------------------------------------------------
@@ -366,7 +375,7 @@ TEST(ViewChangeEngine, BeginBlocksAndFiltersLeaveSet) {
   for (std::uint32_t p = 0; p < 3; ++p) {
     e.add_pred(pid(p), PredMessage(ViewId(0), {}));
   }
-  ASSERT_TRUE(e.ready_to_propose(view3(), fd));
+  ASSERT_TRUE(ready_after_grace(e, view3(), fd));
   const auto proposal = e.take_proposal(view3());
   EXPECT_EQ(proposal->next_view().id(), ViewId(1));
   EXPECT_EQ(proposal->next_view().size(), 2u);
@@ -380,9 +389,9 @@ TEST(ViewChangeEngine, ProposeWaitsForUnsuspectedMembers) {
   e.add_pred(pid(0), PredMessage(ViewId(0), {}));
   e.add_pred(pid(1), PredMessage(ViewId(0), {}));
   // pid(2) neither answered nor is suspected: the guard holds.
-  EXPECT_FALSE(e.ready_to_propose(view3(), fd));
+  EXPECT_FALSE(ready_after_grace(e, view3(), fd));
   fd.suspected.insert(pid(2));
-  EXPECT_TRUE(e.ready_to_propose(view3(), fd));
+  EXPECT_TRUE(ready_after_grace(e, view3(), fd));
 }
 
 TEST(ViewChangeEngine, ProposeNeedsAMajority) {
@@ -392,9 +401,9 @@ TEST(ViewChangeEngine, ProposeNeedsAMajority) {
   fd.suspected = {pid(1), pid(2)};
   e.add_pred(pid(0), PredMessage(ViewId(0), {}));
   // Every unsuspected member answered, but 1 of 3 is not a majority.
-  EXPECT_FALSE(e.ready_to_propose(view3(), fd));
+  EXPECT_FALSE(ready_after_grace(e, view3(), fd));
   e.add_pred(pid(1), PredMessage(ViewId(0), {}));
-  EXPECT_TRUE(e.ready_to_propose(view3(), fd));
+  EXPECT_TRUE(ready_after_grace(e, view3(), fd));
 }
 
 TEST(ViewChangeEngine, GlobalPredDeduplicatesById) {
@@ -405,11 +414,11 @@ TEST(ViewChangeEngine, GlobalPredDeduplicatesById) {
   e.add_pred(pid(0), PredMessage(ViewId(0), {m, msg(0, 2)}));
   e.add_pred(pid(1), PredMessage(ViewId(0), {msg(0, 1), msg(1, 1)}));
   e.add_pred(pid(2), PredMessage(ViewId(0), {}));
-  ASSERT_TRUE(e.ready_to_propose(view3(), fd));
+  ASSERT_TRUE(ready_after_grace(e, view3(), fd));
   const auto proposal = e.take_proposal(view3());
   EXPECT_EQ(proposal->pred_view().size(), 3u);  // {0#1, 0#2, 1#1}
   EXPECT_TRUE(e.proposed());
-  EXPECT_FALSE(e.ready_to_propose(view3(), fd));  // propose at most once
+  EXPECT_FALSE(ready_after_grace(e, view3(), fd));  // propose at most once
 }
 
 TEST(ViewChangeEngine, ResetClearsTheChange) {
@@ -429,7 +438,7 @@ TEST(ViewChangeEngine, ResetClearsTheChange) {
   e.begin(InitMessage(ViewId(1), {}), v1, sim::TimePoint::origin());
   e.add_pred(pid(0), PredMessage(ViewId(1), {}));
   e.add_pred(pid(1), PredMessage(ViewId(1), {}));
-  ASSERT_TRUE(e.ready_to_propose(v1, fd));
+  ASSERT_TRUE(ready_after_grace(e, v1, fd));
   const auto proposal = e.take_proposal(v1);
   EXPECT_EQ(proposal->next_view().size(), 2u);
   EXPECT_TRUE(proposal->pred_view().empty());

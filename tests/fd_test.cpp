@@ -1,8 +1,13 @@
 // Unit tests for the failure detectors.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
+#include <vector>
+
 #include "fd/heartbeat.hpp"
 #include "fd/oracle.hpp"
+#include "fd/swim.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -162,6 +167,249 @@ TEST(HeartbeatConfig, RejectsBadParameters) {
   bad.initial_timeout = sim::Duration::millis(10);  // must exceed interval
   EXPECT_THROW(HeartbeatDetector(sim, network, net::ProcessId(0),
                                  {net::ProcessId(1)}, bad),
+               util::ContractViolation);
+}
+
+/// A complete SWIM deployment on the simulated network: one detector per
+/// process, routers that hand swim_* traffic to the local detector and keep
+/// every ack they see (so tests can inspect piggyback sections on the wire).
+struct SwimHarness {
+  struct Router final : net::Endpoint {
+    bool on_message(net::ProcessId from, const net::MessagePtr& message,
+                    net::Lane) override {
+      if (message->type() == net::MessageType::swim_ack) {
+        acks.push_back(std::static_pointer_cast<const SwimAckMessage>(message));
+      }
+      if (detector != nullptr) detector->on_message(from, message);
+      return true;
+    }
+    SwimDetector* detector = nullptr;
+    std::vector<std::shared_ptr<const SwimAckMessage>> acks;
+  };
+
+  SwimHarness(std::uint32_t n, SwimDetector::Config config, bool start = true)
+      : network(sim, {}), routers(n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      network.attach(net::ProcessId(i), routers[i]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::vector<net::ProcessId> peers;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (j != i) peers.push_back(net::ProcessId(j));
+      }
+      detectors.push_back(std::make_unique<SwimDetector>(
+          sim, network, net::ProcessId(i), peers, config));
+      routers[i].detector = detectors.back().get();
+    }
+    if (start) {
+      for (auto& d : detectors) d->start();
+    }
+  }
+
+  void run_for(double seconds) {
+    sim.run_until(sim.now() + sim::Duration::seconds(seconds));
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  std::deque<Router> routers;  // stable addresses across attach()
+  std::vector<std::unique_ptr<SwimDetector>> detectors;
+};
+
+SwimDetector::Config swim_config() {
+  SwimDetector::Config config;
+  config.period = sim::Duration::millis(20);
+  config.direct_timeout = sim::Duration::millis(6);
+  config.indirect_probes = 2;
+  config.suspicion_periods = 2;
+  config.piggyback_limit = 8;
+  config.retransmit_factor = 3;
+  config.seed = 77;
+  return config;
+}
+
+TEST(SwimDetectorTest, HealthyGroupProbesWithoutSuspicion) {
+  SwimHarness h(4, swim_config());
+  h.run_for(0.5);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_GT(h.detectors[i]->counters().probes_sent, 0u);
+    EXPECT_GT(h.detectors[i]->counters().acks_received, 0u);
+    EXPECT_EQ(h.detectors[i]->counters().suspicions, 0u);
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i != j) EXPECT_FALSE(h.detectors[i]->suspects(net::ProcessId(j)));
+    }
+  }
+}
+
+TEST(SwimDetectorTest, CrashTriggersIndirectProbesThenSuspicionThenConfirm) {
+  SwimHarness h(4, swim_config());
+  h.run_for(0.2);
+  h.network.crash(net::ProcessId(3));
+  // Worst case: probed on the last slot of a 3-peer cycle (60ms), then the
+  // direct timeout, the k ping-reqs, and two suspicion periods (40ms).
+  h.run_for(0.5);
+  std::uint64_t indirect = 0;
+  std::uint64_t relayed = 0;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(h.detectors[i]->suspects(net::ProcessId(3))) << i;
+    EXPECT_TRUE(h.detectors[i]->confirmed(net::ProcessId(3))) << i;
+    indirect += h.detectors[i]->counters().indirect_probes_sent;
+    relayed += h.detectors[i]->counters().ping_reqs_relayed;
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      if (i != j) EXPECT_FALSE(h.detectors[i]->suspects(net::ProcessId(j)));
+    }
+  }
+  // The first prober to time out asked k live relays; they obliged.
+  EXPECT_GE(indirect, 2u);
+  EXPECT_GE(relayed, 1u);
+}
+
+TEST(SwimDetectorTest, IncarnationOverrideRules) {
+  SwimHarness h(3, swim_config(), /*start=*/false);
+  auto& fd = *h.detectors[0];
+  const net::ProcessId p1(1);
+  const net::ProcessId p2(2);
+  const auto deliver = [&](SwimUpdate update) {
+    fd.on_message(p1, std::make_shared<SwimPingMessage>(
+                          /*nonce=*/99, SwimUpdates{update}));
+  };
+
+  // suspect(i) beats alive(i); alive must strictly exceed it to refute.
+  deliver({p2, SwimUpdate::Status::suspect, 0});
+  EXPECT_TRUE(fd.suspects(p2));
+  deliver({p2, SwimUpdate::Status::alive, 0});
+  EXPECT_TRUE(fd.suspects(p2));
+  deliver({p2, SwimUpdate::Status::alive, 1});
+  EXPECT_FALSE(fd.suspects(p2));
+  EXPECT_EQ(fd.counters().refutations, 1u);
+
+  // Confirm is sticky against same-incarnation gossip but yields to the
+  // member's own higher-incarnation refutation.
+  deliver({p2, SwimUpdate::Status::confirm, 1});
+  EXPECT_TRUE(fd.confirmed(p2));
+  deliver({p2, SwimUpdate::Status::alive, 1});
+  EXPECT_TRUE(fd.confirmed(p2));
+  deliver({p2, SwimUpdate::Status::suspect, 5});
+  EXPECT_TRUE(fd.confirmed(p2));
+  deliver({p2, SwimUpdate::Status::alive, 2});
+  EXPECT_FALSE(fd.suspects(p2));
+  EXPECT_EQ(fd.incarnation_of(p2), 2u);
+}
+
+TEST(SwimDetectorTest, SelfSuspicionRefutedByIncarnationBump) {
+  SwimHarness h(3, swim_config(), /*start=*/false);
+  auto& fd = *h.detectors[0];
+  EXPECT_EQ(fd.incarnation(), 0u);
+  fd.on_message(net::ProcessId(1),
+                std::make_shared<SwimPingMessage>(
+                    /*nonce=*/7, SwimUpdates{{net::ProcessId(0),
+                                              SwimUpdate::Status::suspect, 0}}));
+  EXPECT_EQ(fd.incarnation(), 1u);
+  EXPECT_EQ(fd.counters().refutations, 1u);
+  // The answering ack certifies the bumped incarnation and piggybacks the
+  // alive update that will beat the suspicion wherever it spread.
+  h.sim.run();
+  ASSERT_EQ(h.routers[1].acks.size(), 1u);
+  const auto& ack = *h.routers[1].acks.front();
+  EXPECT_EQ(ack.subject(), net::ProcessId(0));
+  EXPECT_EQ(ack.incarnation(), 1u);
+  const SwimUpdate refutation{net::ProcessId(0), SwimUpdate::Status::alive, 1};
+  EXPECT_NE(std::find(ack.updates().begin(), ack.updates().end(), refutation),
+            ack.updates().end());
+}
+
+TEST(SwimDetectorTest, ConfirmedMemberRecoversThroughProbeRefutation) {
+  // A healed partition leaves a live member falsely confirmed.  The
+  // confirmer must keep probing it, tell it of the accusation, and accept
+  // the bumped-incarnation refutation — otherwise mutual confirms are
+  // permanent and consensus liveness (◊S) is gone.
+  SwimHarness h(3, swim_config());
+  h.detectors[0]->on_message(
+      net::ProcessId(1),
+      std::make_shared<SwimPingMessage>(
+          /*nonce=*/1,
+          SwimUpdates{{net::ProcessId(2), SwimUpdate::Status::confirm, 0}}));
+  ASSERT_TRUE(h.detectors[0]->confirmed(net::ProcessId(2)));
+  h.run_for(0.5);
+  EXPECT_FALSE(h.detectors[0]->suspects(net::ProcessId(2)));
+  EXPECT_GE(h.detectors[2]->incarnation(), 1u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      if (i != j) EXPECT_FALSE(h.detectors[i]->suspects(net::ProcessId(j)));
+    }
+  }
+}
+
+TEST(SwimDetectorTest, PiggybackRespectsLimit) {
+  auto config = swim_config();
+  config.piggyback_limit = 4;
+  SwimHarness h(12, config, /*start=*/false);
+  // Ten fresh suspicions all want to disseminate; one ack has room for 4.
+  SwimUpdates updates;
+  for (std::uint32_t i = 2; i < 12; ++i) {
+    updates.push_back({net::ProcessId(i), SwimUpdate::Status::suspect, 0});
+  }
+  h.detectors[0]->on_message(
+      net::ProcessId(1),
+      std::make_shared<SwimPingMessage>(/*nonce=*/5, std::move(updates)));
+  h.sim.run();
+  ASSERT_EQ(h.routers[1].acks.size(), 1u);
+  EXPECT_EQ(h.routers[1].acks.front()->updates().size(), 4u);
+}
+
+TEST(SwimDetectorTest, SameSeedRunsAreBitIdentical) {
+  const auto run = [](SwimHarness& h) {
+    h.run_for(0.3);
+    h.network.crash(net::ProcessId(4));
+    h.run_for(0.7);
+  };
+  SwimHarness a(5, swim_config());
+  SwimHarness b(5, swim_config());
+  run(a);
+  run(b);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto& ca = a.detectors[i]->counters();
+    const auto& cb = b.detectors[i]->counters();
+    EXPECT_EQ(ca.probes_sent, cb.probes_sent) << i;
+    EXPECT_EQ(ca.acks_received, cb.acks_received) << i;
+    EXPECT_EQ(ca.indirect_probes_sent, cb.indirect_probes_sent) << i;
+    EXPECT_EQ(ca.ping_reqs_relayed, cb.ping_reqs_relayed) << i;
+    EXPECT_EQ(ca.suspicions, cb.suspicions) << i;
+    EXPECT_EQ(ca.refutations, cb.refutations) << i;
+    EXPECT_EQ(ca.confirms, cb.confirms) << i;
+    EXPECT_EQ(ca.updates_piggybacked, cb.updates_piggybacked) << i;
+    EXPECT_EQ(a.detectors[i]->incarnation(), b.detectors[i]->incarnation());
+    for (std::uint32_t j = 0; j < 5; ++j) {
+      if (i != j) {
+        EXPECT_EQ(a.detectors[i]->suspects(net::ProcessId(j)),
+                  b.detectors[i]->suspects(net::ProcessId(j)));
+      }
+    }
+  }
+}
+
+TEST(SwimConfig, RejectsBadParameters) {
+  sim::Simulator sim;
+  net::Network network(sim, {});
+  NullSink sink;
+  network.attach(net::ProcessId(0), sink);
+
+  SwimDetector::Config bad = swim_config();
+  bad.direct_timeout = bad.period;  // must fall inside the period
+  EXPECT_THROW(
+      SwimDetector(sim, network, net::ProcessId(0), {net::ProcessId(1)}, bad),
+      util::ContractViolation);
+
+  bad = swim_config();
+  bad.suspicion_periods = 0;
+  EXPECT_THROW(
+      SwimDetector(sim, network, net::ProcessId(0), {net::ProcessId(1)}, bad),
+      util::ContractViolation);
+
+  // A detector never monitors its own process.
+  EXPECT_THROW(SwimDetector(sim, network, net::ProcessId(0),
+                            {net::ProcessId(0), net::ProcessId(1)},
+                            swim_config()),
                util::ContractViolation);
 }
 

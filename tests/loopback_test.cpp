@@ -129,6 +129,15 @@ struct ScenarioResult {
   std::uint64_t rounds_suppressed = 0;
   std::uint64_t gossip_heartbeats = 0;
   std::uint64_t frontier_piggybacks = 0;
+  // SWIM runs only: one formatted counter line per surviving detector.
+  // Every probe, suspicion and piggybacked update is a deterministic
+  // function of the protocol schedule, so the lines must match verbatim
+  // across backends.  The totals back the qualitative assertions.
+  std::vector<std::string> swim_counters;
+  std::uint64_t swim_probes = 0;
+  std::uint64_t swim_suspicions = 0;
+  std::uint64_t swim_confirms = 0;
+  std::uint64_t swim_piggybacked = 0;
 };
 
 std::string describe(const Delivery& delivery) {
@@ -159,7 +168,8 @@ std::string describe(const Delivery& delivery) {
 /// the Transport fault hooks — the injector is rebuilt per run, so both
 /// backends see identical fault randomness.
 ScenarioResult run_scenario(core::Group::Backend backend,
-                            const sim::FaultPlan* faults = nullptr) {
+                            const sim::FaultPlan* faults = nullptr,
+                            core::Group::FdKind fd = core::Group::FdKind::oracle) {
   constexpr std::size_t kNodes = 4;
   constexpr std::size_t kMessages = 220;
   sim::Simulator sim;
@@ -173,6 +183,16 @@ ScenarioResult run_scenario(core::Group::Backend backend,
   cfg.network.seed = 0xfeedface;
   cfg.auto_membership = true;
   cfg.node.quiescent = true;  // adaptive gossip on, on every backend
+  cfg.fd_kind = fd;
+  if (fd == core::Group::FdKind::swim) {
+    // Fast enough to catch the 150ms crash well before the reconfiguration,
+    // slow enough that the healed partition only produces transient
+    // suspicion.  The seed pins every shuffle and relay draw.
+    cfg.swim.period = sim::Duration::millis(40);
+    cfg.swim.direct_timeout = sim::Duration::millis(12);
+    cfg.swim.suspicion_periods = 2;
+    cfg.swim.seed = 0x5117;
+  }
   std::optional<PlannedFaultInjector> injector;
   if (faults != nullptr) injector.emplace(*faults);
   core::Group group(sim, cfg);
@@ -246,6 +266,24 @@ ScenarioResult run_scenario(core::Group::Backend backend,
     result.rounds_suppressed += node_stats.gossip_rounds_suppressed;
     result.gossip_heartbeats += node_stats.gossip_heartbeats;
     result.frontier_piggybacks += node_stats.frontier_piggybacks;
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (i == 2) continue;  // crashed mid-run on every variant
+    const auto* detector = group.swim_detector(i);
+    if (detector == nullptr) continue;
+    const auto& c = detector->counters();
+    std::ostringstream os;
+    os << "p" << i << " probes=" << c.probes_sent << " acks="
+       << c.acks_received << " indirect=" << c.indirect_probes_sent
+       << " relayed=" << c.ping_reqs_relayed << " susp=" << c.suspicions
+       << " refut=" << c.refutations << " confirm=" << c.confirms
+       << " piggy=" << c.updates_piggybacked << " inc="
+       << detector->incarnation();
+    result.swim_counters.push_back(os.str());
+    result.swim_probes += c.probes_sent;
+    result.swim_suspicions += c.suspicions;
+    result.swim_confirms += c.confirms;
+    result.swim_piggybacked += c.updates_piggybacked;
   }
   if (auto* loopback = group.loopback()) {
     result.wire_frames = loopback->wire_frames();
@@ -324,14 +362,12 @@ TEST(CrossBackendEquivalence, IdenticalDeliverySequencesAndByteCounters) {
   EXPECT_GT(udp_run.lane.frame_reuses, 0u);
 }
 
-TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
-  // The same scenario, now perturbed through the Transport fault hooks:
-  // per-link jitter onto the slow consumer, a healed symmetric partition
-  // isolating node 1, the node-2 crash as a plan entry, and probabilistic
-  // duplication on a busy link.  Every fault draws from an id-keyed rng
-  // stream, and the injector is rebuilt per run, so the simulated fabric
-  // and the byte-moving loopback must produce identical histories and
-  // identical measured counters — including the injected-fault counters.
+/// Per-link jitter onto the slow consumer, a healed symmetric partition
+/// isolating node 1, the node-2 crash as a plan entry, probabilistic
+/// duplication on a busy link and all-links datagram loss.  Every fault
+/// draws from an id-keyed rng stream, so a rebuilt injector replays the
+/// same fault schedule on any backend.
+sim::FaultPlan nontrivial_fault_plan() {
   sim::FaultPlan plan;
   plan.seed = 0xfa017;
   const auto add = [&plan](sim::FaultSpec f) {
@@ -389,6 +425,15 @@ TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
     loss.end = sim::TimePoint::at_micros(800'000);
     add(loss);
   }
+  return plan;
+}
+
+TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
+  // The flagship scenario perturbed through the Transport fault hooks: the
+  // injector is rebuilt per run, so the simulated fabric and the
+  // byte-moving loopback must produce identical histories and identical
+  // measured counters — including the injected-fault counters.
+  const sim::FaultPlan plan = nontrivial_fault_plan();
   ASSERT_TRUE(plan.in_model());
 
   const ScenarioResult sim_run =
@@ -454,6 +499,79 @@ TEST(CrossBackendEquivalence, IdenticalUnderNontrivialFaultPlan) {
   EXPECT_GT(udp_run.lane.injected_losses, 0u);
   EXPECT_GT(udp_run.lane.retransmissions, 0u);
   EXPECT_EQ(udp_run.lane.link_resets, 0u);
+}
+
+TEST(CrossBackendEquivalence, SwimFdPinnedUnderChurnAndLoss) {
+  // The same churn+loss plan, now with the SWIM detector pinned instead of
+  // the oracle: the crash is detected by real ping/ping-req traffic, the
+  // healed partition produces transient suspicion, and every one of those
+  // control messages is encoded and decoded on the wire backends.  The
+  // view sequences (the "V ..." event lines) and the per-detector
+  // probe/suspicion counters must be bit-identical across all three
+  // backends — any divergence means the swim codec or its timer schedule
+  // leaks backend-specific behaviour.
+  const sim::FaultPlan plan = nontrivial_fault_plan();
+  ASSERT_TRUE(plan.in_model());
+
+  const ScenarioResult sim_run = run_scenario(
+      core::Group::Backend::sim, &plan, core::Group::FdKind::swim);
+  ASSERT_EQ(sim_run.produced, 220u) << "sim scenario did not complete";
+
+  // SWIM actually drove the membership: the crash was found by probing
+  // (suspicion -> confirm -> exclusion), updates spread by piggybacking,
+  // and the view history still shows the exclusion and the explicit
+  // reconfiguration.
+  std::uint64_t suspicions = 0, confirms = 0, probes = 0, piggybacked = 0;
+  ASSERT_EQ(sim_run.swim_counters.size(), 3u);
+  for (const auto& line : sim_run.swim_counters) {
+    std::uint64_t v = 0;
+    std::sscanf(line.c_str() + line.find("probes="), "probes=%lu", &v);
+    probes += v;
+    std::sscanf(line.c_str() + line.find("susp="), "susp=%lu", &v);
+    suspicions += v;
+    std::sscanf(line.c_str() + line.find("confirm="), "confirm=%lu", &v);
+    confirms += v;
+    std::sscanf(line.c_str() + line.find("piggy="), "piggy=%lu", &v);
+    piggybacked += v;
+  }
+  EXPECT_GT(probes, 0u);
+  EXPECT_GT(suspicions, 0u) << "the crash was never suspected";
+  EXPECT_GT(confirms, 0u) << "no suspicion hardened into a confirm";
+  EXPECT_GT(piggybacked, 0u) << "no membership update disseminated";
+  std::size_t view_events = 0;
+  for (const auto& e : sim_run.events[0]) {
+    if (e.rfind("V ", 0) == 0) ++view_events;
+  }
+  EXPECT_GE(view_events, 3u)
+      << "expected the swim-driven exclusion and the reconfiguration";
+
+  const ScenarioResult wire_run = run_scenario(
+      core::Group::Backend::threaded_loopback, &plan,
+      core::Group::FdKind::swim);
+  ASSERT_EQ(wire_run.produced, 220u) << "loopback scenario did not complete";
+  for (std::size_t i = 0; i < sim_run.events.size(); ++i) {
+    EXPECT_EQ(sim_run.events[i], wire_run.events[i]) << "process " << i;
+  }
+  expect_equal_protocol_stats(sim_run, wire_run, "sim vs loopback");
+  EXPECT_EQ(sim_run.swim_counters, wire_run.swim_counters);
+  EXPECT_EQ(sim_run.rounds_suppressed, wire_run.rounds_suppressed);
+  EXPECT_EQ(sim_run.gossip_heartbeats, wire_run.gossip_heartbeats);
+  EXPECT_EQ(sim_run.frontier_piggybacks, wire_run.frontier_piggybacks);
+
+  const ScenarioResult udp_run = run_scenario(
+      core::Group::Backend::udp, &plan, core::Group::FdKind::swim);
+  ASSERT_EQ(udp_run.produced, 220u) << "udp scenario did not complete";
+  for (std::size_t i = 0; i < sim_run.events.size(); ++i) {
+    EXPECT_EQ(sim_run.events[i], udp_run.events[i]) << "udp process " << i;
+  }
+  expect_equal_protocol_stats(sim_run, udp_run, "sim vs udp");
+  EXPECT_EQ(sim_run.swim_counters, udp_run.swim_counters);
+  // The swim control traffic really crossed the kernel: pings and acks are
+  // datagrams like everything else, and the lane recovered the injected
+  // losses without resetting.
+  EXPECT_GT(udp_run.lane.datagrams_sent, 0u);
+  EXPECT_EQ(udp_run.lane.link_resets, 0u);
+  EXPECT_EQ(udp_run.lane.malformed_datagrams, 0u);
 }
 
 // ---------------------------------------------------------------------------

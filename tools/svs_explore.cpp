@@ -26,6 +26,10 @@
 //                                           # (0 = classic fixed cadence;
 //                                           # unpinned scenarios draw
 //                                           # ~50/50)
+//   svs_explore --seeds=500 --fd=swim       # pin every scenario's failure
+//                                           # detector backend (also:
+//                                           # oracle, heartbeat; unpinned
+//                                           # scenarios draw 50/25/25)
 //
 // Exit code 0 iff every run was violation-free.  On failures the repro
 // lines are also appended to EXPLORE_failures.txt (CI uploads it).
@@ -51,6 +55,7 @@ struct CliOptions {
   std::uint32_t message_limit = svs::sim::ScenarioSpec::kNoLimit;
   std::optional<svs::sim::RelationKind> relation_pin;
   std::optional<bool> quiescent_pin;
+  std::optional<svs::sim::FdBackend> fd_pin;
   std::uint32_t loss_permille = 0;
   bool hostile = false;
   bool quiet = false;
@@ -85,7 +90,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--seeds=N] [--seed-start=S] | [--seed=N [--faults=0xMASK] "
       "[--msgs=K]] [--relation=reliable|item|kenum|enum] [--quiescent=0|1] "
-      "[--loss=PERMILLE] [--hostile] [--quiet] [--failures-file=PATH]\n",
+      "[--fd=oracle|heartbeat|swim] [--loss=PERMILLE] [--hostile] [--quiet] "
+      "[--failures-file=PATH]\n",
       argv0);
   return 2;
 }
@@ -121,6 +127,11 @@ bool parse(int argc, char** argv, CliOptions& options) {
       } else {
         return false;
       }
+    } else if (parse_flag(arg, "--fd", &value)) {
+      // Shared flag table (sim::fd_flag), so repro lines round-trip.
+      const auto backend = svs::sim::fd_from_flag(value);
+      if (!backend.has_value()) return false;
+      options.fd_pin = backend;
     } else if (parse_flag(arg, "--loss", &value)) {
       std::uint64_t permille = 0;
       if (!parse_u64(value, permille) || permille > 999) return false;
@@ -163,12 +174,14 @@ int run_single(const CliOptions& options) {
   explorer_options.hostile = options.hostile;
   explorer_options.relation_pin = options.relation_pin;
   explorer_options.quiescent_pin = options.quiescent_pin;
+  explorer_options.fd_pin = options.fd_pin;
   explorer_options.loss_permille = options.loss_permille;
   svs::sim::ScenarioExplorer explorer(explorer_options);
   svs::sim::ScenarioSpec spec;
   spec.seed = options.seed;
   spec.relation_pin = options.relation_pin;
   spec.quiescent_pin = options.quiescent_pin;
+  spec.fd_pin = options.fd_pin;
   spec.fault_mask = options.fault_mask;
   spec.message_limit = options.message_limit;
   spec.hostile = options.hostile;
@@ -193,6 +206,7 @@ int run_sweep(const CliOptions& options) {
   explorer_options.hostile = options.hostile;
   explorer_options.relation_pin = options.relation_pin;
   explorer_options.quiescent_pin = options.quiescent_pin;
+  explorer_options.fd_pin = options.fd_pin;
   explorer_options.loss_permille = options.loss_permille;
   svs::sim::ScenarioExplorer explorer(explorer_options);
   std::vector<std::string> failures;
