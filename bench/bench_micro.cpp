@@ -379,8 +379,19 @@ bench::JsonObject measure_udp_loopback_flood() {
       }
     }
   }
+  // Drain the shadow wire so the syscall economy covers every multicast:
+  // the verdicts were synchronous, but the frames ship in batches behind
+  // the crossings and the lane counters settle only at links_idle().
+  auto* udp = group.udp();
+  const std::int64_t drain = net::UdpTransport::mono_us() + 10'000'000;
+  while (!udp->links_idle() && net::UdpTransport::mono_us() < drain) {
+    udp->service(1'000);
+  }
   const double seconds = wall.seconds();
-  const auto lane = group.udp()->lane_stats();
+  const auto lane = udp->lane_stats();
+  const double syscalls =
+      static_cast<double>(lane.syscalls_sent + lane.syscalls_recvd);
+  const double datagrams = static_cast<double>(lane.datagrams_sent);
   bench::JsonObject o;
   o.add("multicasts", static_cast<double>(kMulticasts))
       .add("sim_events", static_cast<double>(sim.executed()))
@@ -390,6 +401,13 @@ bench::JsonObject measure_udp_loopback_flood() {
                          : 0.0)
       .add("datagrams_per_multicast",
            static_cast<double>(lane.datagrams_sent) / kMulticasts)
+      .add("syscalls_per_multicast", syscalls / kMulticasts)
+      .add("datagrams_per_syscall", syscalls > 0.0 ? datagrams / syscalls : 0.0)
+      .add("syscalls_sent", static_cast<double>(lane.syscalls_sent))
+      .add("syscalls_recvd", static_cast<double>(lane.syscalls_recvd))
+      .add("mmsg_sends", static_cast<double>(lane.mmsg_sends))
+      .add("mmsg_recvs", static_cast<double>(lane.mmsg_recvs))
+      .add("wheel_cascades", static_cast<double>(lane.wheel_cascades))
       .add("datagram_bytes_sent",
            static_cast<double>(lane.datagram_bytes_sent))
       .add("ack_bytes", static_cast<double>(lane.ack_bytes))
@@ -795,6 +813,12 @@ int main(int argc, char** argv) {
                        static_cast<double>(counters.frames_batched))
                   .add("batch_flushes",
                        static_cast<double>(counters.batch_flushes))
+                  .add("syscalls_sent",
+                       static_cast<double>(counters.syscalls_sent))
+                  .add("syscalls_recvd",
+                       static_cast<double>(counters.syscalls_recvd))
+                  .add("wheel_cascades",
+                       static_cast<double>(counters.wheel_cascades))
                   .render());
   svs::bench::write_bench_json("micro", payload);
   return 0;

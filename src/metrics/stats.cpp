@@ -13,6 +13,9 @@ std::atomic<std::uint64_t> g_gossip_rounds_suppressed{0};
 std::atomic<std::uint64_t> g_frontier_piggybacks{0};
 std::atomic<std::uint64_t> g_frames_batched{0};
 std::atomic<std::uint64_t> g_batch_flushes{0};
+std::atomic<std::uint64_t> g_syscalls_sent{0};
+std::atomic<std::uint64_t> g_syscalls_recvd{0};
+std::atomic<std::uint64_t> g_wheel_cascades{0};
 }  // namespace
 
 namespace counters {
@@ -28,6 +31,15 @@ void note_frames_batched(std::uint64_t n) {
 void note_batch_flush() {
   g_batch_flushes.fetch_add(1, std::memory_order_relaxed);
 }
+void note_send_syscall() {
+  g_syscalls_sent.fetch_add(1, std::memory_order_relaxed);
+}
+void note_recv_syscall() {
+  g_syscalls_recvd.fetch_add(1, std::memory_order_relaxed);
+}
+void note_wheel_cascades(std::uint64_t n) {
+  g_wheel_cascades.fetch_add(n, std::memory_order_relaxed);
+}
 }  // namespace counters
 
 Stats Stats::snapshot() {
@@ -38,7 +50,10 @@ Stats Stats::snapshot() {
                g_gossip_rounds_suppressed.load(std::memory_order_relaxed),
                g_frontier_piggybacks.load(std::memory_order_relaxed),
                g_frames_batched.load(std::memory_order_relaxed),
-               g_batch_flushes.load(std::memory_order_relaxed)};
+               g_batch_flushes.load(std::memory_order_relaxed),
+               g_syscalls_sent.load(std::memory_order_relaxed),
+               g_syscalls_recvd.load(std::memory_order_relaxed),
+               g_wheel_cascades.load(std::memory_order_relaxed)};
 }
 
 void Summary::add(double x) {

@@ -86,6 +86,9 @@ struct Stats {
   std::uint64_t frontier_piggybacks = 0;
   std::uint64_t frames_batched = 0;
   std::uint64_t batch_flushes = 0;
+  std::uint64_t syscalls_sent = 0;    // kernel send calls (sendto/sendmmsg)
+  std::uint64_t syscalls_recvd = 0;   // kernel recv calls (recv/recvmmsg)
+  std::uint64_t wheel_cascades = 0;   // timer-wheel level-to-level moves
 
   [[nodiscard]] static Stats snapshot();
 
@@ -96,7 +99,10 @@ struct Stats {
                  gossip_rounds_suppressed - since.gossip_rounds_suppressed,
                  frontier_piggybacks - since.frontier_piggybacks,
                  frames_batched - since.frames_batched,
-                 batch_flushes - since.batch_flushes};
+                 batch_flushes - since.batch_flushes,
+                 syscalls_sent - since.syscalls_sent,
+                 syscalls_recvd - since.syscalls_recvd,
+                 wheel_cascades - since.wheel_cascades};
   }
 };
 
@@ -108,6 +114,9 @@ void note_gossip_round_suppressed();
 void note_frontier_piggyback();
 void note_frames_batched(std::uint64_t n);
 void note_batch_flush();
+void note_send_syscall();
+void note_recv_syscall();
+void note_wheel_cascades(std::uint64_t n);
 }  // namespace counters
 
 /// Integer-keyed histogram with share/percentile helpers.

@@ -157,7 +157,7 @@ util::Bytes Datagram::encode_roster(
   return w.take();
 }
 
-Datagram Datagram::decode(const util::Bytes& bytes) {
+Datagram Datagram::decode(std::span<const std::uint8_t> bytes) {
   util::ByteReader r(bytes);
   SVS_REQUIRE(r.u8() == kMagic, "bad datagram magic");
   const std::uint8_t kind_byte = r.u8();

@@ -127,8 +127,13 @@ struct Datagram {
       const std::vector<std::pair<std::uint32_t, std::uint16_t>>& members);
 
   /// Decodes one datagram; requires full consumption of `bytes`.  Throws
-  /// util::ContractViolation on any malformation.
-  [[nodiscard]] static Datagram decode(const util::Bytes& bytes);
+  /// util::ContractViolation on any malformation.  The span overload is
+  /// the hot path: the UDP receive side decodes straight out of its ring
+  /// buffers without copying into a Bytes first.
+  [[nodiscard]] static Datagram decode(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] static Datagram decode(const util::Bytes& bytes) {
+    return decode(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  }
 };
 
 }  // namespace svs::net

@@ -27,6 +27,35 @@ constexpr Lane lane_of(std::uint8_t lane_byte) {
 /// receiver resumes promptly, slow enough not to flood a stalled one.
 constexpr std::int64_t kProbeIntervalUs = 100'000;
 
+/// Retry cadence when the kernel blocks a send-queue flush (ENOBUFS /
+/// EAGAIN): short — loopback send buffers drain in microseconds.
+constexpr std::int64_t kSendRetryUs = 200;
+
+/// All-local service cadence: every this-many shadow crossings the
+/// transport takes a service turn even if no wheel deadline is due, so the
+/// shadow wire keeps pace with a hot crossing loop.
+constexpr std::uint64_t kServiceEvery = 32;
+
+/// A shadow crossing blocked on window space gives up after this much real
+/// time without progress — a wedged shadow wire is a harness bug, not a
+/// protocol state.
+constexpr std::int64_t kShadowStallBudgetUs = 10'000'000;
+
+/// Wheel payload packing: kind(4) | proc index(16) | peer(32) | lane(8).
+enum : std::uint64_t {
+  kTimerRetx = 1,
+  kTimerBatch = 2,
+  kTimerProbe = 3,
+  kTimerSendq = 4,
+};
+
+constexpr std::uint64_t timer_payload(std::uint64_t kind, std::size_t proc,
+                                      std::uint32_t peer, std::uint8_t lane) {
+  return (kind << 60) | ((static_cast<std::uint64_t>(proc) & 0xFFFF) << 44) |
+         (static_cast<std::uint64_t>(peer) << 12) |
+         (static_cast<std::uint64_t>(lane) << 4);
+}
+
 /// Encoded cost of one batched frame: its bytes plus its length varint.
 constexpr std::size_t frame_cost(std::size_t frame_bytes) {
   std::size_t varint = 1;
@@ -203,11 +232,16 @@ AckBlock ReliableLink::ack_state(std::uint32_t window) const {
 
 UdpTransport::UdpTransport(sim::Simulator& simulator, Config config)
     : inner_(simulator, config.network), config_(config),
-      loss_(config.lane_seed) {
+      loss_(config.lane_seed), wheel_(1) {
   loss_.set_default_rate(config.loss_rate);
+  // Seat the wheel cursor at the present so the first real arm is a direct
+  // placement instead of a multi-level cascade walk from tick 0.
+  wheel_.advance(static_cast<std::uint64_t>(mono_us()),
+                 [](std::uint64_t) {});
   if (config_.bind_local) {
     distributed_ = true;
     procs_.push_back(std::make_unique<Proc>(config_.bind_port));
+    procs_.front()->socket.set_use_mmsg(config_.use_mmsg);
     if (config_.rcvbuf_bytes > 0) {
       procs_.front()->socket.set_rcvbuf(config_.rcvbuf_bytes);
     }
@@ -230,9 +264,11 @@ void UdpTransport::attach(ProcessId id, Endpoint& endpoint) {
   }
   SVS_REQUIRE(!proc_index_.contains(id.value()), "process already attached");
   auto proc = std::make_unique<Proc>(std::uint16_t{0});
+  proc->socket.set_use_mmsg(config_.use_mmsg);
   if (config_.rcvbuf_bytes > 0) proc->socket.set_rcvbuf(config_.rcvbuf_bytes);
   proc->id = id;
   proc->real = &endpoint;
+  proc->index = procs_.size();
   proc_index_[id.value()] = procs_.size();
   procs_.push_back(std::move(proc));
   adapters_.push_back(std::make_unique<LocalAdapter>(*this, procs_.size() - 1));
@@ -268,8 +304,28 @@ bool UdpTransport::links_idle() const {
     for (const auto& [key, batch] : p->pending) {
       if (!batch.frames.empty()) return false;
     }
+    if (!p->sendq.empty()) return false;
+    for (const auto& [key, fifo] : p->expected) {
+      if (!fifo.empty()) return false;
+    }
   }
   return true;
+}
+
+UdpLaneStats UdpTransport::lane_stats() const {
+  UdpLaneStats s = lane_stats_;
+  for (const auto& p : procs_) {
+    const IoCounters& io = p->socket.io_counters();
+    s.syscalls_sent += io.send_syscalls;
+    s.syscalls_recvd += io.recv_syscalls;
+    s.mmsg_sends += io.mmsg_sends;
+    s.mmsg_recvs += io.mmsg_recvs;
+    s.single_sends += io.single_sends;
+    s.single_recvs += io.single_recvs;
+    s.send_queue_drops += p->sendq.overflow_drops();
+  }
+  s.wheel_cascades = wheel_.cascades();
+  return s;
 }
 
 void UdpTransport::resume(ProcessId to) {
@@ -286,6 +342,7 @@ void UdpTransport::resume(ProcessId to) {
       }
       send_ack(p, peer, lane_byte_of(Lane::data));
     }
+    flush_sendq(p);
   }
   inner_.resume(to);
 }
@@ -354,8 +411,8 @@ ReliableLink& UdpTransport::link_for(Proc& p, std::uint32_t peer,
 
 std::uint32_t UdpTransport::advertised_window(const Proc& p,
                                               std::uint32_t peer) const {
-  // All-local crossings are strictly serialized; the node's verdict, not
-  // the window, is the backpressure there.
+  // All-local shadow traffic is verified, not delivered, so the receiver
+  // never parks frames; the full window is always open.
   if (!distributed_) return config_.link.window;
   std::size_t parked = 0;
   if (const auto it = p.stalled.find(peer); it != p.stalled.end()) {
@@ -366,8 +423,8 @@ std::uint32_t UdpTransport::advertised_window(const Proc& p,
                           : window - static_cast<std::uint32_t>(parked);
 }
 
-bool UdpTransport::sync_cross(ProcessId from, std::size_t to_index,
-                              const MessagePtr& message, Lane lane) {
+bool UdpTransport::shadow_cross(ProcessId from, std::size_t to_index,
+                                const MessagePtr& message, Lane lane) {
   Proc& receiver = *procs_[to_index];
   Proc& sender = proc_of(from);
   const std::uint8_t lane_byte = lane_byte_of(lane);
@@ -378,49 +435,66 @@ bool UdpTransport::sync_cross(ProcessId from, std::size_t to_index,
   FramePtr frame = Codec::shared_frame(*message);
   ++(cached ? lane_stats_.frame_reuses : lane_stats_.frame_encodes);
 
-  const std::int64_t start = mono_us();
-  const std::uint64_t seq = link.stage(std::move(frame), start);
-  transmit(sender, receiver.id.value(), lane_byte, link, seq);
+  // The verdict is computed synchronously in memory from the SAME encoded
+  // bytes the wire will carry: the receiver sees a message decoded from
+  // `frame`, exactly as the loopback backend's wire crossing does, so
+  // protocol histories stay bit-identical across backends.  Nested
+  // crossings triggered by this delivery recurse through here and complete
+  // before we stage our own frame — FIFO per link holds because the
+  // recursion happens before this crossing touches the link.
+  MessagePtr fresh = Codec::decode(*frame);
+  const bool accepted = receiver.real->on_message(from, fresh, lane);
 
-  // Pump both sockets (one, for a self-send) until the ack carrying this
-  // crossing's verdict arrives, retransmitting on the way.  Nested
-  // crossings (a delivery that triggers resume()) recurse through here and
-  // complete independently; the per-link verdict mailbox is single-slot
-  // because the inner network never re-enters a link mid-attempt.
-  const bool self = sender.socket.fd() == receiver.socket.fd();
-  const int fds[2] = {sender.socket.fd(), receiver.socket.fd()};
-  const std::span<const int> fd_span(fds, self ? 1u : 2u);
-  std::vector<std::uint64_t> due;
-  for (;;) {
-    if (const auto it = sender.crossing_verdicts.find(key);
-        it != sender.crossing_verdicts.end() && it->second.seq == seq) {
-      const bool accepted = it->second.accept;
-      sender.crossing_verdicts.erase(it);
-      return accepted;
-    }
-    std::int64_t now = mono_us();
-    SVS_ASSERT(now - start < config_.crossing_budget_us,
-               "synchronous delivery crossing exceeded its real-time budget");
-    SVS_ASSERT(!link.dead(),
-               "all-local reliable link exhausted its retries");
-    due.clear();
-    link.collect_due(now, due);
-    for (const std::uint64_t s : due) {
-      transmit(sender, receiver.id.value(), lane_byte, link, s);
-    }
-    std::size_t handled = pump_proc(sender);
-    if (!self) handled += pump_proc(receiver);
-    if (handled == 0) {
-      now = mono_us();
-      const std::int64_t until = link.next_deadline();
-      const std::int64_t wait =
-          std::clamp<std::int64_t>(until == std::numeric_limits<std::int64_t>::max()
-                                       ? 1'000
-                                       : until - now,
-                                   100, 20'000);
-      UdpSocket::wait_readable(fd_span, wait);
+  // Shadow wire: the frame still crosses the kernel — batched, staged on
+  // the reliable link, lost/retransmitted/acked in real time — and the
+  // receiver byte-verifies it against this FIFO in deliver_ready().
+  SVS_ASSERT(!link.dead(), "all-local reliable link exhausted its retries");
+  std::size_t batched = 0;
+  if (const auto it = sender.pending.find(key); it != sender.pending.end()) {
+    batched = it->second.frames.size();
+  }
+  if (link.send_room() <= batched) {
+    // Window full (counting frames batched but not yet staged): service the
+    // shadow wire until acks open room.  This throttles only the shadow
+    // traffic — the protocol already has its verdict.
+    const std::int64_t start = mono_us();
+    for (;;) {
+      service_once(1'000);
+      SVS_ASSERT(!link.dead(),
+                 "all-local reliable link exhausted its retries");
+      batched = 0;
+      if (const auto it = sender.pending.find(key);
+          it != sender.pending.end()) {
+        batched = it->second.frames.size();
+      }
+      if (link.send_room() > batched) break;
+      SVS_ASSERT(mono_us() - start < kShadowStallBudgetUs,
+                 "shadow crossing made no window progress");
     }
   }
+  receiver.expected[LinkKey{from.value(), lane_byte}].push_back(frame);
+  if (config_.batch_bytes == 0) {
+    const std::uint64_t seq = link.stage(std::move(frame), mono_us());
+    transmit(sender, receiver.id.value(), lane_byte, link, seq);
+  } else {
+    batch_frame(sender, key, std::move(frame));
+  }
+
+  // Service cadence: a full transport turn (sockets drained, timers fired)
+  // every kServiceEvery crossings keeps the shadow wire flowing without a
+  // recvmmsg per crossing.  In between, a due wheel deadline only needs its
+  // timers fired and the resulting datagrams flushed — batch-flush and retx
+  // timers transmit, they never require an inbound pump — so the cheap path
+  // skips the per-socket recv syscalls entirely.
+  ++crossings_;
+  if (crossings_ % kServiceEvery == 0) {
+    service_once(0);
+  } else if (wheel_.next_deadline_us() <=
+             static_cast<std::uint64_t>(mono_us())) {
+    pump_wheel(mono_us());
+    for (const auto& q : procs_) flush_sendq(*q);
+  }
+  return accepted;
 }
 
 bool UdpTransport::async_send(ProcessId from, ProcessId peer,
@@ -433,7 +507,10 @@ bool UdpTransport::async_send(ProcessId from, ProcessId peer,
     // The peer was declared crashed (and crash-stopped in the inner
     // network); stragglers racing that declaration are swallowed exactly
     // like sends to a crashed sim process.
-    p.pending.erase(key);
+    if (const auto it = p.pending.find(key); it != p.pending.end()) {
+      wheel_.cancel(it->second.timer);
+      p.pending.erase(it);
+    }
     return true;
   }
   std::size_t pending_frames = 0;
@@ -445,9 +522,7 @@ bool UdpTransport::async_send(ProcessId from, ProcessId peer,
     // refuse, which stalls the inner link head — the standard data-lane
     // backpressure.  Probe pacing is only needed when the *link* window is
     // closed; a batch-occupancy stall resolves at the flush deadline.
-    if (!link.can_send()) {
-      p.last_probe_us.try_emplace(peer.value(), std::int64_t{0});
-    }
+    if (!link.can_send()) arm_probe(p, peer.value(), mono_us());
     return false;
   }
   const bool cached = message->frame_cached();
@@ -456,8 +531,14 @@ bool UdpTransport::async_send(ProcessId from, ProcessId peer,
   if (config_.batch_bytes == 0) {
     const std::uint64_t seq = link.stage(std::move(frame), mono_us());
     transmit(p, peer.value(), lane_byte, link, seq);
+    flush_sendq(p);
     return true;
   }
+  batch_frame(p, key, std::move(frame));
+  return true;
+}
+
+void UdpTransport::batch_frame(Proc& p, const LinkKey& key, FramePtr frame) {
   // Per-destination batching: coalesce into the (peer, lane) batch; flush
   // first if this frame would overflow the byte budget or the frame cap.
   const std::size_t cost = frame_cost(frame->size());
@@ -469,7 +550,9 @@ bool UdpTransport::async_send(ProcessId from, ProcessId peer,
   }
   Proc::PendingBatch& batch = p.pending[key];
   if (batch.frames.empty()) {
-    batch.deadline_us = mono_us() + config_.batch_delay_us;
+    batch.timer = wheel_.arm(
+        static_cast<std::uint64_t>(mono_us() + config_.batch_delay_us),
+        timer_payload(kTimerBatch, p.index, key.first, key.second));
   }
   batch.frames.push_back(std::move(frame));
   batch.bytes += cost;
@@ -477,12 +560,12 @@ bool UdpTransport::async_send(ProcessId from, ProcessId peer,
       batch.frames.size() >= Datagram::kMaxBatchFrames) {
     flush_batch(p, key);
   }
-  return true;
 }
 
 void UdpTransport::flush_batch(Proc& p, const LinkKey& key) {
   const auto it = p.pending.find(key);
   if (it == p.pending.end()) return;
+  wheel_.cancel(it->second.timer);  // no-op when the timer just fired
   std::vector<FramePtr> frames = std::move(it->second.frames);
   p.pending.erase(it);
   if (frames.empty()) return;
@@ -498,100 +581,75 @@ void UdpTransport::flush_batch(Proc& p, const LinkKey& key) {
   transmit(p, key.first, key.second, link, seq);
 }
 
-void UdpTransport::flush_due_batches(Proc& p, std::int64_t now_us) {
-  for (auto it = p.pending.begin(); it != p.pending.end();) {
-    if (it->second.frames.empty()) {
-      it = p.pending.erase(it);
-      continue;
-    }
-    if (it->second.deadline_us > now_us) {
-      ++it;
-      continue;
-    }
-    const LinkKey key = it->first;
-    ++it;  // flush_batch erases `key`; step past it first
-    flush_batch(p, key);
-  }
-}
-
-std::int64_t UdpTransport::next_batch_deadline(const Proc& p) {
-  std::int64_t earliest = std::numeric_limits<std::int64_t>::max();
-  for (const auto& [key, batch] : p.pending) {
-    if (batch.frames.empty()) continue;
-    earliest = std::min(earliest, batch.deadline_us);
-  }
-  return earliest;
-}
-
 void UdpTransport::transmit(Proc& p, std::uint32_t peer, std::uint8_t lane,
                             ReliableLink& link, std::uint64_t seq) {
   const std::vector<FramePtr>* frames = link.frames_of(seq);
   SVS_ASSERT(frames != nullptr && !frames->empty(),
              "transmitting a retired batch");
-  // Piggyback the reverse direction's ack state (and, all-local, the last
-  // issued verdict) on every data datagram.
+  // Piggyback the reverse direction's ack state on every data datagram.
   ReliableLink& reverse = link_for(p, peer, lane);
-  AckBlock ack = reverse.ack_state(advertised_window(p, peer));
-  if (!distributed_) {
-    if (const auto it = p.issued_verdicts.find(LinkKey{peer, lane});
-        it != p.issued_verdicts.end()) {
-      ack.verdict_valid = true;
-      ack.verdict_accept = it->second.accept;
-      ack.verdict_seq = it->second.seq;
-    }
-  }
-  const util::Bytes bytes = Datagram::encode_data(
+  const AckBlock ack = reverse.ack_state(advertised_window(p, peer));
+  util::Bytes bytes = Datagram::encode_data(
       p.id.value(), peer, lane, seq, ack,
       std::span<const FramePtr>(frames->data(), frames->size()));
-  send_datagram(p, peer, bytes, /*is_ack=*/false);
+  send_datagram(p, peer, std::move(bytes), /*is_ack=*/false);
+  schedule_retx(p, LinkKey{peer, lane}, link);
 }
 
 void UdpTransport::send_ack(Proc& p, std::uint32_t peer, std::uint8_t lane,
                             bool probe) {
   ReliableLink& link = link_for(p, peer, lane);
   AckBlock ack = link.ack_state(advertised_window(p, peer));
-  if (!distributed_) {
-    if (const auto it = p.issued_verdicts.find(LinkKey{peer, lane});
-        it != p.issued_verdicts.end()) {
-      ack.verdict_valid = true;
-      ack.verdict_accept = it->second.accept;
-      ack.verdict_seq = it->second.seq;
-    }
-  }
   ack.window_probe = probe;
   if (probe) ++lane_stats_.zero_window_probes;
-  const util::Bytes bytes = Datagram::encode_ack(p.id.value(), peer, lane, ack);
-  send_datagram(p, peer, bytes, /*is_ack=*/true);
+  util::Bytes bytes = Datagram::encode_ack(p.id.value(), peer, lane, ack);
+  send_datagram(p, peer, std::move(bytes), /*is_ack=*/true);
 }
 
 void UdpTransport::send_datagram(Proc& p, std::uint32_t peer,
-                                 const util::Bytes& bytes, bool is_ack) {
+                                 util::Bytes bytes, bool is_ack) {
+  // The loss draw happens at enqueue time so each directed link's stream
+  // is consumed in transmit order, independent of kernel pacing.
   if (loss_.drop(p.id.value(), peer)) {
     ++lane_stats_.injected_losses;
     return;
   }
-  // A kernel refusal (full buffer) is indistinguishable from wire loss; the
-  // retransmission lane recovers it either way.
-  if (!p.socket.send_to(port_of(peer), bytes.data(), bytes.size())) return;
   ++lane_stats_.datagrams_sent;
   lane_stats_.datagram_bytes_sent += bytes.size();
   if (is_ack) {
     ++lane_stats_.ack_datagrams;
     lane_stats_.ack_bytes += bytes.size();
   }
+  // Queued, not yet on the wire: flush_sendq ships the queue through
+  // sendmmsg; a kernel refusal there is recovered by the retransmission
+  // lane like any other loss.
+  p.sendq.push(port_of(peer), std::move(bytes));
 }
 
 std::size_t UdpTransport::pump_proc(Proc& p) {
   std::size_t handled = 0;
-  util::Bytes buffer;
-  while (p.socket.recv(buffer)) {
-    ++lane_stats_.datagrams_received;
-    ++handled;
-    try {
-      handle_datagram(p, Datagram::decode(buffer));
-    } catch (const util::ContractViolation&) {
-      ++lane_stats_.malformed_datagrams;
+  for (;;) {
+    const std::size_t n = p.socket.recv_batch(p.ring);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++lane_stats_.datagrams_received;
+      ++handled;
+      try {
+        // Decode straight from the ring's pooled buffer — no per-datagram
+        // copy into a Bytes.
+        handle_datagram(p, Datagram::decode(p.ring.datagram(i)));
+      } catch (const util::ContractViolation&) {
+        ++lane_stats_.malformed_datagrams;
+      }
     }
+    if (n < p.ring.capacity()) break;  // drained; no extra probe syscall
+  }
+  // Delayed acks: one cumulative ack per (peer, lane) the drain touched,
+  // instead of one per datagram.
+  if (!p.ack_pending.empty()) {
+    for (const LinkKey& key : p.ack_pending) {
+      send_ack(p, key.first, key.second);
+    }
+    p.ack_pending.clear();
   }
   return handled;
 }
@@ -615,15 +673,15 @@ void UdpTransport::handle_datagram(Proc& p, Datagram d) {
   ReliableLink& link = link_for(p, d.from, d.lane);
   const bool was_blocked = !link.all_acked() || !link.can_send();
   link.on_ack(d.ack);
-  if (d.ack.verdict_valid) {
-    p.crossing_verdicts[LinkKey{d.from, d.lane}] =
-        Verdict{d.ack.verdict_seq, d.ack.verdict_accept};
-  }
-  if (d.ack.window_probe) send_ack(p, d.from, d.lane);
+  if (d.ack.window_probe) p.ack_pending.insert(LinkKey{d.from, d.lane});
   if (distributed_ && was_blocked && link.can_send()) {
     // The ack opened window (or retired the blocking frames): retry inner
     // links stalled towards this peer.
-    p.last_probe_us.erase(d.from);
+    if (const auto it = p.probe_timers.find(d.from);
+        it != p.probe_timers.end()) {
+      wheel_.cancel(it->second);
+      p.probe_timers.erase(it);
+    }
     inner_.resume(ProcessId(d.from));
   } else if (distributed_ && was_blocked && !link.can_send() &&
              d.lane == lane_byte_of(Lane::data)) {
@@ -631,25 +689,44 @@ void UdpTransport::handle_datagram(Proc& p, Datagram d) {
     // zero-window advertisement from a parked receiver).  With batching,
     // the send that would have armed probe pacing may never recur — the
     // refusal happened on batch occupancy while the link was still open —
-    // so arm it here; the pump sweep probes until the window reopens.
-    p.last_probe_us.try_emplace(d.from, std::int64_t{0});
+    // so arm it here; the probe timer re-fires until the window reopens.
+    arm_probe(p, d.from, mono_us());
   }
   if (d.kind == Datagram::Kind::ack) return;
 
   // Data datagram: feed the receiver half and deliver whatever the frontier
-  // released; ack unconditionally (duplicates too — the sender is
-  // retransmitting precisely because it missed our ack).
+  // released; mark the link for the drain-end ack unconditionally
+  // (duplicates too — the sender is retransmitting precisely because it
+  // missed our ack).
   if (link.accept(d.seq, std::move(d.payloads))) {
     deliver_ready(p, d.from, d.lane, link);
   }
-  send_ack(p, d.from, d.lane);
+  p.ack_pending.insert(LinkKey{d.from, d.lane});
 }
 
 void UdpTransport::deliver_ready(Proc& p, std::uint32_t peer,
                                  std::uint8_t lane_byte, ReliableLink& link) {
-  const Lane lane = lane_of(lane_byte);
   std::uint64_t seq = 0;
   util::Bytes payload;
+  if (!distributed_) {
+    // Shadow verification: the endpoint already saw this message at
+    // crossing time; the wire's job is to reproduce the exact bytes, in
+    // link order.  Frames count as delivered only here — a run's
+    // frames_delivered certifies the wire, not the in-memory shortcut.
+    // Verification is endpoint-independent, so shadow traffic drains and
+    // acks even when the proc has since crash-stopped in the inner network.
+    auto& fifo = p.expected[LinkKey{peer, lane_byte}];
+    while (link.next_ready(seq, payload)) {
+      SVS_ASSERT(!fifo.empty(),
+                 "shadow wire delivered a frame no crossing recorded");
+      SVS_ASSERT(payload == *fifo.front(),
+                 "shadow wire bytes diverged from the crossing's frame");
+      fifo.pop_front();
+      ++lane_stats_.frames_delivered;
+    }
+    return;
+  }
+  const Lane lane = lane_of(lane_byte);
   while (link.next_ready(seq, payload)) {
     MessagePtr fresh;
     try {
@@ -661,12 +738,6 @@ void UdpTransport::deliver_ready(Proc& p, std::uint32_t peer,
       continue;
     }
     ++lane_stats_.frames_delivered;
-    if (!distributed_) {
-      const bool accepted =
-          p.real->on_message(ProcessId(peer), fresh, lane);
-      p.issued_verdicts[LinkKey{peer, lane_byte}] = Verdict{seq, accepted};
-      continue;
-    }
     if (lane == Lane::control) {
       // Control is never refused (§3.1).
       p.real->on_message(ProcessId(peer), fresh, lane);
@@ -683,72 +754,180 @@ void UdpTransport::deliver_ready(Proc& p, std::uint32_t peer,
   }
 }
 
-void UdpTransport::sweep_retransmits(Proc& p, std::int64_t now_us) {
-  std::vector<std::uint64_t> due;
-  for (auto& [key, link] : p.links) {
-    if (link->dead()) continue;
-    due.clear();
-    link->collect_due(now_us, due);
-    if (link->dead()) {
-      // Retry budget exhausted: the peer is unreachable for good — declare
-      // it crashed in the inner network so the failure-detection and
-      // membership machinery take over (kill -9 becomes a crash fault).
-      // Any batch still open towards it can only miss.
-      p.pending.erase(key);
-      const ProcessId peer(key.first);
-      if (!inner_.is_crashed(peer)) inner_.crash(peer);
-      continue;
+// ---------------------------------------------------------------------------
+// Timer wheel plumbing
+
+void UdpTransport::schedule_retx(Proc& p, const LinkKey& key,
+                                 ReliableLink& link) {
+  const std::int64_t deadline = link.next_deadline();
+  const auto it = p.retx_timers.find(key);
+  if (deadline == std::numeric_limits<std::int64_t>::max()) {
+    if (it != p.retx_timers.end()) {
+      wheel_.cancel(it->second.id);
+      p.retx_timers.erase(it);
     }
-    for (const std::uint64_t s : due) {
-      transmit(p, key.first, key.second, *link, s);
-    }
+    return;
   }
-  // Zero-window probing for peers with stalled outbound data.
-  for (auto it = p.last_probe_us.begin(); it != p.last_probe_us.end();) {
-    ReliableLink& link = link_for(p, it->first, lane_byte_of(Lane::data));
-    if (link.dead()) {
-      it = p.last_probe_us.erase(it);
-      continue;
-    }
-    if (link.can_send()) {
-      const ProcessId peer(it->first);
-      it = p.last_probe_us.erase(it);
-      inner_.resume(peer);
-      continue;
-    }
-    if (link.all_acked() && link.peer_window() == 0 &&
-        now_us - it->second >= kProbeIntervalUs) {
-      send_ack(p, it->first, lane_byte_of(Lane::data), /*probe=*/true);
-      it->second = now_us;
-    }
-    ++it;
+  if (it != p.retx_timers.end() && wheel_.pending(it->second.id)) {
+    if (it->second.deadline_us <= deadline) return;  // earlier timer wins
+    wheel_.cancel(it->second.id);
   }
+  p.retx_timers[key] = ArmedTimer{
+      wheel_.arm(static_cast<std::uint64_t>(deadline),
+                 timer_payload(kTimerRetx, p.index, key.first, key.second)),
+      deadline};
+}
+
+void UdpTransport::arm_probe(Proc& p, std::uint32_t peer,
+                             std::int64_t deadline_us) {
+  if (const auto it = p.probe_timers.find(peer);
+      it != p.probe_timers.end() && wheel_.pending(it->second)) {
+    return;
+  }
+  p.probe_timers[peer] =
+      wheel_.arm(static_cast<std::uint64_t>(deadline_us),
+                 timer_payload(kTimerProbe, p.index, peer, 0));
+}
+
+void UdpTransport::flush_sendq(Proc& p) {
+  if (p.sendq.empty()) return;
+  if (p.sendq.flush(p.socket)) {
+    if (p.sendq_timer != util::TimerWheel::kInvalidTimer) {
+      wheel_.cancel(p.sendq_timer);
+      p.sendq_timer = util::TimerWheel::kInvalidTimer;
+    }
+    return;
+  }
+  // Kernel backpressure: retry on a short wheel deadline so the queue
+  // drains as soon as the send buffer does.
+  if (!wheel_.pending(p.sendq_timer)) {
+    p.sendq_timer =
+        wheel_.arm(static_cast<std::uint64_t>(mono_us() + kSendRetryUs),
+                   timer_payload(kTimerSendq, p.index, 0, 0));
+  }
+}
+
+void UdpTransport::pump_wheel(std::int64_t now_us) {
+  auto fire = [this, now_us](std::uint64_t payload) {
+    on_timer(payload, now_us);
+  };
+  wheel_.advance(static_cast<std::uint64_t>(now_us), fire);
+  const std::uint64_t cascades = wheel_.cascades();
+  if (cascades != wheel_cascades_noted_) {
+    metrics::counters::note_wheel_cascades(cascades - wheel_cascades_noted_);
+    wheel_cascades_noted_ = cascades;
+  }
+}
+
+void UdpTransport::on_timer(std::uint64_t payload, std::int64_t now_us) {
+  const std::uint64_t kind = payload >> 60;
+  const std::size_t idx = (payload >> 44) & 0xFFFF;
+  const auto peer = static_cast<std::uint32_t>((payload >> 12) & 0xFFFF'FFFF);
+  const auto lane = static_cast<std::uint8_t>((payload >> 4) & 0xFF);
+  if (idx >= procs_.size()) return;
+  Proc& p = *procs_[idx];
+  const LinkKey key{peer, lane};
+  switch (kind) {
+    case kTimerRetx: {
+      p.retx_timers.erase(key);  // one timer per link; this one just fired
+      const auto it = p.links.find(key);
+      if (it == p.links.end()) return;
+      ReliableLink& link = *it->second;
+      if (link.dead()) return;
+      due_scratch_.clear();
+      link.collect_due(now_us, due_scratch_);
+      if (link.dead()) {
+        link_death(p, key);
+        return;
+      }
+      for (const std::uint64_t s : due_scratch_) {
+        transmit(p, peer, lane, link, s);
+      }
+      // A stale early fire (the due frame was acked meanwhile) re-arms at
+      // the link's true next deadline.
+      schedule_retx(p, key, link);
+      return;
+    }
+    case kTimerBatch:
+      flush_batch(p, key);
+      return;
+    case kTimerProbe: {
+      p.probe_timers.erase(peer);
+      const auto it = p.links.find(LinkKey{peer, lane_byte_of(Lane::data)});
+      if (it == p.links.end()) return;
+      ReliableLink& link = *it->second;
+      if (link.dead()) return;
+      if (link.can_send()) {
+        inner_.resume(ProcessId(peer));
+        return;
+      }
+      if (link.all_acked() && link.peer_window() == 0) {
+        send_ack(p, peer, lane_byte_of(Lane::data), /*probe=*/true);
+      }
+      arm_probe(p, peer, now_us + kProbeIntervalUs);
+      return;
+    }
+    case kTimerSendq:
+      p.sendq_timer = util::TimerWheel::kInvalidTimer;
+      flush_sendq(p);
+      return;
+    default:
+      SVS_UNREACHABLE("unknown wheel timer kind");
+  }
+}
+
+void UdpTransport::link_death(Proc& p, const LinkKey& key) {
+  if (const auto it = p.pending.find(key); it != p.pending.end()) {
+    wheel_.cancel(it->second.timer);
+    p.pending.erase(it);
+  }
+  SVS_ASSERT(distributed_,
+             "all-local reliable link exhausted its retries");
+  // Retry budget exhausted: the peer is unreachable for good — declare it
+  // crashed in the inner network so the failure-detection and membership
+  // machinery take over (kill -9 becomes a crash fault).
+  const ProcessId peer(key.first);
+  if (!inner_.is_crashed(peer)) inner_.crash(peer);
+}
+
+// ---------------------------------------------------------------------------
+// Service loop
+
+std::size_t UdpTransport::service_once(std::int64_t timeout_us) {
+  std::int64_t now = mono_us();
+  pump_wheel(now);
+  std::size_t handled = 0;
+  for (const auto& p : procs_) handled += pump_proc(*p);
+  for (const auto& p : procs_) flush_sendq(*p);
+  if (handled == 0 && timeout_us > 0) {
+    fd_scratch_.clear();
+    for (const auto& p : procs_) fd_scratch_.push_back(p->socket.fd());
+    now = mono_us();
+    std::int64_t wait = timeout_us;
+    // Sleep no longer than the earliest wheel deadline: ppoll honours it
+    // at µs precision, so a 200µs batch flush neither busy-spins nor
+    // rounds up to a whole millisecond.
+    const std::uint64_t due = wheel_.next_deadline_us();
+    if (due != util::TimerWheel::kNever) {
+      wait = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(due) - now, 1, timeout_us);
+    }
+    if (UdpSocket::wait_readable(fd_scratch_, wait)) {
+      for (const auto& p : procs_) handled += pump_proc(*p);
+    }
+    pump_wheel(mono_us());
+    for (const auto& p : procs_) flush_sendq(*p);
+  }
+  return handled;
+}
+
+std::size_t UdpTransport::service(std::int64_t timeout_us) {
+  return service_once(timeout_us);
 }
 
 std::size_t UdpTransport::pump(std::int64_t timeout_us) {
   SVS_REQUIRE(distributed_, "pump() drives the distributed mode");
-  Proc& p = *procs_.front();
-  std::size_t handled = pump_proc(p);
-  std::int64_t now = mono_us();
-  flush_due_batches(p, now);
-  sweep_retransmits(p, now);
-  if (handled == 0 && timeout_us > 0) {
-    // Cap the wait at the earliest pending-batch flush deadline so a batch
-    // never outlives its delay budget just because the socket went quiet.
-    const std::int64_t deadline = next_batch_deadline(p);
-    std::int64_t wait = timeout_us;
-    if (deadline != std::numeric_limits<std::int64_t>::max()) {
-      wait = std::clamp<std::int64_t>(deadline - now, 1, timeout_us);
-    }
-    const int fd = p.socket.fd();
-    if (UdpSocket::wait_readable(std::span<const int>(&fd, 1), wait)) {
-      handled += pump_proc(p);
-    }
-    now = mono_us();
-    flush_due_batches(p, now);
-    sweep_retransmits(p, now);
-  }
-  return handled;
+  return service_once(timeout_us);
 }
 
 }  // namespace svs::net

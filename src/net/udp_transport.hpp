@@ -32,13 +32,18 @@
 // Two deployment modes share the lane machinery:
 //
 //   * All-local (Group::Backend::udp, tests, equivalence): every attached
-//     process gets its own localhost socket, and each delivery crossing is
-//     synchronous — the frame is transmitted, lost/retransmitted/acked in
-//     *real* time while the virtual clock stands still, and the receiver's
-//     accept/refuse verdict rides back on the ack.  Protocol histories are
-//     therefore bit-identical to the sim and loopback backends even though
-//     every message really crossed the kernel; only the lane counters
-//     (retransmissions, duplicate drops) are timing-dependent.
+//     process gets its own localhost socket and each delivery crossing is a
+//     SHADOW crossing — the verdict is computed synchronously in memory
+//     (the frame is decoded and handed to the real endpoint at crossing
+//     time, so protocol histories stay bit-identical to the sim and
+//     loopback backends), while the *same* encoded frame is batched, staged
+//     on the reliable link and shipped through the kernel asynchronously.
+//     The receiver byte-verifies every arriving frame against a per-link
+//     FIFO of the frames recorded at crossing time: the lane's in-order
+//     delivery contract is checked on every run, with real loss and real
+//     retransmissions, without serializing a kernel round-trip per
+//     crossing.  Only the lane counters (retransmissions, duplicate drops,
+//     syscall counts) are timing-dependent.
 //
 //   * Distributed (tools/svs_proc): one local process attaches, remote
 //     peers are registered with add_peer(); sends to them stage frames on
@@ -48,6 +53,17 @@
 //     A peer whose link exhausts its retries is declared dead and
 //     crash-stopped in the inner network; the heartbeat FD + membership
 //     machinery then excludes it (kill -9 becomes a real crash fault).
+//
+// The hot path is batched end to end: frames coalesce per (peer, lane)
+// into multi-frame datagrams (both modes), encoded datagrams queue on a
+// per-process SendQueue flushed through sendmmsg, and the receive side
+// drains a recvmmsg ring and decodes straight out of its pooled buffers.
+// Acks are delayed to the end of each socket drain — one cumulative ack
+// per (peer, lane) touched — instead of one per datagram.  All deadlines
+// (retransmission, batch flush, zero-window probe, send-queue retry) live
+// on a single hierarchical util::TimerWheel with µs ticks: next_deadline
+// is a bitmap peek instead of an O(links) scan, and idle waits ppoll with
+// µs precision until the earliest wheel deadline.
 //
 // Datagram loss is injected at the socket boundary (DatagramLossModel,
 // seeded per directed link) — satisfying FaultKind::loss for this backend
@@ -62,6 +78,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -70,6 +87,7 @@
 #include "net/transport.hpp"
 #include "net/udp.hpp"
 #include "sim/random.hpp"
+#include "util/timer_wheel.hpp"
 
 namespace svs::net {
 
@@ -78,7 +96,7 @@ namespace svs::net {
 /// kernel scheduling, so equivalence tests may assert them non-zero or
 /// zero, never equal across runs.
 struct UdpLaneStats {
-  std::uint64_t datagrams_sent = 0;      // handed to the kernel
+  std::uint64_t datagrams_sent = 0;      // handed to the send queue (post-loss)
   std::uint64_t datagram_bytes_sent = 0;
   std::uint64_t datagrams_received = 0;
   std::uint64_t frames_delivered = 0;    // payloads handed up, in link order
@@ -96,6 +114,17 @@ struct UdpLaneStats {
   std::uint64_t frame_reuses = 0;
   std::uint64_t frames_batched = 0;      // frames shipped in multi-frame batches
   std::uint64_t batch_flushes = 0;       // pending-batch flushes (datagrams)
+  // Kernel I/O accounting (aggregated from per-socket IoCounters by
+  // lane_stats()): the syscall totals the batching exists to shrink, plus
+  // the mmsg-vs-single split proving which path ran.
+  std::uint64_t syscalls_sent = 0;       // sendmmsg + sendto calls
+  std::uint64_t syscalls_recvd = 0;      // recvmmsg + recv calls
+  std::uint64_t mmsg_sends = 0;
+  std::uint64_t mmsg_recvs = 0;
+  std::uint64_t single_sends = 0;
+  std::uint64_t single_recvs = 0;
+  std::uint64_t wheel_cascades = 0;      // timer-wheel level-to-level moves
+  std::uint64_t send_queue_drops = 0;    // SendQueue overflow (drop-newest)
 
   UdpLaneStats& operator+=(const UdpLaneStats& o) {
     datagrams_sent += o.datagrams_sent;
@@ -116,6 +145,14 @@ struct UdpLaneStats {
     frame_reuses += o.frame_reuses;
     frames_batched += o.frames_batched;
     batch_flushes += o.batch_flushes;
+    syscalls_sent += o.syscalls_sent;
+    syscalls_recvd += o.syscalls_recvd;
+    mmsg_sends += o.mmsg_sends;
+    mmsg_recvs += o.mmsg_recvs;
+    single_sends += o.single_sends;
+    single_recvs += o.single_recvs;
+    wheel_cascades += o.wheel_cascades;
+    send_queue_drops += o.send_queue_drops;
     return *this;
   }
 };
@@ -253,9 +290,9 @@ class UdpTransport final : public Transport {
     /// Inner link discipline (virtual-time delay/jitter), as the other
     /// backends.
     Network::Config network;
-    /// Reliable-lane tuning.  The defaults suit the all-local synchronous
-    /// mode; distributed deployments want a larger rto_base_us (real
-    /// scheduling jitter) — tools/svs_proc sets its own.
+    /// Reliable-lane tuning.  The defaults suit the all-local shadow mode;
+    /// distributed deployments want a larger rto_base_us (real scheduling
+    /// jitter) — tools/svs_proc sets its own.
     ReliableLink::Config link;
     /// Seeds the loss model and the per-link RTO jitter streams.
     std::uint64_t lane_seed = 0x0DD5'0CE7;
@@ -267,17 +304,17 @@ class UdpTransport final : public Transport {
     std::uint16_t bind_port = 0;
     /// If > 0, shrink SO_RCVBUF on every socket (kernel-drop stress mode).
     int rcvbuf_bytes = 0;
-    /// Per-destination frame batching (distributed mode): frames bound for
-    /// the same (peer, lane) coalesce into one datagram until the batch
+    /// Per-destination frame batching (both modes): frames bound for the
+    /// same (peer, lane) coalesce into one datagram until the batch
     /// reaches this many payload bytes (soft MTU budget) or
     /// Datagram::kMaxBatchFrames, or until batch_delay_us of real time
     /// passes since the batch opened.  0 disables batching (every frame is
     /// its own datagram, the pre-batching wire behavior).
     std::size_t batch_bytes = 1400;
     std::int64_t batch_delay_us = 200;
-    /// All-local crossings give up after this much real time without a
-    /// verdict — a wedged crossing is a harness bug, not a protocol state.
-    std::int64_t crossing_budget_us = 10'000'000;
+    /// sendmmsg/recvmmsg on every socket (false forces the portable
+    /// single-call fallback; counters prove which path ran).
+    bool use_mmsg = true;
   };
 
   UdpTransport(sim::Simulator& simulator, Config config);
@@ -297,8 +334,9 @@ class UdpTransport final : public Transport {
   /// outbound proxy with the inner network.  Call after the constructor
   /// (bind_local = true) and before protocol traffic flows.
   void add_peer(ProcessId id, std::uint16_t port);
-  /// Drains arriving datagrams and due retransmissions; if nothing is
-  /// pending, waits up to `timeout_us` for a datagram.  Returns the number
+  /// Drains arriving datagrams, fires due wheel deadlines and flushes the
+  /// send queues; if nothing is pending, waits up to `timeout_us` for a
+  /// datagram (capped by the earliest wheel deadline).  Returns the number
   /// of datagrams handled.
   std::size_t pump(std::int64_t timeout_us);
   /// Pre-protocol datagrams (join/roster) seen by pump() are handed here
@@ -310,15 +348,29 @@ class UdpTransport final : public Transport {
 
   // --- both modes -------------------------------------------------------
 
+  /// One transport service turn: advance the timer wheel (batch flushes,
+  /// retransmissions, probes), drain every socket, flush every send queue;
+  /// when nothing was pending, wait up to `timeout_us` (µs-exact ppoll,
+  /// capped by the earliest wheel deadline).  The all-local shadow wire is
+  /// driven by this — tests drain their shadow traffic with
+  /// `while (!links_idle()) service(...)`.  Returns datagrams handled.
+  std::size_t service(std::int64_t timeout_us);
+
   /// Local UDP port of process `id` (distributed mode: the single local
   /// process; all-local mode: any attached process).
   [[nodiscard]] std::uint16_t local_port(ProcessId id) const;
   /// The raw socket of process `id` (join flow, SO_RCVBUF stress).
   [[nodiscard]] UdpSocket& socket_of(ProcessId id);
-  /// True when no reliable link has a frame awaiting acknowledgement.
+  /// True when no frame awaits acknowledgement, no batch or send queue
+  /// holds undelivered datagrams, and (all-local) every shadow frame has
+  /// been wire-verified.
   [[nodiscard]] bool links_idle() const;
-  [[nodiscard]] const UdpLaneStats& lane_stats() const { return lane_stats_; }
+  /// Lane counters plus per-socket kernel I/O counters and wheel activity,
+  /// aggregated at call time.
+  [[nodiscard]] UdpLaneStats lane_stats() const;
   [[nodiscard]] DatagramLossModel& loss() { return loss_; }
+  /// The deadline wheel (observability: size, cascade count).
+  [[nodiscard]] const util::TimerWheel& wheel() const { return wheel_; }
 
   // --- Transport surface: link discipline lives in the inner network ----
 
@@ -390,36 +442,50 @@ class UdpTransport final : public Transport {
 
  private:
   using LinkKey = std::pair<std::uint32_t, std::uint8_t>;  // (peer, lane)
-  struct Verdict {
-    std::uint64_t seq = 0;
-    bool accept = false;
+  using TimerId = util::TimerWheel::TimerId;
+
+  /// A wheel timer handle plus the deadline it was armed at, so re-arming
+  /// can keep the earlier of two deadlines without touching the wheel.
+  struct ArmedTimer {
+    TimerId id = util::TimerWheel::kInvalidTimer;
+    std::int64_t deadline_us = 0;
   };
 
-  /// One locally hosted process: its socket, its reliable links and — in
-  /// the all-local mode — the verdict mailboxes of the synchronous
-  /// crossing protocol.
+  /// One locally hosted process: its socket, receive ring, send queue,
+  /// reliable links and per-link wheel timers.
   struct Proc {
     ProcessId id{0};
     Endpoint* real = nullptr;
+    std::size_t index = 0;  // position in procs_ (stable; wheel payloads)
     UdpSocket socket;
+    RecvRing ring;
+    SendQueue sendq;
+    TimerId sendq_timer = util::TimerWheel::kInvalidTimer;
     std::map<LinkKey, std::unique_ptr<ReliableLink>> links;
-    /// Sender side: verdicts received for our outstanding crossing.
-    std::map<LinkKey, Verdict> crossing_verdicts;
-    /// Receiver side: last verdict issued, re-attached when dups re-ack.
-    std::map<LinkKey, Verdict> issued_verdicts;
+    /// Per-link retransmission timer: one per link, armed at the link's
+    /// earliest deadline (earlier-deadline-wins; a stale early fire is a
+    /// harmless re-arm).
+    std::map<LinkKey, ArmedTimer> retx_timers;
+    /// Zero-window probe timers, per stalled-outbound peer (distributed).
+    std::map<std::uint32_t, TimerId> probe_timers;
+    /// Shadow-crossing verification (all-local): for each inbound link,
+    /// the FIFO of frames recorded at crossing time that the wire must
+    /// reproduce byte-for-byte, in order.
+    std::map<LinkKey, std::deque<FramePtr>> expected;
+    /// Links touched by the current socket drain; one cumulative ack per
+    /// entry is sent when the drain ends (delayed acks).
+    std::set<LinkKey> ack_pending;
     /// Distributed inbound backpressure: in-order data frames the local
     /// node refused, waiting for resume().
     std::map<std::uint32_t, std::deque<MessagePtr>> stalled;
-    /// Zero-window probe pacing, per stalled-outbound peer.
-    std::map<std::uint32_t, std::int64_t> last_probe_us;
-    /// Per-destination batcher (distributed mode): frames accumulating
-    /// towards one datagram.  `bytes` counts encoded payload cost (frame
-    /// bytes + per-frame length varints); the deadline is armed when the
-    /// batch opens.
+    /// Per-destination batcher (both modes): frames accumulating towards
+    /// one datagram.  `bytes` counts encoded payload cost (frame bytes +
+    /// per-frame length varints); the wheel timer is armed when the batch
+    /// opens.
     struct PendingBatch {
       std::vector<FramePtr> frames;
       std::size_t bytes = 0;
-      std::int64_t deadline_us = 0;
+      TimerId timer = util::TimerWheel::kInvalidTimer;
     };
     std::map<LinkKey, PendingBatch> pending;
 
@@ -434,7 +500,7 @@ class UdpTransport final : public Transport {
         : owner_(owner), proc_index_(proc_index) {}
     bool on_message(ProcessId from, const MessagePtr& message,
                     Lane lane) override {
-      return owner_.sync_cross(from, proc_index_, message, lane);
+      return owner_.shadow_cross(from, proc_index_, message, lane);
     }
 
    private:
@@ -469,43 +535,68 @@ class UdpTransport final : public Transport {
   [[nodiscard]] std::uint32_t advertised_window(const Proc& p,
                                                 std::uint32_t peer) const;
 
-  bool sync_cross(ProcessId from, std::size_t to_index,
-                  const MessagePtr& message, Lane lane);
+  /// All-local crossing: deliver the verdict in memory, then batch the
+  /// same frame onto the shadow wire for byte-verified redelivery.
+  bool shadow_cross(ProcessId from, std::size_t to_index,
+                    const MessagePtr& message, Lane lane);
   bool async_send(ProcessId from, ProcessId peer, const MessagePtr& message,
                   Lane lane);
+  /// Appends `frame` to the (peer, lane) pending batch, arming the flush
+  /// timer when the batch opens and flushing when a budget fills.
+  void batch_frame(Proc& p, const LinkKey& key, FramePtr frame);
   /// Stages + transmits the (peer, lane) pending batch, if any.
   void flush_batch(Proc& p, const LinkKey& key);
-  /// Flushes every pending batch whose deadline passed (all of them when
-  /// now_us is INT64_MAX).
-  void flush_due_batches(Proc& p, std::int64_t now_us);
-  /// Earliest pending-batch deadline (INT64_MAX when none pending).
-  [[nodiscard]] static std::int64_t next_batch_deadline(const Proc& p);
   /// Encodes + sends the staged batch `seq` (data datagram with piggyback
   /// ack), through the loss model.
   void transmit(Proc& p, std::uint32_t peer, std::uint8_t lane,
                 ReliableLink& link, std::uint64_t seq);
   void send_ack(Proc& p, std::uint32_t peer, std::uint8_t lane,
                 bool probe = false);
-  void send_datagram(Proc& p, std::uint32_t peer, const util::Bytes& bytes,
+  void send_datagram(Proc& p, std::uint32_t peer, util::Bytes bytes,
                      bool is_ack);
-  /// Drains every datagram queued on p's socket.  Returns datagrams seen.
+  /// Drains p's socket through the recvmmsg ring, decoding straight from
+  /// the ring buffers, then sends the drain's delayed acks.  Returns
+  /// datagrams seen.
   std::size_t pump_proc(Proc& p);
   void handle_datagram(Proc& p, Datagram d);
-  /// Retransmission sweep over p's links; declares dead peers crashed.
-  void sweep_retransmits(Proc& p, std::int64_t now_us);
   void deliver_ready(Proc& p, std::uint32_t peer, std::uint8_t lane,
                      ReliableLink& link);
+
+  // --- timer wheel ------------------------------------------------------
+
+  /// (Re-)arms the link's retransmission timer at its earliest deadline;
+  /// keeps an already-armed earlier timer.
+  void schedule_retx(Proc& p, const LinkKey& key, ReliableLink& link);
+  /// Arms (if not already pending) the zero-window probe timer for `peer`.
+  void arm_probe(Proc& p, std::uint32_t peer, std::int64_t deadline_us);
+  /// Flushes p's send queue; on kernel backpressure arms the retry timer.
+  void flush_sendq(Proc& p);
+  /// Advances the wheel to `now_us`, dispatching fires, and publishes the
+  /// cascade-count delta to metrics.
+  void pump_wheel(std::int64_t now_us);
+  void on_timer(std::uint64_t payload, std::int64_t now_us);
+  /// Retry budget exhausted towards key.first: crash the peer
+  /// (distributed) — an all-local shadow link must never die.
+  void link_death(Proc& p, const LinkKey& key);
+  /// One service turn shared by service()/pump(): wheel, sockets, send
+  /// queues, optional µs-exact wait.
+  std::size_t service_once(std::int64_t timeout_us);
 
   Network inner_;
   Config config_;
   DatagramLossModel loss_;
   UdpLaneStats lane_stats_;
+  util::TimerWheel wheel_;
+  std::uint64_t wheel_cascades_noted_ = 0;  // last value pushed to metrics
+  std::uint64_t crossings_ = 0;             // shadow crossings since start
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<std::unique_ptr<LocalAdapter>> adapters_;
   std::vector<std::unique_ptr<RemoteProxy>> proxies_;
   std::map<std::uint32_t, std::size_t> proc_index_;   // raw id -> procs_ idx
   std::map<std::uint32_t, std::uint16_t> peer_ports_; // distributed peers
   std::function<void(const Datagram&)> stray_handler_;
+  std::vector<std::uint64_t> due_scratch_;  // retx fire scratch
+  std::vector<int> fd_scratch_;             // service wait scratch
   bool distributed_ = false;
 };
 

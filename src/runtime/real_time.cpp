@@ -17,7 +17,17 @@ std::size_t RealTimeDriver::run(sim::Duration duration,
     // Virtual time chases wall time from below; every due timer fires here.
     sim_.run_until(start_virtual + sim::Duration::micros(elapsed));
     const std::int64_t remaining = budget_us - elapsed;
-    pumped += transport_.pump(std::min(config_.tick_us, remaining));
+    std::int64_t wait = std::min(config_.tick_us, remaining);
+    // Cap the sleep at the next virtual timer's wall-clock due time, so a
+    // µs-scale timer fires µs late at worst — not a whole poll tick late.
+    // (The transport's own wheel deadlines cap the wait further inside
+    // pump(), at the same µs precision.)
+    sim::TimePoint next{};
+    if (sim_.next_event_time(next)) {
+      const std::int64_t gap = (next - start_virtual).as_micros() - elapsed;
+      wait = std::clamp<std::int64_t>(gap, 1, wait);
+    }
+    pumped += transport_.pump(wait);
   }
   return pumped;
 }

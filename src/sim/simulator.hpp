@@ -69,6 +69,17 @@ class Simulator {
   /// Events currently pending (including lazily cancelled ones).
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
+  /// Time of the earliest pending event — a conservative lower bound, since
+  /// the heap top may be a lazily-cancelled entry that will be skipped.
+  /// Returns false (and leaves `when` untouched) when nothing is pending.
+  /// Real-time drivers use this to cap their socket waits so a virtual
+  /// timer never fires late by a whole poll tick.
+  [[nodiscard]] bool next_event_time(TimePoint& when) const {
+    if (heap_.empty()) return false;
+    when = heap_.front().when;
+    return true;
+  }
+
   /// Total events executed over this simulator's lifetime (bench telemetry).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 

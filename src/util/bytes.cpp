@@ -32,17 +32,17 @@ void ByteWriter::str(const std::string& s) {
 }
 
 std::uint8_t ByteReader::u8() {
-  SVS_REQUIRE(pos_ < buf_.size(), "byte buffer underrun");
-  return buf_[pos_++];
+  SVS_REQUIRE(pos_ < size_, "byte buffer underrun");
+  return data_[pos_++];
 }
 
 std::uint64_t ByteReader::u64() {
   std::uint64_t result = 0;
   int shift = 0;
   for (;;) {
-    SVS_REQUIRE(pos_ < buf_.size(), "varint truncated");
+    SVS_REQUIRE(pos_ < size_, "varint truncated");
     SVS_REQUIRE(shift < 64, "varint too long");
-    const std::uint8_t byte = buf_[pos_++];
+    const std::uint8_t byte = data_[pos_++];
     // The 10th byte holds bit 63 only: anything above would be silently
     // shifted out, so an over-long encoding must be rejected, not wrapped.
     SVS_REQUIRE(shift < 63 || byte <= 1, "varint overflows 64 bits");
@@ -62,7 +62,7 @@ std::uint64_t ByteReader::fixed64() {
   SVS_REQUIRE(remaining() >= 8, "fixed64 truncated");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
   }
   return v;
 }
@@ -75,7 +75,7 @@ void ByteReader::skip(std::size_t n) {
 std::string ByteReader::str() {
   const std::uint64_t n = u64();
   SVS_REQUIRE(remaining() >= n, "string truncated");
-  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
   pos_ += n;
   return s;
 }

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,10 +35,14 @@ class ByteWriter {
 };
 
 /// Reads values written by ByteWriter; throws ContractViolation on underrun
-/// or malformed varints.
+/// or malformed varints.  Non-owning: views either a Bytes buffer or a raw
+/// span (the UDP receive path decodes straight out of its pooled datagram
+/// rings without copying into a Bytes first).
 class ByteReader {
  public:
-  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+  explicit ByteReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  explicit ByteReader(std::span<const std::uint8_t> buf)
+      : data_(buf.data()), size_(buf.size()) {}
 
   std::uint8_t u8();
   std::uint32_t u32();
@@ -48,13 +53,14 @@ class ByteReader {
   /// Skips `n` bytes; throws ContractViolation on underrun.
   void skip(std::size_t n);
 
-  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
-  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
   /// Bytes consumed so far (length-framed decoders verify consumption).
   [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:
-  const Bytes& buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_{0};
 };
 

@@ -1,0 +1,243 @@
+#include "util/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace svs::util {
+
+namespace {
+
+constexpr std::uint64_t kSlotMask = TimerWheel::kSlots - 1;
+
+std::uint64_t index_of(TimerWheel::TimerId id) { return id & 0xFFFF'FFFFull; }
+std::uint32_t generation_of(TimerWheel::TimerId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+TimerWheel::TimerId make_id(std::uint64_t index, std::uint32_t generation) {
+  return (static_cast<std::uint64_t>(generation) << 32) | index;
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(std::uint64_t tick_us) : tick_us_(tick_us) {
+  SVS_REQUIRE(tick_us > 0, "timer wheel tick must be positive");
+  for (auto& level : heads_) {
+    for (auto& head : level) head = kNil;
+  }
+  for (auto& level : occupied_) {
+    for (auto& word : level) word = 0;
+  }
+}
+
+std::int32_t TimerWheel::alloc_entry() {
+  if (!free_.empty()) {
+    const std::int32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  SVS_ASSERT(entries_.size() < 0x8000'0000ull, "timer wheel entry overflow");
+  entries_.emplace_back();
+  entries_.back().generation = 1;  // id 0 (gen 0, index 0) is never live
+  return static_cast<std::int32_t>(entries_.size() - 1);
+}
+
+void TimerWheel::free_entry(std::int32_t idx) {
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  if (e.level >= 0) unlink(idx);
+  e.live = false;
+  ++e.generation;  // invalidate every outstanding handle to this index
+  free_.push_back(idx);
+  --size_;
+}
+
+void TimerWheel::link(std::int32_t idx, int level, int slot) {
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  e.level = static_cast<std::int16_t>(level);
+  e.slot = static_cast<std::int16_t>(slot);
+  e.prev = kNil;
+  e.next = heads_[level][slot];
+  if (e.next != kNil) entries_[static_cast<std::size_t>(e.next)].prev = idx;
+  heads_[level][slot] = idx;
+  occupied_[level][slot >> 6] |= 1ull << (slot & 63);
+}
+
+void TimerWheel::unlink(std::int32_t idx) {
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  const int level = e.level;
+  const int slot = e.slot;
+  SVS_ASSERT(level >= 0, "unlinking a timer that is not in a slot");
+  if (e.prev != kNil) {
+    entries_[static_cast<std::size_t>(e.prev)].next = e.next;
+  } else {
+    heads_[level][slot] = e.next;
+  }
+  if (e.next != kNil) entries_[static_cast<std::size_t>(e.next)].prev = e.prev;
+  if (heads_[level][slot] == kNil) {
+    occupied_[level][slot >> 6] &= ~(1ull << (slot & 63));
+  }
+  e.prev = e.next = kNil;
+  e.level = e.slot = -1;
+}
+
+void TimerWheel::place(std::int32_t idx, std::uint64_t floor_tick) {
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  // Never place behind the wheel's cursor: a past deadline fires at the
+  // floor (the next unprocessed tick), preserving "due timers fire on the
+  // next advance" without ever touching an already-processed slot.
+  std::uint64_t placement = std::max(e.deadline_tick, floor_tick);
+  const std::uint64_t delta = placement - cur_tick_;
+  int level = 0;
+  if (delta < kSlots) {
+    level = 0;
+  } else if (delta < (kSlots << kSlotBits)) {
+    level = 1;
+  } else if (delta < (kSlots << (2 * kSlotBits))) {
+    level = 2;
+  } else if (delta < (kSlots << (3 * kSlotBits))) {
+    level = 3;
+  } else {
+    // Beyond the horizon: clamp into the top level's farthest slot and
+    // re-resolve on cascade (deadline_tick keeps the true deadline).
+    level = kLevels - 1;
+    placement = cur_tick_ + (kSlots << (3 * kSlotBits)) - 1;
+  }
+  const int slot =
+      static_cast<int>((placement >> (kSlotBits * level)) & kSlotMask);
+  link(idx, level, slot);
+}
+
+const TimerWheel::Entry* TimerWheel::resolve(TimerId id) const {
+  const std::uint64_t idx = index_of(id);
+  if (idx >= entries_.size()) return nullptr;
+  const Entry& e = entries_[idx];
+  if (!e.live || e.generation != generation_of(id)) return nullptr;
+  return &e;
+}
+
+TimerWheel::TimerId TimerWheel::arm(std::uint64_t deadline_us,
+                                    std::uint64_t payload) {
+  const std::int32_t idx = alloc_entry();
+  Entry& e = entries_[static_cast<std::size_t>(idx)];
+  // Round UP to a tick boundary so a timer never fires early.
+  e.deadline_tick = deadline_us / tick_us_ +
+                    static_cast<std::uint64_t>(deadline_us % tick_us_ != 0);
+  e.payload = payload;
+  e.arm_seq = ++arm_seq_;
+  e.live = true;
+  ++size_;
+  // Arms from inside a fire callback go to the next tick: the current
+  // tick's slot has already been extracted.
+  place(idx, cur_tick_ + static_cast<std::uint64_t>(firing_));
+  return make_id(static_cast<std::uint64_t>(idx), e.generation);
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const Entry* e = resolve(id);
+  if (e == nullptr) return false;
+  free_entry(static_cast<std::int32_t>(index_of(id)));
+  return true;
+}
+
+bool TimerWheel::pending(TimerId id) const { return resolve(id) != nullptr; }
+
+namespace {
+
+/// Smallest set bit >= `from` in a 256-bit map, or -1.
+int next_bit(const std::uint64_t* words, int from) {
+  for (int w = from >> 6; w < 4; ++w) {
+    std::uint64_t bits = words[w];
+    if (w == (from >> 6)) bits &= ~0ull << (from & 63);
+    if (bits != 0) return w * 64 + std::countr_zero(bits);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::uint64_t TimerWheel::next_occupied_tick() const {
+  std::uint64_t best = kNever;
+  for (int level = 0; level < kLevels; ++level) {
+    const int shift = kSlotBits * level;
+    const int cur_digit = static_cast<int>((cur_tick_ >> shift) & kSlotMask);
+    const std::uint64_t base = cur_tick_ >> (shift + kSlotBits);
+    int slot = next_bit(occupied_[level], cur_digit);
+    std::uint64_t t;
+    if (slot >= 0) {
+      t = ((base << kSlotBits) | static_cast<std::uint64_t>(slot)) << shift;
+      // A level>=1 slot equal to the cursor's digit starts a window the
+      // cursor is already inside; its entries cascade at the cursor.
+      if (t < cur_tick_) t = cur_tick_;
+    } else {
+      slot = next_bit(occupied_[level], 0);
+      if (slot < 0) continue;
+      t = (((base + 1) << kSlotBits) | static_cast<std::uint64_t>(slot))
+          << shift;
+    }
+    best = std::min(best, t);
+  }
+  return best;
+}
+
+std::uint64_t TimerWheel::next_deadline_us() const {
+  const std::uint64_t t = next_occupied_tick();
+  return t == kNever ? kNever : t * tick_us_;
+}
+
+std::size_t TimerWheel::advance(std::uint64_t now_us,
+                                FunctionRef<void(std::uint64_t)> fire) {
+  const std::uint64_t target = now_us / tick_us_;
+  std::size_t fired = 0;
+  while (cur_tick_ <= target) {
+    const std::uint64_t tick = next_occupied_tick();
+    if (tick == kNever || tick > target) {
+      cur_tick_ = target + 1;
+      break;
+    }
+    cur_tick_ = tick;
+    // Cascade every level whose window starts at this tick, highest first,
+    // so an entry can trickle from level 3 all the way into this tick's
+    // level-0 slot in one pass.
+    for (int level = kLevels - 1; level >= 1; --level) {
+      const int shift = kSlotBits * level;
+      if ((tick & ((1ull << shift) - 1)) != 0) continue;
+      const int slot = static_cast<int>((tick >> shift) & kSlotMask);
+      while (heads_[level][slot] != kNil) {
+        const std::int32_t idx = heads_[level][slot];
+        unlink(idx);
+        ++cascades_;
+        place(idx, tick);
+      }
+    }
+    // Extract the due slot whole (every entry in it is due: placements are
+    // always >= the cursor, so a level-0 slot never mixes windows), then
+    // fire in arm order — deterministic regardless of cascade history.
+    const int slot0 = static_cast<int>(tick & kSlotMask);
+    scratch_.clear();
+    while (heads_[0][slot0] != kNil) {
+      const std::int32_t idx = heads_[0][slot0];
+      unlink(idx);
+      scratch_.emplace_back(idx,
+                            entries_[static_cast<std::size_t>(idx)].arm_seq);
+    }
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    firing_ = true;
+    for (const auto& [idx, seq] : scratch_) {
+      Entry& e = entries_[static_cast<std::size_t>(idx)];
+      // Skip entries cancelled by an earlier callback this tick — including
+      // the index-reuse case, which a fresh arm_seq unmasks.
+      if (!e.live || e.arm_seq != seq) continue;
+      const std::uint64_t payload = e.payload;
+      free_entry(idx);  // handle goes stale before the callback runs
+      fire(payload);
+      ++fired;
+    }
+    firing_ = false;
+    cur_tick_ = tick + 1;
+  }
+  return fired;
+}
+
+}  // namespace svs::util

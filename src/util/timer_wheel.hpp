@@ -1,0 +1,119 @@
+// Hierarchical timer wheel: O(1) arm/cancel, amortized O(1) advance.
+//
+// The UDP transport schedules three kinds of deadlines per link —
+// retransmission, batch flush, zero-window probe — and before this wheel
+// existed every pump scanned every ReliableLink for its next_deadline().
+// The wheel turns that O(links) sweep into a peek: next_deadline_us() reads
+// per-level occupancy bitmaps, and advance() visits only occupied slots.
+//
+// Layout: 4 levels x 256 slots over a configurable tick (default 1µs).
+// A timer `delta` ticks in the future lives at level L where
+// delta < 256^(L+1); level 0 resolves single ticks, level 3 spans ~71.6
+// minutes, and deadlines beyond the horizon clamp into the top level and
+// re-resolve on cascade (entries keep their true deadline).
+//
+// Determinism: within one tick, timers fire in arm order, always — firing
+// extracts the slot into a scratch vector and stable-sorts by a monotonic
+// arm sequence number, so the order is independent of which cascade path an
+// entry took to reach the slot.  Deadlines round UP to a tick boundary, so
+// a timer never fires before its deadline.  Timers armed from inside a fire
+// callback with an already-due deadline land in the next tick (and still
+// fire within the same advance() when time allows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/function_ref.hpp"
+
+namespace svs::util {
+
+class TimerWheel {
+ public:
+  /// Opaque handle; 0 is never a live timer.  Stays invalid (cancel/pending
+  /// return false) after the timer fires, is cancelled, or the slot index is
+  /// reused — a stale handle can never touch a newer timer.
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr std::uint64_t kSlots = 1ull << kSlotBits;
+
+  explicit TimerWheel(std::uint64_t tick_us = 1);
+
+  /// Schedules `payload` to fire at the first advance() whose `now_us` is
+  /// >= `deadline_us`.  Past deadlines fire on the very next advance.
+  TimerId arm(std::uint64_t deadline_us, std::uint64_t payload);
+
+  /// Cancels a pending timer.  Returns false (and does nothing) when the
+  /// handle is stale: already fired, already cancelled, or never armed.
+  bool cancel(TimerId id);
+
+  /// True while the timer is armed and has not fired or been cancelled.
+  bool pending(TimerId id) const;
+
+  /// Earliest instant any timer could fire, in µs (a lower bound: deadlines
+  /// still parked in a high level report their window start and refine as
+  /// they cascade — sleeping until this value and re-advancing converges).
+  /// Returns kNever when no timer is armed.
+  static constexpr std::uint64_t kNever = ~0ull;
+  std::uint64_t next_deadline_us() const;
+
+  /// Fires every timer with deadline <= now_us, in deterministic order
+  /// (tick by tick; arm order within a tick).  Returns the fire count.
+  std::size_t advance(std::uint64_t now_us, FunctionRef<void(std::uint64_t)> fire);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t tick_us() const { return tick_us_; }
+  /// Total entries moved between levels by advance(); observable cost metric.
+  std::uint64_t cascades() const { return cascades_; }
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+
+  struct Entry {
+    std::uint64_t deadline_tick = 0;
+    std::uint64_t payload = 0;
+    std::uint64_t arm_seq = 0;
+    std::uint32_t generation = 0;
+    std::int32_t prev = kNil;
+    std::int32_t next = kNil;
+    std::int16_t level = -1;  // -1 when free or extracted
+    std::int16_t slot = -1;
+    bool live = false;
+  };
+
+  std::int32_t alloc_entry();
+  void free_entry(std::int32_t idx);
+  void link(std::int32_t idx, int level, int slot);
+  void unlink(std::int32_t idx);
+  void place(std::int32_t idx, std::uint64_t floor_tick);
+  const Entry* resolve(TimerId id) const;
+
+  /// Smallest occupied absolute tick >= cur_tick_, or kNever.  For level>=1
+  /// entries this is their slot's window start (cascade point), not their
+  /// final deadline.
+  std::uint64_t next_occupied_tick() const;
+
+  std::uint64_t tick_us_;
+  std::uint64_t cur_tick_ = 0;   // next tick not yet processed
+  std::uint64_t arm_seq_ = 0;
+  std::uint64_t cascades_ = 0;
+  std::size_t size_ = 0;
+  bool firing_ = false;  // arms during a fire callback land in the next tick
+
+  std::vector<Entry> entries_;
+  std::vector<std::int32_t> free_;
+  std::int32_t heads_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels][kSlots / 64];
+
+  // Scratch for one tick's extraction; member to avoid per-tick allocation.
+  // Pairs of (entry index, arm_seq at extraction): a fire callback may
+  // cancel a scratch-mate and arm a new timer that reuses the freed index,
+  // so each entry re-validates by its unique arm_seq before firing.
+  std::vector<std::pair<std::int32_t, std::uint64_t>> scratch_;
+};
+
+}  // namespace svs::util

@@ -986,7 +986,7 @@ TEST_F(CodecFixture, DatagramGarbageSuffixAndBadHeaderThrow) {
     bad_kind[1] = 0x09;
     EXPECT_THROW((void)Datagram::decode(bad_kind), util::ContractViolation);
   }
-  EXPECT_THROW((void)Datagram::decode({}), util::ContractViolation);
+  EXPECT_THROW((void)Datagram::decode(util::Bytes{}), util::ContractViolation);
 }
 
 TEST_F(CodecFixture, DatagramByteMutationFuzzNeverCrashes) {

@@ -290,6 +290,13 @@ ScenarioResult run_scenario(core::Group::Backend backend,
     result.wire_bytes = loopback->wire_bytes();
   }
   if (auto* udp = group.udp()) {
+    // Drain the shadow wire before sampling: the lane counters only settle
+    // once every crossing's frame has wire-delivered and byte-verified.
+    const std::int64_t drain = net::UdpTransport::mono_us() + 10'000'000;
+    while (!udp->links_idle() && net::UdpTransport::mono_us() < drain) {
+      udp->service(1'000);
+    }
+    EXPECT_TRUE(udp->links_idle()) << "shadow wire failed to drain";
     result.lane = udp->lane_stats();
   }
   return result;

@@ -1,0 +1,257 @@
+// util::TimerWheel unit coverage: arm/cancel/re-arm, cascade across levels,
+// deterministic in-tick firing order, far-future deadlines, and a randomized
+// equivalence sweep against a sorted multimap reference scheduler.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "util/contracts.hpp"
+#include "util/timer_wheel.hpp"
+
+namespace svs {
+namespace {
+
+using util::TimerWheel;
+
+std::vector<std::uint64_t> drain(TimerWheel& wheel, std::uint64_t now_us) {
+  std::vector<std::uint64_t> fired;
+  wheel.advance(now_us, [&](std::uint64_t payload) { fired.push_back(payload); });
+  return fired;
+}
+
+TEST(TimerWheel, FiresAtDeadlineNeverEarly) {
+  TimerWheel wheel;  // 1µs ticks
+  wheel.arm(100, 1);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.next_deadline_us(), 100u);
+  EXPECT_TRUE(drain(wheel, 99).empty());
+  const auto fired = drain(wheel, 100);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.next_deadline_us(), TimerWheel::kNever);
+}
+
+TEST(TimerWheel, CoarseTickRoundsDeadlinesUp) {
+  TimerWheel wheel(10);  // 10µs ticks
+  wheel.arm(101, 7);     // rounds up to tick 11 = 110µs
+  EXPECT_TRUE(drain(wheel, 109).empty());
+  EXPECT_EQ(drain(wheel, 110).size(), 1u);
+}
+
+TEST(TimerWheel, CancelPreventsFiringAndGoesStale) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(50, 1);
+  EXPECT_TRUE(wheel.pending(id));
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.pending(id));
+  EXPECT_FALSE(wheel.cancel(id)) << "double cancel must be a no-op";
+  EXPECT_TRUE(drain(wheel, 1000).empty());
+  // The freed index is reused by the next arm; the old handle must not
+  // resolve to the new timer.
+  const auto id2 = wheel.arm(60, 2);
+  EXPECT_NE(id, id2);
+  EXPECT_FALSE(wheel.pending(id));
+  EXPECT_FALSE(wheel.cancel(id));
+  EXPECT_TRUE(wheel.pending(id2));
+}
+
+TEST(TimerWheel, HandleStaleAfterFiring) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(10, 1);
+  EXPECT_EQ(drain(wheel, 10).size(), 1u);
+  EXPECT_FALSE(wheel.pending(id));
+  EXPECT_FALSE(wheel.cancel(id));
+}
+
+TEST(TimerWheel, ReArmAfterCancelUsesNewDeadline) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(500, 9);
+  EXPECT_TRUE(wheel.cancel(id));
+  wheel.arm(100, 9);
+  EXPECT_EQ(wheel.next_deadline_us(), 100u);
+  const auto fired = drain(wheel, 100);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+  EXPECT_TRUE(drain(wheel, 500).empty());
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel;
+  EXPECT_TRUE(drain(wheel, 1000).empty());  // cursor now past 1000µs
+  wheel.arm(5, 3);                          // long overdue
+  // The cursor already processed tick 1000, so the overdue timer sits on
+  // the next unprocessed tick — and next_deadline_us() reports exactly
+  // where to sleep until.
+  EXPECT_EQ(wheel.next_deadline_us(), 1001u);
+  const auto fired = drain(wheel, 1001);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
+}
+
+TEST(TimerWheel, CascadeAcrossLevels) {
+  TimerWheel wheel;
+  // Level 1 (256µs..65.5ms), level 2 (..16.8s), level 3 (..71.6min) spans.
+  wheel.arm(1'000, 1);
+  wheel.arm(100'000, 2);
+  wheel.arm(10'000'000, 3);
+  EXPECT_EQ(wheel.cascades(), 0u);
+  EXPECT_EQ(drain(wheel, 999).size(), 0u);
+  EXPECT_EQ(drain(wheel, 1'000), std::vector<std::uint64_t>{1});
+  EXPECT_GT(wheel.cascades(), 0u) << "a level>=1 deadline must cascade down";
+  EXPECT_EQ(drain(wheel, 99'999).size(), 0u);
+  EXPECT_EQ(drain(wheel, 100'000), std::vector<std::uint64_t>{2});
+  EXPECT_EQ(drain(wheel, 9'999'999).size(), 0u);
+  EXPECT_EQ(drain(wheel, 10'000'000), std::vector<std::uint64_t>{3});
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, FarFutureDeadlineBeyondHorizon) {
+  TimerWheel wheel;
+  // > 2^32 µs (~71.6 min) away: clamps into the top level, re-resolves on
+  // cascade, and still fires exactly at its deadline.
+  const std::uint64_t deadline = 3ull << 32;  // ~3.6 hours
+  wheel.arm(deadline, 42);
+  EXPECT_LE(wheel.next_deadline_us(), deadline)
+      << "peek is a lower bound while parked in the top level";
+  EXPECT_TRUE(drain(wheel, deadline - 1).empty());
+  const auto fired = drain(wheel, deadline);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 42u);
+}
+
+TEST(TimerWheel, SameTickFiresInArmOrder) {
+  TimerWheel wheel;
+  // Armed in shuffled call order but all due the same instant; several are
+  // armed far enough out to take different cascade paths into the tick.
+  const std::uint64_t t = 1ull << 20;  // level-2 territory from tick 0
+  for (std::uint64_t i = 0; i < 64; ++i) wheel.arm(t, i);
+  const auto fired = drain(wheel, t);
+  ASSERT_EQ(fired.size(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(fired[i], i) << "in-tick order must equal arm order";
+  }
+}
+
+TEST(TimerWheel, ArmOrderHoldsAcrossMixedCascadePaths) {
+  TimerWheel wheel;
+  // Walk the cursor close to the deadline first, so later arms land in
+  // level 0/1 while earlier ones came from level 2 — the arm sequence must
+  // still decide the in-tick order.
+  const std::uint64_t t = 100'000;
+  wheel.arm(t, 0);            // level 2 away
+  (void)drain(wheel, 90'000);
+  wheel.arm(t, 1);            // level 1 away
+  (void)drain(wheel, 99'900);
+  wheel.arm(t, 2);            // level 0 away
+  const auto fired = drain(wheel, t);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(TimerWheel, CallbackCanCancelAndArm) {
+  TimerWheel wheel;
+  const auto a = wheel.arm(10, 1);
+  const auto b = wheel.arm(10, 2);
+  (void)a;
+  std::vector<std::uint64_t> fired;
+  wheel.advance(20, [&](std::uint64_t payload) {
+    fired.push_back(payload);
+    if (payload == 1) {
+      EXPECT_TRUE(wheel.cancel(b));  // cancel a same-tick sibling mid-fire
+      wheel.arm(15, 3);              // already due: lands in the next tick
+    }
+  });
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{1, 3}))
+      << "cancelled sibling must not fire; re-arm fires within the advance";
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, RandomizedEquivalenceWithSortedMultimap) {
+  sim::Rng rng(0x7EE1'5EED);
+  TimerWheel wheel(2);  // non-trivial tick: reference must model rounding
+  std::multimap<std::uint64_t, std::uint64_t> reference;  // deadline_tick -> payload
+  std::map<std::uint64_t, TimerWheel::TimerId> live;      // payload -> handle
+  std::uint64_t now = 0;
+  std::uint64_t cursor_tick = 0;  // models the wheel: due arms fire "next"
+  std::uint64_t next_payload = 1;
+  std::vector<std::uint64_t> wheel_fired;
+  std::vector<std::uint64_t> ref_fired;
+
+  for (int step = 0; step < 5'000; ++step) {
+    const auto action = rng.below(100);
+    if (action < 55) {
+      // Arm at a spread of horizons: same tick to multiple levels out.
+      const std::uint64_t horizon = 1ull << rng.below(22);
+      const std::uint64_t deadline = now + rng.below(horizon + 1);
+      const std::uint64_t payload = next_payload++;
+      live[payload] = wheel.arm(deadline, payload);
+      // ceil to the tick, clamped forward like the wheel: a deadline the
+      // cursor already passed fires on the next advance, not in the past.
+      const std::uint64_t tick =
+          std::max(deadline / 2 + (deadline % 2 != 0), cursor_tick);
+      reference.emplace(tick, payload);
+    } else if (action < 70 && !live.empty()) {
+      // Cancel a pseudo-random live timer.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      EXPECT_TRUE(wheel.cancel(it->second));
+      for (auto r = reference.begin(); r != reference.end(); ++r) {
+        if (r->second == it->first) {
+          reference.erase(r);
+          break;
+        }
+      }
+      live.erase(it);
+    } else {
+      // Advance by a spread of jumps (0 .. ~16ms).
+      now += rng.below(1ull << rng.below(15));
+      wheel.advance(now, [&](std::uint64_t payload) {
+        wheel_fired.push_back(payload);
+        live.erase(payload);
+      });
+      const std::uint64_t now_tick = now / 2;
+      while (!reference.empty() && reference.begin()->first <= now_tick) {
+        ref_fired.push_back(reference.begin()->second);
+        reference.erase(reference.begin());
+      }
+      cursor_tick = now_tick + 1;
+      ASSERT_EQ(wheel_fired.size(), ref_fired.size()) << "step " << step;
+    }
+  }
+  // Flush everything still pending and compare the complete histories.
+  now += 1ull << 33;
+  wheel.advance(now, [&](std::uint64_t payload) { wheel_fired.push_back(payload); });
+  while (!reference.empty()) {
+    ref_fired.push_back(reference.begin()->second);
+    reference.erase(reference.begin());
+  }
+  ASSERT_EQ(wheel_fired.size(), ref_fired.size());
+  // The wheel fires tick-by-tick in arm order; the multimap is sorted by
+  // (tick, insertion order for equal ticks) — identical sequences.
+  EXPECT_EQ(wheel_fired, ref_fired);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_GT(wheel.cascades(), 0u);
+}
+
+TEST(TimerWheel, ManyTimersOneTickStressAndDrain) {
+  TimerWheel wheel;
+  std::vector<TimerWheel::TimerId> ids;
+  for (std::uint64_t i = 0; i < 1'000; ++i) ids.push_back(wheel.arm(777, i));
+  for (std::uint64_t i = 0; i < 1'000; i += 2) EXPECT_TRUE(wheel.cancel(ids[i]));
+  const auto fired = drain(wheel, 777);
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], 2 * i + 1) << "odd payloads, still in arm order";
+  }
+}
+
+TEST(TimerWheel, RejectsZeroTick) {
+  EXPECT_THROW(TimerWheel wheel(0), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace svs

@@ -204,7 +204,18 @@ bool write_metrics(const Metrics& m) {
     os << "  \"zero_window_probes\": " << m.lane.zero_window_probes << ",\n";
     os << "  \"malformed_datagrams\": " << m.lane.malformed_datagrams
        << ",\n";
-    os << "  \"stray_datagrams\": " << m.lane.stray_datagrams << "\n";
+    os << "  \"stray_datagrams\": " << m.lane.stray_datagrams << ",\n";
+    os << "  \"syscalls_sent\": " << m.lane.syscalls_sent << ",\n";
+    os << "  \"syscalls_recvd\": " << m.lane.syscalls_recvd << ",\n";
+    os << "  \"datagrams_per_syscall\": "
+       << (m.lane.syscalls_sent + m.lane.syscalls_recvd > 0
+               ? static_cast<double>(m.lane.datagrams_sent +
+                                     m.lane.datagrams_received) /
+                     static_cast<double>(m.lane.syscalls_sent +
+                                         m.lane.syscalls_recvd)
+               : 0.0)
+       << ",\n";
+    os << "  \"wheel_cascades\": " << m.lane.wheel_cascades << "\n";
     os << "}\n";
     if (!os) return false;
   }
